@@ -1,0 +1,286 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment; see DESIGN.md §4 for the index), the
+// ablation studies of Ribbon's design choices (DESIGN.md §5), and
+// micro-benchmarks of the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks report experiment-level metrics (savings, sample
+// counts) via b.ReportMetric; cmd/ribbon-bench prints the full row data.
+package ribbon_test
+
+import (
+	"testing"
+
+	"ribbon/internal/baselines"
+	"ribbon/internal/bo"
+	"ribbon/internal/core"
+	"ribbon/internal/experiments"
+	"ribbon/internal/gp"
+	"ribbon/internal/linalg"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+	"ribbon/internal/stats"
+	"ribbon/internal/workload"
+)
+
+var benchSetup = experiments.Setup{Seed: 42, Queries: 4000, Budget: 120}
+
+func reportRows(b *testing.B, t experiments.Table) {
+	b.Helper()
+	b.ReportMetric(float64(len(t.Rows)), "rows")
+}
+
+// --- Table and figure benchmarks (one per paper experiment) ---
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Table1())
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Table2())
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Table3())
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig3())
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig4(benchSetup))
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig5(benchSetup))
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig7(benchSetup))
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	// Three pool cardinalities on MT-WND keep the bench tractable; the
+	// full five-type sweep runs via `ribbon-bench fig8 -fig8-types 5`.
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig8(benchSetup, "MT-WND", 3))
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig9(benchSetup)
+		reportRows(b, t)
+	}
+	if s, ok := experiments.MaxSaving(benchSetup, "MT-WND"); ok {
+		b.ReportMetric(100*s, "mtwnd-saving-%")
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig10(benchSetup, []string{"MT-WND"}))
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig11(benchSetup))
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig12(benchSetup))
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig13(benchSetup, []string{"MT-WND"}))
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig14(benchSetup, []string{"MT-WND"}))
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig15(benchSetup))
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.Fig16(benchSetup, "MT-WND"))
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// ablationSearch runs Ribbon with the given options on the Fig. 4 space and
+// reports the mean samples-to-optimum over a few seeds (budget on miss).
+func ablationSearch(b *testing.B, opts core.Options) {
+	b.Helper()
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "t3")
+	bounds := []int{5, 12}
+	const optimum = 2.2436
+	const budget = 78
+	seeds := []uint64{11, 23, 37}
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, seed := range seeds {
+			ev := serving.NewCachingEvaluator(serving.NewSimEvaluator(spec,
+				serving.SimOptions{Queries: 4000, Seed: 42}))
+			res := core.NewSearcher(ev, bounds, seed, opts).Run(budget)
+			n, ok := res.SamplesToReachCost(optimum)
+			if !ok {
+				n = budget
+			}
+			total += n
+		}
+		b.ReportMetric(float64(total)/float64(len(seeds)), "samples-to-opt")
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) { ablationSearch(b, core.Options{}) }
+
+func BenchmarkAblationNoRounding(b *testing.B) {
+	ablationSearch(b, core.Options{DisableRounding: true})
+}
+
+func BenchmarkAblationNaiveObjective(b *testing.B) {
+	ablationSearch(b, core.Options{UseNaiveObjective: true})
+}
+
+func BenchmarkAblationNoPruning(b *testing.B) {
+	ablationSearch(b, core.Options{DisablePruning: true})
+}
+
+func BenchmarkAblationWarmStartVsCold(b *testing.B) {
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "t3")
+	bounds := []int{5, 12}
+	mk := func(scale float64) *serving.CachingEvaluator {
+		return serving.NewCachingEvaluator(serving.NewSimEvaluator(spec,
+			serving.SimOptions{Queries: 4000, Seed: 42, RateScale: scale}))
+	}
+	base := core.NewSearcher(mk(1), bounds, 5, core.Options{}).Run(40)
+	for i := 0; i < b.N; i++ {
+		warm := core.NewAdaptedSearcher(mk(1.5), bounds, 6, core.Options{}, base.Steps, base.BestResult).Run(40)
+		cold := core.NewSearcher(mk(1.5), bounds, 6, core.Options{}).Run(40)
+		if warm.Found {
+			n, _ := warm.SamplesToReachCost(warm.BestResult.CostPerHour)
+			b.ReportMetric(float64(n), "warm-samples")
+		}
+		if cold.Found {
+			n, _ := cold.SamplesToReachCost(cold.BestResult.CostPerHour)
+			b.ReportMetric(float64(n), "cold-samples")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func BenchmarkEvaluateConfig(b *testing.B) {
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "c5", "r5n")
+	ev := serving.NewSimEvaluator(spec, serving.SimOptions{Queries: 4000, Seed: 1})
+	cfg := serving.Config{3, 1, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Evaluate(cfg)
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	m := models.MustLookup("MT-WND")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.Generate(m, workload.Options{Queries: 4000, Seed: uint64(i + 1)})
+	}
+}
+
+func BenchmarkGPFitAndPredict(b *testing.B) {
+	r := stats.Derive(1, "bench-gp")
+	n := 40
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{float64(r.IntN(6)), float64(r.IntN(13))}
+		ys[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := gp.FitAuto(xs, ys, gp.HyperOptions{Rounding: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for x := 0; x < 6; x++ {
+			for y := 0; y < 13; y++ {
+				g.Predict([]float64{float64(x), float64(y)})
+			}
+		}
+	}
+}
+
+func BenchmarkBOSuggest(b *testing.B) {
+	obj := func(x []int) float64 { return -float64((x[0]-3)*(x[0]-3) + (x[1]-7)*(x[1]-7)) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := bo.New([]int{5, 12}, bo.Options{Rounding: true, Seed: uint64(i)})
+		for _, x := range [][]int{{0, 0}, {5, 12}, {2, 6}} {
+			o.Observe(x, obj(x))
+		}
+		if _, ok := o.Suggest(); !ok {
+			b.Fatal("no suggestion")
+		}
+	}
+}
+
+func BenchmarkCholesky50(b *testing.B) {
+	r := stats.Derive(2, "bench-chol")
+	n := 50
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	a := m.Mul(m.Transpose())
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveSearch(b *testing.B) {
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "t3")
+	for i := 0; i < b.N; i++ {
+		ev := serving.NewCachingEvaluator(serving.NewSimEvaluator(spec,
+			serving.SimOptions{Queries: 4000, Seed: 42}))
+		baselines.Exhaustive{}.Search(ev, []int{5, 12}, 0, 1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command ribbon-bench regenerates the tables and figures of the Ribbon
+// paper's evaluation (Sec. 5). Each experiment prints the rows/series the
+// paper reports; see EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	ribbon-bench [flags] [experiment ...]
+//
+// With no arguments every experiment runs in paper order. Experiments:
+// table1 table2 table3 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14 fig15 fig16.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ribbon/internal/experiments"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 42, "master random seed (all experiments are deterministic per seed)")
+		queries = flag.Int("queries", 4000, "queries per configuration evaluation")
+		budget  = flag.Int("budget", 120, "evaluation budget per search strategy")
+		model   = flag.String("model", "", "restrict per-model experiments to one model (default: all five)")
+		types   = flag.Int("fig8-types", 4, "maximum pool cardinality for fig8 (5 is slow: ~minutes)")
+	)
+	flag.Parse()
+
+	setup := experiments.Setup{Seed: *seed, Queries: *queries, Budget: *budget}
+	modelList := experiments.ModelNames()
+	if *model != "" {
+		modelList = []string{*model}
+	}
+
+	all := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+	want := flag.Args()
+	if len(want) == 0 {
+		want = all
+	}
+
+	for _, id := range want {
+		start := time.Now()
+		tables, err := run(id, setup, modelList, *types)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ribbon-bench: %v\n", err)
+			os.Exit(2)
+		}
+		for _, t := range tables {
+			if err := t.Fprint(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ribbon-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func run(id string, s experiments.Setup, modelList []string, fig8Types int) ([]experiments.Table, error) {
+	switch id {
+	case "table1":
+		return []experiments.Table{experiments.Table1()}, nil
+	case "table2":
+		return []experiments.Table{experiments.Table2()}, nil
+	case "table3":
+		return []experiments.Table{experiments.Table3()}, nil
+	case "fig3":
+		return []experiments.Table{experiments.Fig3()}, nil
+	case "fig4":
+		return []experiments.Table{experiments.Fig4(s)}, nil
+	case "fig5":
+		return []experiments.Table{experiments.Fig5(s)}, nil
+	case "fig7":
+		return []experiments.Table{experiments.Fig7(s)}, nil
+	case "fig8":
+		var out []experiments.Table
+		for _, m := range modelList {
+			out = append(out, experiments.Fig8(s, m, fig8Types))
+		}
+		return out, nil
+	case "fig9":
+		return []experiments.Table{experiments.Fig9(s)}, nil
+	case "fig10":
+		return []experiments.Table{experiments.Fig10(s, modelList)}, nil
+	case "fig11":
+		return []experiments.Table{experiments.Fig11(s)}, nil
+	case "fig12":
+		return []experiments.Table{experiments.Fig12(s)}, nil
+	case "fig13":
+		return []experiments.Table{experiments.Fig13(s, modelList)}, nil
+	case "fig14":
+		return []experiments.Table{experiments.Fig14(s, modelList)}, nil
+	case "fig15":
+		return []experiments.Table{experiments.Fig15(s)}, nil
+	case "fig16":
+		var out []experiments.Table
+		for _, m := range modelList {
+			out = append(out, experiments.Fig16(s, m))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (known: %s)", id,
+			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16"}, ", "))
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"ribbon/internal/experiments"
+)
+
+func TestRunDispatchesStaticTables(t *testing.T) {
+	s := experiments.Setup{Seed: 1, Queries: 500, Budget: 5}
+	for id, wantRows := range map[string]int{"table1": 5, "table2": 8, "table3": 5, "fig3": 12} {
+		tables, err := run(id, s, experiments.ModelNames(), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) != 1 || len(tables[0].Rows) != wantRows {
+			t.Fatalf("%s: got %d tables, rows %d", id, len(tables), len(tables[0].Rows))
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if _, err := run("fig99", experiments.Setup{}, nil, 1); err == nil {
+		t.Fatalf("accepted unknown experiment")
+	}
+}
+
+func TestRunFig7Fast(t *testing.T) {
+	tables, err := run("fig7", experiments.Setup{Seed: 1, Queries: 1500, Budget: 5}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) < 2 {
+		t.Fatalf("fig7 rows = %d", len(tables[0].Rows))
+	}
+}

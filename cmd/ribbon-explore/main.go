@@ -1,0 +1,110 @@
+// Command ribbon-explore runs one search strategy against one model's pool
+// and streams every configuration evaluation as it happens — the
+// interactive view of what Fig. 10/12 aggregate.
+//
+// Usage:
+//
+//	ribbon-explore -model MT-WND -strategy ribbon -budget 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ribbon/internal/baselines"
+	"ribbon/internal/core"
+	"ribbon/internal/experiments"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "MT-WND", "model to serve (CANDLE, ResNet50, VGG19, MT-WND, DIEN)")
+		pool     = flag.String("pool", "", "comma-separated instance families (default: the model's Table 3 pool)")
+		strategy = flag.String("strategy", "ribbon", "search strategy: ribbon, hillclimb, random, rsm, exhaustive")
+		budget   = flag.Int("budget", 60, "evaluation budget")
+		queries  = flag.Int("queries", 4000, "queries per evaluation")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		qos      = flag.Float64("qos", 0.99, "QoS percentile target")
+		scale    = flag.Float64("scale", 1, "arrival-rate scale relative to the model default")
+	)
+	flag.Parse()
+
+	m, err := models.Lookup(*model)
+	if err != nil {
+		fail(err)
+	}
+	fams := experiments.PoolFor(*model)
+	if *pool != "" {
+		fams = strings.Split(*pool, ",")
+	}
+	spec, err := serving.NewPoolSpec(m, *qos, fams...)
+	if err != nil {
+		fail(err)
+	}
+
+	mkEval := func() *serving.CachingEvaluator {
+		return serving.NewCachingEvaluator(serving.NewSimEvaluator(spec, serving.SimOptions{
+			Queries: *queries, Seed: *seed, RateScale: *scale,
+		}))
+	}
+
+	var strat core.Strategy
+	switch strings.ToLower(*strategy) {
+	case "ribbon":
+		strat = core.RibbonStrategy{}
+	case "hillclimb", "hill-climb":
+		strat = baselines.HillClimb{}
+	case "random":
+		strat = baselines.Random{}
+	case "rsm":
+		strat = baselines.RSM{}
+	case "exhaustive":
+		strat = baselines.Exhaustive{}
+	default:
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	fmt.Printf("model=%s pool=%s QoS=p%.0f target=%gms rate=%.0f qps\n",
+		m.Name, strings.Join(fams, ","), *qos*100, m.QoSLatencyMs, m.ArrivalRateQPS**scale)
+
+	bounds, err := core.DiscoverBounds(mkEval(), 24)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("search bounds m_i = %v (%d configurations)\n\n", bounds, baselines.SpaceSize(bounds))
+
+	ev := mkEval()
+	res := strat.Search(ev, bounds, *budget, *seed)
+
+	fmt.Printf("%-5s %-14s %-10s %-9s %-7s %s\n", "step", "config", "cost", "Rsat", "meets", "best-so-far")
+	for _, st := range res.Steps {
+		best := "-"
+		if st.BestCost < 1e308 {
+			best = fmt.Sprintf("$%.3f", st.BestCost)
+		}
+		note := ""
+		if st.Estimated {
+			note = " (estimated)"
+		}
+		fmt.Printf("%-5d %-14s $%-9.3f %-9.4f %-7v %s%s\n",
+			st.Index, st.Config, st.Result.CostPerHour, st.Result.Rsat, st.Result.MeetsQoS, best, note)
+	}
+	fmt.Println()
+	if res.Found {
+		fmt.Printf("optimum: %s at $%.3f/hr (Rsat %.4f) after %d samples\n",
+			res.BestConfig, res.BestResult.CostPerHour, res.BestResult.Rsat, res.Samples)
+	} else {
+		fmt.Printf("no QoS-meeting configuration found within %d samples\n", res.Samples)
+	}
+	fmt.Printf("exploration: %d configs deployed, %d violating, $%.2f/hr cumulative\n",
+		ev.Samples(), ev.Violations(), ev.ExplorationCost())
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ribbon-explore: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandleModelsAndInstances(t *testing.T) {
+	rr := httptest.NewRecorder()
+	handleModels(rr, httptest.NewRequest(http.MethodGet, "/api/models", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("models status %d", rr.Code)
+	}
+	var ms []map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &ms); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("models = %d, want 5", len(ms))
+	}
+
+	rr = httptest.NewRecorder()
+	handleInstances(rr, httptest.NewRequest(http.MethodGet, "/api/instances", nil))
+	var is []map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &is); err != nil {
+		t.Fatal(err)
+	}
+	if len(is) != 8 {
+		t.Fatalf("instances = %d, want 8", len(is))
+	}
+}
+
+func TestHandleEvaluate(t *testing.T) {
+	body := `{"model":"MT-WND","families":["g4dn","t3"],"config":[5,0],"queries":1500}`
+	rr := httptest.NewRecorder()
+	handleEvaluate(rr, httptest.NewRequest(http.MethodPost, "/api/evaluate", strings.NewReader(body)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["meets_qos"] != true {
+		t.Fatalf("5 g4dn should meet QoS: %v", resp)
+	}
+	cost, _ := resp["cost_per_hour"].(float64)
+	if cost != 5*0.526 {
+		t.Fatalf("cost = %v", cost)
+	}
+}
+
+func TestHandleEvaluateErrors(t *testing.T) {
+	cases := []string{
+		`{"model":"nope","config":[1]}`,
+		`{"model":"MT-WND","families":["g4dn","t3"],"config":[1]}`, // wrong dim
+		`{"model":"MT-WND","unknown_field":1}`,
+		`garbage`,
+	}
+	for _, body := range cases {
+		rr := httptest.NewRecorder()
+		handleEvaluate(rr, httptest.NewRequest(http.MethodPost, "/api/evaluate", strings.NewReader(body)))
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, rr.Code)
+		}
+	}
+}
+
+func TestHandleOptimize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	body := `{"model":"MT-WND","families":["g4dn","t3"],"budget":25,"queries":4000}`
+	rr := httptest.NewRecorder()
+	handleOptimize(rr, httptest.NewRequest(http.MethodPost, "/api/optimize", strings.NewReader(body)))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["found"] != true {
+		t.Fatalf("optimize found nothing: %v", resp)
+	}
+	if _, ok := resp["best_config"]; !ok {
+		t.Fatalf("missing best_config: %v", resp)
+	}
+	if saving, ok := resp["saving"].(float64); !ok || saving <= 0 {
+		t.Fatalf("missing positive saving: %v", resp)
+	}
+}

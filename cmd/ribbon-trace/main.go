@@ -1,0 +1,121 @@
+// Command ribbon-trace generates, inspects, and validates workload traces:
+// the Poisson-arrival, heavy-tail-batch query streams that drive every
+// experiment (Sec. 5.1). Traces serialize to JSON and can be replayed
+// through the serving simulator.
+//
+// Usage:
+//
+//	ribbon-trace gen -model MT-WND -n 10000 -out trace.json
+//	ribbon-trace info trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ribbon/internal/models"
+	"ribbon/internal/stats"
+	"ribbon/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ribbon-trace gen|info [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		model    = fs.String("model", "MT-WND", "model whose arrival/batch profile to use")
+		n        = fs.Int("n", 10000, "number of queries")
+		seed     = fs.Uint64("seed", 42, "random seed")
+		scale    = fs.Float64("scale", 1, "arrival-rate scale")
+		gaussian = fs.Bool("gaussian", false, "use the Gaussian batch-size distribution")
+		out      = fs.String("out", "", "output file (default: stdout)")
+	)
+	fs.Parse(args)
+
+	m, err := models.Lookup(*model)
+	if err != nil {
+		fail(err)
+	}
+	kind := workload.HeavyTailLogNormalBatch
+	if *gaussian {
+		kind = workload.GaussianBatch
+	}
+	st := workload.Generate(m, workload.Options{
+		Queries: *n, Seed: *seed, RateScale: *scale, Batch: kind,
+	})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := st.WriteJSON(w); err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d queries (%.1fs span) to %s\n",
+			len(st.Queries), st.Duration()/1000, *out)
+	}
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("info needs exactly one trace file"))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	st, err := workload.ReadJSON(f)
+	if err != nil {
+		fail(err)
+	}
+
+	var batches stats.Summary
+	var inter stats.Summary
+	prev := 0.0
+	sizes := make([]float64, 0, len(st.Queries))
+	for _, q := range st.Queries {
+		batches.Add(float64(q.Batch))
+		inter.Add(q.ArrivalMs - prev)
+		prev = q.ArrivalMs
+		sizes = append(sizes, float64(q.Batch))
+	}
+	fmt.Printf("model:          %s\n", st.Model)
+	fmt.Printf("queries:        %d over %.1fs\n", len(st.Queries), st.Duration()/1000)
+	fmt.Printf("arrival rate:   %.1f qps (inter-arrival CV %.2f)\n",
+		1000/inter.Mean(), inter.StdDev()/inter.Mean())
+	fmt.Printf("batch size:     mean %.1f, min %.0f, p50 %.0f, p99 %.0f, max %.0f\n",
+		batches.Mean(), batches.Min(),
+		stats.Percentile(sizes, 0.50), stats.Percentile(sizes, 0.99), batches.Max())
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ribbon-trace: %v\n", err)
+	os.Exit(2)
+}

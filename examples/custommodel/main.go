@@ -1,0 +1,72 @@
+// Custom-model scenario: optimize the serving pool for a user-defined model
+// profile that is not in the built-in catalog — a mid-size transformer
+// ranker with a 50 ms p99 target — demonstrating how downstream users plug
+// their own workloads into the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ribbon"
+)
+
+func main() {
+	// Start from a catalog profile and customize it: the profile fields
+	// describe compute per wave, memory traffic per sample, and the
+	// batch/arrival process (see the ModelProfile docs).
+	base, err := ribbon.LookupModel("MT-WND")
+	if err != nil {
+		log.Fatal(err)
+	}
+	custom := base
+	custom.Name = "TransformerRanker"
+	custom.Description = "user-defined mid-size transformer ranking model"
+	custom.WaveMs = 3.0          // heavier dense compute than MT-WND
+	custom.MemMsPerSample = 0.06 // lighter embedding traffic
+	custom.GPUMemFactor = 1.1    // fits in accelerator memory
+	custom.QoSLatencyMs = 50     // p99 within 50 ms
+	custom.ArrivalRateQPS = 400  // expected production load
+
+	opt, err := ribbon.NewOptimizer(ribbon.ServiceConfig{
+		Profile:  custom,
+		Families: []string{"g4dn", "c5a", "t3"}, // user-chosen candidate pool
+		Seed:     3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("optimizing %q: %s\n", custom.Name, custom.Description)
+	bounds, err := opt.Bounds()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered search bounds: %v\n", bounds)
+
+	homog, ok := opt.HomogeneousBaseline()
+	if ok {
+		fmt.Printf("homogeneous optimum: %s at $%.3f/hr\n", homog.Config, homog.CostPerHour)
+	}
+
+	res, err := opt.Run(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatal("no QoS-meeting configuration found — widen the pool or relax the target")
+	}
+	fmt.Printf("recommended pool:    %s at $%.3f/hr (Rsat %.4f)\n",
+		res.BestConfig, res.BestResult.CostPerHour, res.BestResult.Rsat)
+	if ok {
+		fmt.Printf("saving vs homogeneous: %.1f%%\n",
+			100*(1-res.BestResult.CostPerHour/homog.CostPerHour))
+	}
+
+	// Inspect the search trace: every deployed configuration in order.
+	fmt.Println("\nsearch trace:")
+	for _, st := range res.Steps {
+		fmt.Printf("  #%-3d %-12s $%.3f/hr Rsat=%.4f meets=%v\n",
+			st.Index, st.Config, st.Result.CostPerHour, st.Result.Rsat, st.Result.MeetsQoS)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: optimize the serving pool for the MT-WND recommendation model
+// using the paper's Table 3 diverse pool (g4dn, c5, r5n), then compare the
+// result against the best homogeneous pool — the Fig. 9 headline number for
+// one model, through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ribbon"
+)
+
+func main() {
+	opt, err := ribbon.NewOptimizer(ribbon.ServiceConfig{
+		Model: "MT-WND", // pool defaults to the paper's {g4dn, c5, r5n}
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := opt.Spec()
+	fmt.Printf("model: %s (QoS: p%.0f of queries within %g ms)\n",
+		spec.Model.Name, spec.QoSPercentile*100, spec.Model.QoSLatencyMs)
+
+	bounds, err := opt.Bounds()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search bounds per type: %v\n", bounds)
+
+	homog, ok := opt.HomogeneousBaseline()
+	if !ok {
+		log.Fatal("no homogeneous configuration meets QoS — raise the pool size")
+	}
+	fmt.Printf("homogeneous optimum: %s at $%.3f/hr\n", homog.Config, homog.CostPerHour)
+
+	res, err := opt.Run(40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatal("no QoS-meeting diverse configuration found")
+	}
+	fmt.Printf("diverse optimum:     %s at $%.3f/hr (Rsat %.4f)\n",
+		res.BestConfig, res.BestResult.CostPerHour, res.BestResult.Rsat)
+	fmt.Printf("cost saving:         %.1f%%\n",
+		100*(1-res.BestResult.CostPerHour/homog.CostPerHour))
+
+	samples, violations, cost := opt.ExplorationStats()
+	fmt.Printf("exploration: %d configurations deployed (%d violating), $%.2f/hr cumulative\n",
+		samples, violations, cost)
+}

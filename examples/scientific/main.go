@@ -1,0 +1,46 @@
+// Scientific-computing scenario: serve the CANDLE drug-response model
+// (tumor cell line response to drug pairs) on CPU pools, and quantify how a
+// relaxed QoS target (p98 instead of p99) deepens the diverse-pool savings —
+// the Fig. 15 experiment as an application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ribbon"
+)
+
+func main() {
+	fmt.Println("CANDLE inference serving: p99 vs relaxed p98 QoS")
+	fmt.Println()
+
+	for _, qos := range []float64{0.99, 0.98} {
+		opt, err := ribbon.NewOptimizer(ribbon.ServiceConfig{
+			Model:         "CANDLE", // pool defaults to {c5a, m5, t3}
+			QoSPercentile: qos,
+			Seed:          11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		homog, ok := opt.HomogeneousBaseline()
+		if !ok {
+			log.Fatalf("p%.0f: no homogeneous configuration meets QoS", qos*100)
+		}
+		res, err := opt.Run(60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Found {
+			log.Fatalf("p%.0f: search found nothing", qos*100)
+		}
+		fmt.Printf("p%.0f target (%g ms):\n", qos*100, opt.Spec().Model.QoSLatencyMs)
+		fmt.Printf("  homogeneous optimum: %s at $%.3f/hr\n", homog.Config, homog.CostPerHour)
+		fmt.Printf("  diverse optimum:     %s at $%.3f/hr\n", res.BestConfig, res.BestResult.CostPerHour)
+		fmt.Printf("  saving:              %.1f%%\n\n",
+			100*(1-res.BestResult.CostPerHour/homog.CostPerHour))
+	}
+	fmt.Println("A relaxed target lets the cheaper low-performance instances carry more")
+	fmt.Println("of the stream, so the diverse pool's advantage grows (paper Fig. 15).")
+}

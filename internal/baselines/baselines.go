@@ -1,0 +1,162 @@
+// Package baselines implements the competing search strategies Ribbon is
+// evaluated against (Sec. 5.3): dominance-aware RANDOM sampling, multi-start
+// Hill-Climbing, and Response Surface Methodology with a face-centered
+// central composite design — plus the exhaustive ground-truth search used to
+// anchor cost-saving percentages and exploration-cost denominators.
+//
+// All strategies implement core.Strategy, observe the same Eq. 2 objective,
+// and are budget-bounded in real evaluations, so head-to-head sample counts
+// (Fig. 10), exploration costs (Fig. 13), and violation counts (Fig. 14) are
+// directly comparable.
+package baselines
+
+import (
+	"math"
+
+	"ribbon/internal/core"
+	"ribbon/internal/serving"
+)
+
+// tracker centralizes the bookkeeping shared by every baseline: evaluation,
+// objective computation, best-meeting tracking, and the trace.
+type tracker struct {
+	ev      serving.Evaluator
+	spec    serving.PoolSpec
+	bounds  []int
+	steps   []core.Step
+	sampled map[string]bool
+
+	best    serving.Result
+	hasBest bool
+}
+
+func newTracker(ev serving.Evaluator, bounds []int) *tracker {
+	return &tracker{
+		ev:      ev,
+		spec:    ev.Spec(),
+		bounds:  bounds,
+		sampled: make(map[string]bool),
+	}
+}
+
+// evaluate runs one real evaluation with bookkeeping.
+func (t *tracker) evaluate(cfg serving.Config) core.Step {
+	res := t.ev.Evaluate(cfg)
+	obj := core.Objective(t.spec, t.bounds, res)
+	if res.MeetsQoS && (!t.hasBest || res.CostPerHour < t.best.CostPerHour) {
+		t.best = res
+		t.hasBest = true
+	}
+	st := core.Step{
+		Index:     len(t.steps),
+		Config:    cfg.Clone(),
+		Result:    res,
+		Objective: obj,
+		BestCost:  t.bestCost(),
+	}
+	t.steps = append(t.steps, st)
+	t.sampled[cfg.Key()] = true
+	return st
+}
+
+func (t *tracker) bestCost() float64 {
+	if !t.hasBest {
+		return math.Inf(1)
+	}
+	return t.best.CostPerHour
+}
+
+func (t *tracker) samples() int { return len(t.steps) }
+
+func (t *tracker) result(name string) core.SearchResult {
+	r := core.SearchResult{
+		Strategy: name,
+		Found:    t.hasBest,
+		Steps:    append([]core.Step(nil), t.steps...),
+		Samples:  len(t.steps),
+	}
+	if t.hasBest {
+		r.BestConfig = t.best.Config.Clone()
+		r.BestResult = t.best
+	}
+	return r
+}
+
+// forEachConfig enumerates the whole bounded grid.
+func forEachConfig(bounds []int, fn func(cfg serving.Config)) {
+	cfg := make(serving.Config, len(bounds))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(bounds) {
+			fn(cfg)
+			return
+		}
+		for v := 0; v <= bounds[d]; v++ {
+			cfg[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+}
+
+// SpaceSize returns the number of configurations inside bounds.
+func SpaceSize(bounds []int) int {
+	n := 1
+	for _, b := range bounds {
+		n *= b + 1
+	}
+	return n
+}
+
+// TotalSpaceCost returns the summed $/hour of deploying every configuration
+// in the space once — the exhaustive-exploration denominator of Fig. 13.
+// Pool cost is analytic, so no simulation is needed.
+func TotalSpaceCost(spec serving.PoolSpec, bounds []int) float64 {
+	total := 0.0
+	forEachConfig(bounds, func(cfg serving.Config) {
+		total += spec.Cost(cfg)
+	})
+	return total
+}
+
+// Exhaustive evaluates every configuration in the bounded space. It is the
+// ground truth the experiments compare against, not a practical strategy.
+type Exhaustive struct{}
+
+// Name returns "EXHAUSTIVE".
+func (Exhaustive) Name() string { return "EXHAUSTIVE" }
+
+// Search evaluates the full grid (the budget is ignored: ground truth must
+// be complete).
+func (Exhaustive) Search(ev serving.Evaluator, bounds []int, budget int, seed uint64) core.SearchResult {
+	t := newTracker(ev, bounds)
+	forEachConfig(bounds, func(cfg serving.Config) {
+		t.evaluate(cfg.Clone())
+	})
+	return t.result("EXHAUSTIVE")
+}
+
+// HomogeneousOptimum finds the cheapest single-type configuration meeting
+// QoS — the baseline every cost saving in the paper is measured against
+// (Figs. 4, 9, 15). It probes each pool type's column upward and returns the
+// cheapest meeting column.
+func HomogeneousOptimum(ev serving.Evaluator, maxPerType int) (serving.Result, bool) {
+	spec := ev.Spec()
+	var best serving.Result
+	found := false
+	for i := 0; i < spec.Dim(); i++ {
+		for n := 1; n <= maxPerType; n++ {
+			cfg := make(serving.Config, spec.Dim())
+			cfg[i] = n
+			res := ev.Evaluate(cfg)
+			if res.MeetsQoS {
+				if !found || res.CostPerHour < best.CostPerHour {
+					best = res
+					found = true
+				}
+				break
+			}
+		}
+	}
+	return best, found
+}

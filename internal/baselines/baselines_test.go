@@ -1,0 +1,255 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"ribbon/internal/core"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+func mtwndEval(t *testing.T, queries int) *serving.CachingEvaluator {
+	t.Helper()
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "t3")
+	return serving.NewCachingEvaluator(serving.NewSimEvaluator(spec, serving.SimOptions{Queries: queries, Seed: 42}))
+}
+
+func TestSpaceSizeAndTotalCost(t *testing.T) {
+	if got := SpaceSize([]int{5, 12}); got != 6*13 {
+		t.Fatalf("SpaceSize = %d", got)
+	}
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "t3")
+	// Sum over grid of (g*0.526 + t*0.1664) with g in 0..1, t in 0..1:
+	// = 2*(0+0.526) + 2*(0+0.1664).
+	got := TotalSpaceCost(spec, []int{1, 1})
+	want := 2*0.526 + 2*0.1664
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TotalSpaceCost = %g, want %g", got, want)
+	}
+}
+
+func TestExhaustiveCoversWholeSpace(t *testing.T) {
+	ev := mtwndEval(t, 600)
+	res := Exhaustive{}.Search(ev, []int{2, 3}, 0, 1)
+	if res.Samples != 12 {
+		t.Fatalf("exhaustive sampled %d, want 12", res.Samples)
+	}
+	if ev.Samples() != 12 {
+		t.Fatalf("evaluator saw %d configs", ev.Samples())
+	}
+	if (Exhaustive{}).Name() != "EXHAUSTIVE" {
+		t.Fatalf("name")
+	}
+}
+
+func TestExhaustiveFindsTrueOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ev := mtwndEval(t, 4000)
+	res := Exhaustive{}.Search(ev, []int{5, 12}, 0, 1)
+	if !res.Found {
+		t.Fatalf("nothing meets QoS in the Fig. 4 space")
+	}
+	// Ground truth from the Fig. 4 calibration: (3+4) at $2.2436.
+	if res.BestResult.CostPerHour > 2.2436+1e-9 {
+		t.Fatalf("exhaustive optimum $%.4f worse than known (3+4)", res.BestResult.CostPerHour)
+	}
+	// Verify minimality directly: every meeting step costs >= best.
+	for _, st := range res.Steps {
+		if st.Result.MeetsQoS && st.Result.CostPerHour < res.BestResult.CostPerHour-1e-9 {
+			t.Fatalf("missed cheaper meeting config %v", st.Config)
+		}
+	}
+}
+
+func TestHomogeneousOptimumMatchesTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// For MT-WND the homogeneous optimum must be 5 g4dn (Fig. 4).
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "c5", "r5n")
+	ev := serving.NewCachingEvaluator(serving.NewSimEvaluator(spec, serving.SimOptions{Queries: 6000, Seed: 42}))
+	res, ok := HomogeneousOptimum(ev, 20)
+	if !ok {
+		t.Fatalf("no homogeneous configuration meets QoS")
+	}
+	if res.Config.Key() != "5+0+0" {
+		t.Fatalf("homogeneous optimum = %v, want (5 + 0 + 0)", res.Config)
+	}
+}
+
+func TestRandomRespectsSkipRules(t *testing.T) {
+	ev := mtwndEval(t, 2500)
+	res := Random{}.Search(ev, []int{5, 12}, 50, 3)
+	if (Random{}).Name() != "RANDOM" {
+		t.Fatalf("name")
+	}
+	// Replay the trace and verify neither skip rule was ever violated.
+	var violators []serving.Config
+	var meeting []core.Step
+	spec := ev.Spec()
+	for i, st := range res.Steps {
+		for _, v := range violators {
+			if st.Config.DominatedBy(v) {
+				t.Fatalf("step %d evaluated %v although %v already violated", i, st.Config, v)
+			}
+		}
+		for _, m := range meeting {
+			if m.Config.DominatedBy(st.Config) && m.Result.CostPerHour <= spec.Cost(st.Config) {
+				t.Fatalf("step %d evaluated %v although cheaper %v already met QoS", i, st.Config, m.Config)
+			}
+		}
+		if st.Result.MeetsQoS {
+			meeting = append(meeting, st)
+		} else {
+			violators = append(violators, st.Config)
+		}
+	}
+}
+
+func TestRandomStopsWhenNothingAdmissible(t *testing.T) {
+	// In a tiny space the skip rules quickly exhaust candidates; the
+	// search must stop rather than loop forever.
+	ev := mtwndEval(t, 500)
+	res := Random{}.Search(ev, []int{1, 1}, 1000, 4)
+	if res.Samples > 4 {
+		t.Fatalf("sampled %d from a 4-point space", res.Samples)
+	}
+}
+
+func TestHillClimbStartsAtCornerAndImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ev := mtwndEval(t, 3000)
+	res := HillClimb{}.Search(ev, []int{5, 12}, 60, 5)
+	if (HillClimb{}).Name() != "Hill-Climb" {
+		t.Fatalf("name")
+	}
+	if res.Steps[0].Config.Key() != "5+12" {
+		t.Fatalf("first evaluation %v, want the all-bounds corner", res.Steps[0].Config)
+	}
+	if !res.Found {
+		t.Fatalf("hill climb found nothing in 60 samples")
+	}
+	// The corner meets QoS, so the result must cost no more than it.
+	corner := ev.Spec().Cost(serving.Config{5, 12})
+	if res.BestResult.CostPerHour > corner {
+		t.Fatalf("no improvement over the corner")
+	}
+}
+
+func TestHillClimbRespectsBudget(t *testing.T) {
+	ev := mtwndEval(t, 600)
+	res := HillClimb{}.Search(ev, []int{5, 12}, 7, 5)
+	if res.Samples != 7 {
+		t.Fatalf("Samples = %d, want 7", res.Samples)
+	}
+}
+
+func TestCCFDesignGeometry(t *testing.T) {
+	// 3 factors: 8 corners + 6 face centers + 1 center = 15 points.
+	pts := ccfDesign([]int{6, 8, 10})
+	if len(pts) != 15 {
+		t.Fatalf("CCF design has %d points, want 15", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if seen[p.Key()] {
+			t.Fatalf("duplicate design point %v", p)
+		}
+		seen[p.Key()] = true
+		for d, v := range p {
+			if v < 0 || v > []int{6, 8, 10}[d] {
+				t.Fatalf("design point %v outside bounds", p)
+			}
+		}
+	}
+	// Center must be present.
+	if !seen["3+4+5"] {
+		t.Fatalf("center point missing: %v", pts)
+	}
+	// Degenerate bounds collapse duplicates instead of repeating them.
+	tiny := ccfDesign([]int{1, 1})
+	if len(tiny) > 9 {
+		t.Fatalf("degenerate design not deduplicated: %d points", len(tiny))
+	}
+}
+
+func TestRSMSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ev := mtwndEval(t, 3000)
+	res := RSM{}.Search(ev, []int{5, 12}, 60, 6)
+	if (RSM{}).Name() != "RSM" {
+		t.Fatalf("name")
+	}
+	if !res.Found {
+		t.Fatalf("RSM found nothing in 60 samples")
+	}
+	// The first min(budget, design) evaluations must be the CCF design.
+	design := ccfDesign([]int{5, 12})
+	for i := range design {
+		if i >= len(res.Steps) {
+			break
+		}
+		if res.Steps[i].Config.Key() != design[i].Key() {
+			t.Fatalf("step %d = %v, want design point %v", i, res.Steps[i].Config, design[i])
+		}
+	}
+}
+
+func TestStrategiesShareInterface(t *testing.T) {
+	for _, s := range []core.Strategy{Random{}, HillClimb{}, RSM{}, Exhaustive{}} {
+		if s.Name() == "" {
+			t.Fatalf("strategy with empty name")
+		}
+	}
+}
+
+// Ribbon must reach the optimum with fewer samples in expectation than every
+// baseline on the Fig. 4 search space — the paper's headline Fig. 10 result.
+// Individual seeds can get lucky (RANDOM occasionally stumbles onto the
+// optimum immediately), so the comparison averages over seeds.
+func TestRibbonBeatsBaselinesOnSampleCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	bounds := []int{5, 12}
+	// The target is the exhaustive optimum cost: the hardest saving level.
+	// Easier intermediate targets are reachable by luck, which is not what
+	// Fig. 10's right-hand side measures.
+	ex := Exhaustive{}.Search(mtwndEval(t, 4000), bounds, 0, 1)
+	if !ex.Found {
+		t.Fatalf("no ground-truth optimum")
+	}
+	optimum := ex.BestResult.CostPerHour
+	const budget = 78 // the full space: not reaching it at all scores 78
+	seeds := []uint64{11, 23, 37, 51, 64}
+
+	mean := func(s core.Strategy) float64 {
+		total := 0.0
+		for _, seed := range seeds {
+			ev := mtwndEval(t, 4000)
+			res := s.Search(ev, bounds, budget, seed)
+			n, ok := res.SamplesToReachCost(optimum)
+			if !ok {
+				n = budget
+			}
+			total += float64(n)
+		}
+		return total / float64(len(seeds))
+	}
+	ribbon := mean(core.RibbonStrategy{})
+	if ribbon >= budget {
+		t.Fatalf("Ribbon never reached the optimum")
+	}
+	for _, s := range []core.Strategy{Random{}, HillClimb{}, RSM{}} {
+		if n := mean(s); n < ribbon {
+			t.Errorf("%s mean %.1f samples beats Ribbon's %.1f", s.Name(), n, ribbon)
+		}
+	}
+}

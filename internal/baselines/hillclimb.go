@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"ribbon/internal/core"
+	"ribbon/internal/serving"
+	"ribbon/internal/stats"
+)
+
+// HillClimb is the paper's Hill-Climb baseline (Sec. 5.3): greedy ascent on
+// the Eq. 2 objective over the axis-aligned neighbor graph, restarting from
+// a random unexplored configuration when trapped in a local optimum — the
+// behavior visible in Fig. 12, where it climbs to (4,3), exhausts cheaper
+// neighbors, and restarts from a random point.
+type HillClimb struct{}
+
+// Name returns "Hill-Climb".
+func (HillClimb) Name() string { return "Hill-Climb" }
+
+// Search climbs until the budget is spent or the space is exhausted.
+func (HillClimb) Search(ev serving.Evaluator, bounds []int, budget int, seed uint64) core.SearchResult {
+	t := newTracker(ev, bounds)
+	rng := stats.Derive(seed, "baseline", "hillclimb")
+
+	// Start from the all-bounds corner: the most provisioned, most likely
+	// QoS-feasible configuration (the same anchor Ribbon seeds with).
+	cur := make(serving.Config, len(bounds))
+	for i, b := range bounds {
+		cur[i] = b
+	}
+	if t.samples() >= budget {
+		return t.result("Hill-Climb")
+	}
+	curStep := t.evaluate(cur)
+
+	randomRestart := func() (serving.Config, bool) {
+		var pick serving.Config
+		n := 0
+		forEachConfig(bounds, func(cfg serving.Config) {
+			if t.sampled[cfg.Key()] {
+				return
+			}
+			n++
+			if rng.IntN(n) == 0 {
+				pick = cfg.Clone()
+			}
+		})
+		return pick, pick != nil
+	}
+
+	for t.samples() < budget {
+		// Evaluate unexplored axis neighbors of the current point and
+		// move to the best improving one.
+		bestObj := curStep.Objective
+		var bestCfg serving.Config
+		var bestStep core.Step
+		improved := false
+		for d := 0; d < len(bounds) && t.samples() < budget; d++ {
+			for _, delta := range []int{-1, 1} {
+				v := cur[d] + delta
+				if v < 0 || v > bounds[d] {
+					continue
+				}
+				nb := cur.Clone()
+				nb[d] = v
+				if t.sampled[nb.Key()] {
+					continue
+				}
+				st := t.evaluate(nb)
+				if st.Objective > bestObj {
+					bestObj = st.Objective
+					bestCfg = nb
+					bestStep = st
+					improved = true
+				}
+				if t.samples() >= budget {
+					break
+				}
+			}
+		}
+		if improved {
+			cur = bestCfg
+			curStep = bestStep
+			continue
+		}
+		// Local optimum: restart from a random unexplored point.
+		next, ok := randomRestart()
+		if !ok {
+			break
+		}
+		if t.samples() >= budget {
+			break
+		}
+		cur = next
+		curStep = t.evaluate(next)
+	}
+	return t.result("Hill-Climb")
+}

@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"ribbon/internal/core"
+	"ribbon/internal/serving"
+	"ribbon/internal/stats"
+)
+
+// Random is the paper's RANDOM baseline (Sec. 5.3): uniformly random
+// configurations, made "more intelligent" by two skip rules — never evaluate
+// a configuration dominated by a known QoS violator, and never evaluate one
+// that a cheaper known QoS-meeting configuration already dominates from
+// below.
+type Random struct{}
+
+// Name returns "RANDOM".
+func (Random) Name() string { return "RANDOM" }
+
+// Search samples until the budget is spent or no admissible candidate
+// remains.
+func (Random) Search(ev serving.Evaluator, bounds []int, budget int, seed uint64) core.SearchResult {
+	t := newTracker(ev, bounds)
+	rng := stats.Derive(seed, "baseline", "random")
+	var violators core.PruneSet
+	var meeting []serving.Result
+
+	admissible := func(cfg serving.Config) bool {
+		if t.sampled[cfg.Key()] {
+			return false
+		}
+		// Rule 1: a previous config with >= instances of every type
+		// violated QoS; this one must violate too.
+		if violators.Pruned(cfg) {
+			return false
+		}
+		// Rule 2: a previous config with <= instances of every type
+		// met QoS at a lower (or equal) cost; this one cannot improve.
+		for _, m := range meeting {
+			if m.Config.DominatedBy(cfg) && m.CostPerHour <= t.spec.Cost(cfg) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for t.samples() < budget {
+		// Reservoir-sample one admissible configuration.
+		var pick serving.Config
+		n := 0
+		forEachConfig(bounds, func(cfg serving.Config) {
+			if !admissible(cfg) {
+				return
+			}
+			n++
+			if rng.IntN(n) == 0 {
+				pick = cfg.Clone()
+			}
+		})
+		if pick == nil {
+			break
+		}
+		st := t.evaluate(pick)
+		if st.Result.MeetsQoS {
+			meeting = append(meeting, st.Result)
+		} else {
+			violators.AddCeiling(pick)
+		}
+	}
+	return t.result("RANDOM")
+}

@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"sort"
+
+	"ribbon/internal/core"
+	"ribbon/internal/serving"
+)
+
+// RSM is the paper's Response Surface Methodology baseline (Sec. 5.3): a
+// face-centered central composite design (3 levels per factor: 0, mid,
+// bound) is evaluated first, then the method exploits the neighborhood of
+// the most promising design point with greedy local search, falling back to
+// the next-best design point when a neighborhood is exhausted — the Fig. 12
+// behavior where RSM starts from its white-diamond samples.
+type RSM struct{}
+
+// Name returns "RSM".
+func (RSM) Name() string { return "RSM" }
+
+// ccfDesign returns the face-centered central composite design points for
+// the bounded space: 2^d factorial corners, 2d face centers, and the center
+// point, deduplicated (low dimensions and tight bounds can collide).
+func ccfDesign(bounds []int) []serving.Config {
+	d := len(bounds)
+	level := func(dim, l int) int {
+		switch l {
+		case -1:
+			return 0
+		case 0:
+			return (bounds[dim] + 1) / 2
+		default:
+			return bounds[dim]
+		}
+	}
+	seen := map[string]bool{}
+	var out []serving.Config
+	add := func(cfg serving.Config) {
+		if !seen[cfg.Key()] {
+			seen[cfg.Key()] = true
+			out = append(out, cfg.Clone())
+		}
+	}
+	// Factorial corners: every combination of low/high.
+	for mask := 0; mask < 1<<d; mask++ {
+		cfg := make(serving.Config, d)
+		for dim := 0; dim < d; dim++ {
+			if mask&(1<<dim) != 0 {
+				cfg[dim] = level(dim, 1)
+			} else {
+				cfg[dim] = level(dim, -1)
+			}
+		}
+		add(cfg)
+	}
+	// Face centers: one dim at low/high, the rest at mid.
+	for dim := 0; dim < d; dim++ {
+		for _, l := range []int{-1, 1} {
+			cfg := make(serving.Config, d)
+			for j := 0; j < d; j++ {
+				cfg[j] = level(j, 0)
+			}
+			cfg[dim] = level(dim, l)
+			add(cfg)
+		}
+	}
+	// Center point.
+	center := make(serving.Config, d)
+	for j := 0; j < d; j++ {
+		center[j] = level(j, 0)
+	}
+	add(center)
+	return out
+}
+
+// Search runs the design phase then neighborhood exploitation.
+func (RSM) Search(ev serving.Evaluator, bounds []int, budget int, seed uint64) core.SearchResult {
+	t := newTracker(ev, bounds)
+
+	design := ccfDesign(bounds)
+	designSteps := make([]core.Step, 0, len(design))
+	for _, cfg := range design {
+		if t.samples() >= budget {
+			return t.result("RSM")
+		}
+		designSteps = append(designSteps, t.evaluate(cfg))
+	}
+	// Rank design points by objective, best first.
+	sort.SliceStable(designSteps, func(i, j int) bool {
+		return designSteps[i].Objective > designSteps[j].Objective
+	})
+
+	for _, anchor := range designSteps {
+		if t.samples() >= budget {
+			break
+		}
+		cur := anchor.Config.Clone()
+		curObj := anchor.Objective
+		for t.samples() < budget {
+			improved := false
+			for d := 0; d < len(bounds) && t.samples() < budget; d++ {
+				for _, delta := range []int{-1, 1} {
+					v := cur[d] + delta
+					if v < 0 || v > bounds[d] {
+						continue
+					}
+					nb := cur.Clone()
+					nb[d] = v
+					if t.sampled[nb.Key()] {
+						continue
+					}
+					st := t.evaluate(nb)
+					if st.Objective > curObj {
+						curObj = st.Objective
+						cur = nb
+						improved = true
+					}
+					if t.samples() >= budget {
+						break
+					}
+				}
+			}
+			if !improved {
+				break // neighborhood exhausted; move to next design anchor
+			}
+		}
+	}
+	return t.result("RSM")
+}

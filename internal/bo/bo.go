@@ -1,0 +1,293 @@
+// Package bo implements the Bayesian-Optimization engine at Ribbon's core
+// (Sec. 4): a Gaussian-Process surrogate (internal/gp) over an integer
+// configuration grid, an Expected-Improvement acquisition function, and a
+// constraint hook through which Ribbon's active pruning removes
+// configurations from consideration.
+//
+// The optimizer maximizes an unknown objective over the box
+// {0..bounds[0]} x ... x {0..bounds[d-1]}. Candidates are enumerated
+// explicitly — the paper's search spaces hold on the order of a thousand
+// configurations — so acquisition maximization is exact over the grid.
+package bo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ribbon/internal/gp"
+	"ribbon/internal/stats"
+)
+
+// Observation is one evaluated configuration with its objective value.
+type Observation struct {
+	X []int
+	Y float64
+}
+
+// Options configures the optimizer.
+type Options struct {
+	// Rounding applies the paper's Eq. 3 rounding kernel. Ribbon keeps it
+	// on; the Fig. 7 ablation turns it off.
+	Rounding bool
+	// Xi is the Expected-Improvement exploration offset; 0.01 when zero.
+	Xi float64
+	// NoiseRatio is the GP observation-noise ratio; see gp.HyperOptions.
+	NoiseRatio float64
+	// Seed drives deterministic tie-breaking and random fallbacks.
+	Seed uint64
+}
+
+// Optimizer runs GP-EI Bayesian optimization over an integer grid.
+type Optimizer struct {
+	bounds  []int
+	opts    Options
+	rng     *stats.RNG
+	obs     []Observation
+	sampled map[string]bool
+	allowed func(x []int) bool
+}
+
+// New creates an optimizer over the inclusive box [0, bounds[i]] per
+// dimension. It panics on empty or negative bounds.
+func New(bounds []int, opts Options) *Optimizer {
+	if len(bounds) == 0 {
+		panic("bo: empty bounds")
+	}
+	for i, b := range bounds {
+		if b < 0 {
+			panic(fmt.Sprintf("bo: negative bound at dim %d", i))
+		}
+	}
+	if opts.Xi == 0 {
+		opts.Xi = 0.01
+	}
+	return &Optimizer{
+		bounds:  append([]int(nil), bounds...),
+		opts:    opts,
+		rng:     stats.Derive(opts.Seed, "bo"),
+		sampled: make(map[string]bool),
+	}
+}
+
+// Bounds returns a copy of the per-dimension upper bounds.
+func (o *Optimizer) Bounds() []int { return append([]int(nil), o.bounds...) }
+
+// SpaceSize returns the number of grid configurations.
+func (o *Optimizer) SpaceSize() int {
+	n := 1
+	for _, b := range o.bounds {
+		n *= b + 1
+	}
+	return n
+}
+
+// SetConstraint installs the prune predicate: Suggest only returns
+// configurations for which allowed(x) is true. A nil predicate allows all.
+func (o *Optimizer) SetConstraint(allowed func(x []int) bool) { o.allowed = allowed }
+
+// Observe records an evaluated configuration. Re-observing a configuration
+// replaces its value (the evaluator is deterministic, so values agree; after
+// a load change Ribbon replaces estimates with measurements).
+func (o *Optimizer) Observe(x []int, y float64) {
+	if len(x) != len(o.bounds) {
+		panic("bo: observation dimension mismatch")
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		panic("bo: non-finite objective value")
+	}
+	key := keyOf(x)
+	if o.sampled[key] {
+		for i := range o.obs {
+			if keyOf(o.obs[i].X) == key {
+				o.obs[i].Y = y
+				return
+			}
+		}
+	}
+	o.sampled[key] = true
+	o.obs = append(o.obs, Observation{X: append([]int(nil), x...), Y: y})
+}
+
+// Observations returns a copy of the recorded observations.
+func (o *Optimizer) Observations() []Observation {
+	out := make([]Observation, len(o.obs))
+	for i, ob := range o.obs {
+		out[i] = Observation{X: append([]int(nil), ob.X...), Y: ob.Y}
+	}
+	return out
+}
+
+// Best returns the observation with the highest objective value. The second
+// return is false when nothing has been observed.
+func (o *Optimizer) Best() (Observation, bool) {
+	if len(o.obs) == 0 {
+		return Observation{}, false
+	}
+	best := o.obs[0]
+	for _, ob := range o.obs[1:] {
+		if ob.Y > best.Y {
+			best = ob
+		}
+	}
+	return Observation{X: append([]int(nil), best.X...), Y: best.Y}, true
+}
+
+// keyOf encodes an integer point as a map key.
+func keyOf(x []int) string {
+	b := make([]byte, 0, len(x)*3)
+	for _, v := range x {
+		b = append(b, byte(v), byte(v>>8), ',')
+	}
+	return string(b)
+}
+
+// Surrogate fits the GP posterior to the current observations. It fails with
+// fewer than two observations.
+func (o *Optimizer) Surrogate() (*gp.GP, error) {
+	if len(o.obs) < 2 {
+		return nil, errors.New("bo: need at least two observations for a surrogate")
+	}
+	xs := make([][]float64, len(o.obs))
+	ys := make([]float64, len(o.obs))
+	for i, ob := range o.obs {
+		xs[i] = toFloat(ob.X)
+		ys[i] = ob.Y
+	}
+	return gp.FitAuto(xs, ys, gp.HyperOptions{
+		Rounding:   o.opts.Rounding,
+		NoiseRatio: o.opts.NoiseRatio,
+	})
+}
+
+func toFloat(x []int) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// ExpectedImprovement computes EI(x) for a maximization problem given the
+// surrogate posterior and the incumbent best value.
+func ExpectedImprovement(g *gp.GP, x []float64, best, xi float64) float64 {
+	mean, variance := g.Predict(x)
+	improve := mean - best - xi
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-12 {
+		return math.Max(0, improve)
+	}
+	z := improve / sigma
+	return improve*normCDF(z) + sigma*normPDF(z)
+}
+
+func normCDF(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+func normPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+
+// Suggest returns the next configuration to evaluate: the unsampled, allowed
+// grid point with the highest Expected Improvement. Before a surrogate can
+// be fitted (fewer than two observations) it falls back to a uniformly
+// random unsampled allowed point. The second return is false when the whole
+// grid is exhausted or pruned.
+func (o *Optimizer) Suggest() ([]int, bool) {
+	g, err := o.Surrogate()
+	if err != nil {
+		return o.randomCandidate()
+	}
+	best, _ := o.Best()
+
+	var argmax []int
+	maxEI := math.Inf(-1)
+	o.forEachCandidate(func(x []int) {
+		ei := ExpectedImprovement(g, toFloat(x), best.Y, o.opts.Xi)
+		if ei > maxEI {
+			maxEI = ei
+			argmax = append([]int(nil), x...)
+		}
+	})
+	if argmax == nil {
+		return nil, false
+	}
+	return argmax, true
+}
+
+// forEachCandidate visits every unsampled, allowed grid point.
+func (o *Optimizer) forEachCandidate(fn func(x []int)) {
+	x := make([]int, len(o.bounds))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(x) {
+			if o.sampled[keyOf(x)] {
+				return
+			}
+			if o.allowed != nil && !o.allowed(x) {
+				return
+			}
+			fn(x)
+			return
+		}
+		for v := 0; v <= o.bounds[d]; v++ {
+			x[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+}
+
+// randomCandidate returns a uniformly random unsampled allowed point via
+// reservoir sampling over the candidate enumeration.
+func (o *Optimizer) randomCandidate() ([]int, bool) {
+	var pick []int
+	n := 0
+	o.forEachCandidate(func(x []int) {
+		n++
+		if o.rng.IntN(n) == 0 {
+			pick = append([]int(nil), x...)
+		}
+	})
+	if pick == nil {
+		return nil, false
+	}
+	return pick, true
+}
+
+// SuggestContinuous maximizes EI over a fractional grid with the given step
+// (e.g. 0.25), returning a real-valued point. It exists for the Fig. 7
+// ablation: without the rounding kernel, the continuous acquisition
+// optimizer repeatedly lands inside integer cells that were already sampled;
+// with it, the acquisition is piecewise constant and the optimum snaps to
+// unexplored cells.
+func (o *Optimizer) SuggestContinuous(step float64) ([]float64, bool) {
+	if step <= 0 || step > 1 {
+		panic("bo: step must be in (0, 1]")
+	}
+	g, err := o.Surrogate()
+	if err != nil {
+		return nil, false
+	}
+	best, _ := o.Best()
+
+	var argmax []float64
+	maxEI := math.Inf(-1)
+	x := make([]float64, len(o.bounds))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(x) {
+			ei := ExpectedImprovement(g, x, best.Y, o.opts.Xi)
+			if ei > maxEI {
+				maxEI = ei
+				argmax = append([]float64(nil), x...)
+			}
+			return
+		}
+		for v := 0.0; v <= float64(o.bounds[d])+1e-9; v += step {
+			x[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	if argmax == nil {
+		return nil, false
+	}
+	return argmax, true
+}

@@ -1,0 +1,128 @@
+// Package cloud describes the pool of AWS EC2 instance types studied in the
+// Ribbon paper (Table 2): identity, sizing, device class, and the published
+// us-east-1 Linux on-demand price. Performance characteristics live in
+// internal/perf; this package is the billing- and inventory-side substrate.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeviceClass groups instance families by their architectural role, matching
+// the categories of Table 2 in the paper.
+type DeviceClass int
+
+const (
+	// General covers balanced compute/memory families (t3, m5, m5n).
+	General DeviceClass = iota
+	// Compute covers compute-optimized families (c5, c5a).
+	Compute
+	// Memory covers memory-optimized families (r5, r5n).
+	Memory
+	// Accelerator covers GPU families (g4dn).
+	Accelerator
+)
+
+// String returns the Table 2 category name.
+func (c DeviceClass) String() string {
+	switch c {
+	case General:
+		return "general purpose"
+	case Compute:
+		return "compute optimized"
+	case Memory:
+		return "memory optimized"
+	case Accelerator:
+		return "accelerator (GPU)"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(c))
+	}
+}
+
+// InstanceType identifies one purchasable EC2 instance configuration.
+type InstanceType struct {
+	// Family is the EC2 family code name, e.g. "g4dn".
+	Family string
+	// Size is the EC2 size suffix, e.g. "xlarge".
+	Size string
+	// Class is the architectural category from Table 2.
+	Class DeviceClass
+	// VCPU is the number of virtual CPUs.
+	VCPU int
+	// MemoryGiB is the instance memory.
+	MemoryGiB int
+	// PricePerHour is the us-east-1 Linux on-demand price in USD.
+	PricePerHour float64
+	// Description is the Table 2 blurb.
+	Description string
+}
+
+// Name returns the full EC2 instance-type name, e.g. "g4dn.xlarge".
+func (t InstanceType) Name() string { return t.Family + "." + t.Size }
+
+func (t InstanceType) String() string { return t.Name() }
+
+// catalog is the fixed instance inventory of the paper (Table 2) with 2021
+// us-east-1 on-demand pricing.
+var catalog = []InstanceType{
+	{Family: "t3", Size: "xlarge", Class: General, VCPU: 4, MemoryGiB: 16, PricePerHour: 0.1664,
+		Description: "burstable general purpose (Intel Skylake)"},
+	{Family: "m5", Size: "xlarge", Class: General, VCPU: 4, MemoryGiB: 16, PricePerHour: 0.192,
+		Description: "general purpose (Intel Xeon Platinum)"},
+	{Family: "m5n", Size: "xlarge", Class: General, VCPU: 4, MemoryGiB: 16, PricePerHour: 0.238,
+		Description: "general purpose, network optimized"},
+	{Family: "c5", Size: "2xlarge", Class: Compute, VCPU: 8, MemoryGiB: 16, PricePerHour: 0.34,
+		Description: "compute optimized (Intel Cascade Lake)"},
+	{Family: "c5a", Size: "2xlarge", Class: Compute, VCPU: 8, MemoryGiB: 16, PricePerHour: 0.308,
+		Description: "compute optimized (AMD EPYC)"},
+	{Family: "r5", Size: "large", Class: Memory, VCPU: 2, MemoryGiB: 16, PricePerHour: 0.126,
+		Description: "memory optimized"},
+	{Family: "r5n", Size: "large", Class: Memory, VCPU: 2, MemoryGiB: 16, PricePerHour: 0.149,
+		Description: "memory optimized, network optimized"},
+	{Family: "g4dn", Size: "xlarge", Class: Accelerator, VCPU: 4, MemoryGiB: 16, PricePerHour: 0.526,
+		Description: "NVIDIA T4 GPU, cost-effective ML inference"},
+}
+
+// Catalog returns the full instance inventory sorted by family name.
+func Catalog() []InstanceType {
+	out := make([]InstanceType, len(catalog))
+	copy(out, catalog)
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out
+}
+
+// Lookup returns the instance type with the given family code name.
+func Lookup(family string) (InstanceType, error) {
+	for _, t := range catalog {
+		if t.Family == family {
+			return t, nil
+		}
+	}
+	return InstanceType{}, fmt.Errorf("cloud: unknown instance family %q", family)
+}
+
+// MustLookup is Lookup but panics on an unknown family. Intended for
+// package-level tables built from the fixed paper inventory.
+func MustLookup(family string) InstanceType {
+	t, err := Lookup(family)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PoolCost returns the $/hour of running counts[i] instances of types[i].
+func PoolCost(types []InstanceType, counts []int) float64 {
+	if len(types) != len(counts) {
+		panic("cloud: PoolCost length mismatch")
+	}
+	c := 0.0
+	for i, t := range types {
+		if counts[i] < 0 {
+			panic("cloud: negative instance count")
+		}
+		c += float64(counts[i]) * t.PricePerHour
+	}
+	return c
+}

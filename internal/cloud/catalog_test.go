@@ -1,0 +1,159 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	// Table 2 of the paper lists exactly these eight families.
+	want := map[string]DeviceClass{
+		"t3": General, "m5": General, "m5n": General,
+		"c5": Compute, "c5a": Compute,
+		"r5": Memory, "r5n": Memory,
+		"g4dn": Accelerator,
+	}
+	got := Catalog()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(got), len(want))
+	}
+	for _, inst := range got {
+		class, ok := want[inst.Family]
+		if !ok {
+			t.Errorf("unexpected family %q", inst.Family)
+			continue
+		}
+		if inst.Class != class {
+			t.Errorf("%s class = %v, want %v", inst.Family, inst.Class, class)
+		}
+		if inst.PricePerHour <= 0 {
+			t.Errorf("%s has non-positive price", inst.Family)
+		}
+		if inst.VCPU <= 0 || inst.MemoryGiB <= 0 {
+			t.Errorf("%s has non-positive sizing", inst.Family)
+		}
+	}
+}
+
+func TestCatalogSortedAndCopied(t *testing.T) {
+	a := Catalog()
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Family >= a[i].Family {
+			t.Fatalf("catalog not sorted at %d: %s >= %s", i, a[i-1].Family, a[i].Family)
+		}
+	}
+	a[0].PricePerHour = -1
+	b := Catalog()
+	if b[0].PricePerHour == -1 {
+		t.Fatalf("Catalog exposes internal state")
+	}
+}
+
+func TestPricesMatchPublished(t *testing.T) {
+	// 2021 us-east-1 Linux on-demand prices used throughout the paper-era
+	// experiments; the experiment numerics depend on these exact values.
+	want := map[string]float64{
+		"t3": 0.1664, "m5": 0.192, "m5n": 0.238,
+		"c5": 0.34, "c5a": 0.308,
+		"r5": 0.126, "r5n": 0.149, "g4dn": 0.526,
+	}
+	for fam, price := range want {
+		inst := MustLookup(fam)
+		if inst.PricePerHour != price {
+			t.Errorf("%s price = %g, want %g", fam, inst.PricePerHour, price)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("p4d"); err == nil {
+		t.Fatalf("expected error for unknown family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustLookup should panic on unknown family")
+		}
+	}()
+	MustLookup("p4d")
+}
+
+func TestInstanceName(t *testing.T) {
+	g := MustLookup("g4dn")
+	if g.Name() != "g4dn.xlarge" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	if g.String() != g.Name() {
+		t.Fatalf("String != Name")
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	cases := map[DeviceClass]string{
+		General:        "general purpose",
+		Compute:        "compute optimized",
+		Memory:         "memory optimized",
+		Accelerator:    "accelerator (GPU)",
+		DeviceClass(9): "DeviceClass(9)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestPoolCost(t *testing.T) {
+	types := []InstanceType{MustLookup("g4dn"), MustLookup("t3")}
+	// Fig. 4's (3+4) configuration: 3*0.526 + 4*0.1664 = 2.2436.
+	got := PoolCost(types, []int{3, 4})
+	want := 3*0.526 + 4*0.1664
+	if got != want {
+		t.Fatalf("PoolCost = %g, want %g", got, want)
+	}
+	if PoolCost(types, []int{0, 0}) != 0 {
+		t.Fatalf("empty pool must cost 0")
+	}
+}
+
+func TestPoolCostPanics(t *testing.T) {
+	types := []InstanceType{MustLookup("g4dn")}
+	for _, counts := range [][]int{{1, 2}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for counts %v", counts)
+				}
+			}()
+			PoolCost(types, counts)
+		}()
+	}
+}
+
+// Property: pool cost is additive — cost(a+b) = cost(a)+cost(b).
+func TestPoolCostAdditive(t *testing.T) {
+	types := Catalog()
+	f := func(rawA, rawB []uint8) bool {
+		a := make([]int, len(types))
+		b := make([]int, len(types))
+		sum := make([]int, len(types))
+		for i := range types {
+			if i < len(rawA) {
+				a[i] = int(rawA[i] % 16)
+			}
+			if i < len(rawB) {
+				b[i] = int(rawB[i] % 16)
+			}
+			sum[i] = a[i] + b[i]
+		}
+		lhs := PoolCost(types, sum)
+		rhs := PoolCost(types, a) + PoolCost(types, b)
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

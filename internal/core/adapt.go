@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+
+	"ribbon/internal/serving"
+)
+
+// DetectLoadChange implements Ribbon's monitoring rule (Sec. 4, "Ribbon
+// promptly responds to load changes"): a deployed configuration whose QoS
+// satisfaction rate drops materially below its previously observed rate —
+// queries piling up in the queue — signals a load shift.
+func DetectLoadChange(old, current serving.Result, dropThreshold float64) bool {
+	if dropThreshold <= 0 {
+		dropThreshold = 0.02
+	}
+	return current.Rsat < old.Rsat-dropThreshold
+}
+
+// NewAdaptedSearcher builds a warm-started searcher for a changed load
+// (Sec. 4): instead of forgetting the previous exploration, it
+//
+//  1. re-measures the previous optimal configuration under the new load
+//     (the only real evaluation the warm start spends),
+//  2. collects the set S of previously explored configurations that
+//     performed no better than the previous optimal — none of them can
+//     satisfy the new, heavier load either,
+//  3. estimates their new satisfaction rates with the paper's linear rule
+//     Rsat_new(s) = Rsat_old(s) * Rsat_new(opt)/Rsat_old(opt) and feeds the
+//     estimates to the new BO as pseudo-observations, and
+//  4. seeds the prune set from every estimate that violates beyond the
+//     threshold.
+//
+// prevSteps is the previous search's trace and prevBest its optimal result.
+// If the previous optimum still meets QoS under newEv, no adaptation is
+// needed and the searcher simply starts from that observation.
+func NewAdaptedSearcher(newEv serving.Evaluator, bounds []int, seed uint64, opts Options,
+	prevSteps []Step, prevBest serving.Result) *Searcher {
+
+	opts.InitialConfigs = []serving.Config{} // no corner seeding: warm start instead
+	s := NewSearcher(newEv, bounds, seed, opts)
+
+	// Step 1: the previous optimum is still deployed; measuring it under
+	// the new load is free of extra provisioning.
+	newOpt := s.evaluate(prevBest.Config)
+	if newOpt.Result.MeetsQoS {
+		return s
+	}
+
+	// Step 2+3: linear re-estimation of the stale exploration record.
+	ratio := 0.0
+	if prevBest.Rsat > 0 {
+		ratio = newOpt.Result.Rsat / prevBest.Rsat
+	}
+	tqos := s.spec.QoSPercentile
+	for _, st := range prevSteps {
+		if st.Estimated {
+			continue
+		}
+		if st.Config.Key() == prevBest.Config.Key() {
+			continue // already measured for real
+		}
+		if st.Result.Rsat > prevBest.Rsat {
+			// Performed better than the previous optimum on the old
+			// load; it might satisfy the new load, so leave it
+			// unexplored for the BO to consider.
+			continue
+		}
+		est := math.Min(1, st.Result.Rsat*ratio)
+		synth := serving.Result{
+			Config:      st.Config.Clone(),
+			CostPerHour: st.Result.CostPerHour,
+			Rsat:        est,
+			MeetsQoS:    false,
+			Queries:     0,
+		}
+		obj := 0.5 * est / tqos
+		if s.opts.UseNaiveObjective {
+			obj = 0
+		}
+		s.opt.Observe(st.Config, obj)
+		if !s.opts.DisablePruning && est < tqos-s.opts.PruneThreshold {
+			s.prune.AddCeiling(st.Config)
+		}
+		s.trace = append(s.trace, Step{
+			Index:     len(s.trace),
+			Config:    st.Config.Clone(),
+			Result:    synth,
+			Objective: obj,
+			BestCost:  s.bestCost(),
+			Estimated: true,
+		})
+	}
+	return s
+}

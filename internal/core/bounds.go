@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"ribbon/internal/serving"
+)
+
+// DiscoverBounds determines the per-type search bounds m_i as the paper
+// prescribes (Sec. 4): m_i is the instance count of type i beyond which
+// adding more instances of that type alone no longer improves the QoS
+// satisfaction rate. Each type is probed with a homogeneous column
+// (0, ..., x_i, ..., 0) of growing size until Rsat saturates or QoS is met.
+//
+// This probing is the "one-time profiling effort" of pool formation; run it
+// against a dedicated evaluator so its samples are not charged to the search
+// accounting.
+func DiscoverBounds(ev serving.Evaluator, maxPerType int) ([]int, error) {
+	if maxPerType < 1 {
+		return nil, fmt.Errorf("core: maxPerType must be >= 1, got %d", maxPerType)
+	}
+	spec := ev.Spec()
+	dim := spec.Dim()
+	bounds := make([]int, dim)
+	const (
+		saturationEps = 0.002 // Rsat gain below 0.2pp counts as saturated
+		plateauFloor  = 0.5   // only a high plateau is a real saturation:
+		// deep in overload consecutive Rsat values are all near zero and
+		// nearly equal, which must not be mistaken for the top plateau
+	)
+
+	for i := 0; i < dim; i++ {
+		prev := -1.0
+		bound := 1
+		for n := 1; n <= maxPerType; n++ {
+			cfg := make(serving.Config, dim)
+			cfg[i] = n
+			res := ev.Evaluate(cfg)
+			if res.MeetsQoS {
+				// The homogeneous column satisfies QoS; larger
+				// columns only add cost.
+				bound = n
+				break
+			}
+			if res.Rsat >= plateauFloor && res.Rsat <= prev+saturationEps {
+				// Saturated below target at the previous size.
+				break
+			}
+			bound = n
+			prev = res.Rsat
+		}
+		bounds[i] = bound
+	}
+	return bounds, nil
+}

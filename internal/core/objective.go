@@ -1,0 +1,66 @@
+// Package core implements Ribbon itself (Sec. 4): the two-regime objective
+// function over (QoS satisfaction, cost), the BO-driven search loop with
+// active pruning, automatic per-type search bounds (m_i) discovery, and the
+// warm-started re-search that follows a load change.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ribbon/internal/serving"
+)
+
+// Objective computes Eq. 2 of the paper for an evaluated configuration:
+//
+//	f(x) = 1/2 * Rsat(x)/Tqos                                  if x violates QoS
+//	f(x) = 1/2 + 1/2 * (1 - sum(p_i x_i) / sum(p_i m_i))       otherwise
+//
+// where p_i is the hourly price of type i and m_i the per-type search bound.
+// The output lies in [0, 1]; every QoS-meeting configuration scores above
+// every violating one, and within the meeting region lower cost scores
+// higher. Both regimes are smooth in their inputs, which is what lets the GP
+// surrogate steer the acquisition function (Sec. 4, "Ribbon maintains a
+// smooth distribution of configurations").
+func Objective(spec serving.PoolSpec, bounds []int, res serving.Result) float64 {
+	if len(bounds) != spec.Dim() {
+		panic("core: bounds do not match pool spec")
+	}
+	tqos := spec.QoSPercentile
+	if res.Rsat < tqos {
+		return 0.5 * res.Rsat / tqos
+	}
+	maxCost := maxPoolCost(spec, bounds)
+	if maxCost <= 0 {
+		panic("core: zero-cost search space")
+	}
+	v := 0.5 + 0.5*(1-res.CostPerHour/maxCost)
+	// Guard numeric dust: configurations inside the bounds keep v in
+	// [1/2, 1] by construction.
+	return math.Min(1, math.Max(0.5, v))
+}
+
+// maxPoolCost returns sum(p_i * m_i), the normalization constant of Eq. 2.
+func maxPoolCost(spec serving.PoolSpec, bounds []int) float64 {
+	c := 0.0
+	for i, t := range spec.Types {
+		if bounds[i] < 0 {
+			panic(fmt.Sprintf("core: negative bound at dim %d", i))
+		}
+		c += float64(bounds[i]) * t.PricePerHour
+	}
+	return c
+}
+
+// NaiveObjective is the single-metric objective the paper rejected
+// (Sec. 4, "We also experimented with other objective functions"): zero for
+// every QoS-violating configuration and a pure normalized-cost reward
+// otherwise. Its flat violating region gives the acquisition function no
+// gradient toward feasibility; the ablation benchmarks quantify the damage.
+func NaiveObjective(spec serving.PoolSpec, bounds []int, res serving.Result) float64 {
+	if res.Rsat < spec.QoSPercentile {
+		return 0
+	}
+	maxCost := maxPoolCost(spec, bounds)
+	return math.Min(1, math.Max(0, 1-res.CostPerHour/maxCost))
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ribbon/internal/cloud"
+	"ribbon/internal/models"
+	"ribbon/internal/perf"
+)
+
+// SuggestPool implements the paper's pool-formation guideline (Sec. 3.3):
+//
+//   - the primary type is the most cost-effective instance that can serve
+//     even the model's largest query within the strict QoS target (the type
+//     the homogeneous baseline would use);
+//   - the remaining types are instances that satisfy a relaxed QoS target
+//     (the paper relaxes by ~30%, relax = 1.3) on a typical large query,
+//     ranked by cost-effectiveness at the typical batch size — cheaper,
+//     lower-performance instances that can opportunistically absorb load.
+//
+// It returns the ordered pool (primary first, matching the FCFS dispatch
+// preference) of the requested size. Instances selected with too much
+// relaxation would never appear in optimal configurations, which is why the
+// relaxed target screens candidates before cost-effectiveness ranks them.
+func SuggestPool(m models.Profile, candidates []cloud.InstanceType, relax float64, size int) ([]cloud.InstanceType, error) {
+	if relax < 1 {
+		return nil, fmt.Errorf("core: relax factor %g must be >= 1", relax)
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("core: pool size %d must be >= 1", size)
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidate instances")
+	}
+
+	typical := typicalBatch(m)
+	large := p90Batch(m)
+
+	// Primary: strict-QoS-capable on the largest query, most
+	// cost-effective among those.
+	var primary *cloud.InstanceType
+	bestCE := -1.0
+	for i, inst := range candidates {
+		if perf.ServiceMs(m, inst, m.Batch.MaxBatch) > m.QoSLatencyMs {
+			continue
+		}
+		if ce := perf.CostEffectiveness(m, inst, typical); ce > bestCE {
+			bestCE = ce
+			primary = &candidates[i]
+		}
+	}
+	if primary == nil {
+		return nil, fmt.Errorf("core: no candidate can serve %s's largest query (batch %d) within %g ms",
+			m.Name, m.Batch.MaxBatch, m.QoSLatencyMs)
+	}
+
+	// Helpers: relaxed-QoS-capable on a typical large query, ranked by
+	// cost-effectiveness.
+	type scored struct {
+		inst cloud.InstanceType
+		ce   float64
+	}
+	var helpers []scored
+	for _, inst := range candidates {
+		if inst.Family == primary.Family {
+			continue
+		}
+		if perf.ServiceMs(m, inst, large) > relax*m.QoSLatencyMs {
+			continue
+		}
+		helpers = append(helpers, scored{inst, perf.CostEffectiveness(m, inst, typical)})
+	}
+	sort.Slice(helpers, func(i, j int) bool { return helpers[i].ce > helpers[j].ce })
+
+	pool := []cloud.InstanceType{*primary}
+	for _, h := range helpers {
+		if len(pool) >= size {
+			break
+		}
+		pool = append(pool, h.inst)
+	}
+	if len(pool) < size {
+		return pool, fmt.Errorf("core: only %d of %d requested types qualify under %.0f%% relaxation",
+			len(pool), size, 100*(relax-1))
+	}
+	return pool, nil
+}
+
+// typicalBatch returns the rounded mean of the model's batch distribution.
+func typicalBatch(m models.Profile) int {
+	b := m.Batch
+	body := math.Exp(b.Mu + b.Sigma*b.Sigma/2)
+	mean := body
+	if b.TailProb > 0 && b.TailShape > 1 {
+		mean = (1-b.TailProb)*body + b.TailProb*b.TailScale*b.TailShape/(b.TailShape-1)
+	}
+	return clampBatch(int(math.Round(mean)), b.MaxBatch)
+}
+
+// p90Batch returns the ~90th percentile of the log-normal body, the "large
+// query" a helper type must survive under the relaxed target.
+func p90Batch(m models.Profile) int {
+	b := m.Batch
+	v := math.Exp(b.Mu + 1.2816*b.Sigma)
+	return clampBatch(int(math.Round(v)), b.MaxBatch)
+}
+
+func clampBatch(v, max int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > max {
+		return max
+	}
+	return v
+}

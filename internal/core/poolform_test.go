@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"ribbon/internal/cloud"
+	"ribbon/internal/models"
+)
+
+func TestSuggestPoolRecommender(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	pool, err := SuggestPool(m, cloud.Catalog(), 1.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 3 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	// The only instance that can field MT-WND's largest query within the
+	// strict 20ms target is the GPU: it must lead the pool.
+	if pool[0].Family != "g4dn" {
+		t.Fatalf("primary = %s, want g4dn", pool[0].Family)
+	}
+	seen := map[string]bool{}
+	for _, inst := range pool {
+		if seen[inst.Family] {
+			t.Fatalf("duplicate family %s", inst.Family)
+		}
+		seen[inst.Family] = true
+	}
+}
+
+func TestSuggestPoolCNN(t *testing.T) {
+	m := models.MustLookup("CANDLE")
+	pool, err := SuggestPool(m, cloud.Catalog(), 1.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CANDLE's primary must be a compute-optimized CPU instance (the
+	// paper's Table 3 uses c5a; c5 is an acceptable sibling) or the GPU.
+	switch pool[0].Family {
+	case "c5a", "c5", "g4dn":
+	default:
+		t.Fatalf("CANDLE primary = %s, want a high-performance type", pool[0].Family)
+	}
+}
+
+func TestSuggestPoolValidation(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	if _, err := SuggestPool(m, cloud.Catalog(), 0.9, 3); err == nil {
+		t.Errorf("accepted relax < 1")
+	}
+	if _, err := SuggestPool(m, cloud.Catalog(), 1.3, 0); err == nil {
+		t.Errorf("accepted size 0")
+	}
+	if _, err := SuggestPool(m, nil, 1.3, 3); err == nil {
+		t.Errorf("accepted empty candidates")
+	}
+	// No candidate can serve the largest query: only slow instances.
+	slow := []cloud.InstanceType{cloud.MustLookup("t3"), cloud.MustLookup("r5")}
+	if _, err := SuggestPool(m, slow, 1.3, 2); err == nil {
+		t.Errorf("accepted an infeasible candidate set")
+	}
+}
+
+func TestSuggestPoolTooFewHelpers(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	// Only the GPU qualifies in this candidate set; asking for 3 types
+	// must return the partial pool plus an error.
+	only := []cloud.InstanceType{cloud.MustLookup("g4dn")}
+	pool, err := SuggestPool(m, only, 1.3, 3)
+	if err == nil {
+		t.Fatalf("expected shortfall error")
+	}
+	if len(pool) != 1 || pool[0].Family != "g4dn" {
+		t.Fatalf("partial pool = %v", pool)
+	}
+}
+
+func TestSuggestPoolHelpersAreCheaperTypes(t *testing.T) {
+	// Helpers are ranked by cost-effectiveness; for MT-WND the memory-
+	// optimized and burstable families dominate that ranking, so at least
+	// one of them must appear.
+	m := models.MustLookup("MT-WND")
+	pool, err := SuggestPool(m, cloud.Catalog(), 1.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := false
+	for _, inst := range pool[1:] {
+		if inst.PricePerHour < pool[0].PricePerHour {
+			cheap = true
+		}
+	}
+	if !cheap {
+		t.Fatalf("no cheaper helper in pool %v", pool)
+	}
+}

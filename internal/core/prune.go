@@ -1,0 +1,55 @@
+package core
+
+import "ribbon/internal/serving"
+
+// PruneSet implements Ribbon's active pruning (Sec. 4): once a configuration
+// x_c is observed to violate QoS by more than the threshold, every
+// configuration component-wise less than or equal to x_c is provably unable
+// to meet QoS (removing instances never helps) and is excluded from future
+// acquisition.
+//
+// The set stores only maximal "ceilings": adding a ceiling that dominates an
+// existing one absorbs it, keeping membership tests short.
+type PruneSet struct {
+	ceilings []serving.Config
+}
+
+// AddCeiling records a violating configuration. Every config dominated by it
+// becomes pruned.
+func (p *PruneSet) AddCeiling(c serving.Config) {
+	for _, old := range p.ceilings {
+		if c.DominatedBy(old) {
+			return // already covered by a larger ceiling
+		}
+	}
+	keep := make([]serving.Config, 0, len(p.ceilings)+1)
+	for _, old := range p.ceilings {
+		if !old.DominatedBy(c) {
+			keep = append(keep, old)
+		}
+	}
+	p.ceilings = append(keep, c.Clone())
+}
+
+// Pruned reports whether cfg is dominated by any recorded ceiling.
+func (p *PruneSet) Pruned(cfg serving.Config) bool {
+	for _, c := range p.ceilings {
+		if cfg.DominatedBy(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Ceilings returns a copy of the maximal violating configurations.
+func (p *PruneSet) Ceilings() []serving.Config {
+	out := make([]serving.Config, len(p.ceilings))
+	for i, c := range p.ceilings {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// Size returns the number of stored ceilings (not the number of pruned
+// configurations, which is the union of the dominated boxes).
+func (p *PruneSet) Size() int { return len(p.ceilings) }

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ribbon/internal/bo"
+	"ribbon/internal/serving"
+)
+
+// Step records one configuration evaluation during a search.
+type Step struct {
+	// Index is the 0-based evaluation order.
+	Index int
+	// Config and Result describe the deployment.
+	Config serving.Config
+	Result serving.Result
+	// Objective is the Eq. 2 value the strategy observed.
+	Objective float64
+	// BestCost is the cheapest QoS-meeting cost seen up to and including
+	// this step (+Inf before any meeting configuration).
+	BestCost float64
+	// Estimated marks warm-start pseudo-observations that were never
+	// deployed (load adaptation, Sec. 4); they cost no samples.
+	Estimated bool
+}
+
+// SearchResult summarizes a completed search.
+type SearchResult struct {
+	// Strategy is the searching strategy's name.
+	Strategy string
+	// BestConfig is the cheapest QoS-meeting configuration found; nil if
+	// none was found within budget.
+	BestConfig serving.Config
+	// BestResult is its evaluation.
+	BestResult serving.Result
+	// Found reports whether any QoS-meeting configuration was found.
+	Found bool
+	// Steps is the full evaluation trace in order.
+	Steps []Step
+	// Samples is the number of real (non-estimated) evaluations.
+	Samples int
+}
+
+// SamplesToReachCost returns the number of real samples needed before a
+// QoS-meeting configuration with cost <= target was evaluated, and whether
+// that happened. It is the Fig. 10 metric.
+func (r SearchResult) SamplesToReachCost(target float64) (int, bool) {
+	n := 0
+	for _, s := range r.Steps {
+		if !s.Estimated {
+			n++
+		}
+		if s.Result.MeetsQoS && s.Result.CostPerHour <= target+1e-9 {
+			return n, true
+		}
+	}
+	return n, false
+}
+
+// Strategy is a search-space exploration method: Ribbon or one of the
+// competing baselines (RANDOM, Hill-Climb, RSM).
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Search explores the evaluator's pool within the per-type bounds
+	// using at most budget evaluations.
+	Search(ev serving.Evaluator, bounds []int, budget int, seed uint64) SearchResult
+}
+
+// Options tunes the Ribbon searcher.
+type Options struct {
+	// PruneThreshold is the QoS-violation margin beyond which dominance
+	// pruning activates (theta in Sec. 4); 0.01 when zero.
+	PruneThreshold float64
+	// Xi is the EI exploration offset passed to the BO engine.
+	Xi float64
+	// DisableRounding turns off the Eq. 3 rounding kernel (ablation).
+	DisableRounding bool
+	// DisablePruning turns off the active prune set (ablation).
+	DisablePruning bool
+	// UseNaiveObjective swaps Eq. 2 for the rejected single-metric
+	// objective (ablation).
+	UseNaiveObjective bool
+	// InitialConfigs seeds the search; when nil the searcher starts from
+	// the all-bounds corner and the half-bounds midpoint, mirroring the
+	// paper's "arrange configurations in increasing order" setup.
+	InitialConfigs []serving.Config
+}
+
+// Searcher runs Ribbon's BO search over one pool. Create with NewSearcher,
+// drive with Step or Run, and inspect Trace/BestMeeting between steps.
+type Searcher struct {
+	name    string
+	ev      serving.Evaluator
+	spec    serving.PoolSpec
+	bounds  []int
+	opts    Options
+	opt     *bo.Optimizer
+	prune   *PruneSet
+	trace   []Step
+	samples int
+
+	bestMeeting serving.Result
+	hasBest     bool
+
+	seeded bool
+	queue  []serving.Config // pending initial configs
+}
+
+// NewSearcher builds a Ribbon searcher over the evaluator's pool with the
+// given per-type bounds.
+func NewSearcher(ev serving.Evaluator, bounds []int, seed uint64, opts Options) *Searcher {
+	spec := ev.Spec()
+	if len(bounds) != spec.Dim() {
+		panic("core: bounds do not match pool dimensionality")
+	}
+	if opts.PruneThreshold == 0 {
+		opts.PruneThreshold = 0.01
+	}
+	if opts.PruneThreshold < 0 {
+		panic("core: negative prune threshold")
+	}
+	s := &Searcher{
+		name:   "RIBBON",
+		ev:     ev,
+		spec:   spec,
+		bounds: append([]int(nil), bounds...),
+		opts:   opts,
+		opt: bo.New(bounds, bo.Options{
+			Rounding: !opts.DisableRounding,
+			Xi:       opts.Xi,
+			Seed:     seed,
+		}),
+		prune: &PruneSet{},
+	}
+	s.opt.SetConstraint(s.allowed)
+	s.queue = opts.InitialConfigs
+	if s.queue == nil {
+		corner := make(serving.Config, len(bounds))
+		mid := make(serving.Config, len(bounds))
+		for i, b := range bounds {
+			corner[i] = b
+			mid[i] = (b + 1) / 2
+		}
+		s.queue = []serving.Config{corner, mid}
+	}
+	return s
+}
+
+// allowed is the acquisition constraint: a candidate is skipped when the
+// prune set covers it or when it cannot undercut the incumbent QoS-meeting
+// cost (Sec. 4: such configurations return values below the incumbent's
+// objective regardless of their QoS outcome).
+func (s *Searcher) allowed(x []int) bool {
+	cfg := serving.Config(x)
+	if !s.opts.DisablePruning {
+		if s.prune.Pruned(cfg) {
+			return false
+		}
+		if s.hasBest && s.spec.Cost(cfg) >= s.bestMeeting.CostPerHour-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// objective dispatches between Eq. 2 and the ablation objective.
+func (s *Searcher) objective(res serving.Result) float64 {
+	if s.opts.UseNaiveObjective {
+		return NaiveObjective(s.spec, s.bounds, res)
+	}
+	return Objective(s.spec, s.bounds, res)
+}
+
+// evaluate runs one real deployment and performs all bookkeeping.
+func (s *Searcher) evaluate(cfg serving.Config) Step {
+	res := s.ev.Evaluate(cfg)
+	obj := s.objective(res)
+	s.opt.Observe(cfg, obj)
+	s.samples++
+
+	if res.MeetsQoS {
+		if !s.hasBest || res.CostPerHour < s.bestMeeting.CostPerHour {
+			s.bestMeeting = res
+			s.hasBest = true
+		}
+	} else if res.Rsat < s.spec.QoSPercentile-s.opts.PruneThreshold {
+		s.prune.AddCeiling(cfg)
+	}
+
+	st := Step{
+		Index:     len(s.trace),
+		Config:    cfg.Clone(),
+		Result:    res,
+		Objective: obj,
+		BestCost:  s.bestCost(),
+	}
+	s.trace = append(s.trace, st)
+	return st
+}
+
+func (s *Searcher) bestCost() float64 {
+	if !s.hasBest {
+		return math.Inf(1)
+	}
+	return s.bestMeeting.CostPerHour
+}
+
+// Step performs one search iteration: the next seeded configuration if any
+// remain, otherwise the BO suggestion. It returns false when the search
+// space is exhausted or fully pruned.
+func (s *Searcher) Step() (Step, bool) {
+	for len(s.queue) > 0 {
+		cfg := s.queue[0].Clone()
+		s.queue = s.queue[1:]
+		if len(cfg) != len(s.bounds) {
+			panic(fmt.Sprintf("core: seed config %v does not match bounds", cfg))
+		}
+		return s.evaluate(cfg), true
+	}
+	x, ok := s.opt.Suggest()
+	if !ok {
+		return Step{}, false
+	}
+	return s.evaluate(serving.Config(x)), true
+}
+
+// Run drives the search until the evaluation budget is spent or the space is
+// exhausted, then summarizes.
+func (s *Searcher) Run(budget int) SearchResult {
+	for s.samples < budget {
+		if _, ok := s.Step(); !ok {
+			break
+		}
+	}
+	return s.Summary()
+}
+
+// Summary returns the result so far without advancing the search.
+func (s *Searcher) Summary() SearchResult {
+	r := SearchResult{
+		Strategy: s.name,
+		Found:    s.hasBest,
+		Steps:    append([]Step(nil), s.trace...),
+		Samples:  s.samples,
+	}
+	if s.hasBest {
+		r.BestConfig = s.bestMeeting.Config.Clone()
+		r.BestResult = s.bestMeeting
+	}
+	return r
+}
+
+// BestMeeting returns the cheapest QoS-meeting evaluation observed so far.
+func (s *Searcher) BestMeeting() (serving.Result, bool) { return s.bestMeeting, s.hasBest }
+
+// Trace returns the evaluation history.
+func (s *Searcher) Trace() []Step { return append([]Step(nil), s.trace...) }
+
+// PruneCeilings exposes the active prune set for reports.
+func (s *Searcher) PruneCeilings() []serving.Config { return s.prune.Ceilings() }
+
+// RibbonStrategy adapts the Searcher to the Strategy interface used by the
+// head-to-head experiments.
+type RibbonStrategy struct {
+	// Opts tunes every search launched by this strategy.
+	Opts Options
+}
+
+// Name returns "RIBBON".
+func (RibbonStrategy) Name() string { return "RIBBON" }
+
+// Search runs a fresh Ribbon search.
+func (r RibbonStrategy) Search(ev serving.Evaluator, bounds []int, budget int, seed uint64) SearchResult {
+	return NewSearcher(ev, bounds, seed, r.Opts).Run(budget)
+}

@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 5). Each Fig* function runs the corresponding experiment
+// deterministically and returns a Table; cmd/ribbon-bench prints them and
+// the root-level benchmarks time them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"ribbon/internal/baselines"
+	"ribbon/internal/core"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig9".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, one row per line.
+	Rows [][]string
+}
+
+// Fprint renders the table with aligned columns.
+func (t Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// AddRow appends a row built from the arguments' default formatting.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Setup carries the shared experiment parameters.
+type Setup struct {
+	// Seed drives every random stream; experiments are reproducible for
+	// a fixed seed.
+	Seed uint64
+	// Queries per configuration evaluation; 4000 when zero.
+	Queries int
+	// Budget is the per-strategy evaluation budget; 120 when zero.
+	Budget int
+	// QoSPercentile is Tqos; 0.99 when zero.
+	QoSPercentile float64
+}
+
+func (s Setup) withDefaults() Setup {
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Queries == 0 {
+		s.Queries = 4000
+	}
+	if s.Budget == 0 {
+		s.Budget = 120
+	}
+	if s.QoSPercentile == 0 {
+		s.QoSPercentile = 0.99
+	}
+	return s
+}
+
+// ModelNames lists the evaluated models in paper order.
+func ModelNames() []string {
+	return []string{"CANDLE", "ResNet50", "VGG19", "MT-WND", "DIEN"}
+}
+
+// PoolFor returns the Table 3 diverse pool (instance families, dispatch
+// order) for a model.
+func PoolFor(model string) []string {
+	switch model {
+	case "CANDLE", "ResNet50", "VGG19":
+		return []string{"c5a", "m5", "t3"}
+	case "MT-WND", "DIEN":
+		return []string{"g4dn", "c5", "r5n"}
+	default:
+		panic(fmt.Sprintf("experiments: unknown model %q", model))
+	}
+}
+
+// PrimaryFor returns the Table 3 homogeneous-pool instance family.
+func PrimaryFor(model string) string { return PoolFor(model)[0] }
+
+// ExtendedPoolFor returns the first k families of the model's 5-type
+// candidate pool, used by the Fig. 8 cardinality sweep.
+func ExtendedPoolFor(model string, k int) []string {
+	var full []string
+	switch model {
+	case "CANDLE", "ResNet50", "VGG19":
+		full = []string{"c5a", "m5", "t3", "r5", "m5n"}
+	case "MT-WND", "DIEN":
+		full = []string{"g4dn", "c5", "r5n", "t3", "m5"}
+	default:
+		panic(fmt.Sprintf("experiments: unknown model %q", model))
+	}
+	if k < 1 || k > len(full) {
+		panic(fmt.Sprintf("experiments: pool cardinality %d out of [1,%d]", k, len(full)))
+	}
+	return full[:k]
+}
+
+// spec builds the Table 3 pool spec for a model.
+func (s Setup) spec(model string) serving.PoolSpec {
+	return serving.MustNewPoolSpec(models.MustLookup(model), s.QoSPercentile, PoolFor(model)...)
+}
+
+// evaluator builds a fresh caching evaluator for a pool spec.
+func (s Setup) evaluator(spec serving.PoolSpec, opts serving.SimOptions) *serving.CachingEvaluator {
+	opts.Queries = s.Queries
+	if opts.Seed == 0 {
+		opts.Seed = s.Seed
+	}
+	return serving.NewCachingEvaluator(serving.NewSimEvaluator(spec, opts))
+}
+
+// boundsFor discovers the m_i search bounds for a pool spec with a dedicated
+// evaluator (pool-formation profiling is not charged to search accounting).
+func (s Setup) boundsFor(spec serving.PoolSpec, opts serving.SimOptions) []int {
+	bounds, err := core.DiscoverBounds(s.evaluator(spec, opts), 24)
+	if err != nil {
+		panic(err)
+	}
+	return bounds
+}
+
+// Strategies returns the four head-to-head strategies of Sec. 5.3.
+func Strategies() []core.Strategy {
+	return []core.Strategy{
+		core.RibbonStrategy{},
+		baselines.HillClimb{},
+		baselines.Random{},
+		baselines.RSM{},
+	}
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+func usd(x float64) string { return fmt.Sprintf("$%.3f/hr", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func itoa(x int) string    { return fmt.Sprintf("%d", x) }

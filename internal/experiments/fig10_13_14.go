@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"math"
+
+	"ribbon/internal/baselines"
+	"ribbon/internal/serving"
+)
+
+// strategyRun holds one strategy's accounting on one model's search space.
+type strategyRun struct {
+	strategy     string
+	samplesToOpt int     // real samples until the ground-truth optimum cost was matched
+	reached      bool    // whether it got there within budget
+	violations   int     // QoS-violating real samples until the optimum
+	exploreCost  float64 // summed $/hr of configurations deployed until the optimum
+}
+
+// raceStrategies runs all four strategies against one model's Table 3 pool
+// and accounts each until it first matches the exhaustive optimum cost.
+func (s Setup) raceStrategies(model string) (optimum serving.Result, homog serving.Result, runs []strategyRun, totalSpaceCost float64, ok bool) {
+	s = s.withDefaults()
+	spec := s.spec(model)
+	bounds := s.boundsFor(spec, serving.SimOptions{})
+	homog, hok := baselines.HomogeneousOptimum(s.evaluator(spec, serving.SimOptions{}), 24)
+	ex := baselines.Exhaustive{}.Search(s.evaluator(spec, serving.SimOptions{}), bounds, 0, s.Seed)
+	if !hok || !ex.Found {
+		return serving.Result{}, serving.Result{}, nil, 0, false
+	}
+	optimum = ex.BestResult
+	totalSpaceCost = baselines.TotalSpaceCost(spec, bounds)
+
+	for _, strat := range Strategies() {
+		ev := s.evaluator(spec, serving.SimOptions{})
+		res := strat.Search(ev, bounds, s.Budget, s.Seed+7)
+		run := strategyRun{strategy: strat.Name()}
+		target := optimum.CostPerHour + 1e-9
+		for _, st := range res.Steps {
+			if st.Estimated {
+				continue
+			}
+			run.samplesToOpt++
+			if !st.Result.MeetsQoS {
+				run.violations++
+			}
+			run.exploreCost += st.Result.CostPerHour
+			if st.Result.MeetsQoS && st.Result.CostPerHour <= target {
+				run.reached = true
+				break
+			}
+		}
+		runs = append(runs, run)
+	}
+	return optimum, homog, runs, totalSpaceCost, true
+}
+
+// Fig10 reproduces the convergence comparison (Fig. 10): the number of
+// configuration samples each strategy needs to reach increasing cost-saving
+// targets, per model.
+func Fig10(s Setup, modelNames []string) Table {
+	s = s.withDefaults()
+	if modelNames == nil {
+		modelNames = ModelNames()
+	}
+	t := Table{
+		ID:     "fig10",
+		Title:  "Samples needed to reach cost-saving targets (vs optimal homogeneous)",
+		Header: []string{"Model", "Strategy", "Saving target", "Samples", "Reached?"},
+	}
+	for _, model := range modelNames {
+		spec := s.spec(model)
+		bounds := s.boundsFor(spec, serving.SimOptions{})
+		homog, hok := baselines.HomogeneousOptimum(s.evaluator(spec, serving.SimOptions{}), 24)
+		ex := baselines.Exhaustive{}.Search(s.evaluator(spec, serving.SimOptions{}), bounds, 0, s.Seed)
+		if !hok || !ex.Found {
+			continue
+		}
+		maxSaving := 1 - ex.BestResult.CostPerHour/homog.CostPerHour
+		// Saving targets: quartiles of the achievable range plus the max.
+		targets := []float64{0.25 * maxSaving, 0.5 * maxSaving, 0.75 * maxSaving, maxSaving}
+
+		for _, strat := range Strategies() {
+			ev := s.evaluator(spec, serving.SimOptions{})
+			res := strat.Search(ev, bounds, s.Budget, s.Seed+7)
+			for _, target := range targets {
+				costTarget := homog.CostPerHour * (1 - target)
+				n, reached := res.SamplesToReachCost(costTarget)
+				t.AddRow(model, strat.Name(), pct(target), itoa(n), boolStr(reached))
+			}
+		}
+	}
+	return t
+}
+
+// Fig13 reproduces the exploration-cost comparison (Fig. 13): the dollar
+// cost of each strategy's exploration until it finds the optimal
+// configuration, as a percentage of exhaustively evaluating every
+// configuration.
+func Fig13(s Setup, modelNames []string) Table {
+	s = s.withDefaults()
+	if modelNames == nil {
+		modelNames = ModelNames()
+	}
+	t := Table{
+		ID:     "fig13",
+		Title:  "Exploration cost to find the optimum (% of exhaustive search cost)",
+		Header: []string{"Model", "Strategy", "Exploration cost", "Reached optimum?"},
+	}
+	for _, model := range modelNames {
+		_, _, runs, total, ok := s.raceStrategies(model)
+		if !ok {
+			continue
+		}
+		for _, run := range runs {
+			t.AddRow(model, run.strategy, pct(run.exploreCost/total), boolStr(run.reached))
+		}
+	}
+	return t
+}
+
+// Fig14 reproduces the violating-samples comparison (Fig. 14): how many
+// QoS-violating configurations each strategy deploys before finding the
+// optimum.
+func Fig14(s Setup, modelNames []string) Table {
+	s = s.withDefaults()
+	if modelNames == nil {
+		modelNames = ModelNames()
+	}
+	t := Table{
+		ID:     "fig14",
+		Title:  "QoS-violating configurations sampled before finding the optimum",
+		Header: []string{"Model", "Strategy", "Violating samples", "Total samples", "Reached optimum?"},
+	}
+	for _, model := range modelNames {
+		_, _, runs, _, ok := s.raceStrategies(model)
+		if !ok {
+			continue
+		}
+		for _, run := range runs {
+			t.AddRow(model, run.strategy, itoa(run.violations), itoa(run.samplesToOpt), boolStr(run.reached))
+		}
+	}
+	return t
+}
+
+// MaxSaving returns the exhaustive diverse-vs-homogeneous saving for a
+// model, used by tests to validate the Fig. 9 band.
+func MaxSaving(s Setup, model string) (float64, bool) {
+	s = s.withDefaults()
+	homog, diverse, ok := s.savingsRow(model, 0)
+	if !ok {
+		return 0, false
+	}
+	saving := 1 - diverse.CostPerHour/homog.CostPerHour
+	if math.IsNaN(saving) {
+		return 0, false
+	}
+	return saving, true
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"ribbon/internal/cloud"
+	"ribbon/internal/models"
+	"ribbon/internal/perf"
+	"ribbon/internal/serving"
+)
+
+// fig3Families is the six-instance set plotted in Fig. 3.
+var fig3Families = []string{"r5n", "r5", "m5n", "t3", "c5", "g4dn"}
+
+// Fig3 reproduces the MT-WND performance and cost-effectiveness comparison
+// at batch sizes 32 and 128 (Fig. 3a/3b).
+func Fig3() Table {
+	m := models.MustLookup("MT-WND")
+	insts := make([]cloud.InstanceType, len(fig3Families))
+	for i, f := range fig3Families {
+		insts[i] = cloud.MustLookup(f)
+	}
+	t := Table{
+		ID:     "fig3",
+		Title:  "MT-WND relative performance and cost-effectiveness (normalized)",
+		Header: []string{"Instance", "Batch", "QPS", "Perf (norm)", "Query/$", "Cost-eff (norm)"},
+	}
+	for _, batch := range []int{32, 128} {
+		for _, s := range perf.ScoreInstances(m, insts, batch) {
+			t.AddRow(s.Instance.Name(), itoa(batch), f3(s.QPS),
+				f3(s.NormPerformance), f3(s.QueriesPerDollar), f3(s.NormCostEff))
+		}
+	}
+	return t
+}
+
+// Fig4 reproduces the MT-WND homogeneous vs diverse configuration anchor
+// example on the (g4dn, t3) pool (Fig. 4). The anchor configurations sit
+// right at the QoS boundary, so this experiment always uses a full-length
+// evaluation window regardless of the Setup's (shorter windows make the
+// boundary too noisy to classify).
+func Fig4(s Setup) Table {
+	s = s.withDefaults()
+	if s.Queries < 8000 {
+		s.Queries = 8000
+	}
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), s.QoSPercentile, "g4dn", "t3")
+	ev := s.evaluator(spec, serving.SimOptions{})
+	t := Table{
+		ID:     "fig4",
+		Title:  "MT-WND QoS satisfaction rate and service price per configuration (g4dn + t3)",
+		Header: []string{"Config", "Cost", "QoS sat. rate", "Meets p99?"},
+	}
+	for _, key := range []string{"4+0", "5+0", "0+12", "3+4", "2+4", "4+4"} {
+		cfg, err := serving.ParseConfig(key)
+		if err != nil {
+			panic(err)
+		}
+		r := ev.Evaluate(cfg)
+		t.AddRow(cfg.String(), usd(r.CostPerHour), pct(r.Rsat), boolStr(r.MeetsQoS))
+	}
+	return t
+}
+
+// Fig5 finds the paper's two counter-intuitive configuration pairs in the
+// MT-WND diverse pool: (a) similar cost but very different QoS satisfaction,
+// and (b) very different cost but similar QoS satisfaction (Fig. 5).
+func Fig5(s Setup) Table {
+	s = s.withDefaults()
+	spec := s.spec("MT-WND")
+	ev := s.evaluator(spec, serving.SimOptions{})
+	bounds := s.boundsFor(spec, serving.SimOptions{})
+
+	type obs struct {
+		cfg serving.Config
+		res serving.Result
+	}
+	var all []obs
+	enumerate(bounds, func(cfg serving.Config) {
+		if cfg.Total() == 0 {
+			return
+		}
+		all = append(all, obs{cfg.Clone(), ev.Evaluate(cfg)})
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].res.CostPerHour < all[j].res.CostPerHour })
+
+	// (a) similar cost (within 3%), max QoS-rate gap.
+	var a1, a2 obs
+	bestGap := -1.0
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].res.CostPerHour > all[i].res.CostPerHour*1.03 {
+				break
+			}
+			gap := math.Abs(all[i].res.Rsat - all[j].res.Rsat)
+			if gap > bestGap {
+				bestGap = gap
+				a1, a2 = all[i], all[j]
+			}
+		}
+	}
+	// (b) similar QoS rate (within 0.5pp), max cost ratio. Restricted to
+	// configurations with a substantial satisfaction rate: pairs of fully
+	// drowned configurations are trivially "similar" and uninteresting.
+	var b1, b2 obs
+	bestRatio := -1.0
+	for i := 0; i < len(all); i++ {
+		if all[i].res.Rsat < 0.5 {
+			continue
+		}
+		for j := i + 1; j < len(all); j++ {
+			if all[j].res.Rsat < 0.5 || math.Abs(all[i].res.Rsat-all[j].res.Rsat) > 0.005 {
+				continue
+			}
+			lo, hi := all[i].res.CostPerHour, all[j].res.CostPerHour
+			if lo <= 0 {
+				continue
+			}
+			if ratio := hi / lo; ratio > bestRatio {
+				bestRatio = ratio
+				b1, b2 = all[i], all[j]
+			}
+		}
+	}
+
+	t := Table{
+		ID:     "fig5",
+		Title:  "Counter-intuitive configuration pairs (MT-WND diverse pool)",
+		Header: []string{"Pair", "Config", "Cost", "QoS sat. rate"},
+	}
+	t.AddRow("(a) similar cost", a1.cfg.String(), usd(a1.res.CostPerHour), pct(a1.res.Rsat))
+	t.AddRow("(a) similar cost", a2.cfg.String(), usd(a2.res.CostPerHour), pct(a2.res.Rsat))
+	t.AddRow("(b) similar QoS", b1.cfg.String(), usd(b1.res.CostPerHour), pct(b1.res.Rsat))
+	t.AddRow("(b) similar QoS", b2.cfg.String(), usd(b2.res.CostPerHour), pct(b2.res.Rsat))
+	return t
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// enumerate visits every configuration in the bounded grid.
+func enumerate(bounds []int, fn func(cfg serving.Config)) {
+	cfg := make(serving.Config, len(bounds))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(bounds) {
+			fn(cfg)
+			return
+		}
+		for v := 0; v <= bounds[d]; v++ {
+			cfg[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"math"
+
+	"ribbon/internal/baselines"
+	"ribbon/internal/bo"
+	"ribbon/internal/core"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+// Fig7 reproduces the rounding-mechanism illustration (Fig. 7): a
+// one-dimensional slice of the true objective (varying the t3 count at a
+// fixed g4dn count), the GP posterior with and without the Eq. 3 rounding
+// kernel, and where each variant's continuous acquisition optimizer wants to
+// sample next. Without rounding the next sample falls inside an
+// already-sampled integer cell; with rounding it cannot.
+func Fig7(s Setup) Table {
+	s = s.withDefaults()
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), s.QoSPercentile, "g4dn", "t3")
+	ev := s.evaluator(spec, serving.SimOptions{})
+	bounds := []int{10}
+	const g4dnFixed = 2 // under-provisioned: the slice spans both regimes
+
+	objective := func(t3 int) float64 {
+		res := ev.Evaluate(serving.Config{g4dnFixed, t3})
+		return core.Objective(spec, []int{5, bounds[0]}, serving.Result{
+			Config: res.Config, Rsat: res.Rsat, MeetsQoS: res.MeetsQoS,
+			CostPerHour: res.CostPerHour,
+		})
+	}
+
+	sampledCells := []int{1, 4, 8}
+	mk := func(rounding bool) *bo.Optimizer {
+		o := bo.New(bounds, bo.Options{Rounding: rounding, Seed: s.Seed})
+		for _, c := range sampledCells {
+			o.Observe([]int{c}, objective(c))
+		}
+		return o
+	}
+	withR, withoutR := mk(true), mk(false)
+
+	inSampledCell := func(x []float64, ok bool) string {
+		if !ok {
+			return "n/a"
+		}
+		cell := int(math.Round(x[0]))
+		for _, c := range sampledCells {
+			if cell == c {
+				return "yes"
+			}
+		}
+		return "no"
+	}
+
+	t := Table{
+		ID:     "fig7",
+		Title:  "Rounding-kernel ablation on a 1-D instance-count slice (g4dn fixed at 2)",
+		Header: []string{"Variant", "Next sample (continuous)", "Lands in sampled cell?"},
+	}
+	xr, okr := withR.SuggestContinuous(0.25)
+	xd, okd := withoutR.SuggestContinuous(0.25)
+	t.AddRow("Ribbon (rounded GP)", fmtPoint(xr, okr), inSampledCell(xr, okr))
+	t.AddRow("default BO", fmtPoint(xd, okd), inSampledCell(xd, okd))
+
+	// Posterior shapes at integer and half-integer points for plotting.
+	gr, err := withR.Surrogate()
+	if err != nil {
+		panic(err)
+	}
+	gd, err := withoutR.Surrogate()
+	if err != nil {
+		panic(err)
+	}
+	for x := 0.0; x <= float64(bounds[0]); x += 0.5 {
+		mr, vr := gr.Predict([]float64{x})
+		md, vd := gd.Predict([]float64{x})
+		t.AddRow("posterior@"+f3(x),
+			"rounded: "+f3(mr)+"±"+f3(math.Sqrt(vr)),
+			"default: "+f3(md)+"±"+f3(math.Sqrt(vd)))
+	}
+	return t
+}
+
+func fmtPoint(x []float64, ok bool) string {
+	if !ok {
+		return "none"
+	}
+	return f3(x[0])
+}
+
+// Fig8 reproduces the pool-cardinality sweep (Fig. 8): for k = 1..5 unique
+// instance types, the number of heterogeneous configurations that beat the
+// best homogeneous configuration, and the top cost saving. Both saturate
+// beyond three types, which is why Table 3 pools hold three.
+func Fig8(s Setup, model string, maxTypes int) Table {
+	s = s.withDefaults()
+	if maxTypes < 1 || maxTypes > 5 {
+		panic("experiments: maxTypes out of [1,5]")
+	}
+	m := models.MustLookup(model)
+	t := Table{
+		ID:     "fig8",
+		Title:  "Better-than-homogeneous configuration count and top saving vs pool cardinality (" + model + ")",
+		Header: []string{"Types", "Pool", "Space", "Better configs", "Top saving"},
+	}
+	for k := 1; k <= maxTypes; k++ {
+		fams := ExtendedPoolFor(model, k)
+		spec := serving.MustNewPoolSpec(m, s.QoSPercentile, fams...)
+		ev := s.evaluator(spec, serving.SimOptions{})
+		bounds := s.boundsFor(spec, serving.SimOptions{})
+
+		homog, ok := baselines.HomogeneousOptimum(s.evaluator(spec, serving.SimOptions{}), 24)
+		if !ok {
+			t.AddRow(itoa(k), joinFams(fams), itoa(baselines.SpaceSize(bounds)), "n/a", "n/a")
+			continue
+		}
+
+		// Count heterogeneous configs that meet QoS at a lower cost.
+		// Configurations at or above the homogeneous price cannot count,
+		// so they are skipped without evaluation; configurations
+		// dominated by a known violator are skipped likewise.
+		var prune core.PruneSet
+		better := 0
+		bestCost := math.Inf(1)
+		enumerate(bounds, func(cfg serving.Config) {
+			if spec.Cost(cfg) >= homog.CostPerHour || !heterogeneous(cfg) {
+				return
+			}
+			if prune.Pruned(cfg) {
+				return
+			}
+			res := ev.Evaluate(cfg)
+			if !res.MeetsQoS {
+				if res.Rsat < s.QoSPercentile-0.01 {
+					prune.AddCeiling(cfg)
+				}
+				return
+			}
+			better++
+			if res.CostPerHour < bestCost {
+				bestCost = res.CostPerHour
+			}
+		})
+		saving := "0.0%"
+		if better > 0 {
+			saving = pct(1 - bestCost/homog.CostPerHour)
+		}
+		t.AddRow(itoa(k), joinFams(fams), itoa(baselines.SpaceSize(bounds)), itoa(better), saving)
+	}
+	return t
+}
+
+func heterogeneous(cfg serving.Config) bool {
+	used := 0
+	for _, v := range cfg {
+		if v > 0 {
+			used++
+		}
+	}
+	return used >= 2
+}
+
+func joinFams(fams []string) string {
+	out := ""
+	for i, f := range fams {
+		if i > 0 {
+			out += "+"
+		}
+		out += f
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"ribbon/internal/baselines"
+	"ribbon/internal/serving"
+	"ribbon/internal/workload"
+)
+
+// savingsRow computes one model's homogeneous optimum, diverse optimum
+// (exhaustive ground truth over the Table 3 pool), and the cost saving.
+func (s Setup) savingsRow(model string, batch workload.BatchKind) (homog, diverse serving.Result, ok bool) {
+	s = s.withDefaults()
+	spec := s.spec(model)
+	simOpts := serving.SimOptions{Batch: batch}
+	homog, hok := baselines.HomogeneousOptimum(s.evaluator(spec, simOpts), 24)
+	if !hok {
+		return serving.Result{}, serving.Result{}, false
+	}
+	bounds := s.boundsFor(spec, simOpts)
+	ex := baselines.Exhaustive{}.Search(s.evaluator(spec, simOpts), bounds, 0, s.Seed)
+	if !ex.Found {
+		return homog, serving.Result{}, false
+	}
+	return homog, ex.BestResult, true
+}
+
+// Fig9 reproduces the headline cost-saving comparison (Fig. 9): optimal
+// diverse pool vs optimal homogeneous pool per model, p99 QoS, heavy-tail
+// log-normal batch distribution.
+func Fig9(s Setup) Table {
+	return s.savingsTable("fig9",
+		"Cost saving of optimal diverse pool over optimal homogeneous pool (p99, heavy-tail batches)",
+		workload.HeavyTailLogNormalBatch)
+}
+
+// Fig11 reproduces the batch-distribution robustness study (Fig. 11): the
+// same comparison under a mean-matched Gaussian batch-size distribution.
+func Fig11(s Setup) Table {
+	return s.savingsTable("fig11",
+		"Cost saving with Gaussian batch-size distribution (p99)",
+		workload.GaussianBatch)
+}
+
+func (s Setup) savingsTable(id, title string, batch workload.BatchKind) Table {
+	s = s.withDefaults()
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Model", "Homogeneous optimum", "Cost", "Diverse optimum", "Cost", "Saving"},
+	}
+	for _, model := range ModelNames() {
+		homog, diverse, ok := s.savingsRow(model, batch)
+		if !ok {
+			t.AddRow(model, "n/a", "n/a", "n/a", "n/a", "n/a")
+			continue
+		}
+		t.AddRow(model, homog.Config.String(), usd(homog.CostPerHour),
+			diverse.Config.String(), usd(diverse.CostPerHour),
+			pct(1-diverse.CostPerHour/homog.CostPerHour))
+	}
+	return t
+}
+
+// Fig15 reproduces the relaxed-QoS study (Fig. 15): savings at the p99
+// target vs the relaxed p98 target, per model.
+func Fig15(s Setup) Table {
+	s = s.withDefaults()
+	t := Table{
+		ID:     "fig15",
+		Title:  "Cost saving at p99 vs relaxed p98 QoS targets",
+		Header: []string{"Model", "p99 saving", "p99 diverse optimum", "p98 saving", "p98 diverse optimum"},
+	}
+	for _, model := range ModelNames() {
+		p99 := s
+		p99.QoSPercentile = 0.99
+		h99, d99, ok99 := p99.savingsRow(model, workload.HeavyTailLogNormalBatch)
+		p98 := s
+		p98.QoSPercentile = 0.98
+		h98, d98, ok98 := p98.savingsRow(model, workload.HeavyTailLogNormalBatch)
+		row := []string{model, "n/a", "n/a", "n/a", "n/a"}
+		if ok99 {
+			row[1] = pct(1 - d99.CostPerHour/h99.CostPerHour)
+			row[2] = d99.Config.String()
+		}
+		if ok98 {
+			row[3] = pct(1 - d98.CostPerHour/h98.CostPerHour)
+			row[4] = d98.Config.String()
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

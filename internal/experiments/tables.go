@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+
+	"ribbon/internal/cloud"
+	"ribbon/internal/models"
+)
+
+// Table1 reproduces the model inventory (Table 1).
+func Table1() Table {
+	t := Table{
+		ID:     "table1",
+		Title:  "Deep learning models used in this work",
+		Header: []string{"Model", "Category", "QoS target", "Description"},
+	}
+	for _, name := range ModelNames() {
+		m := models.MustLookup(name)
+		t.AddRow(m.Name, m.Category.String(), f3(m.QoSLatencyMs)+" ms", m.Description)
+	}
+	return t
+}
+
+// Table2 reproduces the instance inventory (Table 2).
+func Table2() Table {
+	t := Table{
+		ID:     "table2",
+		Title:  "Studied AWS instances",
+		Header: []string{"Instance", "Category", "vCPU", "Memory", "Price", "Description"},
+	}
+	for _, inst := range cloud.Catalog() {
+		t.AddRow(inst.Name(), inst.Class.String(), itoa(inst.VCPU),
+			itoa(inst.MemoryGiB)+" GiB", usd(inst.PricePerHour), inst.Description)
+	}
+	return t
+}
+
+// Table3 reproduces the per-model pool composition (Table 3).
+func Table3() Table {
+	t := Table{
+		ID:     "table3",
+		Title:  "Homogeneous and diverse pools per model",
+		Header: []string{"Model", "Homogeneous pool", "Diverse pool"},
+	}
+	for _, name := range ModelNames() {
+		t.AddRow(name, PrimaryFor(name), strings.Join(PoolFor(name), ", "))
+	}
+	return t
+}

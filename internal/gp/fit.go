@@ -1,0 +1,174 @@
+package gp
+
+import (
+	"errors"
+	"math"
+
+	"ribbon/internal/linalg"
+)
+
+// HyperOptions configures automatic hyper-parameter selection.
+type HyperOptions struct {
+	// NoiseRatio is the observation-noise variance expressed as a
+	// fraction of the fitted signal variance; 0.01 when zero.
+	NoiseRatio float64
+	// Rounding wraps the fitted Matern 5/2 kernel with the paper's Eq. 3
+	// rounding transformation.
+	Rounding bool
+	// Sweeps is the number of coordinate-descent passes over the length
+	// scales; 3 when zero.
+	Sweeps int
+	// MinLength/MaxLength bound the searched length scales; defaults
+	// [0.25, 64].
+	MinLength, MaxLength float64
+}
+
+func (o HyperOptions) withDefaults() HyperOptions {
+	if o.NoiseRatio == 0 {
+		o.NoiseRatio = 0.01
+	}
+	if o.Sweeps == 0 {
+		o.Sweeps = 3
+	}
+	if o.MinLength == 0 {
+		o.MinLength = 0.25
+	}
+	if o.MaxLength == 0 {
+		o.MaxLength = 64
+	}
+	return o
+}
+
+// FitAuto selects per-dimension Matern 5/2 length scales and the signal
+// variance by maximizing the concentrated log marginal likelihood, then
+// returns the conditioned GP. The signal variance has a closed-form optimum
+// given the correlation matrix (sigma^2* = y~^T C^-1 y~ / n), so the search
+// runs only over length scales via coordinate descent on a multiplicative
+// grid — cheap, derivative-free, and deterministic.
+func FitAuto(xs [][]float64, ys []float64, opts HyperOptions) (*GP, error) {
+	opts = opts.withDefaults()
+	if len(xs) == 0 {
+		return nil, errors.New("gp: no training data")
+	}
+	if len(xs) != len(ys) {
+		return nil, errors.New("gp: xs/ys length mismatch")
+	}
+	d := len(xs[0])
+	if d == 0 {
+		return nil, errors.New("gp: zero-dimensional inputs")
+	}
+
+	// Initial guess: a quarter of the observed coordinate range per dim.
+	ls := make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo = math.Min(lo, x[j])
+			hi = math.Max(hi, x[j])
+		}
+		ls[j] = clamp((hi-lo)/4, opts.MinLength, opts.MaxLength)
+	}
+
+	best := concentratedLML(xs, ys, ls, opts)
+	grid := []float64{0.25, 0.5, 1 / 1.5, 1, 1.5, 2, 4}
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		improved := false
+		for j := 0; j < d; j++ {
+			cur := ls[j]
+			bestL := cur
+			for _, f := range grid {
+				cand := clamp(cur*f, opts.MinLength, opts.MaxLength)
+				if cand == bestL {
+					continue
+				}
+				ls[j] = cand
+				if lml := concentratedLML(xs, ys, ls, opts); lml > best+1e-12 {
+					best = lml
+					bestL = cand
+					improved = true
+				}
+			}
+			ls[j] = bestL
+		}
+		if !improved {
+			break
+		}
+	}
+
+	variance := concentratedVariance(xs, ys, ls, opts)
+	kernel := Kernel(NewMatern52(variance, ls))
+	if opts.Rounding {
+		kernel = Rounding{Inner: kernel}
+	}
+	return Fit(kernel, opts.NoiseRatio*variance, xs, ys)
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
+
+// corrCholesky factors the unit-variance Matern correlation matrix plus the
+// relative-noise diagonal for the given length scales.
+func corrCholesky(xs [][]float64, ls []float64, opts HyperOptions) (*linalg.Cholesky, bool) {
+	n := len(xs)
+	unit := NewMatern52(1, ls)
+	var kern Kernel = unit
+	if opts.Rounding {
+		kern = Rounding{Inner: unit}
+	}
+	c := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kern.Eval(xs[i], xs[j])
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+		c.Set(i, i, c.At(i, i)+opts.NoiseRatio+jitter)
+	}
+	chol, err := linalg.NewCholesky(c)
+	return chol, err == nil
+}
+
+// concentratedVariance returns sigma^2* = y~^T C^-1 y~ / n (floored away
+// from zero so degenerate constant data still yields a usable kernel).
+func concentratedVariance(xs [][]float64, ys []float64, ls []float64, opts HyperOptions) float64 {
+	chol, ok := corrCholesky(xs, ls, opts)
+	if !ok {
+		return 1
+	}
+	centered := center(ys)
+	quad := linalg.Dot(centered, chol.SolveVec(centered))
+	v := quad / float64(len(ys))
+	if v < 1e-10 {
+		v = 1e-10
+	}
+	return v
+}
+
+// concentratedLML evaluates the profile log marginal likelihood (variance
+// maximized out) up to an additive constant.
+func concentratedLML(xs [][]float64, ys []float64, ls []float64, opts HyperOptions) float64 {
+	chol, ok := corrCholesky(xs, ls, opts)
+	if !ok {
+		return math.Inf(-1)
+	}
+	centered := center(ys)
+	n := float64(len(ys))
+	quad := linalg.Dot(centered, chol.SolveVec(centered))
+	v := quad / n
+	if v < 1e-10 {
+		v = 1e-10
+	}
+	return -0.5*n*math.Log(v) - 0.5*chol.LogDet()
+}
+
+func center(ys []float64) []float64 {
+	m := 0.0
+	for _, y := range ys {
+		m += y
+	}
+	m /= float64(len(ys))
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = y - m
+	}
+	return out
+}

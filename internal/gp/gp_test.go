@@ -1,0 +1,293 @@
+package gp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ribbon/internal/linalg"
+	"ribbon/internal/stats"
+)
+
+func TestMatern52Basics(t *testing.T) {
+	k := NewMatern52(2.0, []float64{1, 1})
+	x := []float64{0, 0}
+	if got := k.Eval(x, x); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("k(x,x) = %g, want variance 2", got)
+	}
+	// Symmetry and decay.
+	y := []float64{1, 2}
+	if k.Eval(x, y) != k.Eval(y, x) {
+		t.Fatalf("kernel not symmetric")
+	}
+	far := []float64{50, 50}
+	if k.Eval(x, far) >= k.Eval(x, y) {
+		t.Fatalf("kernel does not decay with distance")
+	}
+	if k.Dim() != 2 {
+		t.Fatalf("Dim = %d", k.Dim())
+	}
+}
+
+func TestMatern52Validation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMatern52(0, []float64{1}) },
+		func() { NewMatern52(1, nil) },
+		func() { NewMatern52(1, []float64{0}) },
+		func() { NewMatern52(1, []float64{-2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKernelPSDProperty(t *testing.T) {
+	// Gram matrices of random point sets must be positive semi-definite
+	// (Cholesky with jitter succeeds).
+	r := stats.Derive(5, "psd")
+	f := func(seed uint64) bool {
+		rr := stats.NewRNG(seed, seed^99)
+		n := 2 + rr.IntN(10)
+		d := 1 + rr.IntN(3)
+		ls := make([]float64, d)
+		for j := range ls {
+			ls[j] = 0.5 + 3*rr.Float64()
+		}
+		k := NewMatern52(0.5+rr.Float64(), ls)
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, d)
+			for j := range xs[i] {
+				xs[i][j] = 10 * r.NormFloat64()
+			}
+		}
+		g := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				g.Set(i, j, k.Eval(xs[i], xs[j]))
+			}
+			g.Set(i, i, g.At(i, i)+1e-6)
+		}
+		_, err := linalg.NewCholesky(g)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundingKernelInvariance(t *testing.T) {
+	// Eq. 3: k'(x, y) must be constant within integer cells.
+	inner := NewMatern52(1, []float64{2, 2})
+	k := Rounding{Inner: inner}
+	f := func(a0, a1 uint8, d0, d1 uint8) bool {
+		x := []float64{float64(a0 % 12), float64(a1 % 12)}
+		// Perturbations within (-0.5, 0.5) keep the rounded point.
+		xp := []float64{x[0] + (float64(d0%9)-4)/10, x[1] + (float64(d1%9)-4)/10}
+		y := []float64{3, 7}
+		return math.Abs(k.Eval(x, y)-k.Eval(xp, y)) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if k.Dim() != 2 {
+		t.Fatalf("rounding must preserve dim")
+	}
+}
+
+func TestGPInterpolatesWithLowNoise(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {3}, {4}}
+	ys := []float64{0, 1, 4, 9, 16}
+	g, err := Fit(NewMatern52(50, []float64{1.5}), 1e-9, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		m, v := g.Predict(x)
+		if math.Abs(m-ys[i]) > 1e-3 {
+			t.Errorf("mean at training point %v = %g, want %g", x, m, ys[i])
+		}
+		if v > 1e-4 {
+			t.Errorf("variance at training point %v = %g, want ~0", x, v)
+		}
+	}
+	if g.N() != 5 {
+		t.Fatalf("N = %d", g.N())
+	}
+}
+
+func TestGPVarianceGrowsAwayFromData(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}}
+	ys := []float64{1, 2, 1.5}
+	g, err := Fit(NewMatern52(1, []float64{1}), 1e-6, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vNear := g.Predict([]float64{1.1})
+	_, vFar := g.Predict([]float64{15})
+	if vFar <= vNear {
+		t.Fatalf("variance should grow away from data: near %g, far %g", vNear, vFar)
+	}
+	// Far from data the mean reverts toward the data mean.
+	mFar, _ := g.Predict([]float64{100})
+	if math.Abs(mFar-1.5) > 1e-6 {
+		t.Fatalf("far-field mean = %g, want data mean 1.5", mFar)
+	}
+}
+
+func TestGPFitValidation(t *testing.T) {
+	k := NewMatern52(1, []float64{1})
+	if _, err := Fit(k, 0.1, nil, nil); err == nil {
+		t.Errorf("accepted empty data")
+	}
+	if _, err := Fit(k, 0.1, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Errorf("accepted mismatched lengths")
+	}
+	if _, err := Fit(k, -1, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Errorf("accepted negative noise")
+	}
+	if _, err := Fit(k, 0.1, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Errorf("accepted wrong dimensionality")
+	}
+	if _, err := Fit(k, 0.1, [][]float64{{1}}, []float64{math.NaN()}); err == nil {
+		t.Errorf("accepted NaN target")
+	}
+}
+
+func TestGPPredictDimPanics(t *testing.T) {
+	g, err := Fit(NewMatern52(1, []float64{1}), 0.1, [][]float64{{1}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	g.Predict([]float64{1, 2})
+}
+
+func TestGPDoesNotAliasCallerData(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{0, 1}
+	g, err := Fit(NewMatern52(1, []float64{1}), 1e-6, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, _ := g.Predict([]float64{1})
+	xs[1][0] = 50 // caller mutates
+	m1, _ := g.Predict([]float64{1})
+	if m0 != m1 {
+		t.Fatalf("GP aliases caller's training inputs")
+	}
+}
+
+func TestLMLPrefersReasonableLengthScale(t *testing.T) {
+	// Data from a smooth function: LML with a sane length scale must beat
+	// a wildly small one.
+	xs := make([][]float64, 12)
+	ys := make([]float64, 12)
+	for i := range xs {
+		x := float64(i)
+		xs[i] = []float64{x}
+		ys[i] = math.Sin(x / 3)
+	}
+	gGood, err := Fit(NewMatern52(1, []float64{3}), 1e-4, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBad, err := Fit(NewMatern52(1, []float64{0.05}), 1e-4, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gGood.LogMarginalLikelihood() <= gBad.LogMarginalLikelihood() {
+		t.Fatalf("LML did not prefer the smoother model: %g vs %g",
+			gGood.LogMarginalLikelihood(), gBad.LogMarginalLikelihood())
+	}
+}
+
+func TestFitAutoRecoversSmoothFunction(t *testing.T) {
+	xs := make([][]float64, 15)
+	ys := make([]float64, 15)
+	for i := range xs {
+		x := float64(i)
+		xs[i] = []float64{x}
+		ys[i] = 3 * math.Sin(x/4)
+	}
+	g, err := FitAuto(xs, ys, HyperOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolate at a held-out midpoint.
+	m, _ := g.Predict([]float64{7.5})
+	want := 3 * math.Sin(7.5/4)
+	if math.Abs(m-want) > 0.25 {
+		t.Fatalf("FitAuto prediction %g, want ~%g", m, want)
+	}
+}
+
+func TestFitAutoWithRoundingIsPiecewiseConstant(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {3}, {5}, {8}}
+	ys := []float64{0.1, 0.3, 0.8, 0.9, 0.7, 0.2}
+	g, err := FitAuto(xs, ys, HyperOptions{Rounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, v1 := g.Predict([]float64{3.8})
+	m2, v2 := g.Predict([]float64{4.2})
+	if math.Abs(m1-m2) > 1e-12 || math.Abs(v1-v2) > 1e-12 {
+		t.Fatalf("rounded GP not constant within integer cell: (%g,%g) vs (%g,%g)", m1, v1, m2, v2)
+	}
+}
+
+func TestFitAutoValidation(t *testing.T) {
+	if _, err := FitAuto(nil, nil, HyperOptions{}); err == nil {
+		t.Errorf("accepted empty data")
+	}
+	if _, err := FitAuto([][]float64{{}}, []float64{1}, HyperOptions{}); err == nil {
+		t.Errorf("accepted zero-dim inputs")
+	}
+	if _, err := FitAuto([][]float64{{1}}, []float64{1, 2}, HyperOptions{}); err == nil {
+		t.Errorf("accepted mismatched data")
+	}
+}
+
+func TestFitAutoConstantData(t *testing.T) {
+	// Degenerate constant targets must not crash and must predict the
+	// constant.
+	xs := [][]float64{{0}, {1}, {2}}
+	ys := []float64{5, 5, 5}
+	g, err := FitAuto(xs, ys, HyperOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := g.Predict([]float64{1.5})
+	if math.Abs(m-5) > 1e-6 {
+		t.Fatalf("constant-data prediction %g, want 5", m)
+	}
+}
+
+func TestRBFComparesToMatern(t *testing.T) {
+	rbf := RBF{Variance: 1, LengthScales: []float64{1}}
+	mat := NewMatern52(1, []float64{1})
+	x, y := []float64{0}, []float64{1}
+	if rbf.Eval(x, x) != 1 {
+		t.Fatalf("RBF(x,x) != variance")
+	}
+	// RBF decays faster than Matern at moderate distance.
+	if rbf.Eval(x, []float64{3}) >= mat.Eval(x, []float64{3}) {
+		t.Fatalf("RBF should be smoother/faster-decaying than Matern 5/2")
+	}
+	if rbf.Eval(x, y) <= 0 {
+		t.Fatalf("RBF must be positive")
+	}
+	if rbf.Dim() != 1 {
+		t.Fatalf("Dim broken")
+	}
+}

@@ -1,0 +1,119 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ribbon/internal/linalg"
+)
+
+// jitter is added to the covariance diagonal for numerical stability.
+const jitter = 1e-8
+
+// GP is a fitted Gaussian Process posterior.
+type GP struct {
+	kernel   Kernel
+	noiseVar float64
+
+	xs       [][]float64
+	centered []float64 // y - mean(y)
+	alpha    []float64 // K^-1 (y - mean)
+	chol     *linalg.Cholesky
+	meanY    float64
+}
+
+// Fit conditions a GP with the given kernel and observation noise variance on
+// the data. The targets are centered on their mean internally so the prior
+// mean matches the data level.
+func Fit(kernel Kernel, noiseVar float64, xs [][]float64, ys []float64) (*GP, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("gp: no training data")
+	}
+	if len(xs) != len(ys) {
+		return nil, errors.New("gp: xs/ys length mismatch")
+	}
+	if noiseVar < 0 {
+		return nil, errors.New("gp: negative noise variance")
+	}
+	d := kernel.Dim()
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("gp: point %d has dim %d, kernel wants %d", i, len(x), d)
+		}
+	}
+	n := len(xs)
+	meanY := 0.0
+	for _, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, errors.New("gp: non-finite target")
+		}
+		meanY += y
+	}
+	meanY /= float64(n)
+
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(xs[i], xs[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+noiseVar+jitter)
+	}
+	chol, err := linalg.NewCholesky(k)
+	if err != nil {
+		return nil, fmt.Errorf("gp: covariance not PD (duplicate points with zero noise?): %w", err)
+	}
+	centered := make([]float64, n)
+	for i, y := range ys {
+		centered[i] = y - meanY
+	}
+	// Copy the training inputs so later mutation by the caller cannot
+	// corrupt the posterior.
+	xcopy := make([][]float64, n)
+	for i, x := range xs {
+		xcopy[i] = append([]float64(nil), x...)
+	}
+	return &GP{
+		kernel:   kernel,
+		noiseVar: noiseVar,
+		xs:       xcopy,
+		centered: centered,
+		alpha:    chol.SolveVec(centered),
+		chol:     chol,
+		meanY:    meanY,
+	}, nil
+}
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.xs) }
+
+// Predict returns the posterior mean and variance at x. The variance is the
+// epistemic (latent-function) variance, excluding observation noise, and is
+// clamped at zero.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	if len(x) != g.kernel.Dim() {
+		panic("gp: predict dimension mismatch")
+	}
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i, xi := range g.xs {
+		kstar[i] = g.kernel.Eval(x, xi)
+	}
+	mean = g.meanY + linalg.Dot(kstar, g.alpha)
+	v := g.chol.SolveVec(kstar)
+	variance = g.kernel.Eval(x, x) - linalg.Dot(kstar, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// LogMarginalLikelihood returns log p(y | X, kernel, noise) of the fitted
+// data under the centered model.
+func (g *GP) LogMarginalLikelihood() float64 {
+	n := float64(len(g.xs))
+	quad := linalg.Dot(g.centered, g.alpha)
+	return -0.5*quad - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi)
+}

@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when Cholesky factorization encounters a
+// non-positive pivot, meaning the input matrix is not (numerically) positive
+// definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L L^T.
+type Cholesky struct {
+	n int
+	l *Matrix // lower triangular, including diagonal
+}
+
+// NewCholesky factors the symmetric matrix a (only the lower triangle is
+// read). It returns ErrNotPositiveDefinite if a pivot becomes non-positive.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// SolveVec solves A x = b for x using the factorization.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("linalg: SolveVec dimension mismatch")
+	}
+	y := c.ForwardSolve(b)
+	return c.BackSolve(y)
+}
+
+// ForwardSolve solves L y = b.
+func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		row := c.l.Data[i*c.n : i*c.n+i]
+		for k, v := range row {
+			s -= v * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	return y
+}
+
+// BackSolve solves L^T x = y.
+func (c *Cholesky) BackSolve(y []float64) []float64 {
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// LogDet returns log det(A) = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveMatrix solves A X = B column by column.
+func (c *Cholesky) SolveMatrix(b *Matrix) *Matrix {
+	if b.Rows != c.n {
+		panic("linalg: SolveMatrix dimension mismatch")
+	}
+	out := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, c.n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < c.n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.SolveVec(col)
+		for i := 0; i < c.n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package serving
+
+import (
+	"sort"
+	"sync"
+)
+
+// CachingEvaluator wraps an Evaluator with memoization and the exploration
+// accounting the paper reports: how many distinct configurations were
+// sampled (Fig. 10), how many of them violated QoS (Fig. 14), and the total
+// dollar cost of the exploration (Fig. 13). Evaluations are deterministic,
+// so re-sampling a known configuration costs nothing and reveals nothing —
+// exactly like consulting the paper's "complete record of the explored
+// configurations".
+type CachingEvaluator struct {
+	mu    sync.Mutex
+	inner Evaluator
+	cache map[string]Result
+
+	samples       int     // distinct configurations actually deployed
+	violations    int     // of those, how many violated QoS
+	costEvaluated float64 // sum of $/hour across deployed configurations
+}
+
+// NewCachingEvaluator wraps inner.
+func NewCachingEvaluator(inner Evaluator) *CachingEvaluator {
+	return &CachingEvaluator{inner: inner, cache: make(map[string]Result)}
+}
+
+// Spec returns the wrapped pool spec.
+func (c *CachingEvaluator) Spec() PoolSpec { return c.inner.Spec() }
+
+// Evaluate returns the cached result when the configuration was deployed
+// before; otherwise it deploys it, charges the exploration accounting, and
+// caches the outcome.
+func (c *CachingEvaluator) Evaluate(cfg Config) Result {
+	key := cfg.Key()
+	c.mu.Lock()
+	if r, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return r
+	}
+	c.mu.Unlock()
+
+	r := c.inner.Evaluate(cfg)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cache[key]; !ok {
+		c.cache[key] = r
+		c.samples++
+		if !r.MeetsQoS {
+			c.violations++
+		}
+		c.costEvaluated += r.CostPerHour
+	}
+	return c.cache[key]
+}
+
+// Peek returns the cached result without evaluating.
+func (c *CachingEvaluator) Peek(cfg Config) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.cache[cfg.Key()]
+	return r, ok
+}
+
+// Samples returns the number of distinct configurations deployed so far.
+func (c *CachingEvaluator) Samples() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.samples
+}
+
+// Violations returns how many deployed configurations violated QoS.
+func (c *CachingEvaluator) Violations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violations
+}
+
+// ExplorationCost returns the cumulative $/hour of all deployed
+// configurations. Every evaluation runs for the same wall-clock window, so
+// this is proportional to the exploration dollar cost of Fig. 13.
+func (c *CachingEvaluator) ExplorationCost() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.costEvaluated
+}
+
+// History returns all deployed results ordered by configuration key; useful
+// for the load-adaptation warm start and for reports.
+func (c *CachingEvaluator) History() []Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Result, 0, len(c.cache))
+	for _, r := range c.cache {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Config.Key() < out[j].Config.Key() })
+	return out
+}
+
+// ResetAccounting clears the sample/violation/cost counters but keeps the
+// cache. The load-adaptation experiments use it to separate the accounting
+// of the pre- and post-scaling searches.
+func (c *CachingEvaluator) ResetAccounting() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples, c.violations, c.costEvaluated = 0, 0, 0
+}

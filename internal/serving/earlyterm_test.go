@@ -1,0 +1,77 @@
+package serving
+
+import (
+	"testing"
+
+	"ribbon/internal/models"
+)
+
+// Early termination (Sec. 5.5): a drowning configuration hits the queue
+// limit, gets flagged, and its refused queries count as violations.
+func TestAbortQueueLengthOnOverloadedConfig(t *testing.T) {
+	spec := MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "t3")
+	limited := NewSimEvaluator(spec, SimOptions{Queries: 2000, Seed: 9, AbortQueueLength: 20})
+	unlimited := NewSimEvaluator(spec, SimOptions{Queries: 2000, Seed: 9})
+
+	overloaded := Config{1, 0} // far under capacity: the queue explodes
+	rl := limited.Evaluate(overloaded)
+	ru := unlimited.Evaluate(overloaded)
+
+	if !rl.Aborted {
+		t.Fatalf("overloaded evaluation was not aborted")
+	}
+	if ru.Aborted {
+		t.Fatalf("unlimited evaluation must not be aborted")
+	}
+	if rl.MaxQueueLen > 20 {
+		t.Fatalf("queue grew to %d despite limit 20", rl.MaxQueueLen)
+	}
+	if ru.MaxQueueLen <= 20 {
+		t.Fatalf("control experiment invalid: unlimited queue stayed at %d", ru.MaxQueueLen)
+	}
+	// Both classify the config as hopeless.
+	if rl.MeetsQoS || ru.MeetsQoS {
+		t.Fatalf("overloaded config classified as meeting QoS")
+	}
+}
+
+// A healthy configuration must be untouched by the limit: identical results
+// with and without it.
+func TestAbortQueueLengthNoOpOnHealthyConfig(t *testing.T) {
+	spec := MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "t3")
+	limited := NewSimEvaluator(spec, SimOptions{Queries: 2000, Seed: 9, AbortQueueLength: 50})
+	unlimited := NewSimEvaluator(spec, SimOptions{Queries: 2000, Seed: 9})
+
+	healthy := Config{6, 0}
+	rl := limited.Evaluate(healthy)
+	ru := unlimited.Evaluate(healthy)
+	if rl.Aborted {
+		t.Fatalf("healthy evaluation aborted")
+	}
+	if rl.Rsat != ru.Rsat || rl.MeanLatencyMs != ru.MeanLatencyMs {
+		t.Fatalf("queue limit changed a healthy evaluation: %v vs %v", rl.Rsat, ru.Rsat)
+	}
+}
+
+// The noise stream is keyed by the deployed multiset, so a configuration
+// evaluates identically whether the pool declares trailing all-zero types or
+// not — the consistency Fig. 8's cardinality sweep depends on.
+func TestSubspaceEvaluationConsistency(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	spec2 := MustNewPoolSpec(m, 0.99, "g4dn", "c5")
+	spec3 := MustNewPoolSpec(m, 0.99, "g4dn", "c5", "r5n")
+	ev2 := NewSimEvaluator(spec2, SimOptions{Queries: 3000, Seed: 42})
+	ev3 := NewSimEvaluator(spec3, SimOptions{Queries: 3000, Seed: 42})
+
+	r2 := ev2.Evaluate(Config{3, 2})
+	r3 := ev3.Evaluate(Config{3, 2, 0})
+	if r2.Rsat != r3.Rsat {
+		t.Fatalf("subspace inconsistency: Rsat %.6f vs %.6f", r2.Rsat, r3.Rsat)
+	}
+	if r2.MeanLatencyMs != r3.MeanLatencyMs {
+		t.Fatalf("subspace inconsistency: mean latency %.6f vs %.6f", r2.MeanLatencyMs, r3.MeanLatencyMs)
+	}
+	if r2.CostPerHour != r3.CostPerHour {
+		t.Fatalf("cost mismatch")
+	}
+}

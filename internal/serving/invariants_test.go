@@ -1,0 +1,69 @@
+package serving
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ribbon/internal/models"
+	"ribbon/internal/perf"
+)
+
+// Work conservation: every query in the stream completes and is measured —
+// for any configuration with at least one instance, the number of measured
+// queries equals the post-warmup stream length.
+func TestAllQueriesComplete(t *testing.T) {
+	spec := MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "t3")
+	ev := NewSimEvaluator(spec, SimOptions{Queries: 1000, Seed: 17})
+	f := func(g, t3 uint8) bool {
+		cfg := Config{int(g % 6), int(t3 % 13)}
+		if cfg.Total() == 0 {
+			return true
+		}
+		res := ev.Evaluate(cfg)
+		return res.Queries == 900 // 1000 minus 10% warmup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Latency floor: no measured query can beat the noise-free service time of
+// the fastest instance in the pool by more than the noise allows. The mean
+// latency of an uncontended pool must sit near the service-time mean.
+func TestLatencyFloor(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	spec := MustNewPoolSpec(m, 0.99, "g4dn", "t3")
+	// Massively overprovisioned: no queueing, latency == service time.
+	ev := NewSimEvaluator(spec, SimOptions{Queries: 2000, Seed: 23})
+	res := ev.Evaluate(Config{5, 12})
+	// The fastest possible single-sample service on the fastest type.
+	floor := perf.ServiceMs(m, spec.Types[0], 1) * 0.5
+	if res.MeanLatencyMs < floor {
+		t.Fatalf("mean latency %.3f below the physical floor %.3f", res.MeanLatencyMs, floor)
+	}
+	if res.MaxQueueLen > 5 {
+		t.Fatalf("overprovisioned pool queued %d deep", res.MaxQueueLen)
+	}
+}
+
+// Adding an instance of any type never makes Rsat materially worse
+// (capacity monotonicity across the whole grid, probed randomly).
+func TestRsatMonotoneUnderGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec := MustNewPoolSpec(models.MustLookup("DIEN"), 0.99, "g4dn", "c5", "r5n")
+	ev := NewSimEvaluator(spec, SimOptions{Queries: 2500, Seed: 31})
+	f := func(a, b, c, dim uint8) bool {
+		cfg := Config{int(a % 5), int(b % 5), int(c % 6)}
+		grown := cfg.Clone()
+		grown[int(dim)%3]++
+		r1 := ev.Evaluate(cfg)
+		r2 := ev.Evaluate(grown)
+		// Tolerance covers evaluation noise at the boundary.
+		return r2.Rsat >= r1.Rsat-0.015
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

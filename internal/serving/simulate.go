@@ -1,0 +1,258 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ribbon/internal/cloud"
+	"ribbon/internal/perf"
+	"ribbon/internal/sim"
+	"ribbon/internal/stats"
+	"ribbon/internal/workload"
+)
+
+// Result summarizes one configuration evaluation: the paper's per-sample
+// observation (Rsat, cost) plus diagnostic latency statistics.
+type Result struct {
+	// Config is the evaluated instance-count vector.
+	Config Config
+	// CostPerHour is the pool price in $/hour.
+	CostPerHour float64
+	// Rsat is the QoS satisfaction rate: the fraction of measured queries
+	// whose latency met the model's target.
+	Rsat float64
+	// MeetsQoS reports Rsat >= the spec's QoS percentile.
+	MeetsQoS bool
+	// MeanLatencyMs and TailLatencyMs (at the spec's percentile)
+	// characterize the latency distribution.
+	MeanLatencyMs float64
+	TailLatencyMs float64
+	// MaxQueueLen is the high-water mark of the shared FCFS queue.
+	MaxQueueLen int
+	// Queries is the number of measured (post-warmup) queries.
+	Queries int
+	// Aborted reports that the evaluation hit the AbortQueueLength limit
+	// and refused later arrivals (early termination, Sec. 5.5).
+	Aborted bool
+}
+
+// ViolationRate returns 1 - Rsat.
+func (r Result) ViolationRate() float64 { return 1 - r.Rsat }
+
+// Evaluator measures configurations. Implementations must be deterministic
+// for a fixed configuration so results are reproducible and cacheable.
+type Evaluator interface {
+	// Evaluate deploys cfg and serves the evaluation stream through it.
+	Evaluate(cfg Config) Result
+	// Spec returns the pool being searched.
+	Spec() PoolSpec
+}
+
+// SimOptions configures the discrete-event evaluation.
+type SimOptions struct {
+	// Queries is the stream length per evaluation; 4000 when zero.
+	Queries int
+	// WarmupFraction of leading queries is excluded from Rsat; 0.1 when
+	// zero (negative disables warmup exclusion).
+	WarmupFraction float64
+	// Seed selects the deterministic workload and noise streams.
+	Seed uint64
+	// RateScale multiplies the model's default arrival rate; 1 when zero.
+	RateScale float64
+	// Batch selects the batch-size distribution family.
+	Batch workload.BatchKind
+	// AbortQueueLength terminates a drowning evaluation early: once the
+	// shared queue exceeds this length, later arrivals are refused and
+	// counted as violations instead of waiting out an unbounded backlog —
+	// the paper's queue-monitoring mitigation for violation spikes during
+	// exploration (Sec. 5.5). Zero disables early termination.
+	AbortQueueLength int
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.Queries == 0 {
+		o.Queries = 4000
+	}
+	if o.Queries < 0 {
+		panic("serving: negative query count")
+	}
+	if o.WarmupFraction == 0 {
+		o.WarmupFraction = 0.1
+	}
+	if o.WarmupFraction < 0 {
+		o.WarmupFraction = 0
+	}
+	if o.RateScale == 0 {
+		o.RateScale = 1
+	}
+	return o
+}
+
+// SimEvaluator evaluates configurations by discrete-event simulation of the
+// FCFS serving pool. The same workload stream (common random numbers) is
+// served through every configuration, which sharpens comparisons between
+// configurations exactly as serving the same production trace would.
+type SimEvaluator struct {
+	spec   PoolSpec
+	opts   SimOptions
+	stream *workload.Stream
+}
+
+// NewSimEvaluator builds an evaluator for the pool with the given options.
+func NewSimEvaluator(spec PoolSpec, opts SimOptions) *SimEvaluator {
+	opts = opts.withDefaults()
+	st := workload.Generate(spec.Model, workload.Options{
+		Queries:   opts.Queries,
+		Seed:      opts.Seed,
+		RateScale: opts.RateScale,
+		Batch:     opts.Batch,
+	})
+	return &SimEvaluator{spec: spec, opts: opts, stream: st}
+}
+
+// NewTraceEvaluator builds an evaluator that replays a fixed query stream
+// instead of generating one; used by trace-driven experiments and tools.
+func NewTraceEvaluator(spec PoolSpec, opts SimOptions, stream *workload.Stream) *SimEvaluator {
+	opts = opts.withDefaults()
+	if len(stream.Queries) == 0 {
+		panic("serving: empty trace")
+	}
+	return &SimEvaluator{spec: spec, opts: opts, stream: stream}
+}
+
+// Spec returns the pool spec.
+func (e *SimEvaluator) Spec() PoolSpec { return e.spec }
+
+// Stream exposes the evaluation stream (read-only by convention).
+func (e *SimEvaluator) Stream() *workload.Stream { return e.stream }
+
+// instance is one deployed cloud instance during a simulation run.
+type instance struct {
+	typ  cloud.InstanceType
+	busy bool
+}
+
+// deploymentKey canonicalizes a configuration as its nonzero
+// family=count pairs in pool order.
+func deploymentKey(spec PoolSpec, cfg Config) string {
+	var b []byte
+	for i, t := range spec.Types {
+		if cfg[i] == 0 {
+			continue
+		}
+		b = append(b, t.Family...)
+		b = append(b, '=')
+		b = appendInt(b, cfg[i])
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// Evaluate serves the evaluation stream through cfg and measures per-query
+// latency against the model's QoS target.
+//
+// Dispatch policy (Sec. 5.1): a newly arrived query goes to the first idle
+// instance in pool type order; if none is idle it joins a shared FIFO queue,
+// and whichever instance finishes first takes the queue head.
+func (e *SimEvaluator) Evaluate(cfg Config) Result {
+	spec := e.spec
+	if len(cfg) != len(spec.Types) {
+		panic(fmt.Sprintf("serving: config %v does not match pool of %d types", cfg, len(spec.Types)))
+	}
+	res := Result{Config: cfg.Clone(), CostPerHour: spec.Cost(cfg)}
+	if cfg.Total() == 0 {
+		// Nothing can serve: every query violates.
+		res.Rsat = 0
+		res.MeanLatencyMs = math.Inf(1)
+		res.TailLatencyMs = math.Inf(1)
+		res.Queries = len(e.stream.Queries)
+		return res
+	}
+
+	insts := make([]*instance, 0, cfg.Total())
+	for i, t := range spec.Types {
+		for k := 0; k < cfg[i]; k++ {
+			insts = append(insts, &instance{typ: t})
+		}
+	}
+
+	// The noise stream is keyed by the deployed (family, count) multiset,
+	// not the raw config vector, so a configuration evaluates identically
+	// whether its pool declares extra all-zero types or not — subspace
+	// experiments (Fig. 8) stay consistent across pool cardinalities.
+	noise := stats.Derive(e.opts.Seed, "serving", "noise", spec.Model.Name, deploymentKey(spec, cfg))
+	var eng sim.Engine
+	// pending holds (stream index) of queued queries, FIFO via qhead.
+	queue := make([]int, 0, 64)
+	qhead := 0
+	latencies := make([]float64, len(e.stream.Queries))
+	maxQueue := 0
+
+	var assign func(inst *instance, idx int)
+	assign = func(inst *instance, idx int) {
+		inst.busy = true
+		q := e.stream.Queries[idx]
+		svc := perf.NoisyServiceMs(spec.Model, inst.typ, q.Batch, noise)
+		eng.Schedule(svc, func() {
+			latencies[idx] = eng.Now() - q.ArrivalMs
+			if qhead < len(queue) {
+				next := queue[qhead]
+				qhead++
+				if qhead > 1024 && qhead*2 > len(queue) {
+					queue = append(queue[:0], queue[qhead:]...)
+					qhead = 0
+				}
+				assign(inst, next)
+			} else {
+				inst.busy = false
+			}
+		})
+	}
+
+	aborted := false
+	for i := range e.stream.Queries {
+		idx := i
+		eng.ScheduleAt(e.stream.Queries[i].ArrivalMs, func() {
+			for _, inst := range insts {
+				if !inst.busy {
+					assign(inst, idx)
+					return
+				}
+			}
+			if e.opts.AbortQueueLength > 0 && len(queue)-qhead >= e.opts.AbortQueueLength {
+				// Early termination: the configuration is drowning;
+				// refuse the query and count it as a violation.
+				aborted = true
+				latencies[idx] = math.Inf(1)
+				return
+			}
+			queue = append(queue, idx)
+			if l := len(queue) - qhead; l > maxQueue {
+				maxQueue = l
+			}
+		})
+	}
+	eng.Run()
+	res.Aborted = aborted
+
+	warm := int(float64(len(latencies)) * e.opts.WarmupFraction)
+	measured := latencies[warm:]
+	res.Queries = len(measured)
+	res.Rsat = stats.FractionBelow(measured, spec.Model.QoSLatencyMs)
+	res.MeetsQoS = res.Rsat >= spec.QoSPercentile
+	res.MeanLatencyMs = stats.MeanOf(measured)
+	sorted := make([]float64, len(measured))
+	copy(sorted, measured)
+	sort.Float64s(sorted)
+	res.TailLatencyMs = stats.PercentileSorted(sorted, spec.QoSPercentile)
+	res.MaxQueueLen = maxQueue
+	return res
+}

@@ -1,0 +1,91 @@
+// Package sim implements a minimal discrete-event simulation engine: a
+// monotonically advancing clock and a time-ordered event heap with FIFO
+// tie-breaking. The serving cluster (internal/serving) is built on it; the
+// engine itself knows nothing about queries or instances.
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback.
+type event struct {
+	time float64 // absolute simulation time, milliseconds
+	seq  uint64  // insertion order, breaks time ties FIFO
+	fn   func()
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is a
+// ready-to-use engine at time 0.
+type Engine struct {
+	now  float64
+	seq  uint64
+	heap eventHeap
+}
+
+// Now returns the current simulation time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn after delay milliseconds of simulated time. A negative
+// delay panics: events cannot fire in the past.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the absolute simulation time t, which must not be
+// before the current time.
+func (e *Engine) ScheduleAt(t float64, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.heap, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the single earliest pending event, advancing the clock to its
+// time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.time
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain. Events may schedule further events.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic("sim: RunUntil into the past")
+	}
+	for len(e.heap) > 0 && e.heap[0].time <= t {
+		e.Step()
+	}
+	e.now = t
+}

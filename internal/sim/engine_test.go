@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ribbon/internal/stats"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %g", e.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var hits []float64
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(2, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.Schedule(5, func() { ran++ })
+	e.Schedule(15, func() { ran++ })
+	e.RunUntil(10)
+	if ran != 1 {
+		t.Fatalf("ran %d events before t=10", ran)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %g, want 10", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if ran != 2 || e.Now() != 15 {
+		t.Fatalf("remaining event lost: ran=%d now=%g", ran, e.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(10, func() { ran = true })
+	e.RunUntil(10)
+	if !ran {
+		t.Fatalf("event at exactly t must run")
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatalf("Step on empty engine must return false")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	for _, f := range []func(){
+		func() { e.Schedule(-1, func() {}) },
+		func() { e.Schedule(5, func() {}); e.Run(); e.ScheduleAt(1, func() {}) },
+		func() { e.RunUntil(e.Now() - 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for any set of delays, execution times are non-decreasing and the
+// clock never moves backward.
+func TestClockMonotonic(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var times []float64
+		for _, d := range raw {
+			e.Schedule(float64(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An M/M/1 queue built on the engine must reproduce queueing theory:
+// mean sojourn time W = 1 / (mu - lambda).
+func TestMM1AgainstTheory(t *testing.T) {
+	const (
+		lambda = 0.8 // arrivals per ms
+		mu     = 1.0 // services per ms
+		n      = 400000
+	)
+	r := stats.Derive(99, "mm1")
+	var e Engine
+	type state struct {
+		queue []float64 // arrival times of waiting jobs
+		busy  bool
+	}
+	var st state
+	var sojourn stats.Summary
+	var finish func(arrival float64)
+	finish = func(arrival float64) {
+		sojourn.Add(e.Now() - arrival)
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			e.Schedule(r.Exponential(mu), func() { finish(next) })
+		} else {
+			st.busy = false
+		}
+	}
+	arrive := func() {
+		if st.busy {
+			st.queue = append(st.queue, e.Now())
+		} else {
+			st.busy = true
+			at := e.Now()
+			e.Schedule(r.Exponential(mu), func() { finish(at) })
+		}
+	}
+	t0 := 0.0
+	for i := 0; i < n; i++ {
+		t0 += r.Exponential(lambda)
+		e.ScheduleAt(t0, arrive)
+	}
+	e.Run()
+	want := 1 / (mu - lambda) // 5 ms
+	got := sojourn.Mean()
+	if rel := (got - want) / want; rel < -0.05 || rel > 0.05 {
+		t.Fatalf("M/M/1 mean sojourn = %.3f, theory %.3f (rel err %.3f)", got, want, rel)
+	}
+}

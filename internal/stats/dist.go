@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sampler produces positive real-valued samples. Batch-size and service-time
+// noise distributions implement this interface.
+type Sampler interface {
+	// Sample draws one value using the provided generator.
+	Sample(r *RNG) float64
+	// Mean returns the analytic (or high-accuracy numeric) mean of the
+	// distribution, used by tests and load calculations.
+	Mean() float64
+	// String describes the distribution for reports.
+	String() string
+}
+
+// ExponentialDist is an exponential distribution with the given rate.
+type ExponentialDist struct{ Rate float64 }
+
+// Sample draws one exponential variate.
+func (d ExponentialDist) Sample(r *RNG) float64 { return r.Exponential(d.Rate) }
+
+// Mean returns 1/rate.
+func (d ExponentialDist) Mean() float64 { return 1 / d.Rate }
+
+func (d ExponentialDist) String() string { return fmt.Sprintf("Exp(rate=%g)", d.Rate) }
+
+// LogNormalDist is a log-normal distribution parameterized by the mean Mu and
+// standard deviation Sigma of the underlying normal.
+type LogNormalDist struct{ Mu, Sigma float64 }
+
+// Sample draws one log-normal variate.
+func (d LogNormalDist) Sample(r *RNG) float64 { return r.LogNormal(d.Mu, d.Sigma) }
+
+// Mean returns exp(mu + sigma^2/2).
+func (d LogNormalDist) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+func (d LogNormalDist) String() string {
+	return fmt.Sprintf("LogNormal(mu=%g, sigma=%g)", d.Mu, d.Sigma)
+}
+
+// NormalDist is a Gaussian distribution.
+type NormalDist struct{ Mu, Sigma float64 }
+
+// Sample draws one Gaussian variate.
+func (d NormalDist) Sample(r *RNG) float64 { return r.Normal(d.Mu, d.Sigma) }
+
+// Mean returns mu.
+func (d NormalDist) Mean() float64 { return d.Mu }
+
+func (d NormalDist) String() string { return fmt.Sprintf("Normal(mu=%g, sigma=%g)", d.Mu, d.Sigma) }
+
+// HeavyTailLogNormal models the production batch-size distribution described
+// in the paper (Sec. 5.1): a log-normal body with a heavier-than-log-normal
+// tail. With probability TailProb a sample is drawn from a Pareto tail
+// anchored at TailScale instead of the log-normal body.
+type HeavyTailLogNormal struct {
+	Mu, Sigma float64 // log-normal body
+	TailProb  float64 // probability of a tail draw, e.g. 0.05
+	TailScale float64 // Pareto scale xm
+	TailShape float64 // Pareto shape alpha (>1 for a finite mean)
+}
+
+// Sample draws from the body with probability 1-TailProb, otherwise from the
+// Pareto tail.
+func (d HeavyTailLogNormal) Sample(r *RNG) float64 {
+	if r.Float64() < d.TailProb {
+		return r.Pareto(d.TailScale, d.TailShape)
+	}
+	return r.LogNormal(d.Mu, d.Sigma)
+}
+
+// Mean returns the mixture mean; the Pareto component requires alpha > 1.
+func (d HeavyTailLogNormal) Mean() float64 {
+	body := math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+	if d.TailProb == 0 {
+		return body
+	}
+	if d.TailShape <= 1 {
+		return math.Inf(1)
+	}
+	tail := d.TailScale * d.TailShape / (d.TailShape - 1)
+	return (1-d.TailProb)*body + d.TailProb*tail
+}
+
+func (d HeavyTailLogNormal) String() string {
+	return fmt.Sprintf("HeavyTailLogNormal(mu=%g, sigma=%g, tail=%g%%@Pareto(%g,%g))",
+		d.Mu, d.Sigma, 100*d.TailProb, d.TailScale, d.TailShape)
+}
+
+// IntSampler produces positive integer samples (batch sizes).
+type IntSampler interface {
+	SampleInt(r *RNG) int
+	String() string
+}
+
+// ClampedIntDist adapts a real-valued Sampler into an integer sampler whose
+// output is rounded and clamped to [Min, Max]. It is the batch-size adapter
+// used throughout the workload generator.
+type ClampedIntDist struct {
+	Dist     Sampler
+	Min, Max int
+}
+
+// SampleInt draws, rounds to the nearest integer, and clamps.
+func (d ClampedIntDist) SampleInt(r *RNG) int {
+	v := int(math.Round(d.Dist.Sample(r)))
+	if v < d.Min {
+		v = d.Min
+	}
+	if v > d.Max {
+		v = d.Max
+	}
+	return v
+}
+
+func (d ClampedIntDist) String() string {
+	return fmt.Sprintf("Clamp[%d,%d] %s", d.Min, d.Max, d.Dist.String())
+}
+
+// ConstantDist always returns V. Useful for tests and single-batch probes.
+type ConstantDist struct{ V float64 }
+
+// Sample returns V.
+func (d ConstantDist) Sample(*RNG) float64 { return d.V }
+
+// Mean returns V.
+func (d ConstantDist) Mean() float64 { return d.V }
+
+func (d ConstantDist) String() string { return fmt.Sprintf("Const(%g)", d.V) }

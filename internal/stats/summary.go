@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming moments using Welford's algorithm plus exact
+// extremes. The zero value is an empty, ready-to-use accumulator.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Percentile computes the p-quantile (p in [0,1]) of xs using the
+// nearest-rank method on a sorted copy. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return percentileSorted(cp, p)
+}
+
+// PercentileSorted computes the p-quantile assuming xs is already sorted
+// ascending. It avoids the copy in Percentile for hot paths.
+func PercentileSorted(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return percentileSorted(xs, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	// Nearest-rank: the smallest value such that at least ceil(p*n)
+	// observations are <= it.
+	n := len(sorted)
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// FractionBelow returns the fraction of xs that are <= limit. It is the
+// QoS-satisfaction-rate primitive: Rsat = FractionBelow(latencies, target).
+func FractionBelow(xs []float64, limit float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := 0
+	for _, x := range xs {
+		if x <= limit {
+			c++
+		}
+	}
+	return float64(c) / float64(len(xs))
+}
+
+// MeanOf returns the arithmetic mean of xs (0 for empty input).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// NormalQuantile returns the standard normal quantile z with Phi(z) = p for
+// p in (0, 1), via bisection on erf. Accuracy ~1e-10, ample for calibrating
+// distribution parameters.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormalQuantile requires p in (0,1)")
+	}
+	cdf := func(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ribbon/internal/models"
+	"ribbon/internal/stats"
+)
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	st := Generate(m, Options{Queries: 5000, Seed: 1})
+	if len(st.Queries) != 5000 {
+		t.Fatalf("generated %d queries", len(st.Queries))
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("invalid stream: %v", err)
+	}
+	for i, q := range st.Queries {
+		if q.ID != i {
+			t.Fatalf("IDs not sequential at %d", i)
+		}
+		if q.Batch < 1 || q.Batch > m.Batch.MaxBatch {
+			t.Fatalf("batch %d out of [1,%d]", q.Batch, m.Batch.MaxBatch)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := models.MustLookup("DIEN")
+	a := Generate(m, Options{Queries: 500, Seed: 9})
+	b := Generate(m, Options{Queries: 500, Seed: 9})
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := Generate(m, Options{Queries: 500, Seed: 10})
+	same := true
+	for i := range a.Queries {
+		if a.Queries[i] != c.Queries[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical streams")
+	}
+}
+
+func TestArrivalRateMatchesModel(t *testing.T) {
+	m := models.MustLookup("CANDLE")
+	st := Generate(m, Options{Queries: 60000, Seed: 3})
+	gotRate := float64(len(st.Queries)-1) / st.Duration() * 1000 // qps
+	if rel := math.Abs(gotRate-m.ArrivalRateQPS) / m.ArrivalRateQPS; rel > 0.03 {
+		t.Fatalf("empirical rate %.1f qps, want ~%.1f", gotRate, m.ArrivalRateQPS)
+	}
+}
+
+func TestRateScale(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	base := Generate(m, Options{Queries: 40000, Seed: 5})
+	scaled := Generate(m, Options{Queries: 40000, Seed: 5, RateScale: 1.5})
+	ratio := base.Duration() / scaled.Duration()
+	if math.Abs(ratio-1.5) > 0.05 {
+		t.Fatalf("1.5x load did not compress arrivals 1.5x: ratio %.3f", ratio)
+	}
+}
+
+func TestPoissonInterArrivalCV(t *testing.T) {
+	// Exponential inter-arrivals have coefficient of variation 1.
+	m := models.MustLookup("MT-WND")
+	st := Generate(m, Options{Queries: 50000, Seed: 6})
+	var s stats.Summary
+	prev := 0.0
+	for _, q := range st.Queries {
+		s.Add(q.ArrivalMs - prev)
+		prev = q.ArrivalMs
+	}
+	cv := s.StdDev() / s.Mean()
+	if math.Abs(cv-1) > 0.03 {
+		t.Fatalf("inter-arrival CV = %.3f, want ~1 (Poisson)", cv)
+	}
+}
+
+func TestGaussianBatchPreservesScaleAndTailMass(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	ht := Generate(m, Options{Queries: 80000, Seed: 7})
+	ga := Generate(m, Options{Queries: 80000, Seed: 7, Batch: GaussianBatch})
+	// The Gaussian variant targets the same location; truncation at 1
+	// shifts its mean somewhat, but the scales must stay comparable.
+	if rel := math.Abs(ht.MeanBatch()-ga.MeanBatch()) / ht.MeanBatch(); rel > 0.4 {
+		t.Fatalf("batch means diverge: heavy %g vs gaussian %g", ht.MeanBatch(), ga.MeanBatch())
+	}
+	// The Gaussian spreads widely (sigma = 0.65x mean): a meaningful
+	// fraction of queries exceeds twice the mean, keeping batch-size
+	// pressure in play...
+	frac := func(s *Stream, thresh float64) float64 {
+		c := 0
+		for _, q := range s.Queries {
+			if float64(q.Batch) > thresh {
+				c++
+			}
+		}
+		return float64(c) / float64(len(s.Queries))
+	}
+	if f := frac(ga, 2*ga.MeanBatch()); f < 0.01 {
+		t.Fatalf("Gaussian variant too narrow: only %.4f beyond 2x mean", f)
+	}
+	// ...while the extreme Pareto tail remains unique to the heavy-tail
+	// distribution.
+	if fh, fg := frac(ht, m.Batch.TailScale), frac(ga, m.Batch.TailScale); fg >= fh {
+		t.Fatalf("Gaussian tail (%.4f) as heavy as the Pareto tail (%.4f)", fg, fh)
+	}
+}
+
+func TestGenerateScheduleRateShift(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	st := GenerateSchedule(m, 8, HeavyTailLogNormalBatch, []Phase{
+		{Queries: 20000, RateScale: 1},
+		{Queries: 20000, RateScale: 1.5},
+	})
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := st.Queries[19999].ArrivalMs
+	t2 := st.Queries[39999].ArrivalMs - t1
+	ratio := t1 / t2
+	if math.Abs(ratio-1.5) > 0.06 {
+		t.Fatalf("phase-2 arrivals not 1.5x faster: ratio %.3f", ratio)
+	}
+}
+
+func TestGenerateSchedulePanicsOnBadInput(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	for _, phases := range [][]Phase{
+		nil,
+		{{Queries: 0, RateScale: 1}},
+		{{Queries: 10, RateScale: 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", phases)
+				}
+			}()
+			GenerateSchedule(m, 1, HeavyTailLogNormalBatch, phases)
+		}()
+	}
+}
+
+func TestGeneratePanicsOnBadOptions(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	for _, opts := range []Options{{Queries: 0}, {Queries: 5, RateScale: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", opts)
+				}
+			}()
+			Generate(m, opts)
+		}()
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := models.MustLookup("VGG19")
+	st := Generate(m, Options{Queries: 200, Seed: 2})
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != st.Model || len(got.Queries) != len(st.Queries) {
+		t.Fatalf("round trip lost data")
+	}
+	for i := range st.Queries {
+		if got.Queries[i] != st.Queries[i] {
+			t.Fatalf("query %d mismatch", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"model":"X","queries":[{"id":0,"arrival_ms":5,"batch":0}]}`,
+		`{"model":"X","queries":[{"id":0,"arrival_ms":5,"batch":1},{"id":1,"arrival_ms":4,"batch":1}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("accepted invalid stream %q", c)
+		}
+	}
+}
+
+func TestStreamDurationAndMeanEmpty(t *testing.T) {
+	var s Stream
+	if s.Duration() != 0 || s.MeanBatch() != 0 {
+		t.Fatalf("empty stream accessors must return 0")
+	}
+}
+
+func TestBatchSamplerUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	BatchSampler(models.MustLookup("DIEN"), BatchKind(99))
+}

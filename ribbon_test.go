@@ -1,0 +1,263 @@
+package ribbon
+
+import (
+	"testing"
+)
+
+func TestCatalogAccessors(t *testing.T) {
+	if len(Models()) != 5 {
+		t.Fatalf("Models() = %d entries", len(Models()))
+	}
+	if len(Instances()) != 8 {
+		t.Fatalf("Instances() = %d entries", len(Instances()))
+	}
+	m, err := LookupModel("DIEN")
+	if err != nil || m.Name != "DIEN" {
+		t.Fatalf("LookupModel: %v %v", m, err)
+	}
+	if _, err := LookupModel("nope"); err == nil {
+		t.Fatalf("LookupModel accepted unknown model")
+	}
+	i, err := LookupInstance("g4dn")
+	if err != nil || i.Family != "g4dn" {
+		t.Fatalf("LookupInstance: %v %v", i, err)
+	}
+	if _, err := LookupInstance("nope"); err == nil {
+		t.Fatalf("LookupInstance accepted unknown family")
+	}
+}
+
+func TestSuggestPool(t *testing.T) {
+	m, err := LookupModel("MT-WND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := SuggestPool(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 || fams[0] != "g4dn" {
+		t.Fatalf("SuggestPool = %v, want g4dn-led 3-type pool", fams)
+	}
+	// The suggested pool must be directly usable in a ServiceConfig.
+	if _, err := NewOptimizer(ServiceConfig{Model: "MT-WND", Families: fams, QueriesPerEvaluation: 500}); err != nil {
+		t.Fatalf("suggested pool rejected: %v", err)
+	}
+	if _, err := SuggestPool(m, 0); err == nil {
+		t.Fatalf("accepted size 0")
+	}
+}
+
+func TestDefaultPoolFamilies(t *testing.T) {
+	for _, m := range Models() {
+		fams, err := DefaultPoolFamilies(m.Name)
+		if err != nil || len(fams) != 3 {
+			t.Fatalf("%s: %v %v", m.Name, fams, err)
+		}
+	}
+	if _, err := DefaultPoolFamilies("nope"); err == nil {
+		t.Fatalf("accepted unknown model")
+	}
+}
+
+func TestNewOptimizerValidation(t *testing.T) {
+	if _, err := NewOptimizer(ServiceConfig{}); err == nil {
+		t.Fatalf("accepted empty service config")
+	}
+	if _, err := NewOptimizer(ServiceConfig{Model: "nope"}); err == nil {
+		t.Fatalf("accepted unknown model")
+	}
+	if _, err := NewOptimizer(ServiceConfig{Model: "MT-WND", Families: []string{"bogus"}}); err == nil {
+		t.Fatalf("accepted unknown family")
+	}
+	if _, err := NewOptimizer(ServiceConfig{Model: "MT-WND", Bounds: []int{1}}); err == nil {
+		t.Fatalf("accepted mismatched bounds")
+	}
+	custom := ModelProfile{Name: "custom"}
+	if _, err := NewOptimizer(ServiceConfig{Profile: custom}); err == nil {
+		t.Fatalf("custom profile without families must error")
+	}
+}
+
+func TestOptimizerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opt, err := NewOptimizer(ServiceConfig{
+		Model:                "MT-WND",
+		Families:             []string{"g4dn", "t3"},
+		QueriesPerEvaluation: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Spec().Model.Name != "MT-WND" {
+		t.Fatalf("spec model = %q", opt.Spec().Model.Name)
+	}
+
+	bounds, err := opt.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 2 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Bounds are memoized and copied.
+	bounds[0] = 99
+	b2, _ := opt.Bounds()
+	if b2[0] == 99 {
+		t.Fatalf("Bounds leaked internal state")
+	}
+
+	homog, ok := opt.HomogeneousBaseline()
+	if !ok {
+		t.Fatalf("no homogeneous baseline")
+	}
+
+	res, err := opt.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("Run found nothing")
+	}
+	if res.BestResult.CostPerHour >= homog.CostPerHour {
+		t.Errorf("diverse pool ($%.3f) no cheaper than homogeneous ($%.3f)",
+			res.BestResult.CostPerHour, homog.CostPerHour)
+	}
+
+	samples, violations, cost := opt.ExplorationStats()
+	if samples <= 0 || cost <= 0 {
+		t.Fatalf("exploration stats empty: %d %d %g", samples, violations, cost)
+	}
+
+	// Load adaptation.
+	adapted, err := opt.AdaptToLoad(1.5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adapted.Found {
+		t.Fatalf("adaptation found nothing")
+	}
+	if adapted.BestResult.CostPerHour <= res.BestResult.CostPerHour {
+		t.Errorf("1.5x load optimum not costlier: $%.3f vs $%.3f",
+			adapted.BestResult.CostPerHour, res.BestResult.CostPerHour)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	opt, err := NewOptimizer(ServiceConfig{Model: "MT-WND", QueriesPerEvaluation: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Run(0); err == nil {
+		t.Fatalf("accepted zero budget")
+	}
+	if _, err := opt.AdaptToLoad(1.5, 10); err == nil {
+		t.Fatalf("AdaptToLoad without a prior Run must error")
+	}
+}
+
+func TestOptimizerWithFixedBounds(t *testing.T) {
+	opt, err := NewOptimizer(ServiceConfig{
+		Model:                "MT-WND",
+		Families:             []string{"g4dn", "t3"},
+		Bounds:               []int{5, 12},
+		QueriesPerEvaluation: 800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := opt.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 5 || b[1] != 12 {
+		t.Fatalf("fixed bounds ignored: %v", b)
+	}
+}
+
+func TestOptimizerCustomProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	base, _ := LookupModel("MT-WND")
+	custom := base
+	custom.Name = "MyRecSys"
+	custom.QoSLatencyMs = 25
+	opt, err := NewOptimizer(ServiceConfig{
+		Profile:              custom,
+		Families:             []string{"g4dn", "t3"},
+		QueriesPerEvaluation: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Run(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("custom profile search failed")
+	}
+	if opt.Spec().Model.Name != "MyRecSys" {
+		t.Fatalf("custom profile not used")
+	}
+}
+
+func TestOptimizerCustomEvaluatorBackend(t *testing.T) {
+	// Plug a custom evaluator through the public API: a synthetic backend
+	// where config (i, j) meets QoS iff i+j >= 4.
+	opt, err := NewOptimizer(ServiceConfig{Evaluator: fakeEvaluator{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("search over custom backend failed")
+	}
+	if got := res.BestConfig.Total(); got != 4 {
+		t.Fatalf("optimum total = %d, want 4 (cheapest feasible)", got)
+	}
+	if _, err := opt.AdaptToLoad(1.5, 5); err == nil {
+		t.Fatalf("AdaptToLoad must reject custom backends")
+	}
+}
+
+type fakeEvaluator struct{}
+
+func (fakeEvaluator) Spec() PoolSpec {
+	m, err := LookupModel("MT-WND")
+	if err != nil {
+		panic(err)
+	}
+	spec := PoolSpec{Model: m, QoSPercentile: 0.99}
+	g, _ := LookupInstance("g4dn")
+	tt, _ := LookupInstance("t3")
+	// Equal prices make "cheapest feasible" == smallest total count.
+	g.PricePerHour = 1
+	tt.PricePerHour = 1
+	spec.Types = []InstanceType{g, tt}
+	return spec
+}
+
+func (f fakeEvaluator) Evaluate(cfg Config) Result {
+	rsat := 0.5 + 0.14*float64(cfg[0]+cfg[1])
+	if rsat > 1 {
+		rsat = 1
+	}
+	meets := cfg[0]+cfg[1] >= 4
+	if meets {
+		rsat = 0.995
+	}
+	return Result{
+		Config:      cfg.Clone(),
+		CostPerHour: f.Spec().Cost(cfg),
+		Rsat:        rsat,
+		MeetsQoS:    meets,
+		Queries:     1000,
+	}
+}
