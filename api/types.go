@@ -1,0 +1,197 @@
+// Package api defines the versioned, typed request/response contract of the
+// Ribbon control-plane HTTP API (v1). Both the server (internal/server,
+// served by cmd/ribbon-server) and the Go client (package client) build on
+// these DTOs, so the wire schema lives in exactly one place.
+//
+// Every error body is an ErrorResponse carrying a machine-readable Code;
+// clients should branch on codes, not on message text.
+package api
+
+import "time"
+
+// Version is the API version prefix all v1 routes are mounted under.
+const Version = "v1"
+
+// ErrorCode is a stable machine-readable error identifier.
+type ErrorCode string
+
+// The v1 error codes.
+const (
+	// ErrInvalidRequest covers malformed JSON, unknown fields, and
+	// schema-level validation failures.
+	ErrInvalidRequest ErrorCode = "invalid_request"
+	// ErrUnknownModel means the requested model is not in the catalog
+	// (or the service spec could not be resolved into a pool).
+	ErrUnknownModel ErrorCode = "unknown_model"
+	// ErrInvalidConfig means the configuration vector does not match the
+	// pool (wrong dimensionality or negative counts).
+	ErrInvalidConfig ErrorCode = "invalid_config"
+	// ErrInvalidBudget means the optimize budget is not positive.
+	ErrInvalidBudget ErrorCode = "invalid_budget"
+	// ErrNotFound means the referenced resource (e.g. job id) does not
+	// exist.
+	ErrNotFound ErrorCode = "not_found"
+	// ErrJobFinished means a cancel was requested for a job already in a
+	// terminal state.
+	ErrJobFinished ErrorCode = "job_finished"
+	// ErrOverloaded means the server cannot take or finish the work
+	// right now — the job queue is full, or a synchronous request was
+	// aborted by server shutdown; retry later.
+	ErrOverloaded ErrorCode = "overloaded"
+	// ErrInternal is an unexpected server-side failure.
+	ErrInternal ErrorCode = "internal"
+)
+
+// Error is the structured error payload of every non-2xx response.
+type Error struct {
+	// Code is the stable machine-readable identifier.
+	Code ErrorCode `json:"code"`
+	// Message is a human-readable explanation.
+	Message string `json:"message"`
+	// HTTPStatus is the HTTP status the error travelled with; it is set
+	// by the client when decoding a response and never serialized.
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return string(e.Code) + ": " + e.Message }
+
+// ErrorResponse is the wire envelope of an Error.
+type ErrorResponse struct {
+	Error *Error `json:"error"`
+}
+
+// ModelInfo describes one catalog model (Table 1 of the paper).
+type ModelInfo struct {
+	Name        string  `json:"name"`
+	Category    string  `json:"category"`
+	QoSTargetMs float64 `json:"qos_target_ms"`
+	Description string  `json:"description"`
+}
+
+// InstanceInfo describes one catalog cloud instance type (Table 2).
+type InstanceInfo struct {
+	Name         string  `json:"name"`
+	Family       string  `json:"family"`
+	Category     string  `json:"category"`
+	VCPU         int     `json:"vcpu"`
+	MemoryGiB    int     `json:"memory_gib"`
+	PricePerHour float64 `json:"price_per_hour"`
+	Description  string  `json:"description,omitempty"`
+}
+
+// ServiceSpec names the inference service a request operates on. It is the
+// shared head of EvaluateRequest and OptimizeRequest.
+type ServiceSpec struct {
+	// Model is a catalog model name (see GET /v1/models). Required.
+	Model string `json:"model"`
+	// Families is the ordered diverse pool; the model's Table 3 default
+	// when omitted.
+	Families []string `json:"families,omitempty"`
+	// QoSPercentile is the tail-latency target percentile in (0,1);
+	// 0.99 when omitted.
+	QoSPercentile float64 `json:"qos_percentile,omitempty"`
+	// Queries sets the evaluation window length; 4000 when omitted.
+	Queries int `json:"queries,omitempty"`
+	// Seed makes runs reproducible; 42 when omitted.
+	Seed uint64 `json:"seed,omitempty"`
+	// RateScale multiplies the model's default arrival rate; 1 when
+	// omitted.
+	RateScale float64 `json:"rate_scale,omitempty"`
+}
+
+// EvaluateRequest asks for one configuration to be deployed and measured.
+type EvaluateRequest struct {
+	ServiceSpec
+	// Config is the instance-count vector over the pool's types.
+	Config []int `json:"config"`
+}
+
+// EvaluateResponse reports one configuration measurement.
+type EvaluateResponse struct {
+	Config        []int   `json:"config"`
+	CostPerHour   float64 `json:"cost_per_hour"`
+	QoSSatRate    float64 `json:"qos_sat_rate"`
+	MeetsQoS      bool    `json:"meets_qos"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	TailLatencyMs float64 `json:"tail_latency_ms"`
+}
+
+// OptimizeRequest asks for a full BO search over the service's pool.
+type OptimizeRequest struct {
+	ServiceSpec
+	// Budget is the maximum number of real evaluations; 40 when omitted.
+	// Non-positive explicit values are rejected with ErrInvalidBudget.
+	Budget int `json:"budget,omitempty"`
+}
+
+// OptimizeResponse summarizes a completed (or cancelled) search. The
+// best_* and saving fields are present only when Found is true.
+type OptimizeResponse struct {
+	Found            bool    `json:"found"`
+	Samples          int     `json:"samples"`
+	ExploredConfigs  int     `json:"explored_configs"`
+	ViolatingSamples int     `json:"violating_samples"`
+	ExplorationCost  float64 `json:"exploration_cost_hr"`
+
+	BestConfig      []int   `json:"best_config,omitempty"`
+	BestCostPerHour float64 `json:"best_cost_per_hour,omitempty"`
+	BestQoSSatRate  float64 `json:"best_qos_sat_rate,omitempty"`
+
+	// HomogeneousCostPerHour and Saving compare against the cheapest
+	// single-type QoS-meeting pool when one exists.
+	HomogeneousCostPerHour float64 `json:"homogeneous_cost_per_hour,omitempty"`
+	Saving                 float64 `json:"saving,omitempty"`
+}
+
+// JobStatus is the lifecycle state of an asynchronous optimize job.
+type JobStatus string
+
+// The job lifecycle: queued -> running -> done | failed | cancelled.
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobProgress is the live view of a running search, updated after every
+// evaluation step.
+type JobProgress struct {
+	// Samples is the number of real evaluations spent so far.
+	Samples int `json:"samples"`
+	// Found and BestCostPerHour track the incumbent QoS-meeting
+	// configuration, if any.
+	Found           bool    `json:"found"`
+	BestCostPerHour float64 `json:"best_cost_per_hour,omitempty"`
+}
+
+// Job is an asynchronous optimize run.
+type Job struct {
+	ID         string     `json:"id"`
+	Status     JobStatus  `json:"status"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Request echoes the accepted OptimizeRequest.
+	Request OptimizeRequest `json:"request"`
+	// Progress tracks the search while the job runs.
+	Progress JobProgress `json:"progress"`
+	// Result is set once the job is done — and, partially, when it was
+	// cancelled mid-search (Samples then reports the budget actually
+	// spent before cancellation).
+	Result *OptimizeResponse `json:"result,omitempty"`
+	// Error is set when the job failed.
+	Error *Error `json:"error,omitempty"`
+}
+
+// JobList is the response of GET /v1/jobs.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}

@@ -1,0 +1,68 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Validate checks the schema-level invariants of a service spec — the ones
+// that need no catalog access. Catalog resolution (unknown model, unknown
+// family) is the server's job and maps to ErrUnknownModel.
+func (s ServiceSpec) Validate() *Error {
+	if strings.TrimSpace(s.Model) == "" {
+		return &Error{Code: ErrInvalidRequest, Message: "model is required"}
+	}
+	if s.QoSPercentile < 0 || s.QoSPercentile >= 1 {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("qos_percentile %g out of [0,1) (0 means default 0.99)", s.QoSPercentile)}
+	}
+	if s.Queries < 0 {
+		return &Error{Code: ErrInvalidRequest, Message: "queries must be non-negative"}
+	}
+	if s.RateScale < 0 {
+		return &Error{Code: ErrInvalidRequest, Message: "rate_scale must be non-negative"}
+	}
+	seen := map[string]bool{}
+	for _, f := range s.Families {
+		if strings.TrimSpace(f) == "" {
+			return &Error{Code: ErrInvalidRequest, Message: "families entries must be non-empty"}
+		}
+		if seen[f] {
+			return &Error{Code: ErrInvalidRequest, Message: fmt.Sprintf("duplicate family %q", f)}
+		}
+		seen[f] = true
+	}
+	return nil
+}
+
+// Validate checks an evaluate request. The configuration's dimensionality is
+// checked later against the resolved pool; here only shape-independent
+// invariants apply.
+func (r EvaluateRequest) Validate() *Error {
+	if err := r.ServiceSpec.Validate(); err != nil {
+		return err
+	}
+	if len(r.Config) == 0 {
+		return &Error{Code: ErrInvalidConfig, Message: "config is required"}
+	}
+	for i, v := range r.Config {
+		if v < 0 {
+			return &Error{Code: ErrInvalidConfig,
+				Message: fmt.Sprintf("config[%d] = %d is negative", i, v)}
+		}
+	}
+	return nil
+}
+
+// Validate checks an optimize request. Budget zero means "use the server
+// default"; explicit negative budgets are the caller's mistake.
+func (r OptimizeRequest) Validate() *Error {
+	if err := r.ServiceSpec.Validate(); err != nil {
+		return err
+	}
+	if r.Budget < 0 {
+		return &Error{Code: ErrInvalidBudget,
+			Message: fmt.Sprintf("budget %d must be positive (omit for the default)", r.Budget)}
+	}
+	return nil
+}

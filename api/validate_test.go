@@ -1,0 +1,77 @@
+package api
+
+import "testing"
+
+func TestServiceSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec ServiceSpec
+		code ErrorCode // "" means valid
+	}{
+		{"minimal", ServiceSpec{Model: "MT-WND"}, ""},
+		{"full", ServiceSpec{Model: "MT-WND", Families: []string{"g4dn", "t3"},
+			QoSPercentile: 0.98, Queries: 2000, Seed: 7, RateScale: 1.5}, ""},
+		{"missing model", ServiceSpec{}, ErrInvalidRequest},
+		{"blank model", ServiceSpec{Model: "  "}, ErrInvalidRequest},
+		{"qos too high", ServiceSpec{Model: "m", QoSPercentile: 1}, ErrInvalidRequest},
+		{"qos negative", ServiceSpec{Model: "m", QoSPercentile: -0.1}, ErrInvalidRequest},
+		{"negative queries", ServiceSpec{Model: "m", Queries: -1}, ErrInvalidRequest},
+		{"negative rate", ServiceSpec{Model: "m", RateScale: -1}, ErrInvalidRequest},
+		{"empty family", ServiceSpec{Model: "m", Families: []string{""}}, ErrInvalidRequest},
+		{"dup family", ServiceSpec{Model: "m", Families: []string{"g4dn", "g4dn"}}, ErrInvalidRequest},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		switch {
+		case tc.code == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.code != "" && err == nil:
+			t.Errorf("%s: expected %s", tc.name, tc.code)
+		case tc.code != "" && err.Code != tc.code:
+			t.Errorf("%s: code %s, want %s", tc.name, err.Code, tc.code)
+		}
+	}
+}
+
+func TestEvaluateRequestValidate(t *testing.T) {
+	ok := EvaluateRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}, Config: []int{1, 0, 2}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	missing := EvaluateRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}}
+	if err := missing.Validate(); err == nil || err.Code != ErrInvalidConfig {
+		t.Fatalf("missing config: %v", err)
+	}
+	negative := EvaluateRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}, Config: []int{1, -2}}
+	if err := negative.Validate(); err == nil || err.Code != ErrInvalidConfig {
+		t.Fatalf("negative config: %v", err)
+	}
+}
+
+func TestOptimizeRequestValidate(t *testing.T) {
+	if err := (OptimizeRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}}).Validate(); err != nil {
+		t.Fatalf("zero budget means default: %v", err)
+	}
+	err := (OptimizeRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}, Budget: -1}).Validate()
+	if err == nil || err.Code != ErrInvalidBudget {
+		t.Fatalf("negative budget: %v", err)
+	}
+}
+
+func TestJobStatusTerminal(t *testing.T) {
+	for st, want := range map[JobStatus]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobFailed: true, JobCancelled: true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v", st, !want)
+		}
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := &Error{Code: ErrInvalidBudget, Message: "budget -1 must be positive"}
+	if got := e.Error(); got != "invalid_budget: budget -1 must be positive" {
+		t.Fatalf("Error() = %q", got)
+	}
+}

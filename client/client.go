@@ -1,0 +1,191 @@
+// Package client is the Go client of the Ribbon control-plane v1 API: a
+// thin, dependency-free wrapper over net/http that speaks the typed DTOs of
+// package api. Every method takes a context and maps non-2xx responses to
+// *api.Error values (with HTTPStatus populated), so callers branch on
+// machine-readable codes:
+//
+//	c := client.New("http://localhost:8080")
+//	job, err := c.CreateJob(ctx, api.OptimizeRequest{
+//		ServiceSpec: api.ServiceSpec{Model: "MT-WND"},
+//		Budget:      40,
+//	})
+//	if err != nil { ... }
+//	job, err = c.WaitJob(ctx, job.ID, 500*time.Millisecond)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"ribbon/api"
+)
+
+// Client talks to one ribbon-server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, middlewares).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at baseURL, e.g. "http://host:8080".
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do performs one round trip. A nil in skips the request body; a non-nil out
+// receives the decoded 2xx response.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er api.ErrorResponse
+		if jerr := json.Unmarshal(raw, &er); jerr == nil && er.Error != nil {
+			er.Error.HTTPStatus = resp.StatusCode
+			return er.Error
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Health probes the liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Models fetches the model catalog.
+func (c *Client) Models(ctx context.Context) ([]api.ModelInfo, error) {
+	var out []api.ModelInfo
+	err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out)
+	return out, err
+}
+
+// Instances fetches the cloud instance catalog.
+func (c *Client) Instances(ctx context.Context) ([]api.InstanceInfo, error) {
+	var out []api.InstanceInfo
+	err := c.do(ctx, http.MethodGet, "/v1/instances", nil, &out)
+	return out, err
+}
+
+// Evaluate measures one configuration synchronously.
+func (c *Client) Evaluate(ctx context.Context, req api.EvaluateRequest) (api.EvaluateResponse, error) {
+	var out api.EvaluateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/evaluate", req, &out)
+	return out, err
+}
+
+// Optimize runs a blocking search; cancelling the context aborts it
+// server-side. Prefer CreateJob/WaitJob for budgets that take minutes.
+func (c *Client) Optimize(ctx context.Context, req api.OptimizeRequest) (api.OptimizeResponse, error) {
+	var out api.OptimizeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &out)
+	return out, err
+}
+
+// CreateJob submits an asynchronous optimize run and returns immediately
+// with the queued job.
+func (c *Client) CreateJob(ctx context.Context, req api.OptimizeRequest) (api.Job, error) {
+	var out api.Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out)
+	return out, err
+}
+
+// Job fetches one job's current status, progress, and result.
+func (c *Client) Job(ctx context.Context, id string) (api.Job, error) {
+	var out api.Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// Jobs lists every job the server knows about.
+func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
+	var out api.JobList
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// CancelJob asks the server to stop a queued or running job. The returned
+// snapshot may still show it running; poll until Status.Terminal().
+func (c *Client) CancelJob(ctx context.Context, id string) (api.Job, error) {
+	var out api.Job
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// WaitJob polls until the job reaches a terminal state or the context ends.
+// poll defaults to 250ms when non-positive.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (api.Job, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return api.Job{}, err
+		}
+		if j.Status.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// IsCode reports whether err is an *api.Error with the given code.
+func IsCode(err error, code api.ErrorCode) bool {
+	var ae *api.Error
+	return errors.As(err, &ae) && ae.Code == code
+}

@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ribbon/api"
+	"ribbon/internal/server"
+)
+
+// newTestPair spins a real in-process control plane and a client against it.
+func newTestPair(t *testing.T) *Client {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2, Logf: t.Logf})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return New(hs.URL)
+}
+
+func TestHealthAndCatalogs(t *testing.T) {
+	c := newTestPair(t)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	models, err := c.Models(ctx)
+	if err != nil || len(models) != 5 {
+		t.Fatalf("models: %v (%d)", err, len(models))
+	}
+	instances, err := c.Instances(ctx)
+	if err != nil || len(instances) != 8 {
+		t.Fatalf("instances: %v (%d)", err, len(instances))
+	}
+}
+
+func TestEvaluateRoundTrip(t *testing.T) {
+	c := newTestPair(t)
+	res, err := c.Evaluate(context.Background(), api.EvaluateRequest{
+		ServiceSpec: api.ServiceSpec{
+			Model:    "MT-WND",
+			Families: []string{"g4dn", "t3"},
+			Queries:  1500,
+		},
+		Config: []int{5, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MeetsQoS || res.CostPerHour != 5*0.526 {
+		t.Fatalf("unexpected evaluation: %+v", res)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	c := newTestPair(t)
+	_, err := c.Evaluate(context.Background(), api.EvaluateRequest{
+		ServiceSpec: api.ServiceSpec{Model: "nope"},
+		Config:      []int{1},
+	})
+	if !IsCode(err, api.ErrUnknownModel) {
+		t.Fatalf("want unknown_model, got %v", err)
+	}
+	ae, ok := err.(*api.Error)
+	if !ok || ae.HTTPStatus != 400 {
+		t.Fatalf("HTTPStatus not mapped: %#v", err)
+	}
+
+	_, err = c.Job(context.Background(), "job-404")
+	if !IsCode(err, api.ErrNotFound) {
+		t.Fatalf("want not_found, got %v", err)
+	}
+}
+
+func TestJobFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	c := newTestPair(t)
+	ctx := context.Background()
+	job, err := c.CreateJob(ctx, api.OptimizeRequest{
+		ServiceSpec: api.ServiceSpec{
+			Model:    "MT-WND",
+			Families: []string{"g4dn", "t3"},
+			Queries:  4000,
+		},
+		Budget: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Status.Terminal() {
+		t.Fatalf("fresh job: %+v", job)
+	}
+	final, err := c.WaitJob(ctx, job.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.JobDone || final.Result == nil || !final.Result.Found {
+		t.Fatalf("job did not succeed: %+v", final)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs: %v (%d)", err, len(jobs))
+	}
+}
+
+func TestJobCancelViaClient(t *testing.T) {
+	c := newTestPair(t)
+	ctx := context.Background()
+	job, err := c.CreateJob(ctx, api.OptimizeRequest{
+		ServiceSpec: api.ServiceSpec{
+			Model:    "MT-WND",
+			Families: []string{"g4dn", "t3"},
+			Queries:  60000,
+		},
+		Budget: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it start spending budget, then cancel.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		j, err := c.Job(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Status == api.JobRunning && j.Progress.Samples >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", j)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.CancelJob(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(ctx, job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.JobCancelled {
+		t.Fatalf("status %q, want cancelled", final.Status)
+	}
+	if final.Result == nil || final.Result.Samples >= 100000 || final.Result.Samples < 1 {
+		t.Fatalf("partial result missing or implausible: %+v", final.Result)
+	}
+
+	// Cancelling again is a structured conflict.
+	_, err = c.CancelJob(ctx, job.ID)
+	if !IsCode(err, api.ErrJobFinished) {
+		t.Fatalf("want job_finished, got %v", err)
+	}
+}

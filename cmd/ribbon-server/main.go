@@ -1,187 +1,96 @@
 // Command ribbon-server exposes the Ribbon planner as an HTTP control-plane
 // service (net/http, standard library only): a deployment orchestrator can
-// ask it to evaluate candidate pool configurations, run full optimizations,
-// and inspect the instance/model catalogs.
+// inspect the model/instance catalogs, evaluate candidate pool
+// configurations, run synchronous optimizations, and drive long searches
+// asynchronously through the job API. The typed request/response contract
+// lives in package api; programmatic access in package client; the full
+// specification in docs/api.md.
 //
-// Endpoints:
+// Endpoints (v1):
 //
-//	GET  /healthz                     liveness probe
-//	GET  /api/models                  model catalog (Table 1)
-//	GET  /api/instances               instance catalog (Table 2)
-//	POST /api/evaluate                {"model","families","config",...} -> evaluation
-//	POST /api/optimize                {"model","families","budget",...} -> recommendation
+//	GET    /healthz              liveness probe
+//	GET    /v1/models            model catalog (Table 1)
+//	GET    /v1/instances         instance catalog (Table 2)
+//	POST   /v1/evaluate          EvaluateRequest  -> EvaluateResponse
+//	POST   /v1/optimize          OptimizeRequest  -> OptimizeResponse (blocking)
+//	POST   /v1/jobs              OptimizeRequest  -> Job (202, async)
+//	GET    /v1/jobs              JobList
+//	GET    /v1/jobs/{id}         Job (poll status/progress/result)
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//
+// The v0 routes /api/{models,instances,evaluate,optimize} remain as
+// deprecated aliases of their /v1 successors.
 //
 // Usage:
 //
-//	ribbon-server -addr :8080
+//	ribbon-server -addr :8080 -workers 4
+//
+// The process drains connections and cancels running jobs on SIGINT/SIGTERM.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"ribbon"
+	"ribbon/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent optimize jobs")
+	queue := flag.Int("queue", 16, "pending job queue depth")
+	budget := flag.Int("default-budget", 40, "optimize budget when the request omits it")
+	retain := flag.Int("retain-jobs", 256, "finished jobs kept queryable before eviction")
 	flag.Parse()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /api/models", handleModels)
-	mux.HandleFunc("GET /api/instances", handleInstances)
-	mux.HandleFunc("POST /api/evaluate", handleEvaluate)
-	mux.HandleFunc("POST /api/optimize", handleOptimize)
-
-	log.Printf("ribbon-server listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		DefaultBudget: *budget,
+		RetainJobs:    *retain,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "ribbon-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encode: %v", err)
-	}
-}
+// run serves until the context is cancelled, then shuts down gracefully:
+// in-flight requests get a drain window and job workers are stopped. Request
+// contexts derive from ctx (via BaseContext), so cancelling it also aborts
+// in-flight synchronous optimize searches at their next step boundary —
+// without that, a long POST /v1/optimize would burn the whole drain window.
+func run(ctx context.Context, addr string, cfg server.Config) error {
+	srv := server.New(cfg)
+	defer srv.Close()
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
+	hs := &http.Server{
+		Addr:        addr,
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ribbon-server listening on %s", addr)
+		errc <- hs.ListenAndServe()
+	}()
 
-func handleModels(w http.ResponseWriter, r *http.Request) {
-	type modelInfo struct {
-		Name        string  `json:"name"`
-		Category    string  `json:"category"`
-		QoSTargetMs float64 `json:"qos_target_ms"`
-		Description string  `json:"description"`
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
 	}
-	var out []modelInfo
-	for _, m := range ribbon.Models() {
-		out = append(out, modelInfo{m.Name, m.Category.String(), m.QoSLatencyMs, m.Description})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func handleInstances(w http.ResponseWriter, r *http.Request) {
-	type instInfo struct {
-		Name         string  `json:"name"`
-		Category     string  `json:"category"`
-		VCPU         int     `json:"vcpu"`
-		MemoryGiB    int     `json:"memory_gib"`
-		PricePerHour float64 `json:"price_per_hour"`
-	}
-	var out []instInfo
-	for _, i := range ribbon.Instances() {
-		out = append(out, instInfo{i.Name(), i.Class.String(), i.VCPU, i.MemoryGiB, i.PricePerHour})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// serviceRequest is the shared request body for evaluate/optimize.
-type serviceRequest struct {
-	Model         string   `json:"model"`
-	Families      []string `json:"families,omitempty"`
-	QoSPercentile float64  `json:"qos_percentile,omitempty"`
-	Queries       int      `json:"queries,omitempty"`
-	Seed          uint64   `json:"seed,omitempty"`
-	RateScale     float64  `json:"rate_scale,omitempty"`
-	Config        []int    `json:"config,omitempty"` // evaluate only
-	Budget        int      `json:"budget,omitempty"` // optimize only
-}
-
-func (req serviceRequest) optimizer() (*ribbon.Optimizer, error) {
-	return ribbon.NewOptimizer(ribbon.ServiceConfig{
-		Model:                req.Model,
-		Families:             req.Families,
-		QoSPercentile:        req.QoSPercentile,
-		QueriesPerEvaluation: req.Queries,
-		Seed:                 req.Seed,
-		RateScale:            req.RateScale,
-	})
-}
-
-func decode(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	return dec.Decode(v)
-}
-
-func handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	var req serviceRequest
-	if err := decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	opt, err := req.optimizer()
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if len(req.Config) != opt.Spec().Dim() {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("config has %d entries for a %d-type pool", len(req.Config), opt.Spec().Dim()))
-		return
-	}
-	res := opt.Evaluate(ribbon.Config(req.Config))
-	writeJSON(w, http.StatusOK, map[string]any{
-		"config":          res.Config,
-		"cost_per_hour":   res.CostPerHour,
-		"qos_sat_rate":    res.Rsat,
-		"meets_qos":       res.MeetsQoS,
-		"mean_latency_ms": res.MeanLatencyMs,
-		"tail_latency_ms": res.TailLatencyMs,
-	})
-}
-
-func handleOptimize(w http.ResponseWriter, r *http.Request) {
-	var req serviceRequest
-	if err := decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	opt, err := req.optimizer()
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	budget := req.Budget
-	if budget == 0 {
-		budget = 40
-	}
-	res, err := opt.Run(budget)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	samples, violations, cost := opt.ExplorationStats()
-	resp := map[string]any{
-		"found":               res.Found,
-		"samples":             res.Samples,
-		"explored_configs":    samples,
-		"violating_samples":   violations,
-		"exploration_cost_hr": cost,
-	}
-	if res.Found {
-		resp["best_config"] = res.BestConfig
-		resp["best_cost_per_hour"] = res.BestResult.CostPerHour
-		resp["best_qos_sat_rate"] = res.BestResult.Rsat
-		if homog, ok := opt.HomogeneousBaseline(); ok {
-			resp["homogeneous_cost_per_hour"] = homog.CostPerHour
-			resp["saving"] = 1 - res.BestResult.CostPerHour/homog.CostPerHour
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	log.Printf("ribbon-server shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(drainCtx)
 }

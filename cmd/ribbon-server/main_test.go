@@ -1,95 +1,67 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"ribbon/internal/server"
 )
 
-func TestHandleModelsAndInstances(t *testing.T) {
-	rr := httptest.NewRecorder()
-	handleModels(rr, httptest.NewRequest(http.MethodGet, "/api/models", nil))
-	if rr.Code != http.StatusOK {
-		t.Fatalf("models status %d", rr.Code)
-	}
-	var ms []map[string]any
-	if err := json.Unmarshal(rr.Body.Bytes(), &ms); err != nil {
+// TestRunServesAndShutsDownGracefully boots the real entrypoint on an
+// ephemeral port, probes /healthz and a v1 route, then cancels the context
+// and expects a clean exit.
+func TestRunServesAndShutsDownGracefully(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ms) != 5 {
-		t.Fatalf("models = %d, want 5", len(ms))
-	}
+	addr := ln.Addr().String()
+	ln.Close()
 
-	rr = httptest.NewRecorder()
-	handleInstances(rr, httptest.NewRequest(http.MethodGet, "/api/instances", nil))
-	var is []map[string]any
-	if err := json.Unmarshal(rr.Body.Bytes(), &is); err != nil {
-		t.Fatal(err)
-	}
-	if len(is) != 8 {
-		t.Fatalf("instances = %d, want 8", len(is))
-	}
-}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, addr, server.Config{Workers: 1}) }()
 
-func TestHandleEvaluate(t *testing.T) {
-	body := `{"model":"MT-WND","families":["g4dn","t3"],"config":[5,0],"queries":1500}`
-	rr := httptest.NewRecorder()
-	handleEvaluate(rr, httptest.NewRequest(http.MethodPost, "/api/evaluate", strings.NewReader(body)))
-	if rr.Code != http.StatusOK {
-		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
-	}
-	var resp map[string]any
-	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
-		t.Fatal(err)
-	}
-	if resp["meets_qos"] != true {
-		t.Fatalf("5 g4dn should meet QoS: %v", resp)
-	}
-	cost, _ := resp["cost_per_hour"].(float64)
-	if cost != 5*0.526 {
-		t.Fatalf("cost = %v", cost)
-	}
-}
-
-func TestHandleEvaluateErrors(t *testing.T) {
-	cases := []string{
-		`{"model":"nope","config":[1]}`,
-		`{"model":"MT-WND","families":["g4dn","t3"],"config":[1]}`, // wrong dim
-		`{"model":"MT-WND","unknown_field":1}`,
-		`garbage`,
-	}
-	for _, body := range cases {
-		rr := httptest.NewRecorder()
-		handleEvaluate(rr, httptest.NewRequest(http.MethodPost, "/api/evaluate", strings.NewReader(body)))
-		if rr.Code != http.StatusBadRequest {
-			t.Errorf("body %q: status %d, want 400", body, rr.Code)
+	base := "http://" + addr
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
 		}
+		time.Sleep(20 * time.Millisecond)
 	}
-}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
 
-func TestHandleOptimize(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-heavy")
-	}
-	body := `{"model":"MT-WND","families":["g4dn","t3"],"budget":25,"queries":4000}`
-	rr := httptest.NewRecorder()
-	handleOptimize(rr, httptest.NewRequest(http.MethodPost, "/api/optimize", strings.NewReader(body)))
-	if rr.Code != http.StatusOK {
-		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
-	}
-	var resp map[string]any
-	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+	resp, err = http.Get(fmt.Sprintf("%s/v1/models", base))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if resp["found"] != true {
-		t.Fatalf("optimize found nothing: %v", resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/models = %d", resp.StatusCode)
 	}
-	if _, ok := resp["best_config"]; !ok {
-		t.Fatalf("missing best_config: %v", resp)
-	}
-	if saving, ok := resp["saving"].(float64); !ok || saving <= 0 {
-		t.Fatalf("missing positive saving: %v", resp)
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }

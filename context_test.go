@@ -1,0 +1,161 @@
+package ribbon
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextCancellation pins the context-aware search API: a context
+// cancelled mid-search stops at the next step boundary, the partial trace is
+// returned alongside the context error, and Samples stays below budget.
+func TestRunContextCancellation(t *testing.T) {
+	const budget = 10000
+	ctx, cancel := context.WithCancel(context.Background())
+	var steps []Step
+	opt, err := NewOptimizer(ServiceConfig{
+		Model:                "MT-WND",
+		Families:             []string{"g4dn", "t3"},
+		QueriesPerEvaluation: 1500,
+		SearchOptions: SearchOptions{Progress: func(st Step) {
+			steps = append(steps, st)
+			if len(steps) == 3 {
+				cancel()
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.RunContext(ctx, budget)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Samples != 3 || len(res.Steps) != 3 {
+		t.Fatalf("cancelled after 3 steps, got %d samples / %d steps", res.Samples, len(res.Steps))
+	}
+	if len(steps) != 3 {
+		t.Fatalf("progress callback saw %d steps", len(steps))
+	}
+	for i, st := range steps {
+		if st.Index != i || len(st.Config) != 2 {
+			t.Fatalf("step %d malformed: %+v", i, st)
+		}
+	}
+}
+
+// TestRunContextAlreadyCancelled: a dead context never starts the search
+// (not even bounds discovery).
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	opt, err := NewOptimizer(ServiceConfig{
+		Model:                "MT-WND",
+		Families:             []string{"g4dn", "t3"},
+		QueriesPerEvaluation: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := opt.RunContext(ctx, 10); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	samples, _, _ := opt.ExplorationStats()
+	if samples != 0 {
+		t.Fatalf("cancelled run spent %d evaluations", samples)
+	}
+	if _, err := opt.EvaluateContext(ctx, Config{1, 0}); err != context.Canceled {
+		t.Fatalf("EvaluateContext err = %v", err)
+	}
+}
+
+// TestCancelledRunDoesNotCommitState: a cancelled search must not become
+// the optimizer's "last run", and a cancelled adaptation must not switch the
+// optimizer to the new load — the pre-cancellation state stays usable.
+func TestCancelledRunDoesNotCommitState(t *testing.T) {
+	cancelNext := false
+	ctx, cancel := context.WithCancel(context.Background())
+	opt, err := NewOptimizer(ServiceConfig{
+		Model:                "MT-WND",
+		Families:             []string{"g4dn", "t3"},
+		QueriesPerEvaluation: 1500,
+		SearchOptions: SearchOptions{Progress: func(Step) {
+			if cancelNext {
+				cancel()
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := opt.Run(12)
+	if err != nil || !first.Found {
+		t.Fatalf("seed run: %v found=%v", err, first.Found)
+	}
+
+	cancelNext = true
+	partial, err := opt.AdaptToLoadContext(ctx, 1.4, 20)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if partial.Samples >= 20 {
+		t.Fatalf("adaptation was not cancelled mid-budget: %d samples", partial.Samples)
+	}
+
+	// The rollback keeps the original run, so adapting again still works.
+	cancelNext = false
+	adapted, err := opt.AdaptToLoad(1.4, 20)
+	if err != nil {
+		t.Fatalf("retry after cancelled adaptation: %v", err)
+	}
+	if !adapted.Found {
+		t.Fatalf("retry found nothing: %+v", adapted)
+	}
+}
+
+// TestSentinelErrors pins the typed unknown-model/instance errors the HTTP
+// layer classifies with.
+func TestSentinelErrors(t *testing.T) {
+	if _, err := LookupModel("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("LookupModel: %v", err)
+	}
+	if _, err := LookupInstance("nope"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("LookupInstance: %v", err)
+	}
+	if _, err := NewOptimizer(ServiceConfig{Model: "nope"}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("NewOptimizer unknown model: %v", err)
+	}
+	if _, err := NewOptimizer(ServiceConfig{Model: "MT-WND", Families: []string{"zz"}}); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("NewOptimizer unknown family: %v", err)
+	}
+	if _, err := DefaultPoolFamilies("custom-thing"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("DefaultPoolFamilies: %v", err)
+	}
+}
+
+// TestRunMatchesRunContext: the compatibility wrapper and the context
+// variant are the same search.
+func TestRunMatchesRunContext(t *testing.T) {
+	mk := func() *Optimizer {
+		opt, err := NewOptimizer(ServiceConfig{
+			Model:                "MT-WND",
+			Families:             []string{"g4dn", "t3"},
+			QueriesPerEvaluation: 1500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return opt
+	}
+	a, err := mk().Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk().RunContext(context.Background(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Samples != b.Samples || a.Found != b.Found || a.BestConfig.Key() != b.BestConfig.Key() {
+		t.Fatalf("Run and RunContext diverge: %+v vs %+v", a, b)
+	}
+}

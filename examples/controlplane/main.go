@@ -1,0 +1,84 @@
+// Controlplane: drive the Ribbon planner as a service. The example boots the
+// HTTP control plane in-process on a loopback port, then uses the typed Go
+// client (package client) the way a deployment orchestrator would: inspect
+// the catalogs, submit an asynchronous optimize job, watch its progress, and
+// fetch the final recommendation.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"ribbon/api"
+	"ribbon/client"
+	"ribbon/internal/server"
+)
+
+func main() {
+	// In production this is `ribbon-server -addr :8080`; here the same
+	// Server type runs in-process so the example is self-contained.
+	srv := server.New(server.Config{Workers: 2})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+
+	c := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d models, e.g. %s (%s, %g ms target)\n",
+		len(models), models[0].Name, models[0].Category, models[0].QoSTargetMs)
+
+	job, err := c.CreateJob(ctx, api.OptimizeRequest{
+		ServiceSpec: api.ServiceSpec{
+			Model:    "MT-WND",
+			Families: []string{"g4dn", "c5", "r5n"},
+		},
+		Budget: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (status %s)\n", job.ID, job.Status)
+
+	// Watch the search spend its budget.
+	for {
+		j, err := c.Job(ctx, job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if j.Status.Terminal() {
+			break
+		}
+		if j.Progress.Samples > 0 {
+			fmt.Printf("  %s: %d samples, incumbent $%.3f/hr\n",
+				j.Status, j.Progress.Samples, j.Progress.BestCostPerHour)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	final, err := c.WaitJob(ctx, job.ID, 100*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.Status != api.JobDone {
+		log.Fatalf("job ended %s: %v", final.Status, final.Error)
+	}
+	r := final.Result
+	fmt.Printf("ribbon pool: %v at $%.3f/hr (Rsat %.4f) after %d samples\n",
+		r.BestConfig, r.BestCostPerHour, r.BestQoSSatRate, r.Samples)
+	if r.Saving > 0 {
+		fmt.Printf("saving vs homogeneous ($%.3f/hr): %.1f%%\n",
+			r.HomogeneousCostPerHour, 100*r.Saving)
+	}
+}

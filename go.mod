@@ -1,0 +1,3 @@
+module ribbon
+
+go 1.24

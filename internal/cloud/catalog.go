@@ -5,6 +5,7 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -92,6 +93,10 @@ func Catalog() []InstanceType {
 	return out
 }
 
+// ErrUnknownFamily is returned (wrapped) by Lookup for families not in the
+// catalog; match with errors.Is.
+var ErrUnknownFamily = errors.New("unknown instance family")
+
 // Lookup returns the instance type with the given family code name.
 func Lookup(family string) (InstanceType, error) {
 	for _, t := range catalog {
@@ -99,7 +104,7 @@ func Lookup(family string) (InstanceType, error) {
 			return t, nil
 		}
 	}
-	return InstanceType{}, fmt.Errorf("cloud: unknown instance family %q", family)
+	return InstanceType{}, fmt.Errorf("cloud: %w %q", ErrUnknownFamily, family)
 }
 
 // MustLookup is Lookup but panics on an unknown family. Intended for

@@ -82,14 +82,18 @@ func NewAdaptedSearcher(newEv serving.Evaluator, bounds []int, seed uint64, opts
 		if !s.opts.DisablePruning && est < tqos-s.opts.PruneThreshold {
 			s.prune.AddCeiling(st.Config)
 		}
-		s.trace = append(s.trace, Step{
+		rec := Step{
 			Index:     len(s.trace),
 			Config:    st.Config.Clone(),
 			Result:    synth,
 			Objective: obj,
 			BestCost:  s.bestCost(),
 			Estimated: true,
-		})
+		}
+		s.trace = append(s.trace, rec)
+		if s.opts.Progress != nil {
+			s.opts.Progress(rec)
+		}
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ribbon/internal/serving"
@@ -16,6 +17,12 @@ import (
 // against a dedicated evaluator so its samples are not charged to the search
 // accounting.
 func DiscoverBounds(ev serving.Evaluator, maxPerType int) ([]int, error) {
+	return DiscoverBoundsContext(context.Background(), ev, maxPerType)
+}
+
+// DiscoverBoundsContext is DiscoverBounds with cooperative cancellation: the
+// context is checked before every probe evaluation.
+func DiscoverBoundsContext(ctx context.Context, ev serving.Evaluator, maxPerType int) ([]int, error) {
 	if maxPerType < 1 {
 		return nil, fmt.Errorf("core: maxPerType must be >= 1, got %d", maxPerType)
 	}
@@ -33,6 +40,9 @@ func DiscoverBounds(ev serving.Evaluator, maxPerType int) ([]int, error) {
 		prev := -1.0
 		bound := 1
 		for n := 1; n <= maxPerType; n++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cfg := make(serving.Config, dim)
 			cfg[i] = n
 			res := ev.Evaluate(cfg)

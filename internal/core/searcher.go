@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -86,6 +87,11 @@ type Options struct {
 	// the all-bounds corner and the half-bounds midpoint, mirroring the
 	// paper's "arrange configurations in increasing order" setup.
 	InitialConfigs []serving.Config
+	// Progress, when non-nil, is invoked synchronously after every step
+	// is recorded — real evaluations and warm-start pseudo-observations
+	// alike (the latter have Step.Estimated set). It lets callers stream
+	// a long search; it must not retain the Step's slices past the call.
+	Progress func(Step)
 }
 
 // Searcher runs Ribbon's BO search over one pool. Create with NewSearcher,
@@ -197,6 +203,9 @@ func (s *Searcher) evaluate(cfg serving.Config) Step {
 		BestCost:  s.bestCost(),
 	}
 	s.trace = append(s.trace, st)
+	if s.opts.Progress != nil {
+		s.opts.Progress(st)
+	}
 	return st
 }
 
@@ -229,7 +238,18 @@ func (s *Searcher) Step() (Step, bool) {
 // Run drives the search until the evaluation budget is spent or the space is
 // exhausted, then summarizes.
 func (s *Searcher) Run(budget int) SearchResult {
+	return s.RunContext(context.Background(), budget)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// before every evaluation, so a cancelled search stops at the next step
+// boundary and the partial trace is still summarized. Callers that need to
+// distinguish "budget spent" from "cancelled" should inspect ctx.Err().
+func (s *Searcher) RunContext(ctx context.Context, budget int) SearchResult {
 	for s.samples < budget {
+		if ctx.Err() != nil {
+			break
+		}
 		if _, ok := s.Step(); !ok {
 			break
 		}

@@ -12,6 +12,7 @@
 package models
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -201,6 +202,10 @@ func Names() []string {
 	return ns
 }
 
+// ErrUnknownModel is returned (wrapped) by Lookup for names not in the
+// catalog; match with errors.Is.
+var ErrUnknownModel = errors.New("unknown model")
+
 // Lookup returns the profile with the given name.
 func Lookup(name string) (Profile, error) {
 	for _, p := range catalog {
@@ -208,7 +213,7 @@ func Lookup(name string) (Profile, error) {
 			return p, nil
 		}
 	}
-	return Profile{}, fmt.Errorf("models: unknown model %q", name)
+	return Profile{}, fmt.Errorf("models: %w %q", ErrUnknownModel, name)
 }
 
 // MustLookup is Lookup but panics on an unknown name.

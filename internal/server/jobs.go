@@ -1,0 +1,280 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ribbon"
+	"ribbon/api"
+)
+
+// job is the server-side state of one asynchronous optimize run. All fields
+// behind the store mutex except opt/req, which are immutable after create.
+type job struct {
+	id       string
+	req      api.OptimizeRequest
+	opt      *ribbon.Optimizer
+	status   api.JobStatus
+	created  time.Time
+	started  *time.Time
+	finished *time.Time
+	progress api.JobProgress
+	result   *api.OptimizeResponse
+	err      *api.Error
+	cancel   context.CancelFunc // set while running
+}
+
+// jobStore is a concurrency-safe in-memory job registry with a bounded
+// worker pool executing the searches.
+type jobStore struct {
+	mu         sync.Mutex
+	cond       *sync.Cond // signaled when pending grows or the store closes
+	jobs       map[string]*job
+	order      []string
+	pending    []*job // queued jobs not yet picked by a worker
+	seq        int
+	closed     bool
+	queueDepth int
+	retain     int // max terminal jobs kept for polling
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+func newJobStore(workers, queueDepth, retain int) *jobStore {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &jobStore{
+		jobs:       map[string]*job{},
+		queueDepth: queueDepth,
+		retain:     retain,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.wg.Add(workers)
+	for range workers {
+		go st.worker()
+	}
+	return st
+}
+
+// worker pops pending jobs until the store closes.
+func (st *jobStore) worker() {
+	defer st.wg.Done()
+	for {
+		st.mu.Lock()
+		for len(st.pending) == 0 && !st.closed {
+			st.cond.Wait()
+		}
+		if len(st.pending) == 0 {
+			st.mu.Unlock()
+			return
+		}
+		j := st.pending[0]
+		st.pending = st.pending[1:]
+		st.mu.Unlock()
+		st.run(j)
+	}
+}
+
+// close cancels everything in flight and stops the workers.
+func (st *jobStore) close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	st.baseCancel()
+	st.wg.Wait()
+}
+
+// create validates the request against the catalogs, registers the job, and
+// enqueues it. It never blocks: a full queue is an overload error.
+func (st *jobStore) create(req api.OptimizeRequest) (api.Job, *api.Error) {
+	j := &job{req: req, status: api.JobQueued, created: time.Now()}
+	// Resolve the spec now so an unknown model is a synchronous 400, not
+	// an asynchronous failure the caller discovers by polling. The
+	// progress callback owns the live Samples/BestCost view.
+	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{Progress: func(step ribbon.Step) {
+		st.observe(j, step)
+	}})
+	if e != nil {
+		return api.Job{}, e
+	}
+	j.opt = opt
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return api.Job{}, &api.Error{Code: api.ErrOverloaded, Message: "server is shutting down"}
+	}
+	if len(st.pending) >= st.queueDepth {
+		return api.Job{}, &api.Error{Code: api.ErrOverloaded,
+			Message: fmt.Sprintf("job queue is full (%d pending)", len(st.pending))}
+	}
+	st.seq++
+	j.id = fmt.Sprintf("job-%06d", st.seq)
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.pending = append(st.pending, j)
+	st.evictLocked()
+	st.cond.Signal()
+	return j.view(), nil
+}
+
+// evictLocked drops the oldest terminal jobs once more than retain are kept,
+// so a long-lived control plane does not grow without bound. Active jobs are
+// never evicted. Callers hold st.mu.
+func (st *jobStore) evictLocked() {
+	excess := len(st.jobs) - st.retain
+	if excess <= 0 {
+		return
+	}
+	kept := st.order[:0]
+	for _, id := range st.order {
+		if excess > 0 && st.jobs[id].status.Terminal() {
+			delete(st.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// run executes one job on a worker goroutine.
+func (st *jobStore) run(j *job) {
+	st.mu.Lock()
+	if j.status != api.JobQueued { // cancelled while waiting
+		st.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(st.baseCtx)
+	j.cancel = cancel
+	now := time.Now()
+	j.started = &now
+	j.status = api.JobRunning
+	st.mu.Unlock()
+	defer cancel()
+
+	res, err := j.opt.RunContext(ctx, j.req.Budget)
+
+	// Assemble the summary before re-locking: the homogeneous-baseline
+	// comparison spends extra evaluations. Skip it for cancelled jobs —
+	// the caller asked us to stop burning samples.
+	var resp *api.OptimizeResponse
+	var jerr *api.Error
+	if ctx.Err() == nil && err != nil {
+		jerr = &api.Error{Code: api.ErrInternal, Message: err.Error()}
+	} else {
+		r := optimizeResponse(j.opt, res, ctx.Err() == nil)
+		resp = &r
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	end := time.Now()
+	j.finished = &end
+	j.result = resp
+	j.err = jerr
+	switch {
+	case ctx.Err() != nil:
+		// Checked under the store lock, where cancel() runs: any DELETE
+		// acknowledged before this point — even one landing while the
+		// baseline comparison above was running — is honored as a
+		// cancellation rather than silently finalizing as done.
+		j.status = api.JobCancelled
+		j.err = nil
+	case jerr != nil:
+		j.status = api.JobFailed
+	default:
+		j.status = api.JobDone
+	}
+}
+
+// observe is the per-step progress hook.
+func (st *jobStore) observe(j *job, step ribbon.Step) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !step.Estimated {
+		j.progress.Samples++
+	}
+	if !math.IsInf(step.BestCost, 1) {
+		j.progress.Found = true
+		j.progress.BestCostPerHour = step.BestCost
+	}
+}
+
+// cancel stops a queued or running job.
+func (st *jobStore) cancel(id string) (api.Job, *api.Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return api.Job{}, &api.Error{Code: api.ErrNotFound, Message: fmt.Sprintf("no job %q", id)}
+	}
+	switch j.status {
+	case api.JobQueued:
+		now := time.Now()
+		j.finished = &now
+		j.status = api.JobCancelled
+		// Free the queue slot immediately so cancelled jobs do not
+		// count against QueueDepth.
+		for i, p := range st.pending {
+			if p == j {
+				st.pending = append(st.pending[:i], st.pending[i+1:]...)
+				break
+			}
+		}
+	case api.JobRunning:
+		j.cancel() // run() observes the context and finalizes the job
+	default:
+		return api.Job{}, &api.Error{Code: api.ErrJobFinished,
+			Message: fmt.Sprintf("job %s already %s", id, j.status)}
+	}
+	return j.view(), nil
+}
+
+func (st *jobStore) get(id string) (api.Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return api.Job{}, false
+	}
+	return j.view(), true
+}
+
+// list returns every job in creation order; always a non-nil slice so the
+// endpoint encodes [] rather than null.
+func (st *jobStore) list() []api.Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]api.Job, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.jobs[id].view())
+	}
+	return out
+}
+
+// view snapshots the job as its wire representation. Callers hold st.mu.
+func (j *job) view() api.Job {
+	return api.Job{
+		ID:         j.id,
+		Status:     j.status,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+		Request:    j.req,
+		Progress:   j.progress,
+		Result:     j.result,
+		Error:      j.err,
+	}
+}

@@ -1,0 +1,355 @@
+// Package server implements the Ribbon control-plane HTTP service behind
+// cmd/ribbon-server: a testable Server type that mounts the typed v1 API
+// (package api) — catalog inspection, synchronous evaluate/optimize, and an
+// asynchronous job-based optimize flow backed by a bounded worker pool.
+//
+// The legacy /api/... routes are kept as deprecated aliases of their /v1/...
+// successors and answer with a Deprecation header.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+
+	"ribbon"
+	"ribbon/api"
+)
+
+// Config tunes a Server. The zero value is ready for production use.
+type Config struct {
+	// Workers bounds the number of optimize jobs searching concurrently;
+	// 2 when zero.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs; when
+	// the queue is full POST /v1/jobs answers 503/overloaded. 16 when
+	// zero.
+	QueueDepth int
+	// DefaultBudget is the optimize evaluation budget when the request
+	// omits it; 40 when zero.
+	DefaultBudget int
+	// RetainJobs bounds how many terminal jobs stay queryable; once
+	// exceeded the oldest finished jobs are evicted (active jobs never
+	// are). 256 when zero.
+	RetainJobs int
+	// MaxBodyBytes caps request bodies; 1 MiB when zero.
+	MaxBodyBytes int64
+	// Logf receives diagnostics; log.Printf when nil.
+	Logf func(format string, args ...any)
+}
+
+// Server is the Ribbon control plane. Create with New, mount Handler into
+// an http.Server, and Close on shutdown to stop the job workers.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	jobs *jobStore
+}
+
+// New builds a Server and starts its job worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.DefaultBudget <= 0 {
+		cfg.DefaultBudget = 40
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.jobs = newJobStore(cfg.Workers, cfg.QueueDepth, cfg.RetainJobs)
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/instances", s.handleInstances)
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+
+	// Deprecated v0 aliases.
+	s.mux.HandleFunc("GET /api/models", deprecated("/v1/models", s.handleModels))
+	s.mux.HandleFunc("GET /api/instances", deprecated("/v1/instances", s.handleInstances))
+	s.mux.HandleFunc("POST /api/evaluate", deprecated("/v1/evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("POST /api/optimize", deprecated("/v1/optimize", s.handleOptimize))
+	return s
+}
+
+// Handler returns the root handler serving /healthz, /v1/..., and the
+// deprecated /api/... aliases.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every queued and running job and stops the worker pool. The
+// Server must not serve requests afterwards.
+func (s *Server) Close() { s.jobs.close() }
+
+// deprecated wraps an alias route so responses advertise the successor.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		s.cfg.Logf("server: encode: %v", err)
+	}
+}
+
+// statusFor maps error codes to HTTP statuses.
+func statusFor(code api.ErrorCode) int {
+	switch code {
+	case api.ErrNotFound:
+		return http.StatusNotFound
+	case api.ErrJobFinished:
+		return http.StatusConflict
+	case api.ErrOverloaded:
+		return http.StatusServiceUnavailable
+	case api.ErrInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, e *api.Error) {
+	s.writeJSON(w, statusFor(e.Code), api.ErrorResponse{Error: e})
+}
+
+// decode parses a JSON body strictly: unknown fields and trailing garbage
+// are caller mistakes.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) *api.Error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &api.Error{Code: api.ErrInvalidRequest, Message: "bad request body: " + err.Error()}
+	}
+	if dec.More() {
+		return &api.Error{Code: api.ErrInvalidRequest, Message: "trailing data after JSON body"}
+	}
+	return nil
+}
+
+// newOptimizer resolves a service spec against the catalogs.
+func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions) (*ribbon.Optimizer, *api.Error) {
+	opt, err := ribbon.NewOptimizer(ribbon.ServiceConfig{
+		Model:                spec.Model,
+		Families:             spec.Families,
+		QoSPercentile:        spec.QoSPercentile,
+		QueriesPerEvaluation: spec.Queries,
+		Seed:                 spec.Seed,
+		RateScale:            spec.RateScale,
+		SearchOptions:        opts,
+	})
+	if err != nil {
+		code := api.ErrInvalidRequest
+		if errors.Is(err, ribbon.ErrUnknownModel) || errors.Is(err, ribbon.ErrUnknownInstance) {
+			code = api.ErrUnknownModel
+		}
+		return nil, &api.Error{Code: code, Message: err.Error()}
+	}
+	return opt, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	models := ribbon.Models()
+	out := make([]api.ModelInfo, 0, len(models))
+	for _, m := range models {
+		out = append(out, api.ModelInfo{
+			Name:        m.Name,
+			Category:    m.Category.String(),
+			QoSTargetMs: m.QoSLatencyMs,
+			Description: m.Description,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	instances := ribbon.Instances()
+	out := make([]api.InstanceInfo, 0, len(instances))
+	for _, i := range instances {
+		out = append(out, api.InstanceInfo{
+			Name:         i.Name(),
+			Family:       i.Family,
+			Category:     i.Class.String(),
+			VCPU:         i.VCPU,
+			MemoryGiB:    i.MemoryGiB,
+			PricePerHour: i.PricePerHour,
+			Description:  i.Description,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req api.EvaluateRequest
+	if e := s.decode(w, r, &req); e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	if e := req.Validate(); e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{})
+	if e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	if len(req.Config) != opt.Spec().Dim() {
+		s.writeErr(w, &api.Error{Code: api.ErrInvalidConfig,
+			Message: fmt.Sprintf("config has %d entries for a %d-type pool", len(req.Config), opt.Spec().Dim())})
+		return
+	}
+	res, err := opt.EvaluateContext(r.Context(), ribbon.Config(req.Config))
+	if err != nil {
+		// The request context died — client disconnect (the write below
+		// is then a no-op) or server shutdown, where the still-connected
+		// client must hear a retryable error rather than an empty 200.
+		s.writeErr(w, &api.Error{Code: api.ErrOverloaded,
+			Message: "evaluation aborted: " + err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, api.EvaluateResponse{
+		Config:        res.Config,
+		CostPerHour:   res.CostPerHour,
+		QoSSatRate:    res.Rsat,
+		MeetsQoS:      res.MeetsQoS,
+		MeanLatencyMs: res.MeanLatencyMs,
+		TailLatencyMs: res.TailLatencyMs,
+	})
+}
+
+// handleOptimize is the synchronous optimize flow. The search runs on the
+// request context, so a disconnecting caller aborts it; orchestrators that
+// need to observe or cancel a long search should use /v1/jobs instead.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req api.OptimizeRequest
+	if e := s.decode(w, r, &req); e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	if e := req.Validate(); e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{})
+	if e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	budget := req.Budget
+	if budget == 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	res, err := opt.RunContext(r.Context(), budget)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client disconnect (write is a no-op) or server shutdown,
+			// where the client must hear a retryable error, not an
+			// empty 200.
+			s.writeErr(w, &api.Error{Code: api.ErrOverloaded,
+				Message: "search aborted: " + err.Error()})
+			return
+		}
+		s.writeErr(w, &api.Error{Code: api.ErrInternal, Message: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, optimizeResponse(opt, res, true))
+}
+
+// optimizeResponse assembles the shared optimize summary. withBaseline
+// additionally runs the homogeneous-pool comparison, which costs extra
+// evaluations and is skipped for cancelled jobs.
+func optimizeResponse(opt *ribbon.Optimizer, res ribbon.SearchResult, withBaseline bool) api.OptimizeResponse {
+	samples, violations, cost := opt.ExplorationStats()
+	out := api.OptimizeResponse{
+		Found:            res.Found,
+		Samples:          res.Samples,
+		ExploredConfigs:  samples,
+		ViolatingSamples: violations,
+		ExplorationCost:  cost,
+	}
+	if res.Found {
+		out.BestConfig = res.BestConfig
+		out.BestCostPerHour = res.BestResult.CostPerHour
+		out.BestQoSSatRate = res.BestResult.Rsat
+		if withBaseline {
+			if homog, ok := opt.HomogeneousBaseline(); ok {
+				out.HomogeneousCostPerHour = homog.CostPerHour
+				out.Saving = 1 - res.BestResult.CostPerHour/homog.CostPerHour
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	var req api.OptimizeRequest
+	if e := s.decode(w, r, &req); e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	if e := req.Validate(); e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	if req.Budget == 0 {
+		req.Budget = s.cfg.DefaultBudget
+	}
+	j, e := s.jobs.create(req)
+	if e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	s.writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, api.JobList{Jobs: s.jobs.list()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, &api.Error{Code: api.ErrNotFound,
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, e := s.jobs.cancel(r.PathValue("id"))
+	if e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j)
+}

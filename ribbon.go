@@ -21,6 +21,7 @@
 package ribbon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -64,6 +65,19 @@ type Step = core.Step
 // baselines all implement it.
 type Strategy = core.Strategy
 
+// SearchOptions tunes the BO searcher (pruning threshold, ablation
+// switches, per-step Progress callback); the zero value is the paper's
+// configuration.
+type SearchOptions = core.Options
+
+// ErrUnknownModel is wrapped by LookupModel, DefaultPoolFamilies, and
+// NewOptimizer when a model name cannot be resolved; match with errors.Is.
+var ErrUnknownModel = models.ErrUnknownModel
+
+// ErrUnknownInstance is wrapped by LookupInstance and NewOptimizer when an
+// instance family is not in the catalog; match with errors.Is.
+var ErrUnknownInstance = cloud.ErrUnknownFamily
+
 // Models returns the built-in model catalog (Table 1 of the paper).
 func Models() []ModelProfile { return models.Catalog() }
 
@@ -103,7 +117,7 @@ func DefaultPoolFamilies(model string) ([]string, error) {
 	case "MT-WND", "DIEN":
 		return []string{"g4dn", "c5", "r5n"}, nil
 	default:
-		return nil, fmt.Errorf("ribbon: no default pool for model %q", model)
+		return nil, fmt.Errorf("ribbon: no default pool for %w %q", models.ErrUnknownModel, model)
 	}
 }
 
@@ -218,11 +232,18 @@ func (o *Optimizer) Spec() PoolSpec { return o.spec }
 
 // Bounds returns the per-type search bounds, discovering them on first use.
 func (o *Optimizer) Bounds() ([]int, error) {
+	return o.BoundsContext(context.Background())
+}
+
+// BoundsContext is Bounds with cooperative cancellation of the discovery
+// probes; an already-discovered result is returned without consulting the
+// context.
+func (o *Optimizer) BoundsContext(ctx context.Context) ([]int, error) {
 	if o.bounds == nil {
 		if o.cfg.Bounds != nil {
 			o.bounds = append([]int(nil), o.cfg.Bounds...)
 		} else {
-			b, err := core.DiscoverBounds(o.eval, 24)
+			b, err := core.DiscoverBoundsContext(ctx, o.eval, 24)
 			if err != nil {
 				return nil, err
 			}
@@ -235,6 +256,16 @@ func (o *Optimizer) Bounds() ([]int, error) {
 // Evaluate deploys a single configuration and measures it.
 func (o *Optimizer) Evaluate(cfg Config) Result { return o.eval.Evaluate(cfg) }
 
+// EvaluateContext is Evaluate with an early-out on an already-cancelled
+// context. A single evaluation is atomic — it cannot be interrupted midway —
+// so the context is checked once before the deployment starts.
+func (o *Optimizer) EvaluateContext(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return o.eval.Evaluate(cfg), nil
+}
+
 // HomogeneousBaseline returns the cheapest single-type configuration that
 // meets QoS — the pool Ribbon's savings are measured against.
 func (o *Optimizer) HomogeneousBaseline() (Result, bool) {
@@ -244,14 +275,32 @@ func (o *Optimizer) HomogeneousBaseline() (Result, bool) {
 // Run executes Ribbon's BO search with the given evaluation budget and
 // returns the cheapest QoS-meeting configuration found plus the full trace.
 func (o *Optimizer) Run(budget int) (SearchResult, error) {
+	return o.RunContext(context.Background(), budget)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// before every evaluation, so cancelling it stops the search at the next
+// step boundary. On cancellation the partial SearchResult accumulated so far
+// is returned together with the context's error — Samples reports how much
+// of the budget was actually spent — but the optimizer does not record the
+// truncated search as its last run, so a previously completed Run still
+// backs AdaptToLoad. Set ServiceConfig.SearchOptions.Progress to stream
+// steps while the search runs.
+func (o *Optimizer) RunContext(ctx context.Context, budget int) (SearchResult, error) {
 	if budget <= 0 {
 		return SearchResult{}, errors.New("ribbon: budget must be positive")
 	}
-	bounds, err := o.Bounds()
+	if err := ctx.Err(); err != nil {
+		return SearchResult{}, err
+	}
+	bounds, err := o.BoundsContext(ctx)
 	if err != nil {
 		return SearchResult{}, err
 	}
-	res := core.NewSearcher(o.eval, bounds, o.cfg.Seed, o.cfg.SearchOptions).Run(budget)
+	res := core.NewSearcher(o.eval, bounds, o.cfg.Seed, o.cfg.SearchOptions).RunContext(ctx, budget)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	o.lastRun = &res
 	return res, nil
 }
@@ -261,6 +310,14 @@ func (o *Optimizer) Run(budget int) (SearchResult, error) {
 // Run per the paper's load-adaptation scheme. It requires a prior
 // successful Run and the built-in simulator backend.
 func (o *Optimizer) AdaptToLoad(newRateScale float64, budget int) (SearchResult, error) {
+	return o.AdaptToLoadContext(context.Background(), newRateScale, budget)
+}
+
+// AdaptToLoadContext is AdaptToLoad with cooperative cancellation, with the
+// same partial-result semantics as RunContext. The warm-start
+// re-measurement of the previous optimum is atomic and always runs; the
+// context takes effect from the first new search step onward.
+func (o *Optimizer) AdaptToLoadContext(ctx context.Context, newRateScale float64, budget int) (SearchResult, error) {
 	if o.lastRun == nil || !o.lastRun.Found {
 		return SearchResult{}, errors.New("ribbon: AdaptToLoad needs a prior successful Run")
 	}
@@ -269,6 +326,9 @@ func (o *Optimizer) AdaptToLoad(newRateScale float64, budget int) (SearchResult,
 	}
 	if newRateScale <= 0 {
 		return SearchResult{}, errors.New("ribbon: rate scale must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return SearchResult{}, err
 	}
 	batch := workload.HeavyTailLogNormalBatch
 	if o.cfg.GaussianBatch {
@@ -280,13 +340,19 @@ func (o *Optimizer) AdaptToLoad(newRateScale float64, budget int) (SearchResult,
 		RateScale: newRateScale,
 		Batch:     batch,
 	}))
-	bounds, err := o.Bounds()
+	bounds, err := o.BoundsContext(ctx)
 	if err != nil {
 		return SearchResult{}, err
 	}
 	s := core.NewAdaptedSearcher(newEval, bounds, o.cfg.Seed+1, o.cfg.SearchOptions,
 		o.lastRun.Steps, o.lastRun.BestResult)
-	res := s.Run(budget)
+	res := s.RunContext(ctx, budget)
+	if err := ctx.Err(); err != nil {
+		// Roll back: a cancelled adaptation must not switch the
+		// optimizer to the new load with only a truncated search behind
+		// it — the caller keeps the pre-adaptation state and can retry.
+		return res, err
+	}
 	o.eval = newEval
 	o.cfg.RateScale = newRateScale
 	o.lastRun = &res
