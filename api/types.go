@@ -80,6 +80,49 @@ type InstanceInfo struct {
 	Description  string  `json:"description,omitempty"`
 }
 
+// DispatchPolicy names a query-routing policy of the serving pool.
+type DispatchPolicy string
+
+// The built-in dispatch policies (see docs/dispatch.md).
+const (
+	// DispatchFCFS is the paper's preference-order first-come-first-serve
+	// rule; the default when the request omits a dispatch spec.
+	DispatchFCFS DispatchPolicy = "fcfs"
+	// DispatchLeastLoaded is join-shortest-queue over per-instance queues.
+	DispatchLeastLoaded DispatchPolicy = "least-loaded"
+	// DispatchCostRandom picks among idle instances at random, weighted by
+	// inverse price.
+	DispatchCostRandom DispatchPolicy = "cost-random"
+	// DispatchCriticality serves Critical before Standard before Sheddable
+	// and sheds Sheddable queries under queue pressure.
+	DispatchCriticality DispatchPolicy = "criticality"
+)
+
+// DispatchPolicies lists the selectable policies.
+func DispatchPolicies() []DispatchPolicy {
+	return []DispatchPolicy{DispatchFCFS, DispatchLeastLoaded, DispatchCostRandom, DispatchCriticality}
+}
+
+// DispatchSpec selects and parameterizes the pool's query-routing policy.
+type DispatchSpec struct {
+	// Policy is the routing policy; "fcfs" when empty.
+	Policy DispatchPolicy `json:"policy,omitempty"`
+	// ShedQueueLength is the criticality policy's queue-pressure
+	// threshold: once this many queries wait in the pool, arriving
+	// sheddable queries are dropped. Server default (16) when omitted;
+	// ignored by the other policies.
+	ShedQueueLength int `json:"shed_queue_length,omitempty"`
+}
+
+// ClassMix sets the criticality composition of the generated workload as
+// relative weights. Omitting it (or all zeros) keeps the legacy all-standard
+// stream.
+type ClassMix struct {
+	Critical  float64 `json:"critical,omitempty"`
+	Standard  float64 `json:"standard,omitempty"`
+	Sheddable float64 `json:"sheddable,omitempty"`
+}
+
 // ServiceSpec names the inference service a request operates on. It is the
 // shared head of EvaluateRequest and OptimizeRequest.
 type ServiceSpec struct {
@@ -98,6 +141,12 @@ type ServiceSpec struct {
 	// RateScale multiplies the model's default arrival rate; 1 when
 	// omitted.
 	RateScale float64 `json:"rate_scale,omitempty"`
+	// Dispatch selects the pool's query-routing policy; preference-order
+	// FCFS when omitted.
+	Dispatch *DispatchSpec `json:"dispatch,omitempty"`
+	// ClassMix generates a mixed-criticality workload for the dispatch
+	// policies; all-standard when omitted.
+	ClassMix *ClassMix `json:"class_mix,omitempty"`
 }
 
 // EvaluateRequest asks for one configuration to be deployed and measured.
@@ -107,14 +156,32 @@ type EvaluateRequest struct {
 	Config []int `json:"config"`
 }
 
+// ClassStat is the per-criticality-class slice of an evaluation.
+type ClassStat struct {
+	Class      string  `json:"class"`
+	Queries    int     `json:"queries"`
+	QoSSatRate float64 `json:"qos_sat_rate"`
+	Shed       int     `json:"shed,omitempty"`
+}
+
 // EvaluateResponse reports one configuration measurement.
 type EvaluateResponse struct {
-	Config        []int   `json:"config"`
-	CostPerHour   float64 `json:"cost_per_hour"`
-	QoSSatRate    float64 `json:"qos_sat_rate"`
-	MeetsQoS      bool    `json:"meets_qos"`
+	Config      []int   `json:"config"`
+	CostPerHour float64 `json:"cost_per_hour"`
+	QoSSatRate  float64 `json:"qos_sat_rate"`
+	MeetsQoS    bool    `json:"meets_qos"`
+	// MeanLatencyMs and TailLatencyMs are -1 when no finite value exists
+	// (an unservable pool, or the tail percentile landing on refused or
+	// shed queries) — JSON cannot carry infinity.
 	MeanLatencyMs float64 `json:"mean_latency_ms"`
 	TailLatencyMs float64 `json:"tail_latency_ms"`
+	// Policy names the dispatch policy the pool ran under.
+	Policy string `json:"policy,omitempty"`
+	// ShedRate is the fraction of measured queries dropped by the policy.
+	ShedRate float64 `json:"shed_rate,omitempty"`
+	// Classes breaks the measurement down per criticality tier; present
+	// only for mixed-criticality workloads.
+	Classes []ClassStat `json:"classes,omitempty"`
 }
 
 // OptimizeRequest asks for a full BO search over the service's pool.

@@ -2,6 +2,7 @@ package api
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -31,6 +32,48 @@ func (s ServiceSpec) Validate() *Error {
 			return &Error{Code: ErrInvalidRequest, Message: fmt.Sprintf("duplicate family %q", f)}
 		}
 		seen[f] = true
+	}
+	if err := s.Dispatch.Validate(); err != nil {
+		return err
+	}
+	if err := s.ClassMix.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Validate checks a dispatch spec; a nil spec means the FCFS default.
+func (d *DispatchSpec) Validate() *Error {
+	if d == nil {
+		return nil
+	}
+	known := d.Policy == ""
+	for _, p := range DispatchPolicies() {
+		if d.Policy == p {
+			known = true
+		}
+	}
+	if !known {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("unknown dispatch policy %q (known: %v)", d.Policy, DispatchPolicies())}
+	}
+	if d.ShedQueueLength < 0 {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("shed_queue_length %d must be non-negative", d.ShedQueueLength)}
+	}
+	return nil
+}
+
+// Validate checks a class mix; a nil mix means the all-standard default.
+func (m *ClassMix) Validate() *Error {
+	if m == nil {
+		return nil
+	}
+	for _, w := range []float64{m.Critical, m.Standard, m.Sheddable} {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return &Error{Code: ErrInvalidRequest,
+				Message: fmt.Sprintf("class_mix weights must be finite and non-negative, got %+v", *m)}
+		}
 	}
 	return nil
 }

@@ -19,6 +19,17 @@ func TestServiceSpecValidate(t *testing.T) {
 		{"negative rate", ServiceSpec{Model: "m", RateScale: -1}, ErrInvalidRequest},
 		{"empty family", ServiceSpec{Model: "m", Families: []string{""}}, ErrInvalidRequest},
 		{"dup family", ServiceSpec{Model: "m", Families: []string{"g4dn", "g4dn"}}, ErrInvalidRequest},
+		{"dispatch default", ServiceSpec{Model: "m", Dispatch: &DispatchSpec{}}, ""},
+		{"dispatch criticality", ServiceSpec{Model: "m",
+			Dispatch: &DispatchSpec{Policy: DispatchCriticality, ShedQueueLength: 8}}, ""},
+		{"dispatch unknown policy", ServiceSpec{Model: "m",
+			Dispatch: &DispatchSpec{Policy: "speedy"}}, ErrInvalidRequest},
+		{"dispatch negative shed", ServiceSpec{Model: "m",
+			Dispatch: &DispatchSpec{Policy: DispatchCriticality, ShedQueueLength: -1}}, ErrInvalidRequest},
+		{"class mix", ServiceSpec{Model: "m",
+			ClassMix: &ClassMix{Critical: 1, Standard: 2, Sheddable: 1}}, ""},
+		{"class mix negative", ServiceSpec{Model: "m",
+			ClassMix: &ClassMix{Critical: -1}}, ErrInvalidRequest},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()

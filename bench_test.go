@@ -14,7 +14,9 @@ import (
 
 	"ribbon/internal/baselines"
 	"ribbon/internal/bo"
+	"ribbon/internal/cloud"
 	"ribbon/internal/core"
+	"ribbon/internal/dispatch"
 	"ribbon/internal/experiments"
 	"ribbon/internal/gp"
 	"ribbon/internal/linalg"
@@ -198,7 +200,55 @@ func BenchmarkAblationWarmStartVsCold(b *testing.B) {
 	}
 }
 
+func BenchmarkDispatchComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportRows(b, experiments.DispatchComparison(benchSetup, "MT-WND", nil))
+	}
+}
+
 // --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkDispatchPick times the per-event dispatch hot path — one Pick
+// plus, when the arrival queues, the matching Next — for every built-in
+// policy over a half-busy 7-instance pool. This is the loop every future
+// routing change pays per query.
+func BenchmarkDispatchPick(b *testing.B) {
+	m := models.MustLookup("MT-WND")
+	spec := serving.MustNewPoolSpec(m, 0.99, "g4dn", "c5", "r5n")
+	var types []cloud.InstanceType
+	for i, n := range []int{3, 1, 3} {
+		for k := 0; k < n; k++ {
+			types = append(types, spec.Types[i])
+		}
+	}
+	stream := workload.Generate(m, workload.Options{Queries: 512, Seed: 1,
+		Mix: workload.ClassMix{Critical: 0.2, Standard: 0.6, Sheddable: 0.2}})
+	for _, kind := range dispatch.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			pol := dispatch.Spec{Kind: kind}.MustNew(types, stats.Derive(1, "bench", string(kind)))
+			st := dispatch.NewState(types)
+			for i := 0; i < len(types)/2; i++ { // half the pool is busy
+				st.SetBusy(i, true)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := stream.Queries[i%len(stream.Queries)]
+				d := pol.Pick(i, q, st)
+				switch d.Action {
+				case dispatch.ActAssign:
+					// Keep pool occupancy steady: release the
+					// instance immediately.
+				case dispatch.ActEnqueueShared:
+					st.PushShared(i, d.Rank)
+					pol.Next(0, st)
+				case dispatch.ActEnqueueInstance:
+					st.PushInstance(d.Instance, i)
+					pol.Next(d.Instance, st)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkEvaluateConfig(b *testing.B) {
 	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "c5", "r5n")

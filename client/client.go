@@ -11,6 +11,15 @@
 //	})
 //	if err != nil { ... }
 //	job, err = c.WaitJob(ctx, job.ID, 500*time.Millisecond)
+//
+// The service spec optionally selects a dispatch policy and workload
+// criticality mix (docs/dispatch.md), e.g.:
+//
+//	api.ServiceSpec{
+//		Model:    "MT-WND",
+//		Dispatch: &api.DispatchSpec{Policy: api.DispatchCriticality},
+//		ClassMix: &api.ClassMix{Critical: 0.2, Standard: 0.6, Sheddable: 0.2},
+//	}
 package client
 
 import (

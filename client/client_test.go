@@ -109,6 +109,70 @@ func TestJobFlow(t *testing.T) {
 	}
 }
 
+// A dispatch policy and class mix ride through POST /v1/jobs end to end: the
+// job echoes them back, runs the search under the selected policy, and a
+// mixed-criticality evaluate reports shed/class stats.
+func TestJobWithDispatchPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	c := newTestPair(t)
+	ctx := context.Background()
+	req := api.OptimizeRequest{
+		ServiceSpec: api.ServiceSpec{
+			Model:    "MT-WND",
+			Families: []string{"g4dn", "t3"},
+			Queries:  2000,
+			Dispatch: &api.DispatchSpec{Policy: api.DispatchCriticality, ShedQueueLength: 8},
+			ClassMix: &api.ClassMix{Critical: 0.2, Standard: 0.6, Sheddable: 0.2},
+		},
+		Budget: 15,
+	}
+	job, err := c.CreateJob(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Request.Dispatch == nil || job.Request.Dispatch.Policy != api.DispatchCriticality {
+		t.Fatalf("job does not echo the dispatch spec: %+v", job.Request)
+	}
+	final, err := c.WaitJob(ctx, job.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.JobDone || final.Result == nil {
+		t.Fatalf("job did not finish: %+v", final)
+	}
+
+	// The policy is rejected when unknown — through the same client path.
+	bad := req
+	bad.Dispatch = &api.DispatchSpec{Policy: "speedy"}
+	if _, err := c.CreateJob(ctx, bad); !IsCode(err, api.ErrInvalidRequest) {
+		t.Fatalf("unknown policy not rejected: %v", err)
+	}
+
+	// Mixed-criticality evaluate under overload reports shedding.
+	res, err := c.Evaluate(ctx, api.EvaluateRequest{
+		ServiceSpec: api.ServiceSpec{
+			Model:     "MT-WND",
+			Families:  []string{"g4dn", "t3"},
+			Queries:   2000,
+			RateScale: 4,
+			Dispatch:  &api.DispatchSpec{Policy: api.DispatchCriticality},
+			ClassMix:  &api.ClassMix{Critical: 0.2, Standard: 0.6, Sheddable: 0.2},
+		},
+		Config: []int{3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != string(api.DispatchCriticality) {
+		t.Fatalf("response policy = %q", res.Policy)
+	}
+	if res.ShedRate <= 0 || len(res.Classes) != 3 {
+		t.Fatalf("expected shedding and class stats under 4x load: %+v", res)
+	}
+}
+
 func TestJobCancelViaClient(t *testing.T) {
 	c := newTestPair(t)
 	ctx := context.Background()

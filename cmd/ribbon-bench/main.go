@@ -8,7 +8,9 @@
 //
 // With no arguments every experiment runs in paper order. Experiments:
 // table1 table2 table3 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16.
+// fig13 fig14 fig15 fig16, plus the beyond-paper "dispatch" policy
+// comparison (Rsat / tail / shed rate per dispatch policy at 1x/2x/4x load;
+// see docs/dispatch.md).
 package main
 
 import (
@@ -38,7 +40,8 @@ func main() {
 	}
 
 	all := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig7",
-		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"dispatch"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -104,8 +107,14 @@ func run(id string, s experiments.Setup, modelList []string, fig8Types int) ([]e
 			out = append(out, experiments.Fig16(s, m))
 		}
 		return out, nil
+	case "dispatch":
+		var out []experiments.Table
+		for _, m := range modelList {
+			out = append(out, experiments.DispatchComparison(s, m, nil))
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (known: %s)", id,
-			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16"}, ", "))
+			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch"}, ", "))
 	}
 }

@@ -21,6 +21,10 @@
 // The v0 routes /api/{models,instances,evaluate,optimize} remain as
 // deprecated aliases of their /v1 successors.
 //
+// Requests optionally select a pool dispatch policy (fcfs, least-loaded,
+// cost-random, criticality) and a workload criticality mix via the service
+// spec's "dispatch" and "class_mix" fields; see docs/dispatch.md.
+//
 // Usage:
 //
 //	ribbon-server -addr :8080 -workers 4

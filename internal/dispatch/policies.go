@@ -1,0 +1,130 @@
+package dispatch
+
+import (
+	"ribbon/internal/cloud"
+	"ribbon/internal/stats"
+	"ribbon/internal/workload"
+)
+
+// fcfsPolicy is the paper's dispatch rule (Sec. 5.1): a new arrival goes to
+// the first idle instance in pool preference order; otherwise it joins the
+// shared FIFO queue, and whichever instance finishes first takes the queue
+// head. With this policy the simulator reproduces the paper's deployment
+// bit-for-bit.
+type fcfsPolicy struct{}
+
+func (fcfsPolicy) Name() string { return string(KindFCFS) }
+
+func (fcfsPolicy) Pick(idx int, q workload.Query, s *State) Decision {
+	for i := 0; i < s.Instances(); i++ {
+		if !s.Busy(i) {
+			return Assign(i)
+		}
+	}
+	return EnqueueShared(0)
+}
+
+func (fcfsPolicy) Next(inst int, s *State) (int, bool) { return s.PopShared() }
+
+// leastLoadedPolicy is join-shortest-queue: every arrival goes to the
+// instance with the smallest backlog (queue length plus the query in
+// service), ties broken by pool preference order. Queues are per-instance;
+// an instance only drains its own queue.
+type leastLoadedPolicy struct{}
+
+func (leastLoadedPolicy) Name() string { return string(KindLeastLoaded) }
+
+func (leastLoadedPolicy) Pick(idx int, q workload.Query, s *State) Decision {
+	best := 0
+	for i := 1; i < s.Instances(); i++ {
+		if s.Load(i) < s.Load(best) {
+			best = i
+		}
+	}
+	if !s.Busy(best) {
+		return Assign(best)
+	}
+	return EnqueueInstance(best)
+}
+
+func (leastLoadedPolicy) Next(inst int, s *State) (int, bool) { return s.PopInstance(inst) }
+
+// costRandomPolicy assigns each arrival to a random idle instance with
+// probability proportional to inverse price, spreading load toward cheap
+// instances without starving expensive ones; when every instance is busy the
+// query joins a shared FIFO queue. The weights are precomputed per run.
+type costRandomPolicy struct {
+	weights []float64 // 1/price per instance
+	rng     *stats.RNG
+}
+
+func newCostRandomPolicy(pool []cloud.InstanceType, rng *stats.RNG) *costRandomPolicy {
+	w := make([]float64, len(pool))
+	for i, t := range pool {
+		// Guard degenerate zero-price catalog entries; equal weight.
+		if t.PricePerHour > 0 {
+			w[i] = 1 / t.PricePerHour
+		} else {
+			w[i] = 1
+		}
+	}
+	return &costRandomPolicy{weights: w, rng: rng}
+}
+
+func (*costRandomPolicy) Name() string { return string(KindCostRandom) }
+
+func (p *costRandomPolicy) Pick(idx int, q workload.Query, s *State) Decision {
+	total := 0.0
+	for i := 0; i < s.Instances(); i++ {
+		if !s.Busy(i) {
+			total += p.weights[i]
+		}
+	}
+	if total == 0 {
+		return EnqueueShared(0)
+	}
+	u := p.rng.Float64() * total
+	for i := 0; i < s.Instances(); i++ {
+		if s.Busy(i) {
+			continue
+		}
+		u -= p.weights[i]
+		if u < 0 {
+			return Assign(i)
+		}
+	}
+	// Float round-off exhausted u on the last idle instance.
+	for i := s.Instances() - 1; i >= 0; i-- {
+		if !s.Busy(i) {
+			return Assign(i)
+		}
+	}
+	return EnqueueShared(0)
+}
+
+func (p *costRandomPolicy) Next(inst int, s *State) (int, bool) { return s.PopShared() }
+
+// criticalityPolicy differentiates the InferencePool-style service classes:
+// assignment follows pool preference order like FCFS, but the shared queue is
+// a class-priority queue (Critical before Standard before Sheddable, FIFO
+// within a class), and once the pool-wide backlog reaches shedAt an arriving
+// Sheddable query is dropped instead of inflating the tail for everyone.
+type criticalityPolicy struct {
+	shedAt int
+}
+
+func (criticalityPolicy) Name() string { return string(KindCriticality) }
+
+func (p criticalityPolicy) Pick(idx int, q workload.Query, s *State) Decision {
+	for i := 0; i < s.Instances(); i++ {
+		if !s.Busy(i) {
+			return Assign(i)
+		}
+	}
+	if q.Class.Normalize() == workload.ClassSheddable && s.TotalQueued() >= p.shedAt {
+		return Shed()
+	}
+	return EnqueueShared(q.Class.Rank())
+}
+
+func (criticalityPolicy) Next(inst int, s *State) (int, bool) { return s.PopShared() }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"ribbon/internal/dispatch"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+	"ribbon/internal/workload"
+)
+
+// DispatchMix is the mixed-criticality workload composition the dispatch
+// comparison serves: mostly Standard traffic with meaningful Critical and
+// Sheddable minorities, so both protection and shedding are visible.
+var DispatchMix = workload.ClassMix{Critical: 0.2, Standard: 0.6, Sheddable: 0.2}
+
+// DispatchConfigFor returns the fixed deployment the policy comparison
+// serves through for a model: a QoS-meeting Table 3 pool configuration at
+// nominal load, which the 2x and 4x rows then push into saturation. Keeping
+// the configuration fixed isolates the dispatch policy as the only variable.
+func DispatchConfigFor(model string) serving.Config {
+	switch model {
+	case "MT-WND":
+		return serving.Config{3, 1, 3}
+	case "DIEN":
+		return serving.Config{3, 1, 4}
+	case "CANDLE":
+		return serving.Config{6, 2, 2}
+	case "ResNet50", "VGG19":
+		return serving.Config{4, 2, 2}
+	default:
+		panic("experiments: unknown model " + model)
+	}
+}
+
+// DispatchComparison measures every built-in dispatch policy on the same
+// mixed-criticality stream through the same fixed pool at increasing load
+// multipliers (the ROADMAP's heavy-traffic scenarios): overall Rsat, tail
+// latency, shed rate, pool price, and the per-class Rsat split that shows
+// the criticality policy protecting Critical work by shedding Sheddable
+// work. Loads default to 1x/2x/4x when nil.
+func DispatchComparison(s Setup, model string, loads []float64) Table {
+	s = s.withDefaults()
+	if len(loads) == 0 {
+		loads = []float64{1, 2, 4}
+	}
+	m := models.MustLookup(model)
+	spec := serving.MustNewPoolSpec(m, s.QoSPercentile, PoolFor(model)...)
+	cfg := DispatchConfigFor(model)
+
+	t := Table{
+		ID:    "dispatch",
+		Title: "Dispatch policy comparison on " + model + " " + cfg.String() + " (mixed criticality)",
+		Header: []string{"Policy", "Load", "Rsat", "Tail ms", "Shed", "$/hr",
+			"Rsat crit", "Rsat std", "Rsat shed"},
+	}
+	for _, load := range loads {
+		for _, kind := range dispatch.Kinds() {
+			ev := serving.NewSimEvaluator(spec, serving.SimOptions{
+				Queries:   s.Queries,
+				Seed:      s.Seed,
+				RateScale: load,
+				Mix:       DispatchMix,
+				Dispatch:  dispatch.Spec{Kind: kind},
+			})
+			r := ev.Evaluate(cfg)
+			t.AddRow(r.Policy, f3(load)+"x", f3(r.Rsat), f3(r.TailLatencyMs),
+				pct(r.ShedRate), usd(r.CostPerHour),
+				classRsat(r, workload.ClassCritical),
+				classRsat(r, workload.ClassStandard),
+				classRsat(r, workload.ClassSheddable))
+		}
+	}
+	return t
+}
+
+func classRsat(r serving.Result, c workload.Criticality) string {
+	cs, ok := r.ClassStat(c)
+	if !ok {
+		return "n/a"
+	}
+	return f3(cs.Rsat)
+}

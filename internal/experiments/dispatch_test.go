@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"ribbon/internal/dispatch"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+// The PR's acceptance criterion: with the criticality policy under 4x load,
+// the comparison shows Rsat(critical) >= Rsat(standard) >= Rsat(sheddable)
+// and a nonzero shed rate, while the fixed pool stays QoS-healthy at 1x
+// under the default policy.
+func TestDispatchComparisonCriticalityOrdering(t *testing.T) {
+	tab := DispatchComparison(fastSetup, "MT-WND", nil)
+	if len(tab.Rows) != 12 { // 4 policies x 3 loads
+		t.Fatalf("rows = %d, want 12", len(tab.Rows))
+	}
+	find := func(policy, load string) []string {
+		for _, row := range tab.Rows {
+			if row[0] == policy && row[1] == load {
+				return row
+			}
+		}
+		t.Fatalf("no row for %s @ %s", policy, load)
+		return nil
+	}
+	f := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		return v
+	}
+
+	crit4 := find("criticality", "4.000x")
+	if crit4[4] == "0.0%" {
+		t.Errorf("criticality at 4x load must shed, got %s", crit4[4])
+	}
+	rc, rs, rsh := f(crit4[6]), f(crit4[7]), f(crit4[8])
+	if rc < rs || rs < rsh {
+		t.Errorf("criticality ordering violated at 4x: crit=%.3f std=%.3f shed=%.3f", rc, rs, rsh)
+	}
+	if rc < 0.9 {
+		t.Errorf("critical tier unprotected at 4x: Rsat=%.3f", rc)
+	}
+	fcfs4 := find("fcfs", "4.000x")
+	if fcfs4[4] != "0.0%" {
+		t.Errorf("fcfs must never shed, got %s", fcfs4[4])
+	}
+	if f(fcfs4[6]) >= rc {
+		t.Errorf("fcfs at 4x should not protect critical work better than the criticality policy")
+	}
+	fcfs1 := find("fcfs", "1.000x")
+	if f(fcfs1[2]) < fastSetup.withDefaults().QoSPercentile {
+		t.Errorf("fixed pool must meet QoS at 1x under fcfs: Rsat=%s", fcfs1[2])
+	}
+}
+
+// Every model has a fixed comparison deployment matching its pool shape.
+func TestDispatchConfigCoversModels(t *testing.T) {
+	for _, name := range ModelNames() {
+		cfg := DispatchConfigFor(name)
+		if len(cfg) != len(PoolFor(name)) {
+			t.Errorf("%s: config dim %d vs pool %d", name, len(cfg), len(PoolFor(name)))
+		}
+		if cfg.Total() == 0 {
+			t.Errorf("%s: empty comparison deployment", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("unknown model must panic")
+		}
+	}()
+	DispatchConfigFor("nope")
+}
+
+// The comparison's nominal-load row must be a healthy deployment for every
+// model, so the 2x/4x rows measure overload rather than under-provisioning.
+func TestDispatchConfigHealthyAtNominalLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, name := range ModelNames() {
+		spec := serving.MustNewPoolSpec(models.MustLookup(name), 0.99, PoolFor(name)...)
+		r := serving.NewSimEvaluator(spec, serving.SimOptions{
+			Queries: 2500, Seed: 42, Mix: DispatchMix,
+			Dispatch: dispatch.Spec{Kind: dispatch.KindFCFS},
+		}).Evaluate(DispatchConfigFor(name))
+		if !r.MeetsQoS {
+			t.Errorf("%s: comparison config %v violates QoS at 1x (Rsat=%.4f)",
+				name, DispatchConfigFor(name), r.Rsat)
+		}
+	}
+}

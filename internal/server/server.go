@@ -12,10 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 
 	"ribbon"
 	"ribbon/api"
+	"ribbon/internal/dispatch"
 )
 
 // Config tunes a Server. The zero value is ready for production use.
@@ -152,7 +154,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) *api.Erro
 
 // newOptimizer resolves a service spec against the catalogs.
 func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions) (*ribbon.Optimizer, *api.Error) {
-	opt, err := ribbon.NewOptimizer(ribbon.ServiceConfig{
+	cfg := ribbon.ServiceConfig{
 		Model:                spec.Model,
 		Families:             spec.Families,
 		QoSPercentile:        spec.QoSPercentile,
@@ -160,7 +162,21 @@ func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions) (*ribbon.Opti
 		Seed:                 spec.Seed,
 		RateScale:            spec.RateScale,
 		SearchOptions:        opts,
-	})
+	}
+	if spec.Dispatch != nil {
+		cfg.Dispatch = ribbon.DispatchSpec{
+			Kind:            dispatch.Kind(spec.Dispatch.Policy),
+			ShedQueueLength: spec.Dispatch.ShedQueueLength,
+		}
+	}
+	if spec.ClassMix != nil {
+		cfg.ClassMix = ribbon.ClassMix{
+			Critical:  spec.ClassMix.Critical,
+			Standard:  spec.ClassMix.Standard,
+			Sheddable: spec.ClassMix.Sheddable,
+		}
+	}
+	opt, err := ribbon.NewOptimizer(cfg)
 	if err != nil {
 		code := api.ErrInvalidRequest
 		if errors.Is(err, ribbon.ErrUnknownModel) || errors.Is(err, ribbon.ErrUnknownInstance) {
@@ -169,6 +185,16 @@ func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions) (*ribbon.Opti
 		return nil, &api.Error{Code: code, Message: err.Error()}
 	}
 	return opt, nil
+}
+
+// jsonLatency makes a latency statistic JSON-encodable: an infinite value —
+// an unservable pool, or a tail percentile landing on refused/shed queries —
+// becomes the -1 sentinel the API documents, since JSON has no Inf.
+func jsonLatency(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return -1
+	}
+	return x
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -235,14 +261,25 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			Message: "evaluation aborted: " + err.Error()})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, api.EvaluateResponse{
+	out := api.EvaluateResponse{
 		Config:        res.Config,
 		CostPerHour:   res.CostPerHour,
 		QoSSatRate:    res.Rsat,
 		MeetsQoS:      res.MeetsQoS,
-		MeanLatencyMs: res.MeanLatencyMs,
-		TailLatencyMs: res.TailLatencyMs,
-	})
+		MeanLatencyMs: jsonLatency(res.MeanLatencyMs),
+		TailLatencyMs: jsonLatency(res.TailLatencyMs),
+		Policy:        res.Policy,
+		ShedRate:      res.ShedRate,
+	}
+	for _, cs := range res.Classes {
+		out.Classes = append(out.Classes, api.ClassStat{
+			Class:      string(cs.Class),
+			Queries:    cs.Queries,
+			QoSSatRate: cs.Rsat,
+			Shed:       cs.Shed,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // handleOptimize is the synchronous optimize flow. The search runs on the

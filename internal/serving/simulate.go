@@ -6,11 +6,27 @@ import (
 	"sort"
 
 	"ribbon/internal/cloud"
+	"ribbon/internal/dispatch"
 	"ribbon/internal/perf"
 	"ribbon/internal/sim"
 	"ribbon/internal/stats"
 	"ribbon/internal/workload"
 )
+
+// ClassStat is the per-criticality-class slice of a Result, populated when
+// the evaluation stream carries explicit service classes.
+type ClassStat struct {
+	// Class is the criticality tier.
+	Class workload.Criticality
+	// Queries is the number of measured queries of this class.
+	Queries int
+	// Rsat is the class's QoS satisfaction rate (shed queries count as
+	// violations).
+	Rsat float64
+	// Shed is the number of measured queries of this class dropped by the
+	// dispatch policy.
+	Shed int
+}
 
 // Result summarizes one configuration evaluation: the paper's per-sample
 // observation (Rsat, cost) plus diagnostic latency statistics.
@@ -28,17 +44,37 @@ type Result struct {
 	// characterize the latency distribution.
 	MeanLatencyMs float64
 	TailLatencyMs float64
-	// MaxQueueLen is the high-water mark of the shared FCFS queue.
+	// MaxQueueLen is the high-water mark of the total queued backlog
+	// (shared plus per-instance queues).
 	MaxQueueLen int
 	// Queries is the number of measured (post-warmup) queries.
 	Queries int
 	// Aborted reports that the evaluation hit the AbortQueueLength limit
 	// and refused later arrivals (early termination, Sec. 5.5).
 	Aborted bool
+	// Policy names the dispatch policy the pool ran under.
+	Policy string
+	// Shed is the number of measured queries the dispatch policy dropped;
+	// ShedRate is Shed / Queries. Shed queries count as QoS violations.
+	Shed     int
+	ShedRate float64
+	// Classes breaks the measurement down per criticality tier, in
+	// priority order; nil when the stream carries no class annotations.
+	Classes []ClassStat
 }
 
 // ViolationRate returns 1 - Rsat.
 func (r Result) ViolationRate() float64 { return 1 - r.Rsat }
+
+// ClassStat returns the stats for one criticality tier, if present.
+func (r Result) ClassStat(c workload.Criticality) (ClassStat, bool) {
+	for _, cs := range r.Classes {
+		if cs.Class == c.Normalize() {
+			return cs, true
+		}
+	}
+	return ClassStat{}, false
+}
 
 // Evaluator measures configurations. Implementations must be deterministic
 // for a fixed configuration so results are reproducible and cacheable.
@@ -63,11 +99,20 @@ type SimOptions struct {
 	// Batch selects the batch-size distribution family.
 	Batch workload.BatchKind
 	// AbortQueueLength terminates a drowning evaluation early: once the
-	// shared queue exceeds this length, later arrivals are refused and
-	// counted as violations instead of waiting out an unbounded backlog —
-	// the paper's queue-monitoring mitigation for violation spikes during
-	// exploration (Sec. 5.5). Zero disables early termination.
+	// total queued backlog exceeds this length, later arrivals are refused
+	// and counted as violations instead of waiting out an unbounded
+	// backlog — the paper's queue-monitoring mitigation for violation
+	// spikes during exploration (Sec. 5.5). Zero disables early
+	// termination.
 	AbortQueueLength int
+	// Dispatch selects the routing policy; the zero value is the paper's
+	// preference-order FCFS rule, which reproduces the pre-subsystem
+	// simulator bit-for-bit.
+	Dispatch dispatch.Spec
+	// Mix assigns criticality classes to the generated stream; the zero
+	// value keeps the legacy unannotated all-Standard stream. Ignored by
+	// NewTraceEvaluator (the trace carries its own classes).
+	Mix workload.ClassMix
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -86,17 +131,25 @@ func (o SimOptions) withDefaults() SimOptions {
 	if o.RateScale == 0 {
 		o.RateScale = 1
 	}
+	if err := o.Dispatch.Validate(); err != nil {
+		panic("serving: " + err.Error())
+	}
 	return o
 }
 
 // SimEvaluator evaluates configurations by discrete-event simulation of the
-// FCFS serving pool. The same workload stream (common random numbers) is
-// served through every configuration, which sharpens comparisons between
-// configurations exactly as serving the same production trace would.
+// serving pool under a dispatch policy (internal/dispatch; the paper's
+// preference-order FCFS rule by default). The same workload stream (common
+// random numbers) is served through every configuration, which sharpens
+// comparisons between configurations exactly as serving the same production
+// trace would.
 type SimEvaluator struct {
 	spec   PoolSpec
 	opts   SimOptions
 	stream *workload.Stream
+	// hasClasses caches stream.HasClasses(): the stream is fixed per
+	// evaluator and Evaluate runs hundreds of times per search.
+	hasClasses bool
 }
 
 // NewSimEvaluator builds an evaluator for the pool with the given options.
@@ -107,8 +160,9 @@ func NewSimEvaluator(spec PoolSpec, opts SimOptions) *SimEvaluator {
 		Seed:      opts.Seed,
 		RateScale: opts.RateScale,
 		Batch:     opts.Batch,
+		Mix:       opts.Mix,
 	})
-	return &SimEvaluator{spec: spec, opts: opts, stream: st}
+	return &SimEvaluator{spec: spec, opts: opts, stream: st, hasClasses: st.HasClasses()}
 }
 
 // NewTraceEvaluator builds an evaluator that replays a fixed query stream
@@ -118,7 +172,7 @@ func NewTraceEvaluator(spec PoolSpec, opts SimOptions, stream *workload.Stream) 
 	if len(stream.Queries) == 0 {
 		panic("serving: empty trace")
 	}
-	return &SimEvaluator{spec: spec, opts: opts, stream: stream}
+	return &SimEvaluator{spec: spec, opts: opts, stream: stream, hasClasses: stream.HasClasses()}
 }
 
 // Spec returns the pool spec.
@@ -126,12 +180,6 @@ func (e *SimEvaluator) Spec() PoolSpec { return e.spec }
 
 // Stream exposes the evaluation stream (read-only by convention).
 func (e *SimEvaluator) Stream() *workload.Stream { return e.stream }
-
-// instance is one deployed cloud instance during a simulation run.
-type instance struct {
-	typ  cloud.InstanceType
-	busy bool
-}
 
 // deploymentKey canonicalizes a configuration as its nonzero
 // family=count pairs in pool order.
@@ -159,15 +207,18 @@ func appendInt(b []byte, v int) []byte {
 // Evaluate serves the evaluation stream through cfg and measures per-query
 // latency against the model's QoS target.
 //
-// Dispatch policy (Sec. 5.1): a newly arrived query goes to the first idle
-// instance in pool type order; if none is idle it joins a shared FIFO queue,
-// and whichever instance finishes first takes the queue head.
+// Every arrival is routed by the configured dispatch policy: it is assigned
+// to an idle instance, parked in the shared queue or an instance's own
+// queue, or shed. When an instance finishes, the policy picks its next query
+// from the queues. The default policy is the paper's rule (Sec. 5.1): first
+// idle instance in pool type order, one shared FIFO queue drained by
+// whichever instance finishes first.
 func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	spec := e.spec
 	if len(cfg) != len(spec.Types) {
 		panic(fmt.Sprintf("serving: config %v does not match pool of %d types", cfg, len(spec.Types)))
 	}
-	res := Result{Config: cfg.Clone(), CostPerHour: spec.Cost(cfg)}
+	res := Result{Config: cfg.Clone(), CostPerHour: spec.Cost(cfg), Policy: e.opts.Dispatch.Name()}
 	if cfg.Total() == 0 {
 		// Nothing can serve: every query violates.
 		res.Rsat = 0
@@ -177,42 +228,47 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 		return res
 	}
 
-	insts := make([]*instance, 0, cfg.Total())
+	types := make([]cloud.InstanceType, 0, cfg.Total())
 	for i, t := range spec.Types {
 		for k := 0; k < cfg[i]; k++ {
-			insts = append(insts, &instance{typ: t})
+			types = append(types, t)
 		}
 	}
 
 	// The noise stream is keyed by the deployed (family, count) multiset,
 	// not the raw config vector, so a configuration evaluates identically
 	// whether its pool declares extra all-zero types or not — subspace
-	// experiments (Fig. 8) stay consistent across pool cardinalities.
-	noise := stats.Derive(e.opts.Seed, "serving", "noise", spec.Model.Name, deploymentKey(spec, cfg))
+	// experiments (Fig. 8) stay consistent across pool cardinalities. The
+	// policy's own random stream is derived separately so stochastic
+	// policies never perturb the service-time noise.
+	key := deploymentKey(spec, cfg)
+	noise := stats.Derive(e.opts.Seed, "serving", "noise", spec.Model.Name, key)
+	pol := e.opts.Dispatch.MustNew(types,
+		stats.Derive(e.opts.Seed, "dispatch", e.opts.Dispatch.Name(), spec.Model.Name, key))
+	lc, hasLC := pol.(dispatch.Lifecycle)
+	pool := dispatch.NewState(types)
+	if hasLC {
+		lc.RunStart(pool)
+	}
+
 	var eng sim.Engine
-	// pending holds (stream index) of queued queries, FIFO via qhead.
-	queue := make([]int, 0, 64)
-	qhead := 0
 	latencies := make([]float64, len(e.stream.Queries))
+	shed := make([]bool, len(e.stream.Queries))
 	maxQueue := 0
 
-	var assign func(inst *instance, idx int)
-	assign = func(inst *instance, idx int) {
-		inst.busy = true
+	var assign func(inst, idx int)
+	assign = func(inst, idx int) {
+		pool.SetBusy(inst, true)
 		q := e.stream.Queries[idx]
-		svc := perf.NoisyServiceMs(spec.Model, inst.typ, q.Batch, noise)
+		svc := perf.NoisyServiceMs(spec.Model, types[inst], q.Batch, noise)
 		eng.Schedule(svc, func() {
 			latencies[idx] = eng.Now() - q.ArrivalMs
-			if qhead < len(queue) {
-				next := queue[qhead]
-				qhead++
-				if qhead > 1024 && qhead*2 > len(queue) {
-					queue = append(queue[:0], queue[qhead:]...)
-					qhead = 0
-				}
+			pool.SetBusy(inst, false)
+			if hasLC {
+				lc.QueryDone(idx, inst, pool)
+			}
+			if next, ok := pol.Next(inst, pool); ok {
 				assign(inst, next)
-			} else {
-				inst.busy = false
 			}
 		})
 	}
@@ -221,22 +277,37 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	for i := range e.stream.Queries {
 		idx := i
 		eng.ScheduleAt(e.stream.Queries[i].ArrivalMs, func() {
-			for _, inst := range insts {
-				if !inst.busy {
-					assign(inst, idx)
+			d := pol.Pick(idx, e.stream.Queries[idx], pool)
+			switch d.Action {
+			case dispatch.ActAssign:
+				if pool.Busy(d.Instance) {
+					panic(fmt.Sprintf("serving: policy %q assigned busy instance %d", pol.Name(), d.Instance))
+				}
+				assign(d.Instance, idx)
+			case dispatch.ActShed:
+				// Load shedding: the policy dropped the query; it
+				// counts as a violation and in the shed rate.
+				shed[idx] = true
+				latencies[idx] = math.Inf(1)
+			case dispatch.ActEnqueueShared, dispatch.ActEnqueueInstance:
+				if e.opts.AbortQueueLength > 0 && pool.TotalQueued() >= e.opts.AbortQueueLength {
+					// Early termination: the configuration is
+					// drowning; refuse the query and count it as a
+					// violation.
+					aborted = true
+					latencies[idx] = math.Inf(1)
 					return
 				}
-			}
-			if e.opts.AbortQueueLength > 0 && len(queue)-qhead >= e.opts.AbortQueueLength {
-				// Early termination: the configuration is drowning;
-				// refuse the query and count it as a violation.
-				aborted = true
-				latencies[idx] = math.Inf(1)
-				return
-			}
-			queue = append(queue, idx)
-			if l := len(queue) - qhead; l > maxQueue {
-				maxQueue = l
+				if d.Action == dispatch.ActEnqueueShared {
+					pool.PushShared(idx, d.Rank)
+				} else {
+					pool.PushInstance(d.Instance, idx)
+				}
+				if l := pool.TotalQueued(); l > maxQueue {
+					maxQueue = l
+				}
+			default:
+				panic(fmt.Sprintf("serving: policy %q returned unknown action %d", pol.Name(), d.Action))
 			}
 		})
 	}
@@ -254,5 +325,46 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	sort.Float64s(sorted)
 	res.TailLatencyMs = stats.PercentileSorted(sorted, spec.QoSPercentile)
 	res.MaxQueueLen = maxQueue
+	for i := warm; i < len(latencies); i++ {
+		if shed[i] {
+			res.Shed++
+		}
+	}
+	if res.Queries > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Queries)
+	}
+	if e.hasClasses {
+		res.Classes = classStats(e.stream.Queries[warm:], measured, shed[warm:], spec.Model.QoSLatencyMs)
+	}
 	return res
+}
+
+// classStats slices the measured window per criticality tier, in priority
+// order (highest first). Tiers absent from the stream are omitted.
+func classStats(queries []workload.Query, latencies []float64, shed []bool, qosMs float64) []ClassStat {
+	perClass := make([]ClassStat, len(workload.Classes()))
+	met := make([]int, len(perClass))
+	for i, c := range workload.Classes() {
+		perClass[i].Class = c
+	}
+	for i, q := range queries {
+		// Classes() is priority-ordered with Rank 2,1,0; index by rank.
+		k := len(perClass) - 1 - q.Class.Rank()
+		perClass[k].Queries++
+		if latencies[i] <= qosMs {
+			met[k]++
+		}
+		if shed[i] {
+			perClass[k].Shed++
+		}
+	}
+	out := perClass[:0]
+	for i := range perClass {
+		if perClass[i].Queries == 0 {
+			continue
+		}
+		perClass[i].Rsat = float64(met[i]) / float64(perClass[i].Queries)
+		out = append(out, perClass[i])
+	}
+	return out
 }

@@ -81,6 +81,73 @@ func TestRunUntilBoundaryInclusive(t *testing.T) {
 	}
 }
 
+// An event at exactly the boundary that schedules a follow-up also at the
+// boundary runs the follow-up in the same RunUntil: <= t means <= t even for
+// cascades landing on t. A follow-up past t stays pending.
+func TestRunUntilBoundaryCascade(t *testing.T) {
+	var e Engine
+	var order []string
+	e.Schedule(10, func() {
+		order = append(order, "a")
+		e.Schedule(0, func() { order = append(order, "b") })
+		e.Schedule(1, func() { order = append(order, "late") })
+	})
+	e.RunUntil(10)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("boundary cascade ran %v, want [a b]", order)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("follow-up past t must stay pending, got %d", e.Pending())
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %g, want 10", e.Now())
+	}
+}
+
+// RunUntil with no events still advances the clock to t; RunUntil(Now()) is
+// a no-op that neither panics nor moves time.
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(7)
+	if e.Now() != 7 {
+		t.Fatalf("idle RunUntil must advance the clock, got %g", e.Now())
+	}
+	e.RunUntil(7)
+	if e.Now() != 7 {
+		t.Fatalf("RunUntil(Now()) must be a no-op, got %g", e.Now())
+	}
+	// Scheduling relative to the advanced clock lands at clock+delay.
+	fired := -1.0
+	e.Schedule(3, func() { fired = e.Now() })
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("event fired at %g, want 10", fired)
+	}
+}
+
+// Ties exactly on the RunUntil boundary all run, in FIFO order.
+func TestRunUntilBoundaryTiesFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.ScheduleAt(4, func() { order = append(order, i) })
+	}
+	e.ScheduleAt(4.0000001, func() { order = append(order, 99) })
+	e.RunUntil(4)
+	if len(order) != 5 {
+		t.Fatalf("%d boundary ties ran, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v not FIFO", order)
+		}
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("event just past the boundary must stay pending")
+	}
+}
+
 func TestStepOnEmpty(t *testing.T) {
 	var e Engine
 	if e.Step() {

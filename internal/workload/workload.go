@@ -2,8 +2,11 @@
 // experiment: Poisson arrivals with heavy-tail log-normal batch sizes
 // (the paper's production-trace emulation, Sec. 5.1), a Gaussian batch-size
 // variant (Fig. 11 robustness study), and piecewise load schedules for the
-// load-fluctuation experiments (Fig. 16). Streams can be recorded to and
-// replayed from JSON for the ribbon-trace tool.
+// load-fluctuation experiments (Fig. 16). Queries optionally carry a
+// criticality class (Critical / Standard / Sheddable) consumed by the
+// dispatch policies in internal/dispatch. Streams can be recorded to and
+// replayed from JSON for the ribbon-trace tool; traces recorded before
+// classes existed replay unchanged (missing class means Standard).
 package workload
 
 import (
@@ -17,6 +20,57 @@ import (
 	"ribbon/internal/stats"
 )
 
+// Criticality is a query's service class, modeled on the InferencePool
+// criticality tiers: Critical work is routed first, Standard is the default
+// best-effort tier, and Sheddable work may be dropped by a load-shedding
+// dispatch policy under queue pressure. The empty string is Standard, so
+// traces recorded before classes existed replay unchanged.
+type Criticality string
+
+// The service classes, in shed-first order.
+const (
+	// ClassCritical queries must meet QoS even under overload.
+	ClassCritical Criticality = "critical"
+	// ClassStandard is the default class; the zero value ("") means it.
+	ClassStandard Criticality = "standard"
+	// ClassSheddable queries tolerate being dropped under load.
+	ClassSheddable Criticality = "sheddable"
+)
+
+// Classes lists the service classes in priority order, highest first.
+func Classes() []Criticality {
+	return []Criticality{ClassCritical, ClassStandard, ClassSheddable}
+}
+
+// Normalize maps the empty (legacy) class to Standard.
+func (c Criticality) Normalize() Criticality {
+	if c == "" {
+		return ClassStandard
+	}
+	return c
+}
+
+// Valid reports whether c is a known class (including the legacy empty one).
+func (c Criticality) Valid() bool {
+	switch c {
+	case "", ClassCritical, ClassStandard, ClassSheddable:
+		return true
+	}
+	return false
+}
+
+// Rank orders classes for priority queues: higher serves first.
+func (c Criticality) Rank() int {
+	switch c.Normalize() {
+	case ClassCritical:
+		return 2
+	case ClassSheddable:
+		return 0
+	default:
+		return 1
+	}
+}
+
 // Query is one inference request batch submitted to the serving pool.
 type Query struct {
 	// ID is the stream-unique sequence number.
@@ -25,6 +79,10 @@ type Query struct {
 	ArrivalMs float64 `json:"arrival_ms"`
 	// Batch is the number of requests batched into this query.
 	Batch int `json:"batch"`
+	// Class is the query's criticality tier; empty means Standard, so
+	// traces recorded before classes existed decode (and re-encode)
+	// byte-identically.
+	Class Criticality `json:"class,omitempty"`
 }
 
 // Stream is an ordered query sequence.
@@ -78,6 +136,34 @@ func (k BatchKind) String() string {
 	}
 }
 
+// ClassMix is the criticality composition of a generated stream: relative
+// weights of the three classes. The zero value generates a legacy all-Standard
+// stream with no class annotations (byte-identical to pre-class traces).
+type ClassMix struct {
+	// Critical, Standard, and Sheddable are relative (not necessarily
+	// normalized) weights; negative weights are invalid.
+	Critical  float64
+	Standard  float64
+	Sheddable float64
+}
+
+// IsZero reports whether the mix is unset (legacy single-class stream).
+func (m ClassMix) IsZero() bool {
+	return m.Critical == 0 && m.Standard == 0 && m.Sheddable == 0
+}
+
+// Validate rejects negative and non-finite weights (a NaN or Inf weight
+// would silently misclassify the whole stream). An all-zero mix is valid: it
+// is the "unset" zero value meaning a legacy all-Standard stream.
+func (m ClassMix) Validate() error {
+	for _, w := range []float64{m.Critical, m.Standard, m.Sheddable} {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("workload: class-mix weights must be finite and non-negative, got %+v", m)
+		}
+	}
+	return nil
+}
+
 // Options configures stream generation.
 type Options struct {
 	// Queries is the number of queries to generate. Must be positive.
@@ -89,6 +175,9 @@ type Options struct {
 	RateScale float64
 	// Batch selects the batch-size distribution family.
 	Batch BatchKind
+	// Mix assigns criticality classes to the generated queries; the zero
+	// value keeps the legacy unannotated all-Standard stream.
+	Mix ClassMix
 }
 
 // BatchSampler returns the integer batch-size sampler for a model profile
@@ -149,7 +238,48 @@ func Generate(m models.Profile, opts Options) *Stream {
 		t += arrivalRNG.Exponential(rate)
 		st.Queries[i] = Query{ID: i, ArrivalMs: t, Batch: sampler.SampleInt(batchRNG)}
 	}
+	st.AssignClasses(opts.Seed, opts.Mix)
 	return st
+}
+
+// AssignClasses stamps a deterministic criticality class onto every query
+// according to the mix weights. It composes with any stream source —
+// Generate, GenerateSchedule, or a replayed trace. A zero mix is a no-op, so
+// class-free generation stays byte-identical to pre-class streams; the class
+// random stream is drawn separately from the arrival and batch streams, so a
+// mixed stream has exactly the same arrival times and batch sizes as its
+// unmixed twin.
+func (s *Stream) AssignClasses(seed uint64, mix ClassMix) {
+	if mix.IsZero() {
+		return
+	}
+	if err := mix.Validate(); err != nil {
+		panic(err)
+	}
+	total := mix.Critical + mix.Standard + mix.Sheddable
+	rng := stats.Derive(seed, "workload", "class", s.Model)
+	for i := range s.Queries {
+		u := rng.Float64() * total
+		switch {
+		case u < mix.Critical:
+			s.Queries[i].Class = ClassCritical
+		case u < mix.Critical+mix.Standard:
+			s.Queries[i].Class = ClassStandard
+		default:
+			s.Queries[i].Class = ClassSheddable
+		}
+	}
+}
+
+// HasClasses reports whether any query carries an explicit (non-legacy)
+// criticality annotation.
+func (s *Stream) HasClasses() bool {
+	for _, q := range s.Queries {
+		if q.Class != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // Phase is one segment of a load schedule.
@@ -206,13 +336,16 @@ func ReadJSON(r io.Reader) (*Stream, error) {
 	return &s, nil
 }
 
-// Validate checks the stream's structural invariants: positive batch sizes
-// and non-decreasing finite arrival times.
+// Validate checks the stream's structural invariants: positive batch sizes,
+// non-decreasing finite arrival times, and known criticality classes.
 func (s *Stream) Validate() error {
 	prev := math.Inf(-1)
 	for i, q := range s.Queries {
 		if q.Batch < 1 {
 			return fmt.Errorf("workload: query %d has batch %d", i, q.Batch)
+		}
+		if !q.Class.Valid() {
+			return fmt.Errorf("workload: query %d has unknown class %q", i, q.Class)
 		}
 		if math.IsNaN(q.ArrivalMs) || math.IsInf(q.ArrivalMs, 0) {
 			return fmt.Errorf("workload: query %d has non-finite arrival", i)

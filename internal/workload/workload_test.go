@@ -186,10 +186,124 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// A mixed-criticality stream records and replays losslessly, including the
+// class annotations.
+func TestJSONRoundTripWithClasses(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	st := Generate(m, Options{Queries: 300, Seed: 4,
+		Mix: ClassMix{Critical: 1, Standard: 2, Sheddable: 1}})
+	if !st.HasClasses() {
+		t.Fatalf("mixed generation produced no class annotations")
+	}
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"class": "sheddable"`)) {
+		t.Fatalf("serialized stream carries no class field:\n%.200s", buf.String())
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Queries {
+		if got.Queries[i] != st.Queries[i] {
+			t.Fatalf("query %d mismatch: %+v vs %+v", i, got.Queries[i], st.Queries[i])
+		}
+	}
+}
+
+// Traces recorded before criticality existed decode with no class field;
+// the missing class defaults to Standard (empty string) and re-encodes
+// without the field — old traces stay byte-stable through a round trip.
+func TestJSONOldTraceClassDefaulting(t *testing.T) {
+	old := `{"model":"X","queries":[{"id":0,"arrival_ms":1,"batch":2},{"id":1,"arrival_ms":3,"batch":1}]}`
+	st, err := ReadJSON(bytes.NewBufferString(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasClasses() {
+		t.Fatalf("legacy trace must decode without class annotations")
+	}
+	for i, q := range st.Queries {
+		if q.Class != "" {
+			t.Fatalf("query %d class = %q, want empty", i, q.Class)
+		}
+		if q.Class.Normalize() != ClassStandard {
+			t.Fatalf("query %d must normalize to standard", i)
+		}
+		if q.Class.Rank() != 1 {
+			t.Fatalf("legacy class rank = %d, want 1", q.Class.Rank())
+		}
+	}
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"class"`)) {
+		t.Fatalf("legacy trace re-encoded with a class field:\n%.200s", buf.String())
+	}
+	again, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Queries {
+		if again.Queries[i] != st.Queries[i] {
+			t.Fatalf("round trip changed query %d", i)
+		}
+	}
+}
+
+func TestAssignClassesDeterministicAndNonPerturbing(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	mix := ClassMix{Critical: 0.3, Standard: 0.5, Sheddable: 0.2}
+	plain := Generate(m, Options{Queries: 2000, Seed: 6})
+	mixed := Generate(m, Options{Queries: 2000, Seed: 6, Mix: mix})
+	twin := Generate(m, Options{Queries: 2000, Seed: 6})
+	twin.AssignClasses(6, mix)
+	counts := map[Criticality]int{}
+	for i := range plain.Queries {
+		if plain.Queries[i].ArrivalMs != mixed.Queries[i].ArrivalMs ||
+			plain.Queries[i].Batch != mixed.Queries[i].Batch {
+			t.Fatalf("class mix perturbed arrivals/batches at %d", i)
+		}
+		if mixed.Queries[i] != twin.Queries[i] {
+			t.Fatalf("AssignClasses not deterministic at %d", i)
+		}
+		counts[mixed.Queries[i].Class]++
+	}
+	// Weighted sampling must roughly hit the mix (loose 5-point bands).
+	for _, tc := range []struct {
+		c    Criticality
+		want float64
+	}{{ClassCritical, 0.3}, {ClassStandard, 0.5}, {ClassSheddable, 0.2}} {
+		frac := float64(counts[tc.c]) / 2000
+		if frac < tc.want-0.05 || frac > tc.want+0.05 {
+			t.Errorf("class %s fraction %.3f, want ~%.2f", tc.c, frac, tc.want)
+		}
+	}
+	if err := (ClassMix{Critical: -1}).Validate(); err == nil {
+		t.Errorf("negative mix weight accepted")
+	}
+	if err := (ClassMix{Critical: math.Inf(1), Standard: 1}).Validate(); err == nil {
+		t.Errorf("infinite mix weight accepted")
+	}
+	if err := (ClassMix{Standard: math.NaN()}).Validate(); err == nil {
+		t.Errorf("NaN mix weight accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("AssignClasses must panic on an invalid mix")
+		}
+	}()
+	plain.AssignClasses(1, ClassMix{Sheddable: -2})
+}
+
 func TestReadJSONRejectsInvalid(t *testing.T) {
 	cases := []string{
 		`{"model":"X","queries":[{"id":0,"arrival_ms":5,"batch":0}]}`,
 		`{"model":"X","queries":[{"id":0,"arrival_ms":5,"batch":1},{"id":1,"arrival_ms":4,"batch":1}]}`,
+		`{"model":"X","queries":[{"id":0,"arrival_ms":5,"batch":1,"class":"vip"}]}`,
 		`not json`,
 	}
 	for _, c := range cases {

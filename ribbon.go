@@ -28,6 +28,7 @@ import (
 	"ribbon/internal/baselines"
 	"ribbon/internal/cloud"
 	"ribbon/internal/core"
+	"ribbon/internal/dispatch"
 	"ribbon/internal/models"
 	"ribbon/internal/serving"
 	"ribbon/internal/workload"
@@ -69,6 +70,30 @@ type Strategy = core.Strategy
 // switches, per-step Progress callback); the zero value is the paper's
 // configuration.
 type SearchOptions = core.Options
+
+// DispatchSpec selects the query-routing policy of the serving pool; the
+// zero value is the paper's preference-order FCFS rule. See
+// internal/dispatch and docs/dispatch.md.
+type DispatchSpec = dispatch.Spec
+
+// DispatchPolicy is the pluggable routing interface; implement it and set
+// DispatchSpec.Factory to route queries with custom logic.
+type DispatchPolicy = dispatch.Policy
+
+// The built-in dispatch policies.
+const (
+	DispatchFCFS        = dispatch.KindFCFS
+	DispatchLeastLoaded = dispatch.KindLeastLoaded
+	DispatchCostRandom  = dispatch.KindCostRandom
+	DispatchCriticality = dispatch.KindCriticality
+)
+
+// ClassMix is the criticality composition of the generated workload; the
+// zero value keeps the legacy all-Standard stream.
+type ClassMix = workload.ClassMix
+
+// Criticality is a query's service class (Critical / Standard / Sheddable).
+type Criticality = workload.Criticality
 
 // ErrUnknownModel is wrapped by LookupModel, DefaultPoolFamilies, and
 // NewOptimizer when a model name cannot be resolved; match with errors.Is.
@@ -117,7 +142,7 @@ func DefaultPoolFamilies(model string) ([]string, error) {
 	case "MT-WND", "DIEN":
 		return []string{"g4dn", "c5", "r5n"}, nil
 	default:
-		return nil, fmt.Errorf("ribbon: no default pool for %w %q", models.ErrUnknownModel, model)
+		return nil, fmt.Errorf("ribbon: no default pool for model %q: %w", model, models.ErrUnknownModel)
 	}
 }
 
@@ -146,6 +171,14 @@ type ServiceConfig struct {
 	// GaussianBatch switches the batch-size distribution from the
 	// production heavy-tail log-normal to a mean-matched Gaussian.
 	GaussianBatch bool
+	// Dispatch selects the pool's query-routing policy; the zero value is
+	// the paper's preference-order FCFS rule, which reproduces the
+	// pre-subsystem results bit for bit.
+	Dispatch DispatchSpec
+	// ClassMix generates a mixed-criticality workload (consumed by the
+	// criticality dispatch policy); the zero value keeps the legacy
+	// all-Standard stream.
+	ClassMix ClassMix
 	// Bounds fixes the per-type search bounds m_i; when nil they are
 	// discovered automatically per the paper's saturation rule.
 	Bounds []int
@@ -177,6 +210,12 @@ func NewOptimizer(cfg ServiceConfig) (*Optimizer, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
+	}
+	if err := cfg.Dispatch.Validate(); err != nil {
+		return nil, fmt.Errorf("ribbon: %w", err)
+	}
+	if err := cfg.ClassMix.Validate(); err != nil {
+		return nil, fmt.Errorf("ribbon: %w", err)
 	}
 
 	var inner Evaluator
@@ -215,6 +254,8 @@ func NewOptimizer(cfg ServiceConfig) (*Optimizer, error) {
 			Seed:      cfg.Seed,
 			RateScale: cfg.RateScale,
 			Batch:     batch,
+			Dispatch:  cfg.Dispatch,
+			Mix:       cfg.ClassMix,
 		})
 	}
 	if cfg.Bounds != nil && len(cfg.Bounds) != inner.Spec().Dim() {
@@ -339,6 +380,8 @@ func (o *Optimizer) AdaptToLoadContext(ctx context.Context, newRateScale float64
 		Seed:      o.cfg.Seed,
 		RateScale: newRateScale,
 		Batch:     batch,
+		Dispatch:  o.cfg.Dispatch,
+		Mix:       o.cfg.ClassMix,
 	}))
 	bounds, err := o.BoundsContext(ctx)
 	if err != nil {

@@ -1,6 +1,7 @@
 package ribbon
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -55,8 +56,15 @@ func TestDefaultPoolFamilies(t *testing.T) {
 			t.Fatalf("%s: %v %v", m.Name, fams, err)
 		}
 	}
-	if _, err := DefaultPoolFamilies("nope"); err == nil {
+	_, err := DefaultPoolFamilies("nope")
+	if err == nil {
 		t.Fatalf("accepted unknown model")
+	}
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("error must match ErrUnknownModel: %v", err)
+	}
+	if want := `ribbon: no default pool for model "nope": unknown model`; err.Error() != want {
+		t.Fatalf("error reads %q, want %q", err.Error(), want)
 	}
 }
 
@@ -76,6 +84,41 @@ func TestNewOptimizerValidation(t *testing.T) {
 	custom := ModelProfile{Name: "custom"}
 	if _, err := NewOptimizer(ServiceConfig{Profile: custom}); err == nil {
 		t.Fatalf("custom profile without families must error")
+	}
+	if _, err := NewOptimizer(ServiceConfig{Model: "MT-WND",
+		Dispatch: DispatchSpec{Kind: "bogus"}}); err == nil {
+		t.Fatalf("accepted unknown dispatch policy")
+	}
+	if _, err := NewOptimizer(ServiceConfig{Model: "MT-WND",
+		ClassMix: ClassMix{Critical: -1}}); err == nil {
+		t.Fatalf("accepted negative class mix")
+	}
+}
+
+// A dispatch policy threads from ServiceConfig through evaluation: the
+// criticality policy sheds under overload while the FCFS default never does.
+func TestOptimizerDispatchThreading(t *testing.T) {
+	mk := func(d DispatchSpec) *Optimizer {
+		opt, err := NewOptimizer(ServiceConfig{
+			Model:                "MT-WND",
+			Families:             []string{"g4dn", "t3"},
+			QueriesPerEvaluation: 2000,
+			RateScale:            4,
+			Dispatch:             d,
+			ClassMix:             ClassMix{Critical: 0.2, Standard: 0.6, Sheddable: 0.2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return opt
+	}
+	crit := mk(DispatchSpec{Kind: DispatchCriticality}).Evaluate(Config{3, 4})
+	if crit.Policy != string(DispatchCriticality) || crit.Shed == 0 {
+		t.Fatalf("criticality policy did not thread through: %+v", crit)
+	}
+	fcfs := mk(DispatchSpec{}).Evaluate(Config{3, 4})
+	if fcfs.Policy != string(DispatchFCFS) || fcfs.Shed != 0 {
+		t.Fatalf("default policy must be non-shedding FCFS: %+v", fcfs)
 	}
 }
 
