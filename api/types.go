@@ -190,7 +190,17 @@ type OptimizeRequest struct {
 	// Budget is the maximum number of real evaluations; 40 when omitted.
 	// Non-positive explicit values are rejected with ErrInvalidBudget.
 	Budget int `json:"budget,omitempty"`
+	// Parallelism is the number of configurations the search may evaluate
+	// concurrently; omitted or 1 means the classic serial loop. Parallel
+	// evaluation is speculative: the search result is bit-identical to the
+	// serial one at any setting — only wall-clock time changes. Capped at
+	// MaxParallelism.
+	Parallelism int `json:"parallelism,omitempty"`
 }
+
+// MaxParallelism bounds OptimizeRequest.Parallelism: beyond this the
+// speculative evaluations only burn CPU without plausible wall-clock gain.
+const MaxParallelism = 64
 
 // OptimizeResponse summarizes a completed (or cancelled) search. The
 // best_* and saving fields are present only when Found is true.

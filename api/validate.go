@@ -107,5 +107,9 @@ func (r OptimizeRequest) Validate() *Error {
 		return &Error{Code: ErrInvalidBudget,
 			Message: fmt.Sprintf("budget %d must be positive (omit for the default)", r.Budget)}
 	}
+	if r.Parallelism < 0 || r.Parallelism > MaxParallelism {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("parallelism %d out of [0, %d]", r.Parallelism, MaxParallelism)}
+	}
 	return nil
 }

@@ -67,6 +67,15 @@ func TestOptimizeRequestValidate(t *testing.T) {
 	if err == nil || err.Code != ErrInvalidBudget {
 		t.Fatalf("negative budget: %v", err)
 	}
+	if err := (OptimizeRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}, Parallelism: 4}).Validate(); err != nil {
+		t.Fatalf("parallelism 4 must be valid: %v", err)
+	}
+	for _, p := range []int{-1, MaxParallelism + 1} {
+		err := (OptimizeRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}, Parallelism: p}).Validate()
+		if err == nil || err.Code != ErrInvalidRequest {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+	}
 }
 
 func TestJobStatusTerminal(t *testing.T) {

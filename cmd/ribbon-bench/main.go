@@ -10,10 +10,13 @@
 // table1 table2 table3 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 fig15 fig16, plus the beyond-paper "dispatch" policy
 // comparison (Rsat / tail / shed rate per dispatch policy at 1x/2x/4x load;
-// see docs/dispatch.md).
+// see docs/dispatch.md) and the "perf" search-core hot-path measurement,
+// which additionally writes a machine-readable report to -perf-out
+// (BENCH_3.json by default; see docs/performance.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +33,7 @@ func main() {
 		budget  = flag.Int("budget", 120, "evaluation budget per search strategy")
 		model   = flag.String("model", "", "restrict per-model experiments to one model (default: all five)")
 		types   = flag.Int("fig8-types", 4, "maximum pool cardinality for fig8 (5 is slow: ~minutes)")
+		perfOut = flag.String("perf-out", "BENCH_3.json", "file the perf experiment writes its machine-readable report to (empty disables)")
 	)
 	flag.Parse()
 
@@ -41,7 +45,7 @@ func main() {
 
 	all := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"dispatch"}
+		"dispatch", "perf"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -49,6 +53,14 @@ func main() {
 
 	for _, id := range want {
 		start := time.Now()
+		if id == "perf" {
+			if err := runPerf(setup, *perfOut); err != nil {
+				fmt.Fprintf(os.Stderr, "ribbon-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[perf completed in %.1fs]\n\n", time.Since(start).Seconds())
+			continue
+		}
 		tables, err := run(id, setup, modelList, *types)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ribbon-bench: %v\n", err)
@@ -115,6 +127,34 @@ func run(id string, s experiments.Setup, modelList []string, fig8Types int) ([]e
 		return out, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (known: %s)", id,
-			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch"}, ", "))
+			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch", "perf"}, ", "))
 	}
+}
+
+// runPerf measures the search-core hot paths, prints the table, and writes
+// the machine-readable report.
+func runPerf(s experiments.Setup, out string) error {
+	table, report := experiments.Perf(s)
+	if err := table.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("perf report written to %s\n", out)
+	return nil
 }

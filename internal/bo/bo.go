@@ -8,12 +8,22 @@
 // {0..bounds[0]} x ... x {0..bounds[d-1]}. Candidates are enumerated
 // explicitly — the paper's search spaces hold on the order of a thousand
 // configurations — so acquisition maximization is exact over the grid.
+//
+// The candidate set is indexed: every grid point has a dense integer index
+// (row-major over the box), and a per-cell state byte records whether it is
+// still open, already sampled, or permanently disallowed. Suggest therefore
+// never re-enumerates the grid recursively or builds per-candidate string
+// keys; it scans the state array, optionally sharded across goroutines with
+// deterministic index-ordered tie-breaking.
 package bo
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"ribbon/internal/gp"
 	"ribbon/internal/stats"
@@ -38,18 +48,57 @@ type Options struct {
 	Seed uint64
 }
 
+// Per-cell candidate states.
+const (
+	// candOpen cells are eligible acquisition candidates.
+	candOpen uint8 = iota
+	// candSampled cells hold an observation (real or speculative lie).
+	candSampled
+	// candDead cells failed the constraint predicate once; the predicate
+	// contract (see SetConstraint) makes that permanent, so they are never
+	// re-tested.
+	candDead
+)
+
+// maxGridCells bounds the indexed candidate set. A grid beyond this size
+// cannot be exhaustively scanned per Suggest anyway; New panics rather than
+// letting the optimizer thrash.
+const maxGridCells = 1 << 28
+
 // Optimizer runs GP-EI Bayesian optimization over an integer grid.
 type Optimizer struct {
 	bounds  []int
+	strides []int
+	space   int
 	opts    Options
 	rng     *stats.RNG
-	obs     []Observation
-	sampled map[string]bool
 	allowed func(x []int) bool
+
+	obs []Observation
+	// xs/ys mirror obs as float training data, maintained incrementally so
+	// Surrogate never rebuilds the design matrix.
+	xs [][]float64
+	ys []float64
+	// obsIdx maps a grid index to its position in obs; offGrid does the
+	// same, keyed by keyOf, for observations outside the box.
+	obsIdx  map[int]int
+	offGrid map[string]int
+	// state is the indexed candidate set, one byte per grid cell.
+	state []uint8
+
+	// version counts observation mutations; surrogate caching keys on it.
+	version    int
+	surrogate  *gp.GP
+	surErr     error
+	surVersion int
+	surValid   bool
+
+	scratch []int // decode scratch for the serial paths
 }
 
 // New creates an optimizer over the inclusive box [0, bounds[i]] per
-// dimension. It panics on empty or negative bounds.
+// dimension. It panics on empty or negative bounds, and on grids larger
+// than ~268M cells (an exhaustive acquisition scan is infeasible there).
 func New(bounds []int, opts Options) *Optimizer {
 	if len(bounds) == 0 {
 		panic("bo: empty bounds")
@@ -59,14 +108,29 @@ func New(bounds []int, opts Options) *Optimizer {
 			panic(fmt.Sprintf("bo: negative bound at dim %d", i))
 		}
 	}
+	space := 1
+	strides := make([]int, len(bounds))
+	for i := len(bounds) - 1; i >= 0; i-- {
+		strides[i] = space
+		w := bounds[i] + 1
+		if space > maxGridCells/w {
+			panic(fmt.Sprintf("bo: grid over bounds %v exceeds %d cells", bounds, maxGridCells))
+		}
+		space *= w
+	}
 	if opts.Xi == 0 {
 		opts.Xi = 0.01
 	}
 	return &Optimizer{
 		bounds:  append([]int(nil), bounds...),
+		strides: strides,
+		space:   space,
 		opts:    opts,
 		rng:     stats.Derive(opts.Seed, "bo"),
-		sampled: make(map[string]bool),
+		obsIdx:  make(map[int]int),
+		offGrid: make(map[string]int),
+		state:   make([]uint8, space),
+		scratch: make([]int, len(bounds)),
 	}
 }
 
@@ -74,21 +138,55 @@ func New(bounds []int, opts Options) *Optimizer {
 func (o *Optimizer) Bounds() []int { return append([]int(nil), o.bounds...) }
 
 // SpaceSize returns the number of grid configurations.
-func (o *Optimizer) SpaceSize() int {
-	n := 1
-	for _, b := range o.bounds {
-		n *= b + 1
-	}
-	return n
-}
+func (o *Optimizer) SpaceSize() int { return o.space }
 
 // SetConstraint installs the prune predicate: Suggest only returns
 // configurations for which allowed(x) is true. A nil predicate allows all.
+//
+// The predicate must be pure and monotone: it may be called concurrently
+// from the sharded acquisition scan, and once it returns false for a point
+// the optimizer marks that point dead and never asks again. Ribbon's prune
+// set and cost ceiling satisfy this — pruned regions only grow and the
+// incumbent cost only falls.
 func (o *Optimizer) SetConstraint(allowed func(x []int) bool) { o.allowed = allowed }
 
+// gridIndex returns the dense index of x, or ok=false when x lies outside
+// the box.
+func (o *Optimizer) gridIndex(x []int) (int, bool) {
+	idx := 0
+	for i, v := range x {
+		if v < 0 || v > o.bounds[i] {
+			return 0, false
+		}
+		idx += v * o.strides[i]
+	}
+	return idx, true
+}
+
+// decode writes the coordinates of the grid cell idx into x and returns it.
+func (o *Optimizer) decode(idx int, x []int) []int {
+	for i := len(o.bounds) - 1; i >= 0; i-- {
+		w := o.bounds[i] + 1
+		x[i] = idx % w
+		idx /= w
+	}
+	return x
+}
+
+// lookup returns the obs position holding x, if any.
+func (o *Optimizer) lookup(x []int) (int, bool) {
+	if idx, ok := o.gridIndex(x); ok {
+		i, ok := o.obsIdx[idx]
+		return i, ok
+	}
+	i, ok := o.offGrid[keyOf(x)]
+	return i, ok
+}
+
 // Observe records an evaluated configuration. Re-observing a configuration
-// replaces its value (the evaluator is deterministic, so values agree; after
-// a load change Ribbon replaces estimates with measurements).
+// replaces its value in O(1) via the key index (the evaluator is
+// deterministic, so values agree; after a load change Ribbon replaces
+// estimates with measurements).
 func (o *Optimizer) Observe(x []int, y float64) {
 	if len(x) != len(o.bounds) {
 		panic("bo: observation dimension mismatch")
@@ -96,17 +194,27 @@ func (o *Optimizer) Observe(x []int, y float64) {
 	if math.IsNaN(y) || math.IsInf(y, 0) {
 		panic("bo: non-finite objective value")
 	}
-	key := keyOf(x)
-	if o.sampled[key] {
-		for i := range o.obs {
-			if keyOf(o.obs[i].X) == key {
-				o.obs[i].Y = y
-				return
-			}
-		}
+	o.version++
+	if i, ok := o.lookup(x); ok {
+		o.obs[i].Y = y
+		o.ys[i] = y
+		return
 	}
-	o.sampled[key] = true
+	o.insert(x, y)
+}
+
+// insert appends a fresh observation and indexes it.
+func (o *Optimizer) insert(x []int, y float64) {
+	pos := len(o.obs)
+	if idx, ok := o.gridIndex(x); ok {
+		o.obsIdx[idx] = pos
+		o.state[idx] = candSampled
+	} else {
+		o.offGrid[keyOf(x)] = pos
+	}
 	o.obs = append(o.obs, Observation{X: append([]int(nil), x...), Y: y})
+	o.xs = append(o.xs, toFloat(x))
+	o.ys = append(o.ys, y)
 }
 
 // Observations returns a copy of the recorded observations.
@@ -133,28 +241,48 @@ func (o *Optimizer) Best() (Observation, bool) {
 	return Observation{X: append([]int(nil), best.X...), Y: best.Y}, true
 }
 
-// keyOf encodes an integer point as a map key.
+// bestY is Best without the defensive copy, for internal hot paths.
+func (o *Optimizer) bestY() float64 {
+	best := o.ys[0]
+	for _, y := range o.ys[1:] {
+		if y > best {
+			best = y
+		}
+	}
+	return best
+}
+
+// keyOf encodes an integer point as a collision-free map key: every
+// coordinate contributes its full 64-bit value, so arbitrarily large bounds
+// cannot alias (the old 16-bit truncation silently collided beyond 65535).
+// It is only needed for observations outside the box; in-grid points key by
+// their dense grid index.
 func keyOf(x []int) string {
-	b := make([]byte, 0, len(x)*3)
-	for _, v := range x {
-		b = append(b, byte(v), byte(v>>8), ',')
+	b := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(int64(v)))
 	}
 	return string(b)
 }
 
-// Surrogate fits the GP posterior to the current observations. It fails with
-// fewer than two observations.
+// Surrogate fits the GP posterior to the current observations. It fails
+// with fewer than two observations. The fit is cached and invalidated by
+// Observe, so repeated calls between observations are free.
 func (o *Optimizer) Surrogate() (*gp.GP, error) {
+	if o.surValid && o.surVersion == o.version {
+		return o.surrogate, o.surErr
+	}
+	o.surrogate, o.surErr = o.fitSurrogate()
+	o.surVersion = o.version
+	o.surValid = true
+	return o.surrogate, o.surErr
+}
+
+func (o *Optimizer) fitSurrogate() (*gp.GP, error) {
 	if len(o.obs) < 2 {
 		return nil, errors.New("bo: need at least two observations for a surrogate")
 	}
-	xs := make([][]float64, len(o.obs))
-	ys := make([]float64, len(o.obs))
-	for i, ob := range o.obs {
-		xs[i] = toFloat(ob.X)
-		ys[i] = ob.Y
-	}
-	return gp.FitAuto(xs, ys, gp.HyperOptions{
+	return gp.FitAuto(o.xs, o.ys, gp.HyperOptions{
 		Rounding:   o.opts.Rounding,
 		NoiseRatio: o.opts.NoiseRatio,
 	})
@@ -172,6 +300,11 @@ func toFloat(x []int) []float64 {
 // surrogate posterior and the incumbent best value.
 func ExpectedImprovement(g *gp.GP, x []float64, best, xi float64) float64 {
 	mean, variance := g.Predict(x)
+	return eiValue(mean, variance, best, xi)
+}
+
+// eiValue is the EI formula on an already-computed posterior.
+func eiValue(mean, variance, best, xi float64) float64 {
 	improve := mean - best - xi
 	sigma := math.Sqrt(variance)
 	if sigma < 1e-12 {
@@ -184,71 +317,247 @@ func ExpectedImprovement(g *gp.GP, x []float64, best, xi float64) float64 {
 func normCDF(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
 func normPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
 
-// Suggest returns the next configuration to evaluate: the unsampled, allowed
-// grid point with the highest Expected Improvement. Before a surrogate can
-// be fitted (fewer than two observations) it falls back to a uniformly
-// random unsampled allowed point. The second return is false when the whole
-// grid is exhausted or pruned.
+// Suggest returns the next configuration to evaluate: the open, allowed
+// grid point with the highest Expected Improvement (ties break to the
+// lowest grid index, i.e. the first point in enumeration order). Before a
+// surrogate can be fitted (fewer than two observations) it falls back to a
+// uniformly random open allowed point. The second return is false when the
+// whole grid is exhausted or pruned.
 func (o *Optimizer) Suggest() ([]int, bool) {
 	g, err := o.Surrogate()
 	if err != nil {
 		return o.randomCandidate()
 	}
-	best, _ := o.Best()
-
-	var argmax []int
-	maxEI := math.Inf(-1)
-	o.forEachCandidate(func(x []int) {
-		ei := ExpectedImprovement(g, toFloat(x), best.Y, o.opts.Xi)
-		if ei > maxEI {
-			maxEI = ei
-			argmax = append([]int(nil), x...)
-		}
-	})
-	if argmax == nil {
+	idx := o.argmaxEI(g, o.bestY())
+	if idx < 0 {
 		return nil, false
 	}
-	return argmax, true
+	return o.decode(idx, make([]int, len(o.bounds))), true
 }
 
-// forEachCandidate visits every unsampled, allowed grid point.
-func (o *Optimizer) forEachCandidate(fn func(x []int)) {
-	x := make([]int, len(o.bounds))
-	var rec func(d int)
-	rec = func(d int) {
-		if d == len(x) {
-			if o.sampled[keyOf(x)] {
-				return
-			}
-			if o.allowed != nil && !o.allowed(x) {
-				return
-			}
-			fn(x)
-			return
+// SuggestBatch proposes the next configuration plus up to k-1 speculative
+// follow-ups via the constant-liar rule (see Speculate). The first element
+// is exactly what Suggest would return.
+func (o *Optimizer) SuggestBatch(k int) ([][]int, bool) {
+	x, ok := o.Suggest()
+	if !ok {
+		return nil, false
+	}
+	return append([][]int{x}, o.Speculate(x, k-1, nil)...), true
+}
+
+// scanMinCells is the candidate-count threshold below which the EI argmax
+// scan stays serial: goroutine fan-out costs more than it saves.
+const scanMinCells = 4096
+
+func scanWorkers(cells int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 2 || cells < scanMinCells {
+		return 1
+	}
+	return w
+}
+
+// argmaxEI returns the grid index of the open allowed candidate maximizing
+// EI, or -1 when none remain. The scan shards the index space across
+// goroutines; because EI is computed per candidate from the same immutable
+// posterior and the merge prefers the lowest index among equal maxima, the
+// result is bit-identical to the serial scan at any worker count. Candidates
+// failing the constraint are marked dead so later scans skip them.
+func (o *Optimizer) argmaxEI(g *gp.GP, bestY float64) int {
+	nw := scanWorkers(o.space)
+	if nw == 1 {
+		_, idx := o.scanShard(g, bestY, 0, o.space)
+		return idx
+	}
+	eis := make([]float64, nw)
+	idxs := make([]int, nw)
+	var wg sync.WaitGroup
+	chunk := (o.space + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > o.space {
+			hi = o.space
 		}
-		for v := 0; v <= o.bounds[d]; v++ {
-			x[d] = v
-			rec(d + 1)
+		if lo >= hi {
+			eis[w], idxs[w] = math.Inf(-1), -1
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			eis[w], idxs[w] = o.scanShard(g, bestY, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	bestEI, bestIdx := math.Inf(-1), -1
+	for w := 0; w < nw; w++ {
+		// Shards cover ascending index ranges, so strictly-greater keeps
+		// the lowest index among ties — the serial scan's argmax.
+		if idxs[w] >= 0 && eis[w] > bestEI {
+			bestEI, bestIdx = eis[w], idxs[w]
 		}
 	}
-	rec(0)
+	return bestIdx
 }
 
-// randomCandidate returns a uniformly random unsampled allowed point via
-// reservoir sampling over the candidate enumeration.
+// scanShard scans grid cells [lo, hi), returning the max EI and its index
+// (-1 when the range holds no open allowed candidate). Ties keep the lowest
+// index — the first hit of the ascending scan.
+func (o *Optimizer) scanShard(g *gp.GP, bestY float64, lo, hi int) (float64, int) {
+	pred := g.NewPredictor()
+	x := make([]int, len(o.bounds))
+	xf := make([]float64, len(o.bounds))
+	bestEI, bestIdx := math.Inf(-1), -1
+	for idx := lo; idx < hi; idx++ {
+		if o.state[idx] != candOpen {
+			continue
+		}
+		o.decode(idx, x)
+		if o.allowed != nil && !o.allowed(x) {
+			o.state[idx] = candDead
+			continue
+		}
+		for i, v := range x {
+			xf[i] = float64(v)
+		}
+		mean, variance := pred.Predict(xf)
+		if ei := eiValue(mean, variance, bestY, o.opts.Xi); ei > bestEI {
+			bestEI, bestIdx = ei, idx
+		}
+	}
+	return bestEI, bestIdx
+}
+
+// randomCandidate returns a uniformly random open allowed point via
+// reservoir sampling over the candidate enumeration (index order, exactly
+// the legacy recursive order).
 func (o *Optimizer) randomCandidate() ([]int, bool) {
+	x := o.scratch
 	var pick []int
 	n := 0
-	o.forEachCandidate(func(x []int) {
+	for idx := 0; idx < o.space; idx++ {
+		if o.state[idx] != candOpen {
+			continue
+		}
+		o.decode(idx, x)
+		if o.allowed != nil && !o.allowed(x) {
+			o.state[idx] = candDead
+			continue
+		}
 		n++
 		if o.rng.IntN(n) == 0 {
-			pick = append([]int(nil), x...)
+			pick = append(pick[:0], x...)
 		}
-	})
+	}
 	if pick == nil {
 		return nil, false
 	}
 	return pick, true
+}
+
+// Speculate streams up to k configurations likely to follow once x (the
+// pending suggestion) has been evaluated, chosen by the constant-liar batch
+// rule: a lie is recorded at each pending point and the acquisition is
+// re-maximized, without re-selecting hyper-parameters. The lie is the GP
+// posterior mean (the "believer" member of the liar family) — the evaluator
+// is deterministic, so the lie that best predicts the eventual observation
+// maximizes the chance that speculative evaluations are the ones the serial
+// trajectory will actually request. Each proposal is handed to emit as soon
+// as it is known, so a prefetching caller can start work on the first
+// (likeliest) one while the rest of the chain is still being computed; the
+// returned slice collects them all.
+//
+// Speculate never touches the optimizer's random stream and rolls every lie
+// back before returning, so the observable state — and therefore the search
+// trajectory — is exactly as if it had never been called. The parallel
+// search loop relies on that for bit-identical results at any worker count.
+func (o *Optimizer) Speculate(x []int, k int, emit func([]int)) [][]int {
+	if k <= 0 {
+		return nil
+	}
+	g, err := o.Surrogate()
+	if err != nil {
+		// Fewer than two observations: the serial path would fall back to
+		// the RNG, which speculation must not consume.
+		return nil
+	}
+
+	preObs := len(o.obs)
+	preVer := o.version
+	preSur, preErr, preSurVer, preSurValid := o.surrogate, o.surErr, o.surVersion, o.surValid
+	type lieMark struct {
+		grid int
+		key  string
+	}
+	var marks []lieMark
+	defer func() {
+		for _, m := range marks {
+			if m.key == "" {
+				o.state[m.grid] = candOpen
+				delete(o.obsIdx, m.grid)
+			} else {
+				delete(o.offGrid, m.key)
+			}
+		}
+		o.obs = o.obs[:preObs]
+		o.xs = o.xs[:preObs]
+		o.ys = o.ys[:preObs]
+		o.version = preVer
+		o.surrogate, o.surErr, o.surVersion, o.surValid = preSur, preErr, preSurVer, preSurValid
+	}()
+
+	kern, noise := g.Kernel(), g.NoiseVar()
+	pred := g.NewPredictor()
+	xf := make([]float64, len(o.bounds))
+	out := make([][]int, 0, k)
+	cur := x
+	for {
+		if _, observed := o.lookup(cur); !observed {
+			for i, v := range cur {
+				xf[i] = float64(v)
+			}
+			lie, _ := pred.Predict(xf)
+			pos := len(o.obs)
+			if idx, ok := o.gridIndex(cur); ok {
+				o.obsIdx[idx] = pos
+				o.state[idx] = candSampled
+				marks = append(marks, lieMark{grid: idx})
+			} else {
+				key := keyOf(cur)
+				o.offGrid[key] = pos
+				marks = append(marks, lieMark{key: key})
+			}
+			o.obs = append(o.obs, Observation{X: append([]int(nil), cur...), Y: lie})
+			o.xs = append(o.xs, toFloat(cur))
+			o.ys = append(o.ys, lie)
+			o.version++
+		}
+		g2, err := gp.Fit(kern, noise, o.xs, o.ys)
+		if err != nil {
+			break
+		}
+		idx := o.argmaxEI(g2, o.bestY())
+		if idx < 0 {
+			break
+		}
+		nxt := o.decode(idx, make([]int, len(o.bounds)))
+		out = append(out, nxt)
+		if emit != nil {
+			emit(nxt)
+		}
+		if len(out) >= k {
+			break
+		}
+		// Continue the liar chain from the believed argmax.
+		pred = g2.NewPredictor()
+		cur = nxt
+	}
+	return out
 }
 
 // SuggestContinuous maximizes EI over a fractional grid with the given step

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+// mtwndPool is the 3-type search space the parallel tests run on; small
+// evaluation windows keep them fast.
+func parTestEval(seed uint64, scale float64) *serving.CachingEvaluator {
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "c5", "r5n")
+	return serving.NewCachingEvaluator(serving.NewSimEvaluator(spec,
+		serving.SimOptions{Queries: 600, Seed: seed, RateScale: scale}))
+}
+
+// The determinism contract of the parallel search: any Parallelism setting
+// produces a SearchResult byte-identical to the serial search, with
+// identical exploration accounting — speculation must be invisible. Runs
+// under `go test -race` in CI, so it also proves the worker pool is
+// race-free.
+func TestParallelSearchDeterminism(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		base := parTestEval(seed, 1)
+		ref := NewSearcher(base, []int{5, 8, 8}, seed, Options{}).Run(22)
+		refBytes := fmt.Sprintf("%+v", ref)
+		refAcct := fmt.Sprintf("%d/%d/%.9f", base.Samples(), base.Violations(), base.ExplorationCost())
+		for p := 1; p <= 8; p++ {
+			ev := parTestEval(seed, 1)
+			got := NewSearcher(ev, []int{5, 8, 8}, seed, Options{Parallelism: p}).Run(22)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("seed %d parallelism %d: SearchResult diverged from serial:\n got %+v\nwant %s",
+					seed, p, got, refBytes)
+			}
+			acct := fmt.Sprintf("%d/%d/%.9f", ev.Samples(), ev.Violations(), ev.ExplorationCost())
+			if acct != refAcct {
+				t.Fatalf("seed %d parallelism %d: accounting %s, serial %s", seed, p, acct, refAcct)
+			}
+			if len(ev.History()) != len(base.History()) {
+				t.Fatalf("seed %d parallelism %d: history %d entries, serial %d",
+					seed, p, len(ev.History()), len(base.History()))
+			}
+		}
+	}
+}
+
+// The warm-started load-adaptation search must honor the same contract.
+func TestParallelAdaptDeterminism(t *testing.T) {
+	base := NewSearcher(parTestEval(7, 1), []int{5, 8, 8}, 7, Options{}).Run(18)
+	if !base.Found {
+		t.Fatalf("setup search found nothing")
+	}
+	ref := NewAdaptedSearcher(parTestEval(7, 1.5), []int{5, 8, 8}, 8, Options{},
+		base.Steps, base.BestResult).Run(14)
+	for _, p := range []int{2, 6} {
+		got := NewAdaptedSearcher(parTestEval(7, 1.5), []int{5, 8, 8}, 8, Options{Parallelism: p},
+			base.Steps, base.BestResult).Run(14)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("adapted search at parallelism %d diverged from serial", p)
+		}
+	}
+}
+
+// plainEval hides the caching evaluator's Lookahead so the driver cannot
+// attach; the search must silently fall back to the serial loop.
+type plainEval struct{ inner serving.Evaluator }
+
+func (p plainEval) Spec() serving.PoolSpec                   { return p.inner.Spec() }
+func (p plainEval) Evaluate(c serving.Config) serving.Result { return p.inner.Evaluate(c) }
+
+func TestParallelFallsBackWithoutLookahead(t *testing.T) {
+	ref := NewSearcher(plainEval{parTestEval(5, 1)}, []int{5, 8, 8}, 5, Options{}).Run(10)
+	got := NewSearcher(plainEval{parTestEval(5, 1)}, []int{5, 8, 8}, 5, Options{Parallelism: 4}).Run(10)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("parallel option over a plain evaluator changed the result")
+	}
+}

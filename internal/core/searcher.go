@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"ribbon/internal/bo"
 	"ribbon/internal/serving"
@@ -92,6 +93,16 @@ type Options struct {
 	// alike (the latter have Step.Estimated set). It lets callers stream
 	// a long search; it must not retain the Step's slices past the call.
 	Progress func(Step)
+	// Parallelism bounds how many configurations evaluate concurrently;
+	// 0 or 1 keeps the classic serial loop. The parallel loop is
+	// speculative: the committed trajectory is always the serial one, and
+	// SearchResult plus the exploration accounting are bit-identical at
+	// any setting. Extra workers evaluate constant-liar batch proposals
+	// (and pending seed configurations) ahead of time; when the prediction
+	// hits, the next step commits without waiting. It takes effect when
+	// the evaluator supports speculative prefetch (serving.CachingEvaluator
+	// does); see docs/performance.md.
+	Parallelism int
 }
 
 // Searcher runs Ribbon's BO search over one pool. Create with NewSearcher,
@@ -216,23 +227,33 @@ func (s *Searcher) bestCost() float64 {
 	return s.bestMeeting.CostPerHour
 }
 
-// Step performs one search iteration: the next seeded configuration if any
-// remain, otherwise the BO suggestion. It returns false when the search
-// space is exhausted or fully pruned.
-func (s *Searcher) Step() (Step, bool) {
-	for len(s.queue) > 0 {
+// next picks the configuration the serial search would evaluate now: the
+// next seeded configuration if any remain, otherwise the BO suggestion.
+func (s *Searcher) next() (serving.Config, bool) {
+	if len(s.queue) > 0 {
 		cfg := s.queue[0].Clone()
 		s.queue = s.queue[1:]
 		if len(cfg) != len(s.bounds) {
 			panic(fmt.Sprintf("core: seed config %v does not match bounds", cfg))
 		}
-		return s.evaluate(cfg), true
+		return cfg, true
 	}
 	x, ok := s.opt.Suggest()
 	if !ok {
+		return nil, false
+	}
+	return serving.Config(x), true
+}
+
+// Step performs one search iteration: the next seeded configuration if any
+// remain, otherwise the BO suggestion. It returns false when the search
+// space is exhausted or fully pruned.
+func (s *Searcher) Step() (Step, bool) {
+	cfg, ok := s.next()
+	if !ok {
 		return Step{}, false
 	}
-	return s.evaluate(serving.Config(x)), true
+	return s.evaluate(cfg), true
 }
 
 // Run drives the search until the evaluation budget is spent or the space is
@@ -245,16 +266,137 @@ func (s *Searcher) Run(budget int) SearchResult {
 // before every evaluation, so a cancelled search stops at the next step
 // boundary and the partial trace is still summarized. Callers that need to
 // distinguish "budget spent" from "cancelled" should inspect ctx.Err().
+//
+// With Options.Parallelism > 1 and a speculation-capable evaluator, a
+// bounded worker pool prefetches the constant-liar batch proposals for each
+// pending step while the step itself evaluates; observations still commit
+// strictly in serial-trajectory order, so the result is bit-identical to
+// the serial search.
 func (s *Searcher) RunContext(ctx context.Context, budget int) SearchResult {
+	drv := s.startDriver()
+	if drv != nil {
+		defer drv.stop()
+	}
 	for s.samples < budget {
 		if ctx.Err() != nil {
 			break
 		}
-		if _, ok := s.Step(); !ok {
+		cfg, ok := s.next()
+		if !ok {
 			break
 		}
+		if drv != nil {
+			drv.launch(s, cfg, budget)
+		}
+		s.evaluate(cfg)
 	}
 	return s.Summary()
+}
+
+// lookaheadEvaluator is the speculative-prefetch capability the parallel
+// driver needs; serving.CachingEvaluator implements it.
+type lookaheadEvaluator interface {
+	serving.Evaluator
+	// Lookahead warms the evaluator's cache with cfg without committing it
+	// to any accounting. It must be safe for concurrent use.
+	Lookahead(cfg serving.Config)
+}
+
+// driver is the bounded speculative worker pool of a parallel search.
+type driver struct {
+	ev    lookaheadEvaluator
+	tasks chan serving.Config
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// startDriver builds the worker pool, or returns nil when the search is
+// serial (Parallelism <= 1) or the evaluator cannot prefetch.
+func (s *Searcher) startDriver() *driver {
+	p := s.opts.Parallelism
+	if p <= 1 {
+		return nil
+	}
+	lev, ok := s.ev.(lookaheadEvaluator)
+	if !ok {
+		return nil
+	}
+	d := &driver{ev: lev, tasks: make(chan serving.Config, 4*p), quit: make(chan struct{})}
+	for i := 0; i < p; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for {
+				select {
+				case <-d.quit:
+					return
+				case cfg, ok := <-d.tasks:
+					if !ok {
+						return
+					}
+					d.ev.Lookahead(cfg)
+				}
+			}
+		}()
+	}
+	return d
+}
+
+// stop abandons queued speculations and waits for the workers; in-flight
+// evaluations run to completion first, so stopping — like cancelling the
+// serial search — can take up to one evaluation window. Waiting is
+// deliberate: after RunContext returns, no goroutine of this search touches
+// the caller's evaluator again.
+func (d *driver) stop() {
+	close(d.quit)
+	d.wg.Wait()
+}
+
+// enqueue hands a config to the pool without ever blocking the main loop;
+// a full queue simply drops the speculation.
+func (d *driver) enqueue(cfg serving.Config) {
+	select {
+	case d.tasks <- cfg:
+	default:
+	}
+}
+
+// launch dispatches the pending step's evaluation to the pool and fills the
+// remaining capacity with speculation: first the still-queued seed
+// configurations (certain future evaluations), then the BO constant-liar
+// batch, streamed element by element so the likeliest candidate starts
+// evaluating while the rest of the chain is still being derived.
+// Speculations queued by earlier steps but not yet picked up are dropped
+// first — this step's batch is computed from strictly more information.
+// Speculation computes on the main goroutine while the workers evaluate,
+// and never exceeds the evaluations the budget can still spend.
+func (d *driver) launch(s *Searcher, cfg serving.Config, budget int) {
+	for {
+		select {
+		case <-d.tasks:
+			continue
+		default:
+		}
+		break
+	}
+	d.enqueue(cfg)
+	k := 2 * s.opts.Parallelism
+	if slots := budget - s.samples - 1; k > slots {
+		k = slots
+	}
+	if k <= 0 {
+		return
+	}
+	for _, c := range s.queue {
+		if k == 0 {
+			return
+		}
+		d.enqueue(c.Clone())
+		k--
+	}
+	s.opt.Speculate(cfg, k, func(x []int) {
+		d.enqueue(serving.Config(append([]int(nil), x...)))
+	})
 }
 
 // Summary returns the result so far without advancing the search.

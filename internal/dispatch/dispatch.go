@@ -103,6 +103,8 @@ type fifo struct {
 
 func (f *fifo) len() int { return len(f.items) - f.head }
 
+func (f *fifo) reset() { f.items = f.items[:0]; f.head = 0 }
+
 func (f *fifo) push(idx int) { f.items = append(f.items, idx) }
 
 func (f *fifo) pop() (int, bool) {
@@ -134,11 +136,40 @@ type State struct {
 // NewState builds the state for a deployed pool of instances in dispatch
 // preference order.
 func NewState(types []cloud.InstanceType) *State {
-	return &State{
-		types:   types,
-		busy:    make([]bool, len(types)),
-		perInst: make([]fifo, len(types)),
+	s := &State{}
+	s.Reset(types)
+	return s
+}
+
+// Reset reinitializes the state for a fresh run over a (possibly different)
+// deployed pool, reusing the previous run's allocations where capacities
+// allow. The simulator's per-evaluation arena depends on it: Evaluate runs
+// hundreds of times per search and must not rebuild queue storage each time.
+func (s *State) Reset(types []cloud.InstanceType) {
+	s.types = types
+	n := len(types)
+	if cap(s.busy) >= n {
+		s.busy = s.busy[:n]
+		for i := range s.busy {
+			s.busy[i] = false
+		}
+	} else {
+		s.busy = make([]bool, n)
 	}
+	if cap(s.perInst) >= n {
+		s.perInst = s.perInst[:n]
+	} else {
+		old := s.perInst
+		s.perInst = make([]fifo, n)
+		copy(s.perInst, old)
+	}
+	for i := range s.perInst {
+		s.perInst[i].reset()
+	}
+	for r := range s.shared {
+		s.shared[r].reset()
+	}
+	s.queued = 0
 }
 
 // Instances returns the number of deployed instances.

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ribbon/internal/bo"
+	"ribbon/internal/core"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+// PerfEntry is one measured hot path in the machine-readable perf report.
+type PerfEntry struct {
+	// Name identifies the measurement (e.g. "evaluate", "search/deploy25ms/parallelism=4").
+	Name string `json:"name"`
+	// NsPerOp is the mean wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean heap allocations per operation, when
+	// measured.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// SpeedupVsSerial compares a parallel search against its serial twin
+	// from the same report.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// PerfReport is the machine-readable result of the perf experiment
+// (cmd/ribbon-bench writes it to BENCH_3.json). Searches at every
+// parallelism produce bit-identical SearchResults — the report records
+// wall-clock and allocation behavior only.
+type PerfReport struct {
+	// Schema versions the report layout.
+	Schema string `json:"schema"`
+	// GoMaxProcs records the scheduler width the numbers were taken at;
+	// CPU-bound speedups are bounded by it.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// DeployDelayMs is the synthetic per-evaluation measurement window of
+	// the "deploy" search variants.
+	DeployDelayMs float64 `json:"deploy_delay_ms"`
+	// Entries holds the measurements.
+	Entries []PerfEntry `json:"entries"`
+}
+
+// perfDeployDelay models the wall-clock cost of sampling a configuration on
+// a real deployment (the paper serves live traffic through each candidate).
+const perfDeployDelay = 25 * time.Millisecond
+
+// timeOp returns the mean ns/op of fn over n runs.
+func timeOp(n int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// Perf measures the search-core hot paths: one simulator evaluation, one
+// acquisition step, and full searches serial vs parallel in both the
+// CPU-bound (simulator) and latency-bound (synthetic deployment window)
+// regimes. It returns a printable table and the machine-readable report.
+func Perf(s Setup) (Table, PerfReport) {
+	s = s.withDefaults()
+	rep := PerfReport{
+		Schema:        "ribbon-perf/v1",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		DeployDelayMs: float64(perfDeployDelay) / float64(time.Millisecond),
+	}
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), s.QoSPercentile, "g4dn", "c5", "r5n")
+
+	// Hot path 1: the discrete-event evaluation.
+	ev := serving.NewSimEvaluator(spec, serving.SimOptions{Queries: s.Queries, Seed: s.Seed})
+	cfg := serving.Config{3, 1, 3}
+	ev.Evaluate(cfg) // warm the arena
+	rep.Entries = append(rep.Entries, PerfEntry{
+		Name:        "evaluate",
+		NsPerOp:     timeOp(20, func() { ev.Evaluate(cfg) }),
+		AllocsPerOp: testing.AllocsPerRun(10, func() { ev.Evaluate(cfg) }),
+	})
+
+	// Hot path 2: the acquisition step (surrogate fit + indexed EI scan),
+	// in the exact shape of the pre-rebuild BenchmarkBOSuggest for
+	// before/after comparison.
+	obj := func(x []int) float64 { return -float64((x[0]-3)*(x[0]-3) + (x[1]-7)*(x[1]-7)) }
+	suggest := func() {
+		o := bo.New([]int{5, 12}, bo.Options{Rounding: true, Seed: s.Seed})
+		for _, x := range [][]int{{0, 0}, {5, 12}, {2, 6}} {
+			o.Observe(x, obj(x))
+		}
+		if _, ok := o.Suggest(); !ok {
+			panic("experiments: no suggestion")
+		}
+	}
+	rep.Entries = append(rep.Entries, PerfEntry{
+		Name:        "suggest",
+		NsPerOp:     timeOp(100, suggest),
+		AllocsPerOp: testing.AllocsPerRun(50, suggest),
+	})
+
+	// Hot path 3: the full search, serial vs parallel, CPU-bound and
+	// latency-bound. Identical results at every parallelism — only
+	// wall-clock differs.
+	bounds := []int{5, 8, 8}
+	budget := 40
+	search := func(delay time.Duration, parallelism int) float64 {
+		var inner serving.Evaluator = serving.NewSimEvaluator(spec,
+			serving.SimOptions{Queries: s.Queries / 2, Seed: s.Seed})
+		if delay > 0 {
+			inner = perfSlowEval{inner: inner, delay: delay}
+		}
+		cache := serving.NewCachingEvaluator(inner)
+		return timeOp(1, func() {
+			core.NewSearcher(cache, bounds, s.Seed, core.Options{Parallelism: parallelism}).Run(budget)
+		})
+	}
+	for _, mode := range []struct {
+		name  string
+		delay time.Duration
+	}{{"sim", 0}, {"deploy25ms", perfDeployDelay}} {
+		var serialNs float64
+		for _, p := range []int{1, 4} {
+			ns := search(mode.delay, p)
+			e := PerfEntry{Name: fmt.Sprintf("search/%s/parallelism=%d", mode.name, p), NsPerOp: ns}
+			if p == 1 {
+				serialNs = ns
+			} else if ns > 0 {
+				e.SpeedupVsSerial = serialNs / ns
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+
+	t := Table{
+		ID:     "perf",
+		Title:  "Search-core hot paths (bit-identical results at every parallelism)",
+		Header: []string{"Path", "ns/op", "allocs/op", "speedup vs serial"},
+	}
+	for _, e := range rep.Entries {
+		alloc, speed := "-", "-"
+		if e.AllocsPerOp > 0 {
+			alloc = fmt.Sprintf("%.0f", e.AllocsPerOp)
+		}
+		if e.SpeedupVsSerial > 0 {
+			speed = fmt.Sprintf("%.2fx", e.SpeedupVsSerial)
+		}
+		t.AddRow(e.Name, fmt.Sprintf("%.0f", e.NsPerOp), alloc, speed)
+	}
+	return t, rep
+}
+
+type perfSlowEval struct {
+	inner serving.Evaluator
+	delay time.Duration
+}
+
+func (p perfSlowEval) Spec() serving.PoolSpec { return p.inner.Spec() }
+func (p perfSlowEval) Evaluate(cfg serving.Config) serving.Result {
+	time.Sleep(p.delay)
+	return p.inner.Evaluate(cfg)
+}

@@ -69,20 +69,35 @@ func FitAuto(xs [][]float64, ys []float64, opts HyperOptions) (*GP, error) {
 		ls[j] = clamp((hi-lo)/4, opts.MinLength, opts.MaxLength)
 	}
 
-	best := concentratedLML(xs, ys, ls, opts)
+	// The likelihood search evaluates the kernel O(n^2) times per candidate
+	// length scale. Rounding.Eval would allocate two rounded copies per
+	// call; rounding the inputs once up front is bit-identical (rounding is
+	// idempotent and the correlation matrix only sees rounded points) and
+	// keeps the whole search allocation-light. The target centering and the
+	// triangular-solve scratch are likewise hoisted out of the loop.
+	f := &fitter{pts: xs, centered: center(ys), solve: make([]float64, len(ys)), opts: opts}
+	if opts.Rounding {
+		pts := make([][]float64, len(xs))
+		for i, x := range xs {
+			pts[i] = roundVec(x)
+		}
+		f.pts = pts
+	}
+
+	best := f.lml(ls)
 	grid := []float64{0.25, 0.5, 1 / 1.5, 1, 1.5, 2, 4}
 	for sweep := 0; sweep < opts.Sweeps; sweep++ {
 		improved := false
 		for j := 0; j < d; j++ {
 			cur := ls[j]
 			bestL := cur
-			for _, f := range grid {
-				cand := clamp(cur*f, opts.MinLength, opts.MaxLength)
+			for _, fac := range grid {
+				cand := clamp(cur*fac, opts.MinLength, opts.MaxLength)
 				if cand == bestL {
 					continue
 				}
 				ls[j] = cand
-				if lml := concentratedLML(xs, ys, ls, opts); lml > best+1e-12 {
+				if lml := f.lml(ls); lml > best+1e-12 {
 					best = lml
 					bestL = cand
 					improved = true
@@ -95,7 +110,7 @@ func FitAuto(xs [][]float64, ys []float64, opts HyperOptions) (*GP, error) {
 		}
 	}
 
-	variance := concentratedVariance(xs, ys, ls, opts)
+	variance := f.variance(ls)
 	kernel := Kernel(NewMatern52(variance, ls))
 	if opts.Rounding {
 		kernel = Rounding{Inner: kernel}
@@ -105,54 +120,59 @@ func FitAuto(xs [][]float64, ys []float64, opts HyperOptions) (*GP, error) {
 
 func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
 
+// fitter carries the hoisted state of one FitAuto search: the (pre-rounded)
+// inputs, the centered targets, and a triangular-solve scratch vector.
+type fitter struct {
+	pts      [][]float64
+	centered []float64
+	solve    []float64
+	opts     HyperOptions
+}
+
 // corrCholesky factors the unit-variance Matern correlation matrix plus the
-// relative-noise diagonal for the given length scales.
-func corrCholesky(xs [][]float64, ls []float64, opts HyperOptions) (*linalg.Cholesky, bool) {
-	n := len(xs)
+// relative-noise diagonal for the given length scales. The fitter's points
+// are pre-rounded when the rounding transform is on, so the unit kernel is
+// evaluated directly.
+func (f *fitter) corrCholesky(ls []float64) (*linalg.Cholesky, bool) {
+	n := len(f.pts)
 	unit := NewMatern52(1, ls)
-	var kern Kernel = unit
-	if opts.Rounding {
-		kern = Rounding{Inner: unit}
-	}
 	c := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
-			v := kern.Eval(xs[i], xs[j])
+			v := unit.Eval(f.pts[i], f.pts[j])
 			c.Set(i, j, v)
 			c.Set(j, i, v)
 		}
-		c.Set(i, i, c.At(i, i)+opts.NoiseRatio+jitter)
+		c.Set(i, i, c.At(i, i)+f.opts.NoiseRatio+jitter)
 	}
 	chol, err := linalg.NewCholesky(c)
 	return chol, err == nil
 }
 
-// concentratedVariance returns sigma^2* = y~^T C^-1 y~ / n (floored away
-// from zero so degenerate constant data still yields a usable kernel).
-func concentratedVariance(xs [][]float64, ys []float64, ls []float64, opts HyperOptions) float64 {
-	chol, ok := corrCholesky(xs, ls, opts)
+// variance returns sigma^2* = y~^T C^-1 y~ / n (floored away from zero so
+// degenerate constant data still yields a usable kernel).
+func (f *fitter) variance(ls []float64) float64 {
+	chol, ok := f.corrCholesky(ls)
 	if !ok {
 		return 1
 	}
-	centered := center(ys)
-	quad := linalg.Dot(centered, chol.SolveVec(centered))
-	v := quad / float64(len(ys))
+	quad := linalg.Dot(f.centered, chol.SolveVecInto(f.solve, f.centered))
+	v := quad / float64(len(f.centered))
 	if v < 1e-10 {
 		v = 1e-10
 	}
 	return v
 }
 
-// concentratedLML evaluates the profile log marginal likelihood (variance
-// maximized out) up to an additive constant.
-func concentratedLML(xs [][]float64, ys []float64, ls []float64, opts HyperOptions) float64 {
-	chol, ok := corrCholesky(xs, ls, opts)
+// lml evaluates the profile log marginal likelihood (variance maximized out)
+// up to an additive constant.
+func (f *fitter) lml(ls []float64) float64 {
+	chol, ok := f.corrCholesky(ls)
 	if !ok {
 		return math.Inf(-1)
 	}
-	centered := center(ys)
-	n := float64(len(ys))
-	quad := linalg.Dot(centered, chol.SolveVec(centered))
+	n := float64(len(f.centered))
+	quad := linalg.Dot(f.centered, chol.SolveVecInto(f.solve, f.centered))
 	v := quad / n
 	if v < 1e-10 {
 		v = 1e-10

@@ -1,0 +1,89 @@
+package gp
+
+import (
+	"math"
+
+	"ribbon/internal/linalg"
+)
+
+// Predictor is a buffer-reusing prediction context over a fitted GP. It
+// exists for the acquisition hot path: a BO Suggest scans every grid
+// candidate, and GP.Predict allocates two n-vectors (K* and the solve
+// result) per call — plus two more inside the rounding kernel. A Predictor
+// hoists all of that out of the loop:
+//
+//   - the K* and solve buffers are allocated once and reused per call;
+//   - when the kernel is the Eq. 3 rounding wrapper, the training inputs are
+//     rounded once up front (batching the K* row computation against a fixed
+//     rounded matrix) and the query is rounded into a scratch vector, so the
+//     inner kernel is evaluated directly.
+//
+// Predict returns bit-identical values to GP.Predict. A Predictor is not
+// safe for concurrent use; the parallel EI scan creates one per worker over
+// the same (read-only) GP.
+type Predictor struct {
+	g      *GP
+	kernel Kernel      // effective kernel, rounding unwrapped
+	xs     [][]float64 // training inputs, pre-rounded when the kernel rounds
+	rounds bool
+	xbuf   []float64
+	kstar  []float64
+	v      []float64
+}
+
+// NewPredictor builds a prediction context for the fitted posterior.
+func (g *GP) NewPredictor() *Predictor {
+	p := &Predictor{
+		g:      g,
+		kernel: g.kernel,
+		xs:     g.xs,
+		xbuf:   make([]float64, g.kernel.Dim()),
+		kstar:  make([]float64, len(g.xs)),
+		v:      make([]float64, len(g.xs)),
+	}
+	// Rounding.Eval(x, y) = Inner.Eval(round(x), round(y)), and rounding is
+	// idempotent, so evaluating the unwrapped kernel against pre-rounded
+	// training inputs is bit-identical to the wrapped kernel on raw ones.
+	for {
+		r, ok := p.kernel.(Rounding)
+		if !ok {
+			break
+		}
+		p.kernel = r.Inner
+		p.rounds = true
+	}
+	if p.rounds {
+		rxs := make([][]float64, len(g.xs))
+		for i, x := range g.xs {
+			rxs[i] = roundVec(x)
+		}
+		p.xs = rxs
+	}
+	return p
+}
+
+// Predict returns the posterior mean and epistemic variance at x, exactly as
+// GP.Predict does, without allocating.
+func (p *Predictor) Predict(x []float64) (mean, variance float64) {
+	g := p.g
+	if len(x) != g.kernel.Dim() {
+		panic("gp: predict dimension mismatch")
+	}
+	q := x
+	if p.rounds {
+		for i, v := range x {
+			p.xbuf[i] = math.Round(v)
+		}
+		q = p.xbuf
+	}
+	for i, xi := range p.xs {
+		p.kstar[i] = p.kernel.Eval(q, xi)
+	}
+	mean = g.meanY + linalg.Dot(p.kstar, g.alpha)
+	g.chol.SolveVecInto(p.v, p.kstar)
+	variance = p.kernel.Eval(q, q) - linalg.Dot(p.kstar, p.v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}

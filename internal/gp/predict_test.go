@@ -1,0 +1,40 @@
+package gp
+
+import "testing"
+
+// The Predictor must be bit-identical to GP.Predict — the sharded EI scan
+// and the serial acquisition both rely on it.
+func TestPredictorMatchesPredict(t *testing.T) {
+	xs := [][]float64{{0, 0}, {1, 3}, {2.4, 7}, {5, 12}, {3, 3}}
+	ys := []float64{0.1, -0.4, 0.9, 0.3, -0.2}
+	for _, rounding := range []bool{false, true} {
+		g, err := FitAuto(xs, ys, HyperOptions{Rounding: rounding})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := g.NewPredictor()
+		for _, q := range [][]float64{{0.2, 0.7}, {4, 11}, {2.5, 6.5}, {1, 3}, {5, 12}} {
+			m1, v1 := g.Predict(q)
+			m2, v2 := p.Predict(q)
+			if m1 != m2 || v1 != v2 {
+				t.Fatalf("rounding=%v x=%v: Predict (%v,%v) != Predictor (%v,%v)",
+					rounding, q, m1, v1, m2, v2)
+			}
+		}
+	}
+}
+
+// Predictor.Predict allocates nothing — that is its reason to exist.
+func TestPredictorZeroAllocs(t *testing.T) {
+	xs := [][]float64{{0, 0}, {1, 3}, {2, 7}, {5, 12}}
+	ys := []float64{0.1, -0.4, 0.9, 0.3}
+	g, err := FitAuto(xs, ys, HyperOptions{Rounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.NewPredictor()
+	q := []float64{2.5, 6.5}
+	if allocs := testing.AllocsPerRun(20, func() { p.Predict(q) }); allocs != 0 {
+		t.Fatalf("Predictor.Predict allocated %.1f times per call", allocs)
+	}
+}

@@ -89,6 +89,15 @@ func Fit(kernel Kernel, noiseVar float64, xs [][]float64, ys []float64) (*GP, er
 // N returns the number of training points.
 func (g *GP) N() int { return len(g.xs) }
 
+// Kernel returns the fitted covariance kernel.
+func (g *GP) Kernel() Kernel { return g.kernel }
+
+// NoiseVar returns the observation-noise variance the GP was conditioned
+// with. Together with Kernel it lets a caller re-condition on extended data
+// (e.g. constant-liar batch proposals) without re-running hyper-parameter
+// selection.
+func (g *GP) NoiseVar() float64 { return g.noiseVar }
+
 // Predict returns the posterior mean and variance at x. The variance is the
 // epistemic (latent-function) variance, excluding observation noise, and is
 // clamped at zero.

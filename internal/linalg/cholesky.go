@@ -55,38 +55,60 @@ func (c *Cholesky) L() *Matrix { return c.l.Clone() }
 
 // SolveVec solves A x = b for x using the factorization.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	if len(b) != c.n {
-		panic("linalg: SolveVec dimension mismatch")
+	return c.SolveVecInto(make([]float64, c.n), b)
+}
+
+// SolveVecInto solves A x = b into dst, which must have length Size and may
+// alias b. It allocates nothing — the per-candidate prediction scan of the
+// BO acquisition depends on that.
+func (c *Cholesky) SolveVecInto(dst, b []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n {
+		panic("linalg: SolveVecInto dimension mismatch")
 	}
-	y := c.ForwardSolve(b)
-	return c.BackSolve(y)
+	c.ForwardSolveInto(dst, b)
+	c.BackSolveInto(dst, dst)
+	return dst
 }
 
 // ForwardSolve solves L y = b.
 func (c *Cholesky) ForwardSolve(b []float64) []float64 {
-	y := make([]float64, c.n)
+	return c.ForwardSolveInto(make([]float64, c.n), b)
+}
+
+// ForwardSolveInto solves L y = b into dst (len Size, may alias b).
+func (c *Cholesky) ForwardSolveInto(dst, b []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n {
+		panic("linalg: ForwardSolveInto dimension mismatch")
+	}
 	for i := 0; i < c.n; i++ {
 		s := b[i]
 		row := c.l.Data[i*c.n : i*c.n+i]
 		for k, v := range row {
-			s -= v * y[k]
+			s -= v * dst[k]
 		}
-		y[i] = s / c.l.At(i, i)
+		dst[i] = s / c.l.At(i, i)
 	}
-	return y
+	return dst
 }
 
 // BackSolve solves L^T x = y.
 func (c *Cholesky) BackSolve(y []float64) []float64 {
-	x := make([]float64, c.n)
+	return c.BackSolveInto(make([]float64, c.n), y)
+}
+
+// BackSolveInto solves L^T x = y into dst (len Size, may alias y).
+func (c *Cholesky) BackSolveInto(dst, y []float64) []float64 {
+	if len(y) != c.n || len(dst) != c.n {
+		panic("linalg: BackSolveInto dimension mismatch")
+	}
 	for i := c.n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
+			s -= c.l.At(k, i) * dst[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		dst[i] = s / c.l.At(i, i)
 	}
-	return x
+	return dst
 }
 
 // LogDet returns log det(A) = 2 Σ log L_ii.

@@ -102,9 +102,11 @@ func (st *jobStore) create(req api.OptimizeRequest) (api.Job, *api.Error) {
 	// Resolve the spec now so an unknown model is a synchronous 400, not
 	// an asynchronous failure the caller discovers by polling. The
 	// progress callback owns the live Samples/BestCost view.
-	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{Progress: func(step ribbon.Step) {
-		st.observe(j, step)
-	}})
+	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{
+		Parallelism: req.Parallelism,
+		Progress: func(step ribbon.Step) {
+			st.observe(j, step)
+		}})
 	if e != nil {
 		return api.Job{}, e
 	}

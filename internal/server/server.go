@@ -295,7 +295,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, e)
 		return
 	}
-	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{})
+	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{Parallelism: req.Parallelism})
 	if e != nil {
 		s.writeErr(w, e)
 		return

@@ -149,6 +149,30 @@ func TestOptimizeSync(t *testing.T) {
 	}
 }
 
+// TestOptimizeParallelMatchesSerial pins the API-level determinism
+// contract: the same optimize request at parallelism 4 answers byte-for-byte
+// like the serial one.
+func TestOptimizeParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := newTestServer(t)
+	base := `{"model":"MT-WND","families":["g4dn","t3"],"budget":12,"queries":800`
+	serial := doReq(t, s, http.MethodPost, "/v1/optimize", base+`}`)
+	parallel := doReq(t, s, http.MethodPost, "/v1/optimize", base+`,"parallelism":4}`)
+	if serial.Code != http.StatusOK || parallel.Code != http.StatusOK {
+		t.Fatalf("status %d / %d: %s", serial.Code, parallel.Code, parallel.Body.String())
+	}
+	if serial.Body.String() != parallel.Body.String() {
+		t.Fatalf("parallel response diverged:\nserial:   %s\nparallel: %s",
+			serial.Body.String(), parallel.Body.String())
+	}
+	rr := doReq(t, s, http.MethodPost, "/v1/optimize", base+`,"parallelism":-2}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("negative parallelism: status %d", rr.Code)
+	}
+}
+
 // TestOptimizeBadBudget pins the satellite fix: a non-positive budget is the
 // caller's mistake (400 + invalid_budget), not a 500.
 func TestOptimizeBadBudget(t *testing.T) {

@@ -5,6 +5,17 @@ import (
 	"sync"
 )
 
+// cacheEntry is one configuration's evaluation record. An entry is created
+// the moment an evaluation is claimed (so concurrent callers deduplicate
+// work), becomes ready when the result lands, and becomes charged the first
+// time a non-speculative Evaluate consumes it.
+type cacheEntry struct {
+	res     Result
+	ready   bool
+	charged bool
+	done    chan struct{}
+}
+
 // CachingEvaluator wraps an Evaluator with memoization and the exploration
 // accounting the paper reports: how many distinct configurations were
 // sampled (Fig. 10), how many of them violated QoS (Fig. 14), and the total
@@ -12,74 +23,129 @@ import (
 // so re-sampling a known configuration costs nothing and reveals nothing —
 // exactly like consulting the paper's "complete record of the explored
 // configurations".
+//
+// It is safe for concurrent use and distinguishes two kinds of evaluation:
+//
+//   - Evaluate is a committed measurement: it charges the exploration
+//     accounting the first time a configuration is consumed this way.
+//   - Lookahead is a speculative prefetch issued by the parallel search
+//     driver: it warms the cache without charging anything. A later
+//     Evaluate of the same configuration returns instantly and charges
+//     then — so the accounting of a parallel search is identical to the
+//     serial search that commits the same trajectory, no matter how much
+//     speculation missed.
+//
+// Concurrent calls for the same configuration deduplicate: the first caller
+// runs the inner evaluator, the rest wait for its result.
 type CachingEvaluator struct {
 	mu    sync.Mutex
 	inner Evaluator
-	cache map[string]Result
+	cache map[string]*cacheEntry
 
-	samples       int     // distinct configurations actually deployed
+	samples       int     // distinct configurations committed
 	violations    int     // of those, how many violated QoS
-	costEvaluated float64 // sum of $/hour across deployed configurations
+	costEvaluated float64 // sum of $/hour across committed configurations
 }
 
 // NewCachingEvaluator wraps inner.
 func NewCachingEvaluator(inner Evaluator) *CachingEvaluator {
-	return &CachingEvaluator{inner: inner, cache: make(map[string]Result)}
+	return &CachingEvaluator{inner: inner, cache: make(map[string]*cacheEntry)}
 }
 
 // Spec returns the wrapped pool spec.
 func (c *CachingEvaluator) Spec() PoolSpec { return c.inner.Spec() }
 
-// Evaluate returns the cached result when the configuration was deployed
-// before; otherwise it deploys it, charges the exploration accounting, and
-// caches the outcome.
-func (c *CachingEvaluator) Evaluate(cfg Config) Result {
+// get returns cfg's result, evaluating it if needed; charge commits it to
+// the exploration accounting.
+func (c *CachingEvaluator) get(cfg Config, charge bool) Result {
 	key := cfg.Key()
 	c.mu.Lock()
-	if r, ok := c.cache[key]; ok {
+	e, ok := c.cache[key]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		c.cache[key] = e
 		c.mu.Unlock()
-		return r
+		r := c.inner.Evaluate(cfg)
+		c.mu.Lock()
+		e.res = r
+		e.ready = true
+		close(e.done)
+	} else if !e.ready {
+		c.mu.Unlock()
+		<-e.done
+		c.mu.Lock()
 	}
-	c.mu.Unlock()
-
-	r := c.inner.Evaluate(cfg)
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.cache[key]; !ok {
-		c.cache[key] = r
+	if charge && !e.charged {
+		e.charged = true
 		c.samples++
-		if !r.MeetsQoS {
+		if !e.res.MeetsQoS {
 			c.violations++
 		}
-		c.costEvaluated += r.CostPerHour
+		c.costEvaluated += e.res.CostPerHour
 	}
-	return c.cache[key]
+	r := e.res
+	c.mu.Unlock()
+	return r
 }
 
-// Peek returns the cached result without evaluating.
+// Evaluate returns the (possibly cached) result of deploying cfg and
+// commits it: the first committed consumption of a configuration charges
+// the exploration accounting, whether or not a speculative Lookahead
+// already computed it.
+func (c *CachingEvaluator) Evaluate(cfg Config) Result {
+	return c.get(cfg, true)
+}
+
+// Lookahead speculatively evaluates cfg without charging the exploration
+// accounting. It returns immediately when the configuration is already
+// cached or being evaluated by someone else; otherwise it runs the inner
+// evaluator on the calling goroutine. The parallel search's worker pool
+// calls it with constant-liar batch proposals.
+func (c *CachingEvaluator) Lookahead(cfg Config) {
+	key := cfg.Key()
+	c.mu.Lock()
+	if _, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.cache[key] = e
+	c.mu.Unlock()
+	r := c.inner.Evaluate(cfg)
+	c.mu.Lock()
+	e.res = r
+	e.ready = true
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// Peek returns the cached result without evaluating (speculative entries
+// included once their evaluation has finished).
 func (c *CachingEvaluator) Peek(cfg Config) (Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.cache[cfg.Key()]
-	return r, ok
+	e, ok := c.cache[cfg.Key()]
+	if !ok || !e.ready {
+		return Result{}, false
+	}
+	return e.res, true
 }
 
-// Samples returns the number of distinct configurations deployed so far.
+// Samples returns the number of distinct configurations committed so far.
 func (c *CachingEvaluator) Samples() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.samples
 }
 
-// Violations returns how many deployed configurations violated QoS.
+// Violations returns how many committed configurations violated QoS.
 func (c *CachingEvaluator) Violations() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.violations
 }
 
-// ExplorationCost returns the cumulative $/hour of all deployed
+// ExplorationCost returns the cumulative $/hour of all committed
 // configurations. Every evaluation runs for the same wall-clock window, so
 // this is proportional to the exploration dollar cost of Fig. 13.
 func (c *CachingEvaluator) ExplorationCost() float64 {
@@ -88,22 +154,36 @@ func (c *CachingEvaluator) ExplorationCost() float64 {
 	return c.costEvaluated
 }
 
-// History returns all deployed results ordered by configuration key; useful
-// for the load-adaptation warm start and for reports.
+// History returns all committed results ordered by configuration key;
+// useful for the load-adaptation warm start and for reports. Uncommitted
+// speculative entries are excluded, so the history of a parallel search
+// matches its serial twin. The sort keys are the cache keys, computed once —
+// not recomputed per comparison.
 func (c *CachingEvaluator) History() []Result {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]Result, 0, len(c.cache))
-	for _, r := range c.cache {
-		out = append(out, r)
+	type keyed struct {
+		key string
+		res Result
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Config.Key() < out[j].Config.Key() })
+	c.mu.Lock()
+	rows := make([]keyed, 0, len(c.cache))
+	for key, e := range c.cache {
+		if e.ready && e.charged {
+			rows = append(rows, keyed{key: key, res: e.res})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	out := make([]Result, len(rows))
+	for i, r := range rows {
+		out[i] = r.res
+	}
 	return out
 }
 
 // ResetAccounting clears the sample/violation/cost counters but keeps the
-// cache. The load-adaptation experiments use it to separate the accounting
-// of the pre- and post-scaling searches.
+// cache — including the charged marks, so configurations already paid for
+// stay free afterwards, exactly as before. The load-adaptation experiments
+// use it to separate the accounting of the pre- and post-scaling searches.
 func (c *CachingEvaluator) ResetAccounting() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

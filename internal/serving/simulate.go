@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"ribbon/internal/cloud"
 	"ribbon/internal/dispatch"
@@ -150,6 +151,50 @@ type SimEvaluator struct {
 	// hasClasses caches stream.HasClasses(): the stream is fixed per
 	// evaluator and Evaluate runs hundreds of times per search.
 	hasClasses bool
+	// order is the arrival-time replay order of the stream (stable-sorted
+	// by ArrivalMs); nil when the stream is already sorted, which Generate
+	// guarantees. It reproduces the event-heap ordering of the old
+	// schedule-everything-up-front simulator for unsorted traces.
+	order []int32
+	// scratch pools per-evaluation buffers (latencies, shed flags, sort
+	// scratch, deployed types, dispatch state, completion heap). Evaluate
+	// runs hundreds of times per search — and concurrently under batched
+	// parallel search — so the arena is a sync.Pool rather than plain
+	// fields.
+	scratch sync.Pool
+}
+
+// evalScratch is the reusable per-evaluation buffer arena.
+type evalScratch struct {
+	latencies []float64
+	shed      []bool
+	sorted    []float64
+	types     []cloud.InstanceType
+	state     *dispatch.State
+	heap      sim.CompletionHeap
+}
+
+// arrivalOrder returns the stable arrival-time ordering of the queries, or
+// nil when they are already sorted (the common case).
+func arrivalOrder(qs []workload.Query) []int32 {
+	sorted := true
+	for i := 1; i < len(qs); i++ {
+		if qs[i].ArrivalMs < qs[i-1].ArrivalMs {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return nil
+	}
+	ord := make([]int32, len(qs))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		return qs[ord[a]].ArrivalMs < qs[ord[b]].ArrivalMs
+	})
+	return ord
 }
 
 // NewSimEvaluator builds an evaluator for the pool with the given options.
@@ -162,7 +207,8 @@ func NewSimEvaluator(spec PoolSpec, opts SimOptions) *SimEvaluator {
 		Batch:     opts.Batch,
 		Mix:       opts.Mix,
 	})
-	return &SimEvaluator{spec: spec, opts: opts, stream: st, hasClasses: st.HasClasses()}
+	return &SimEvaluator{spec: spec, opts: opts, stream: st,
+		hasClasses: st.HasClasses(), order: arrivalOrder(st.Queries)}
 }
 
 // NewTraceEvaluator builds an evaluator that replays a fixed query stream
@@ -172,7 +218,8 @@ func NewTraceEvaluator(spec PoolSpec, opts SimOptions, stream *workload.Stream) 
 	if len(stream.Queries) == 0 {
 		panic("serving: empty trace")
 	}
-	return &SimEvaluator{spec: spec, opts: opts, stream: stream, hasClasses: stream.HasClasses()}
+	return &SimEvaluator{spec: spec, opts: opts, stream: stream,
+		hasClasses: stream.HasClasses(), order: arrivalOrder(stream.Queries)}
 }
 
 // Spec returns the pool spec.
@@ -204,6 +251,28 @@ func appendInt(b []byte, v int) []byte {
 	return append(b, byte('0'+v%10))
 }
 
+// getScratch leases the per-evaluation buffer arena, sized (and zeroed) for
+// the stream length n and the deployed instance count.
+func (e *SimEvaluator) getScratch(n int) *evalScratch {
+	sc, _ := e.scratch.Get().(*evalScratch)
+	if sc == nil {
+		sc = &evalScratch{state: dispatch.NewState(nil)}
+	}
+	if cap(sc.latencies) < n {
+		sc.latencies = make([]float64, n)
+		sc.shed = make([]bool, n)
+	}
+	sc.latencies = sc.latencies[:n]
+	sc.shed = sc.shed[:n]
+	for i := range sc.latencies {
+		sc.latencies[i] = 0
+		sc.shed[i] = false
+	}
+	sc.types = sc.types[:0]
+	sc.heap.Reset()
+	return sc
+}
+
 // Evaluate serves the evaluation stream through cfg and measures per-query
 // latency against the model's QoS target.
 //
@@ -213,6 +282,14 @@ func appendInt(b []byte, v int) []byte {
 // from the queues. The default policy is the paper's rule (Sec. 5.1): first
 // idle instance in pool type order, one shared FIFO queue drained by
 // whichever instance finishes first.
+//
+// The event loop merges a cursor over the pre-sorted arrivals against a
+// typed completions-only heap instead of heap-pushing all N arrivals as
+// closures up front. The ordering contract is exactly the old engine's:
+// same-time arrivals replay in stream order, same-time completions in
+// scheduling order, and an arrival always precedes a completion at the same
+// instant (arrivals were scheduled first). Evaluate is safe for concurrent
+// use — the batched parallel search relies on it.
 func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	spec := e.spec
 	if len(cfg) != len(spec.Types) {
@@ -228,12 +305,16 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 		return res
 	}
 
-	types := make([]cloud.InstanceType, 0, cfg.Total())
+	queries := e.stream.Queries
+	sc := e.getScratch(len(queries))
+	defer e.scratch.Put(sc)
+
 	for i, t := range spec.Types {
 		for k := 0; k < cfg[i]; k++ {
-			types = append(types, t)
+			sc.types = append(sc.types, t)
 		}
 	}
+	types := sc.types
 
 	// The noise stream is keyed by the deployed (family, count) multiset,
 	// not the raw config vector, so a configuration evaluates identically
@@ -246,72 +327,85 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	pol := e.opts.Dispatch.MustNew(types,
 		stats.Derive(e.opts.Seed, "dispatch", e.opts.Dispatch.Name(), spec.Model.Name, key))
 	lc, hasLC := pol.(dispatch.Lifecycle)
-	pool := dispatch.NewState(types)
+	pool := sc.state
+	pool.Reset(types)
 	if hasLC {
 		lc.RunStart(pool)
 	}
 
-	var eng sim.Engine
-	latencies := make([]float64, len(e.stream.Queries))
-	shed := make([]bool, len(e.stream.Queries))
+	latencies := sc.latencies
+	shed := sc.shed
+	heap := &sc.heap
 	maxQueue := 0
+	now := 0.0
 
-	var assign func(inst, idx int)
-	assign = func(inst, idx int) {
+	assign := func(inst, idx int) {
 		pool.SetBusy(inst, true)
-		q := e.stream.Queries[idx]
-		svc := perf.NoisyServiceMs(spec.Model, types[inst], q.Batch, noise)
-		eng.Schedule(svc, func() {
-			latencies[idx] = eng.Now() - q.ArrivalMs
-			pool.SetBusy(inst, false)
-			if hasLC {
-				lc.QueryDone(idx, inst, pool)
-			}
-			if next, ok := pol.Next(inst, pool); ok {
-				assign(inst, next)
-			}
-		})
+		svc := perf.NoisyServiceMs(spec.Model, types[inst], queries[idx].Batch, noise)
+		heap.Push(now+svc, int32(inst), int32(idx))
 	}
 
 	aborted := false
-	for i := range e.stream.Queries {
-		idx := i
-		eng.ScheduleAt(e.stream.Queries[i].ArrivalMs, func() {
-			d := pol.Pick(idx, e.stream.Queries[idx], pool)
-			switch d.Action {
-			case dispatch.ActAssign:
-				if pool.Busy(d.Instance) {
-					panic(fmt.Sprintf("serving: policy %q assigned busy instance %d", pol.Name(), d.Instance))
-				}
-				assign(d.Instance, idx)
-			case dispatch.ActShed:
-				// Load shedding: the policy dropped the query; it
-				// counts as a violation and in the shed rate.
-				shed[idx] = true
-				latencies[idx] = math.Inf(1)
-			case dispatch.ActEnqueueShared, dispatch.ActEnqueueInstance:
-				if e.opts.AbortQueueLength > 0 && pool.TotalQueued() >= e.opts.AbortQueueLength {
-					// Early termination: the configuration is
-					// drowning; refuse the query and count it as a
-					// violation.
-					aborted = true
-					latencies[idx] = math.Inf(1)
-					return
-				}
-				if d.Action == dispatch.ActEnqueueShared {
-					pool.PushShared(idx, d.Rank)
-				} else {
-					pool.PushInstance(d.Instance, idx)
-				}
-				if l := pool.TotalQueued(); l > maxQueue {
-					maxQueue = l
-				}
-			default:
-				panic(fmt.Sprintf("serving: policy %q returned unknown action %d", pol.Name(), d.Action))
+	arr := 0
+	for arr < len(queries) || heap.Len() > 0 {
+		if arr < len(queries) {
+			idx := arr
+			if e.order != nil {
+				idx = int(e.order[arr])
 			}
-		})
+			// Ties go to the arrival: in the old engine all arrivals
+			// were scheduled before any completion, so their seq always
+			// compared lower.
+			if at := queries[idx].ArrivalMs; heap.Len() == 0 || at <= heap.MinTime() {
+				arr++
+				now = at
+				d := pol.Pick(idx, queries[idx], pool)
+				switch d.Action {
+				case dispatch.ActAssign:
+					if pool.Busy(d.Instance) {
+						panic(fmt.Sprintf("serving: policy %q assigned busy instance %d", pol.Name(), d.Instance))
+					}
+					assign(d.Instance, idx)
+				case dispatch.ActShed:
+					// Load shedding: the policy dropped the query; it
+					// counts as a violation and in the shed rate.
+					shed[idx] = true
+					latencies[idx] = math.Inf(1)
+				case dispatch.ActEnqueueShared, dispatch.ActEnqueueInstance:
+					if e.opts.AbortQueueLength > 0 && pool.TotalQueued() >= e.opts.AbortQueueLength {
+						// Early termination: the configuration is
+						// drowning; refuse the query and count it as
+						// a violation.
+						aborted = true
+						latencies[idx] = math.Inf(1)
+						continue
+					}
+					if d.Action == dispatch.ActEnqueueShared {
+						pool.PushShared(idx, d.Rank)
+					} else {
+						pool.PushInstance(d.Instance, idx)
+					}
+					if l := pool.TotalQueued(); l > maxQueue {
+						maxQueue = l
+					}
+				default:
+					panic(fmt.Sprintf("serving: policy %q returned unknown action %d", pol.Name(), d.Action))
+				}
+				continue
+			}
+		}
+		c := heap.Pop()
+		now = c.Time
+		inst, idx := int(c.Inst), int(c.Idx)
+		latencies[idx] = now - queries[idx].ArrivalMs
+		pool.SetBusy(inst, false)
+		if hasLC {
+			lc.QueryDone(idx, inst, pool)
+		}
+		if next, ok := pol.Next(inst, pool); ok {
+			assign(inst, next)
+		}
 	}
-	eng.Run()
 	res.Aborted = aborted
 
 	warm := int(float64(len(latencies)) * e.opts.WarmupFraction)
@@ -320,7 +414,10 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	res.Rsat = stats.FractionBelow(measured, spec.Model.QoSLatencyMs)
 	res.MeetsQoS = res.Rsat >= spec.QoSPercentile
 	res.MeanLatencyMs = stats.MeanOf(measured)
-	sorted := make([]float64, len(measured))
+	if cap(sc.sorted) < len(measured) {
+		sc.sorted = make([]float64, len(measured))
+	}
+	sorted := sc.sorted[:len(measured)]
 	copy(sorted, measured)
 	sort.Float64s(sorted)
 	res.TailLatencyMs = stats.PercentileSorted(sorted, spec.QoSPercentile)
@@ -334,7 +431,7 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 		res.ShedRate = float64(res.Shed) / float64(res.Queries)
 	}
 	if e.hasClasses {
-		res.Classes = classStats(e.stream.Queries[warm:], measured, shed[warm:], spec.Model.QoSLatencyMs)
+		res.Classes = classStats(queries[warm:], measured, shed[warm:], spec.Model.QoSLatencyMs)
 	}
 	return res
 }

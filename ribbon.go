@@ -67,8 +67,8 @@ type Step = core.Step
 type Strategy = core.Strategy
 
 // SearchOptions tunes the BO searcher (pruning threshold, ablation
-// switches, per-step Progress callback); the zero value is the paper's
-// configuration.
+// switches, per-step Progress callback, speculative Parallelism); the zero
+// value is the paper's serial configuration.
 type SearchOptions = core.Options
 
 // DispatchSpec selects the query-routing policy of the serving pool; the
@@ -187,7 +187,10 @@ type ServiceConfig struct {
 	// fields above.
 	Evaluator Evaluator
 	// SearchOptions tunes the BO searcher (pruning threshold, ablation
-	// switches).
+	// switches, Parallelism). Setting SearchOptions.Parallelism > 1 lets
+	// Run evaluate up to that many configurations concurrently; the result
+	// is bit-identical to the serial search — parallelism is speculative
+	// and only changes wall-clock time. See docs/performance.md.
 	SearchOptions core.Options
 }
 
