@@ -272,3 +272,167 @@ type Job struct {
 type JobList struct {
 	Jobs []Job `json:"jobs"`
 }
+
+// LoadPhase is one segment of a piecewise load schedule: Queries arrivals at
+// RateScale times the model's base arrival rate.
+type LoadPhase struct {
+	Queries   int     `json:"queries"`
+	RateScale float64 `json:"rate_scale"`
+}
+
+// MaxControllerQueries bounds the total replay length of one controller run;
+// longer replays hold a worker for proportionally longer.
+const MaxControllerQueries = 200_000
+
+// MinControllerTickMs and MinControllerWindowMs are the lower bounds of the
+// explicit loop-timing fields: the tick loop runs once per TickMs of stream
+// time over the whole replay, so a microscopic cadence would hold a
+// controller worker near-indefinitely — subverting the MaxControllerQueries
+// bound.
+const (
+	MinControllerTickMs   = 10.0
+	MinControllerWindowMs = 100.0
+)
+
+// ControllerSpec asks for a continuous pool-controller run: the controller
+// replays a load schedule (a named scenario or explicit phases) against the
+// service, reconfiguring the pool on confirmed load shifts. All tuning
+// fields are optional; zero means the server-side default documented in
+// docs/controller.md.
+type ControllerSpec struct {
+	ServiceSpec
+	// Scenario names a built-in schedule shape (GET /v1/scenarios);
+	// "spike" when neither Scenario nor Phases is set. Mutually exclusive
+	// with Phases.
+	Scenario string `json:"scenario,omitempty"`
+	// Phases is an explicit piecewise schedule. Mutually exclusive with
+	// Scenario.
+	Phases []LoadPhase `json:"phases,omitempty"`
+	// TotalQueries is the replay length for a named scenario; 20000 when
+	// omitted. Ignored when Phases is set (their sum wins). Values above
+	// MaxControllerQueries are rejected with ErrInvalidRequest.
+	TotalQueries int `json:"total_queries,omitempty"`
+	// InitialBudget bounds the cold search establishing the first
+	// incumbent; the server's optimize default when omitted.
+	InitialBudget int `json:"initial_budget,omitempty"`
+	// AdaptBudget bounds each warm-started re-search; 16 when omitted.
+	AdaptBudget int `json:"adapt_budget,omitempty"`
+	// WindowMs is the sliding-window length of the load estimator (ms of
+	// stream time); 10000 when omitted, at least MinControllerWindowMs
+	// when explicit.
+	WindowMs float64 `json:"window_ms,omitempty"`
+	// TickMs is the change-detector cadence; 1000 when omitted, at least
+	// MinControllerTickMs when explicit.
+	TickMs float64 `json:"tick_ms,omitempty"`
+	// RelThreshold is the minimum relative load deviation that counts as
+	// an excursion, in (0,1); 0.25 when omitted.
+	RelThreshold float64 `json:"rel_threshold,omitempty"`
+	// DwellMs is how long an excursion must persist before the shift is
+	// confirmed; 4000 when omitted.
+	DwellMs float64 `json:"dwell_ms,omitempty"`
+	// CooldownMs suppresses detection after a confirmed shift; 0 when
+	// omitted.
+	CooldownMs float64 `json:"cooldown_ms,omitempty"`
+	// MigrationSetupHours / MigrationTeardownHours price the one-off
+	// reconfiguration charge per added/removed instance, in hours of that
+	// instance's hourly price; 0.05 / 0.01 when omitted.
+	MigrationSetupHours    float64 `json:"migration_setup_hours,omitempty"`
+	MigrationTeardownHours float64 `json:"migration_teardown_hours,omitempty"`
+	// AmortizationHours is the horizon over which a candidate's saving
+	// must repay the migration charge; 1 when omitted.
+	AmortizationHours float64 `json:"amortization_hours,omitempty"`
+}
+
+// ControllerReconfiguration is one confirmed load shift and the resulting
+// keep-or-switch decision.
+type ControllerReconfiguration struct {
+	// AtMs is the stream time of the confirmation.
+	AtMs float64 `json:"at_ms"`
+	// ObservedScale is the estimated load at confirmation; OldScale and
+	// NewScale are the provisioned scales before and after.
+	ObservedScale float64 `json:"observed_scale"`
+	OldScale      float64 `json:"old_scale"`
+	NewScale      float64 `json:"new_scale"`
+	// From and To are the incumbent and chosen configurations (equal when
+	// the incumbent was kept), with their prices.
+	From            []int   `json:"from"`
+	To              []int   `json:"to"`
+	FromCostPerHour float64 `json:"from_cost_per_hour"`
+	ToCostPerHour   float64 `json:"to_cost_per_hour"`
+	// MigrationCost is the one-off switch charge between From and To.
+	MigrationCost float64 `json:"migration_cost,omitempty"`
+	// IncumbentMeetsQoS reports whether From still met QoS under the new
+	// load.
+	IncumbentMeetsQoS bool `json:"incumbent_meets_qos"`
+	// Samples is the number of real evaluations the re-search spent.
+	Samples int `json:"samples"`
+	// Applied reports whether the pool switched to To; Reason explains
+	// the decision either way.
+	Applied bool   `json:"applied"`
+	Reason  string `json:"reason"`
+}
+
+// ControllerStatus is the live control-loop snapshot of a controller run.
+type ControllerStatus struct {
+	// State is the loop position: warmup, steady, pending, adapting, or
+	// done.
+	State string `json:"state"`
+	// NowMs is the stream time of the last processed event.
+	NowMs float64 `json:"now_ms"`
+	// Arrivals and Ticks count ingested queries and detector evaluations.
+	Arrivals int `json:"arrivals"`
+	Ticks    int `json:"ticks"`
+	// EstimatedScale is the windowed load estimate relative to the
+	// model's base rate; AppliedScale is the load the incumbent pool is
+	// provisioned for.
+	EstimatedScale float64 `json:"estimated_scale"`
+	AppliedScale   float64 `json:"applied_scale"`
+	// PendingForMs is how long the current excursion has been dwelled on;
+	// 0 unless State is "pending".
+	PendingForMs float64 `json:"pending_for_ms,omitempty"`
+	// Incumbent is the currently deployed configuration with its price
+	// and QoS verdict under the provisioned load.
+	Incumbent            []int   `json:"incumbent,omitempty"`
+	IncumbentCostPerHour float64 `json:"incumbent_cost_per_hour,omitempty"`
+	IncumbentMeetsQoS    bool    `json:"incumbent_meets_qos"`
+	// SearchSamples is the total number of real evaluations spent so far.
+	SearchSamples int `json:"search_samples"`
+	// Reconfigurations is the decision history, oldest first; always
+	// present (possibly empty).
+	Reconfigurations []ControllerReconfiguration `json:"reconfigurations"`
+}
+
+// Controller is one controller run. Its lifecycle reuses the job states:
+// queued -> running -> done | failed | cancelled.
+type Controller struct {
+	ID         string     `json:"id"`
+	Status     JobStatus  `json:"status"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Spec echoes the accepted ControllerSpec.
+	Spec ControllerSpec `json:"spec"`
+	// Snapshot is the control loop's live view, updated while the run
+	// progresses and frozen at its final value once terminal.
+	Snapshot ControllerStatus `json:"snapshot"`
+	// Error is set when the run failed.
+	Error *Error `json:"error,omitempty"`
+}
+
+// ControllerList is the response of GET /v1/controllers.
+type ControllerList struct {
+	Controllers []Controller `json:"controllers"`
+}
+
+// ScenarioInfo describes one built-in load scenario, with its phase shape
+// expanded for the default replay length so callers can preview the
+// schedule a name stands for.
+type ScenarioInfo struct {
+	Name   string      `json:"name"`
+	Phases []LoadPhase `json:"phases"`
+}
+
+// ScenarioList is the response of GET /v1/scenarios.
+type ScenarioList struct {
+	Scenarios []ScenarioInfo `json:"scenarios"`
+}

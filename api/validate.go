@@ -97,6 +97,75 @@ func (r EvaluateRequest) Validate() *Error {
 	return nil
 }
 
+// Validate checks the schema-level invariants of a controller spec. Named
+// scenarios are resolved by the server (unknown ones answer
+// ErrInvalidRequest there too).
+func (s ControllerSpec) Validate() *Error {
+	if err := s.ServiceSpec.Validate(); err != nil {
+		return err
+	}
+	if s.Scenario != "" && len(s.Phases) > 0 {
+		return &Error{Code: ErrInvalidRequest, Message: "scenario and phases are mutually exclusive"}
+	}
+	total := s.TotalQueries
+	if len(s.Phases) > 0 {
+		total = 0
+		for i, ph := range s.Phases {
+			if ph.Queries <= 0 {
+				return &Error{Code: ErrInvalidRequest,
+					Message: fmt.Sprintf("phases[%d].queries must be positive, got %d", i, ph.Queries)}
+			}
+			if ph.RateScale <= 0 || math.IsNaN(ph.RateScale) || math.IsInf(ph.RateScale, 0) {
+				return &Error{Code: ErrInvalidRequest,
+					Message: fmt.Sprintf("phases[%d].rate_scale must be positive and finite, got %g", i, ph.RateScale)}
+			}
+			total += ph.Queries
+		}
+	}
+	if total < 0 || total > MaxControllerQueries {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("replay length %d out of [0, %d]", total, MaxControllerQueries)}
+	}
+	if s.InitialBudget < 0 {
+		return &Error{Code: ErrInvalidBudget,
+			Message: fmt.Sprintf("initial_budget %d must be positive (omit for the default)", s.InitialBudget)}
+	}
+	if s.AdaptBudget < 0 {
+		return &Error{Code: ErrInvalidBudget,
+			Message: fmt.Sprintf("adapt_budget %d must be positive (omit for the default)", s.AdaptBudget)}
+	}
+	for name, v := range map[string]float64{
+		"window_ms":                s.WindowMs,
+		"tick_ms":                  s.TickMs,
+		"dwell_ms":                 s.DwellMs,
+		"cooldown_ms":              s.CooldownMs,
+		"migration_setup_hours":    s.MigrationSetupHours,
+		"migration_teardown_hours": s.MigrationTeardownHours,
+		"amortization_hours":       s.AmortizationHours,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return &Error{Code: ErrInvalidRequest,
+				Message: fmt.Sprintf("%s must be finite and non-negative, got %g", name, v)}
+		}
+	}
+	// The tick loop runs once per TickMs of stream time across the whole
+	// replay: a microscopic cadence (or window) would hold a controller
+	// worker near-indefinitely. Zero still means "server default".
+	if s.TickMs != 0 && s.TickMs < MinControllerTickMs {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("tick_ms %g below minimum %g (omit for the default)", s.TickMs, MinControllerTickMs)}
+	}
+	if s.WindowMs != 0 && s.WindowMs < MinControllerWindowMs {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("window_ms %g below minimum %g (omit for the default)", s.WindowMs, MinControllerWindowMs)}
+	}
+	if s.RelThreshold < 0 || s.RelThreshold >= 1 || math.IsNaN(s.RelThreshold) {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("rel_threshold %g out of [0,1) (0 means default 0.25)", s.RelThreshold)}
+	}
+	return nil
+}
+
 // Validate checks an optimize request. Budget zero means "use the server
 // default"; explicit negative budgets are the caller's mistake.
 func (r OptimizeRequest) Validate() *Error {

@@ -78,6 +78,51 @@ func TestOptimizeRequestValidate(t *testing.T) {
 	}
 }
 
+func TestControllerSpecValidate(t *testing.T) {
+	base := ServiceSpec{Model: "MT-WND"}
+	cases := []struct {
+		name string
+		spec ControllerSpec
+		code ErrorCode // "" means valid
+	}{
+		{"minimal", ControllerSpec{ServiceSpec: base}, ""},
+		{"named scenario", ControllerSpec{ServiceSpec: base, Scenario: "diurnal", TotalQueries: 30_000}, ""},
+		{"explicit phases", ControllerSpec{ServiceSpec: base,
+			Phases: []LoadPhase{{Queries: 5000, RateScale: 1}, {Queries: 5000, RateScale: 2}}}, ""},
+		{"tuned", ControllerSpec{ServiceSpec: base, WindowMs: 5000, TickMs: 500,
+			RelThreshold: 0.2, DwellMs: 2000, AdaptBudget: 8, MigrationSetupHours: 0.1}, ""},
+		{"bad service", ControllerSpec{}, ErrInvalidRequest},
+		{"scenario and phases", ControllerSpec{ServiceSpec: base, Scenario: "spike",
+			Phases: []LoadPhase{{Queries: 1, RateScale: 1}}}, ErrInvalidRequest},
+		{"zero-query phase", ControllerSpec{ServiceSpec: base,
+			Phases: []LoadPhase{{Queries: 0, RateScale: 1}}}, ErrInvalidRequest},
+		{"negative-rate phase", ControllerSpec{ServiceSpec: base,
+			Phases: []LoadPhase{{Queries: 10, RateScale: -1}}}, ErrInvalidRequest},
+		{"replay too long", ControllerSpec{ServiceSpec: base,
+			TotalQueries: MaxControllerQueries + 1}, ErrInvalidRequest},
+		{"phases too long", ControllerSpec{ServiceSpec: base,
+			Phases: []LoadPhase{{Queries: MaxControllerQueries, RateScale: 1}, {Queries: 1, RateScale: 1}}}, ErrInvalidRequest},
+		{"negative initial budget", ControllerSpec{ServiceSpec: base, InitialBudget: -1}, ErrInvalidBudget},
+		{"negative adapt budget", ControllerSpec{ServiceSpec: base, AdaptBudget: -1}, ErrInvalidBudget},
+		{"negative window", ControllerSpec{ServiceSpec: base, WindowMs: -1}, ErrInvalidRequest},
+		{"tiny tick", ControllerSpec{ServiceSpec: base, TickMs: 1e-6}, ErrInvalidRequest},
+		{"tiny window", ControllerSpec{ServiceSpec: base, WindowMs: 1}, ErrInvalidRequest},
+		{"threshold too high", ControllerSpec{ServiceSpec: base, RelThreshold: 1}, ErrInvalidRequest},
+		{"negative migration", ControllerSpec{ServiceSpec: base, MigrationTeardownHours: -0.1}, ErrInvalidRequest},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		switch {
+		case tc.code == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.code != "" && err == nil:
+			t.Errorf("%s: expected %s", tc.name, tc.code)
+		case tc.code != "" && err.Code != tc.code:
+			t.Errorf("%s: code %s, want %s", tc.name, err.Code, tc.code)
+		}
+	}
+}
+
 func TestJobStatusTerminal(t *testing.T) {
 	for st, want := range map[JobStatus]bool{
 		JobQueued: false, JobRunning: false,

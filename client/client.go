@@ -170,28 +170,96 @@ func (c *Client) CancelJob(ctx context.Context, id string) (api.Job, error) {
 	return out, err
 }
 
-// WaitJob polls until the job reaches a terminal state or the context ends.
-// poll defaults to 250ms when non-positive.
-func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (api.Job, error) {
+// waitTerminal polls fetch until status reports a terminal state or the
+// context ends; the shared loop behind WaitJob and WaitController. poll
+// defaults to 250ms when non-positive.
+func waitTerminal[T any](ctx context.Context, poll time.Duration,
+	fetch func(context.Context) (T, error), status func(T) api.JobStatus) (T, error) {
 	if poll <= 0 {
 		poll = 250 * time.Millisecond
 	}
 	t := time.NewTicker(poll)
 	defer t.Stop()
 	for {
-		j, err := c.Job(ctx, id)
+		v, err := fetch(ctx)
 		if err != nil {
-			return api.Job{}, err
+			var zero T
+			return zero, err
 		}
-		if j.Status.Terminal() {
-			return j, nil
+		if status(v).Terminal() {
+			return v, nil
 		}
 		select {
 		case <-ctx.Done():
-			return j, ctx.Err()
+			return v, ctx.Err()
 		case <-t.C:
 		}
 	}
+}
+
+// WaitJob polls until the job reaches a terminal state or the context ends.
+// poll defaults to 250ms when non-positive.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (api.Job, error) {
+	return waitTerminal(ctx, poll,
+		func(ctx context.Context) (api.Job, error) { return c.Job(ctx, id) },
+		func(j api.Job) api.JobStatus { return j.Status })
+}
+
+// Scenarios lists the built-in load-fluctuation scenarios a controller can
+// replay, with their phase shapes expanded.
+func (c *Client) Scenarios(ctx context.Context) ([]api.ScenarioInfo, error) {
+	var out api.ScenarioList
+	err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &out)
+	return out.Scenarios, err
+}
+
+// CreateController submits a continuous pool-controller run — the service
+// replayed under a fluctuating load schedule, reconfiguring on confirmed
+// shifts (docs/controller.md) — and returns immediately with the queued run:
+//
+//	ctl, err := c.CreateController(ctx, api.ControllerSpec{
+//		ServiceSpec: api.ServiceSpec{Model: "MT-WND"},
+//		Scenario:    "diurnal",
+//	})
+//	if err != nil { ... }
+//	ctl, err = c.WaitController(ctx, ctl.ID, 500*time.Millisecond)
+//	for _, rec := range ctl.Snapshot.Reconfigurations { ... }
+func (c *Client) CreateController(ctx context.Context, spec api.ControllerSpec) (api.Controller, error) {
+	var out api.Controller
+	err := c.do(ctx, http.MethodPost, "/v1/controllers", spec, &out)
+	return out, err
+}
+
+// Controller fetches one controller run's lifecycle status and live
+// control-loop snapshot (including the reconfiguration history).
+func (c *Client) Controller(ctx context.Context, id string) (api.Controller, error) {
+	var out api.Controller
+	err := c.do(ctx, http.MethodGet, "/v1/controllers/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// Controllers lists every controller run the server knows about.
+func (c *Client) Controllers(ctx context.Context) ([]api.Controller, error) {
+	var out api.ControllerList
+	err := c.do(ctx, http.MethodGet, "/v1/controllers", nil, &out)
+	return out.Controllers, err
+}
+
+// CancelController asks the server to stop a queued or running controller
+// run. The returned snapshot may still show it running; poll until
+// Status.Terminal().
+func (c *Client) CancelController(ctx context.Context, id string) (api.Controller, error) {
+	var out api.Controller
+	err := c.do(ctx, http.MethodDelete, "/v1/controllers/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// WaitController polls until the controller run reaches a terminal state or
+// the context ends. poll defaults to 250ms when non-positive.
+func (c *Client) WaitController(ctx context.Context, id string, poll time.Duration) (api.Controller, error) {
+	return waitTerminal(ctx, poll,
+		func(ctx context.Context) (api.Controller, error) { return c.Controller(ctx, id) },
+		func(ctl api.Controller) api.JobStatus { return ctl.Status })
 }
 
 // IsCode reports whether err is an *api.Error with the given code.

@@ -222,3 +222,65 @@ func TestJobCancelViaClient(t *testing.T) {
 		t.Fatalf("want job_finished, got %v", err)
 	}
 }
+
+func TestControllerFlow(t *testing.T) {
+	c := newTestPair(t)
+	ctx := context.Background()
+
+	scenarios, err := c.Scenarios(ctx)
+	if err != nil || len(scenarios) < 5 {
+		t.Fatalf("scenarios: %v (%d)", err, len(scenarios))
+	}
+
+	ctl, err := c.CreateController(ctx, api.ControllerSpec{
+		ServiceSpec:   api.ServiceSpec{Model: "MT-WND", Queries: 1500},
+		Scenario:      "spike",
+		TotalQueries:  12000,
+		InitialBudget: 16,
+		AdaptBudget:   10,
+		WindowMs:      2000,
+		TickMs:        250,
+		RelThreshold:  0.3,
+		DwellMs:       1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.ID == "" {
+		t.Fatalf("no controller id: %+v", ctl)
+	}
+
+	listed, err := c.Controllers(ctx)
+	if err != nil || len(listed) != 1 {
+		t.Fatalf("controllers: %v (%d)", err, len(listed))
+	}
+
+	final, err := c.WaitController(ctx, ctl.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.JobDone {
+		t.Fatalf("status %q (error %v)", final.Status, final.Error)
+	}
+	if final.Snapshot.State != "done" || final.Snapshot.Arrivals != 12000 {
+		t.Fatalf("snapshot: %+v", final.Snapshot)
+	}
+	if len(final.Snapshot.Reconfigurations) == 0 || !final.Snapshot.Reconfigurations[0].Applied {
+		t.Fatalf("spike reconfiguration missing: %+v", final.Snapshot.Reconfigurations)
+	}
+
+	// Unknown scenario is a structured error.
+	_, err = c.CreateController(ctx, api.ControllerSpec{
+		ServiceSpec: api.ServiceSpec{Model: "MT-WND"},
+		Scenario:    "weekend",
+	})
+	if !IsCode(err, api.ErrInvalidRequest) {
+		t.Fatalf("want invalid_request, got %v", err)
+	}
+
+	// Cancelling the finished run is a structured conflict.
+	_, err = c.CancelController(ctx, ctl.ID)
+	if !IsCode(err, api.ErrJobFinished) {
+		t.Fatalf("want job_finished, got %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"ribbon/api"
+	"ribbon/client"
+)
+
+// ExampleClient_CreateJob submits an asynchronous optimize job to a running
+// ribbon-server and waits for its result. The example is compile-checked on
+// every test run (so it cannot rot) but not executed — it needs a live
+// server on localhost:8080 (`go run ./cmd/ribbon-server`).
+func ExampleClient_CreateJob() {
+	c := client.New("http://localhost:8080")
+	ctx := context.Background()
+
+	job, err := c.CreateJob(ctx, api.OptimizeRequest{
+		ServiceSpec: api.ServiceSpec{Model: "MT-WND"},
+		Budget:      40,
+		Parallelism: 4, // speculative parallel search; same result, less wall clock
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err = c.WaitJob(ctx, job.ID, 500*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if job.Status != api.JobDone {
+		log.Fatalf("job %s ended %s: %v", job.ID, job.Status, job.Error)
+	}
+	fmt.Println(job.Result.BestConfig, job.Result.BestCostPerHour)
+}
+
+// ExampleClient_CreateController starts a continuous pool-controller run —
+// the service replayed under a diurnal load curve, reconfiguring on
+// confirmed shifts — and prints its reconfiguration history. Compile-checked
+// but not executed; it needs a live server.
+func ExampleClient_CreateController() {
+	c := client.New("http://localhost:8080")
+	ctx := context.Background()
+
+	ctl, err := c.CreateController(ctx, api.ControllerSpec{
+		ServiceSpec: api.ServiceSpec{Model: "MT-WND"},
+		Scenario:    "diurnal",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err = c.WaitController(ctx, ctl.ID, 500*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rec := range ctl.Snapshot.Reconfigurations {
+		fmt.Printf("t=%.0fs %.2fx applied=%v: %s\n", rec.AtMs/1000, rec.ObservedScale, rec.Applied, rec.Reason)
+	}
+}

@@ -8,11 +8,14 @@
 //
 // With no arguments every experiment runs in paper order. Experiments:
 // table1 table2 table3 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16, plus the beyond-paper "dispatch" policy
-// comparison (Rsat / tail / shed rate per dispatch policy at 1x/2x/4x load;
-// see docs/dispatch.md) and the "perf" search-core hot-path measurement,
-// which additionally writes a machine-readable report to -perf-out
-// (BENCH_3.json by default; see docs/performance.md).
+// fig13 fig14 fig15 fig16, plus three beyond-paper experiments: the
+// "dispatch" policy comparison (Rsat / tail / shed rate per dispatch policy
+// at 1x/2x/4x load; see docs/dispatch.md), the "controller" continuous
+// pool-controller replay (spike/diurnal/ramp load schedules with every
+// reconfiguration decision tabulated; see docs/controller.md), and the
+// "perf" search-core hot-path measurement, which additionally writes a
+// machine-readable report to -perf-out (BENCH_3.json by default; see
+// docs/performance.md).
 package main
 
 import (
@@ -45,7 +48,7 @@ func main() {
 
 	all := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"dispatch", "perf"}
+		"dispatch", "controller", "perf"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -125,9 +128,17 @@ func run(id string, s experiments.Setup, modelList []string, fig8Types int) ([]e
 			out = append(out, experiments.DispatchComparison(s, m, nil))
 		}
 		return out, nil
+	case "controller":
+		var out []experiments.Table
+		for _, m := range modelList {
+			for _, sc := range experiments.ControllerScenarios() {
+				out = append(out, experiments.ControllerAdaptation(s, m, sc))
+			}
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (known: %s)", id,
-			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch", "perf"}, ", "))
+			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch", "controller", "perf"}, ", "))
 	}
 }
 

@@ -1,22 +1,28 @@
 // Command ribbon-server exposes the Ribbon planner as an HTTP control-plane
 // service (net/http, standard library only): a deployment orchestrator can
 // inspect the model/instance catalogs, evaluate candidate pool
-// configurations, run synchronous optimizations, and drive long searches
-// asynchronously through the job API. The typed request/response contract
-// lives in package api; programmatic access in package client; the full
-// specification in docs/api.md.
+// configurations, run synchronous optimizations, drive long searches
+// asynchronously through the job API, and launch continuous pool-controller
+// runs that adapt a deployment to fluctuating load. The typed
+// request/response contract lives in package api; programmatic access in
+// package client; the full specification in docs/api.md.
 //
 // Endpoints (v1):
 //
 //	GET    /healthz              liveness probe
 //	GET    /v1/models            model catalog (Table 1)
 //	GET    /v1/instances         instance catalog (Table 2)
+//	GET    /v1/scenarios         built-in load-fluctuation scenarios
 //	POST   /v1/evaluate          EvaluateRequest  -> EvaluateResponse
 //	POST   /v1/optimize          OptimizeRequest  -> OptimizeResponse (blocking)
 //	POST   /v1/jobs              OptimizeRequest  -> Job (202, async)
 //	GET    /v1/jobs              JobList
 //	GET    /v1/jobs/{id}         Job (poll status/progress/result)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	POST   /v1/controllers       ControllerSpec   -> Controller (202, async)
+//	GET    /v1/controllers       ControllerList
+//	GET    /v1/controllers/{id}  Controller (live snapshot + reconfiguration history)
+//	DELETE /v1/controllers/{id}  cancel a queued or running controller run
 //
 // The v0 routes /api/{models,instances,evaluate,optimize} remain as
 // deprecated aliases of their /v1 successors.
@@ -24,6 +30,8 @@
 // Requests optionally select a pool dispatch policy (fcfs, least-loaded,
 // cost-random, criticality) and a workload criticality mix via the service
 // spec's "dispatch" and "class_mix" fields; see docs/dispatch.md.
+// Controller runs replay a named load scenario or an explicit piecewise
+// schedule; see docs/controller.md.
 //
 // Usage:
 //
@@ -50,18 +58,22 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "concurrent optimize jobs")
+	ctrlWorkers := flag.Int("controller-workers", 0, "concurrent controller runs (default: same as -workers)")
 	queue := flag.Int("queue", 16, "pending job queue depth")
 	budget := flag.Int("default-budget", 40, "optimize budget when the request omits it")
+	adaptBudget := flag.Int("default-adapt-budget", 16, "controller re-search budget when the request omits it")
 	retain := flag.Int("retain-jobs", 256, "finished jobs kept queryable before eviction")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, *addr, server.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		DefaultBudget: *budget,
-		RetainJobs:    *retain,
+		Workers:            *workers,
+		ControllerWorkers:  *ctrlWorkers,
+		QueueDepth:         *queue,
+		DefaultBudget:      *budget,
+		DefaultAdaptBudget: *adaptBudget,
+		RetainJobs:         *retain,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "ribbon-server: %v\n", err)
 		os.Exit(1)

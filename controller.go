@@ -1,0 +1,160 @@
+package ribbon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ribbon/internal/controller"
+	"ribbon/internal/workload"
+)
+
+// ControllerParams tunes the continuous pool controller's control loop: the
+// load-estimator window, the change-detector threshold and dwell-time
+// hysteresis, the migration-cost charges, and the re-search budget. The zero
+// value uses the documented defaults. See docs/controller.md.
+type ControllerParams = controller.Params
+
+// ControllerStatus is a point-in-time snapshot of a running controller:
+// load estimate, provisioned scale, incumbent pool, and the full
+// reconfiguration history.
+type ControllerStatus = controller.Status
+
+// Reconfiguration is one confirmed load shift and the keep-or-switch
+// decision it led to; the controller logs every one, applied or not.
+type Reconfiguration = controller.Reconfiguration
+
+// ControllerState labels a controller's position in its control loop.
+type ControllerState = controller.State
+
+// The controller states.
+const (
+	ControllerWarmup   = controller.StateWarmup
+	ControllerSteady   = controller.StateSteady
+	ControllerPending  = controller.StatePending
+	ControllerAdapting = controller.StateAdapting
+	ControllerDone     = controller.StateDone
+)
+
+// MigrationModel prices pool reconfigurations (per-instance add/remove
+// charges); the controller folds it into every keep-or-switch decision.
+type MigrationModel = controller.MigrationModel
+
+// LoadPhase is one segment of a piecewise load schedule: Queries arrivals at
+// RateScale times the model's base rate.
+type LoadPhase = workload.Phase
+
+// Scenario names a built-in load-fluctuation schedule shape for controller
+// replays.
+type Scenario = workload.Scenario
+
+// The built-in scenarios.
+const (
+	ScenarioSteady  = workload.ScenarioSteady
+	ScenarioNoise   = workload.ScenarioNoise
+	ScenarioSpike   = workload.ScenarioSpike
+	ScenarioDiurnal = workload.ScenarioDiurnal
+	ScenarioRamp    = workload.ScenarioRamp
+)
+
+// Scenarios lists the built-in load scenarios.
+func Scenarios() []Scenario { return workload.Scenarios() }
+
+// ControllerConfig describes a continuously managed inference service.
+type ControllerConfig struct {
+	// Service is the pool and evaluation description, exactly as for
+	// NewOptimizer. Service.RateScale is the base load the controller
+	// starts provisioned for. A custom Evaluator is not supported — the
+	// controller re-searches at arbitrary load scales, which needs the
+	// built-in simulator backend (the same restriction as AdaptToLoad).
+	Service ServiceConfig
+	// Controller tunes the control loop; the zero value uses the
+	// documented defaults.
+	Controller ControllerParams
+	// InitialBudget bounds the cold search that establishes the first
+	// incumbent; 40 when zero. Ignored when Initial is set.
+	InitialBudget int
+	// Initial, when non-nil, seeds the controller with a completed
+	// Optimizer run instead of a cold search: the run's best
+	// configuration becomes the incumbent and its trace warm-starts the
+	// first re-search. Must be a Found result at the service's base load.
+	// Bounds discovery still probes the pool unless Service.Bounds is
+	// set too.
+	Initial *SearchResult
+}
+
+// Controller is the continuous pool manager: it ingests an arrival stream,
+// watches for sustained load shifts, and re-plans the pool with bounded
+// warm-started searches, keeping the deployment QoS-satisfying and
+// cost-minimal as load fluctuates (the paper's Fig. 16 loop, run
+// continuously). Create with NewController, drive with RunScenario or
+// RunPhases, observe with Status.
+type Controller struct {
+	inner *controller.Controller
+	model ModelProfile
+	seed  uint64
+	batch workload.BatchKind
+}
+
+// NewController validates the service description and prepares the control
+// loop. No evaluation runs until a Run method is called.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if cfg.Service.Evaluator != nil {
+		return nil, errors.New("ribbon: the controller requires the built-in simulator backend")
+	}
+	svc, err := cfg.Service.normalize()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Service = svc
+	spec, opts, err := cfg.Service.resolveSim()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := controller.New(controller.Config{
+		Spec:          spec,
+		Sim:           opts,
+		Bounds:        cfg.Service.Bounds,
+		Search:        cfg.Service.SearchOptions,
+		InitialBudget: cfg.InitialBudget,
+		Initial:       cfg.Initial,
+		Params:        cfg.Controller,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{inner: inner, model: spec.Model, seed: cfg.Service.Seed, batch: opts.Batch}, nil
+}
+
+// Status returns the current control-loop snapshot. Safe to call
+// concurrently with a running Run — a monitoring goroutine can poll it.
+func (c *Controller) Status() ControllerStatus { return c.inner.Snapshot() }
+
+// RunPhases replays a piecewise load schedule through the control loop and
+// returns the final status. Each Run method may be used once per Controller;
+// on context cancellation the partial status is returned with the error.
+func (c *Controller) RunPhases(ctx context.Context, phases []LoadPhase) (ControllerStatus, error) {
+	if len(phases) == 0 {
+		return c.Status(), errors.New("ribbon: empty schedule")
+	}
+	for i, ph := range phases {
+		if ph.Queries <= 0 || ph.RateScale <= 0 {
+			return c.Status(), fmt.Errorf("ribbon: invalid phase %d: %+v", i, ph)
+		}
+	}
+	stream := workload.GenerateSchedule(c.model, c.seed, c.batch, phases)
+	return c.inner.Run(ctx, stream)
+}
+
+// RunScenario replays a named built-in scenario (see Scenarios) spanning
+// totalQueries arrivals; 20000 when zero.
+func (c *Controller) RunScenario(ctx context.Context, sc Scenario, totalQueries int) (ControllerStatus, error) {
+	if totalQueries == 0 {
+		totalQueries = 20_000
+	}
+	phases, err := workload.ScenarioPhases(sc, totalQueries)
+	if err != nil {
+		return c.Status(), fmt.Errorf("ribbon: %w", err)
+	}
+	return c.RunPhases(ctx, phases)
+}

@@ -1,0 +1,127 @@
+package ribbon_test
+
+import (
+	"context"
+	"testing"
+
+	"ribbon"
+)
+
+// fastControllerConfig keeps facade tests quick: a small evaluation window,
+// explicit bounds wide enough for 2x load, tight loop timing.
+func fastControllerConfig() ribbon.ControllerConfig {
+	return ribbon.ControllerConfig{
+		Service: ribbon.ServiceConfig{
+			Model:                "MT-WND",
+			QueriesPerEvaluation: 2000,
+			Bounds:               []int{8, 8, 8},
+		},
+		InitialBudget: 20,
+		Controller: ribbon.ControllerParams{
+			WindowMs:     2000,
+			TickMs:       200,
+			RelThreshold: 0.3,
+			DwellMs:      1000,
+			AdaptBudget:  12,
+		},
+	}
+}
+
+func TestControllerFacadeSpikeScenario(t *testing.T) {
+	c, err := ribbon.NewController(fastControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.RunScenario(context.Background(), ribbon.ScenarioSpike, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != ribbon.ControllerDone {
+		t.Fatalf("state %q, want done", st.State)
+	}
+	// The spike scenario jumps to 2x and back: at least the upshift must
+	// be confirmed, and the final incumbent must satisfy QoS.
+	if len(st.Reconfigurations) == 0 {
+		t.Fatal("spike scenario caused no reconfigurations")
+	}
+	if !st.Reconfigurations[0].Applied {
+		t.Fatalf("upshift not applied: %+v", st.Reconfigurations[0])
+	}
+	if !st.IncumbentMeetsQoS {
+		t.Fatalf("final incumbent %v violates QoS", st.Incumbent)
+	}
+	if st.SearchSamples == 0 {
+		t.Fatal("no search samples accounted")
+	}
+}
+
+func TestControllerFacadeWarmStartFromOptimizer(t *testing.T) {
+	cfg := fastControllerConfig()
+	opt, err := ribbon.NewOptimizer(ribbon.ServiceConfig{
+		Model:                "MT-WND",
+		QueriesPerEvaluation: 2000,
+		Bounds:               []int{8, 8, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := opt.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Found {
+		t.Fatal("optimizer found nothing")
+	}
+	cfg.Initial = &run
+	c, err := ribbon.NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.RunScenario(context.Background(), ribbon.ScenarioSteady, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeded with a completed run over a steady stream: no cold search, no
+	// reconfigurations, incumbent exactly the optimizer's best.
+	if st.SearchSamples != 0 {
+		t.Fatalf("warm-seeded controller spent %d samples on a steady stream", st.SearchSamples)
+	}
+	if len(st.Reconfigurations) != 0 {
+		t.Fatalf("steady stream caused %d reconfigurations", len(st.Reconfigurations))
+	}
+	if st.Incumbent.Key() != run.BestConfig.Key() {
+		t.Fatalf("incumbent %v, want optimizer best %v", st.Incumbent, run.BestConfig)
+	}
+}
+
+func TestControllerFacadeValidation(t *testing.T) {
+	bad := fastControllerConfig()
+	bad.Service.Evaluator = fakeEval{}
+	if _, err := ribbon.NewController(bad); err == nil {
+		t.Fatal("custom evaluator accepted")
+	}
+	bad = fastControllerConfig()
+	bad.Service.Model = "no-such-model"
+	if _, err := ribbon.NewController(bad); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	c, err := ribbon.NewController(fastControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunScenario(context.Background(), "weekend", 8000); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := c.RunPhases(context.Background(), nil); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if _, err := c.RunPhases(context.Background(), []ribbon.LoadPhase{{Queries: -1, RateScale: 1}}); err == nil {
+		t.Fatal("invalid phase accepted")
+	}
+}
+
+// fakeEval satisfies ribbon.Evaluator for validation tests only.
+type fakeEval struct{}
+
+func (fakeEval) Evaluate(cfg ribbon.Config) ribbon.Result { return ribbon.Result{} }
+func (fakeEval) Spec() ribbon.PoolSpec                    { return ribbon.PoolSpec{} }

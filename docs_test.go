@@ -1,0 +1,156 @@
+package ribbon_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// TestDocLinks walks every Markdown file in the repository and fails on
+// broken relative links: a `[text](path)` whose target file does not exist,
+// or whose `#anchor` matches no heading in the target. External links
+// (http/https/mailto) are not probed — CI must not depend on the network.
+// The same check runs as a dedicated CI step, so documentation rot fails
+// the build just like a compile error.
+func TestDocLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("only %d Markdown files found — is the test running from the repo root?", len(mdFiles))
+	}
+
+	linkRe := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, file := range mdFiles {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := stripCodeBlocks(string(raw))
+		for _, m := range linkRe.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, anchor, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				info, err := os.Stat(resolved)
+				if err != nil {
+					t.Errorf("%s: broken link %q: %v", file, target, err)
+					continue
+				}
+				if info.IsDir() {
+					continue // directory links render as listings on GitHub
+				}
+			}
+			if anchor != "" && strings.EqualFold(filepath.Ext(resolved), ".md") {
+				if !hasAnchor(t, resolved, anchor) {
+					t.Errorf("%s: link %q: no heading for anchor %q in %s", file, target, anchor, resolved)
+				}
+			}
+		}
+	}
+}
+
+// stripFences removes fenced code blocks (a shell comment inside a fence is
+// not a heading, and fenced text is not a link).
+func stripFences(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// stripCodeBlocks removes fenced code blocks and inline code spans, which
+// may contain bracket/paren sequences that are not links. Heading scans must
+// use stripFences instead: GitHub keeps inline-code content in anchor slugs.
+func stripCodeBlocks(s string) string {
+	var out strings.Builder
+	for _, line := range strings.Split(stripFences(s), "\n") {
+		for {
+			i := strings.IndexByte(line, '`')
+			if i < 0 {
+				break
+			}
+			j := strings.IndexByte(line[i+1:], '`')
+			if j < 0 {
+				break
+			}
+			line = line[:i] + line[i+1+j+1:]
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// hasAnchor reports whether the Markdown file contains a heading whose
+// GitHub-style slug equals the anchor. Code fences are stripped first so a
+// shell comment inside a fence does not count as a heading.
+func hasAnchor(t *testing.T, file, anchor string) bool {
+	t.Helper()
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(stripFences(string(raw)), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if slugify(heading) == strings.ToLower(anchor) {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase, letters
+// and digits kept, spaces become hyphens, everything else dropped.
+func slugify(heading string) string {
+	heading = strings.TrimSpace(strings.ToLower(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		case r == '_':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

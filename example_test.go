@@ -1,0 +1,70 @@
+package ribbon_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ribbon"
+)
+
+// ExampleOptimizer runs a complete (deliberately small) Ribbon search: build
+// an optimizer for a built-in model, spend a 20-evaluation budget, and read
+// off the cheapest QoS-meeting pool. Everything is deterministic per seed,
+// so the output below is verified on every test run — the documented
+// behavior cannot rot.
+func ExampleOptimizer() {
+	opt, err := ribbon.NewOptimizer(ribbon.ServiceConfig{
+		Model:                "MT-WND",
+		QueriesPerEvaluation: 2000,           // small evaluation window, for speed
+		Bounds:               []int{8, 8, 8}, // skip bounds discovery
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := opt.Run(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found=%v pool=%v cost=$%.3f/hr\n", rec.Found, rec.BestConfig, rec.BestResult.CostPerHour)
+	// Output: found=true pool=(4 + 0 + 0) cost=$2.104/hr
+}
+
+// ExampleController runs the continuous pool controller over a built-in
+// load scenario: a 2x spike that the controller must detect (sliding-window
+// estimate, dwell-time hysteresis), absorb with a warm-started re-search,
+// and then unwind when the load returns to base. The reconfiguration
+// history records every decision.
+func ExampleController() {
+	c, err := ribbon.NewController(ribbon.ControllerConfig{
+		Service: ribbon.ServiceConfig{
+			Model:                "MT-WND",
+			QueriesPerEvaluation: 2000,
+			Bounds:               []int{8, 8, 8},
+		},
+		InitialBudget: 20,
+		Controller: ribbon.ControllerParams{
+			WindowMs:     2000, // 2s sliding window
+			TickMs:       250,  // detector cadence
+			RelThreshold: 0.3,  // 30% deviation counts as an excursion
+			DwellMs:      1000, // ...once it persists for 1s
+			AdaptBudget:  12,   // evaluations per re-search
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := c.RunScenario(context.Background(), ribbon.ScenarioSpike, 16000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconfigurations=%d finalQoS=%v\n", len(st.Reconfigurations), st.IncumbentMeetsQoS)
+	for _, rec := range st.Reconfigurations {
+		fmt.Printf("t=%.0fs load=%.1fx applied=%v %v -> %v\n",
+			rec.AtMs/1000, rec.ObservedScale, rec.Applied, rec.From, rec.To)
+	}
+	// Output:
+	// reconfigurations=2 finalQoS=true
+	// t=11s load=1.9x applied=true (4 + 0 + 0) -> (4 + 7 + 8)
+	// t=16s load=1.0x applied=true (4 + 7 + 8) -> (3 + 2 + 0)
+}

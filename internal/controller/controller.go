@@ -1,0 +1,575 @@
+// Package controller turns Ribbon's one-shot pool optimizer into a
+// continuous control loop — the paper's load-fluctuation response (Sec. 4,
+// Fig. 16) run as a long-lived process rather than a single AdaptToLoad
+// call.
+//
+// The loop is observe -> detect -> reconfigure:
+//
+//   - A sliding-window rate estimator ingests the arrival stream (live feed
+//     or replayed trace; the controller cannot tell the difference) and
+//     continuously estimates the load as a scale factor relative to the
+//     model's base arrival rate.
+//   - A change detector with relative-threshold + dwell-time hysteresis
+//     decides when the estimate reflects a real shift rather than Poisson
+//     noise: the deviation must exceed RelThreshold in a consistent
+//     direction for DwellMs of stream time.
+//   - On a confirmed shift the controller re-searches the configuration
+//     space at the new load with a bounded budget, warm-started from the
+//     incumbent: the previous trace seeds the new Bayesian optimization as
+//     pseudo-observations (core.NewAdaptedSearcher), so convergence costs a
+//     fraction of a cold search. The winning pool replaces the incumbent
+//     only if it meets QoS and — when the incumbent also still meets QoS —
+//     beats it on cost with the one-off migration charge (MigrationModel)
+//     amortized in. Every decision, applied or rejected, is logged to the
+//     reconfiguration history.
+//
+// Everything is deterministic per (seed, stream): the estimator and detector
+// are pure state machines over stream time, and each re-search derives its
+// seed from the base seed and the reconfiguration ordinal. Replaying the
+// same stream yields a byte-identical history. See docs/controller.md for
+// the design rationale and tuning guidance.
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ribbon/internal/core"
+	"ribbon/internal/serving"
+	"ribbon/internal/workload"
+)
+
+// Params tunes the control loop. The zero value of every field means its
+// documented default; Validate rejects negative values.
+type Params struct {
+	// WindowMs is the sliding-window length of the load estimator;
+	// 10000 (10s of stream time) when zero. Longer windows smooth harder
+	// but lag real shifts by more.
+	WindowMs float64
+	// TickMs is the detector evaluation cadence; 1000 when zero. The
+	// controller only acts at tick boundaries, so dwell precision is
+	// +-TickMs.
+	TickMs float64
+	// RelThreshold is the minimum relative deviation |est/applied - 1|
+	// that counts as an excursion; 0.25 when zero.
+	RelThreshold float64
+	// DwellMs is how long an excursion must persist, in one direction,
+	// before the shift is confirmed; 4000 when zero. Negative disables
+	// dwell (confirm on first excursion tick) — only sensible in tests.
+	DwellMs float64
+	// CooldownMs suppresses detection for this long after a confirmed
+	// shift, on top of the dwell the next shift must accumulate; 0 when
+	// zero (dwell alone is the hysteresis).
+	CooldownMs float64
+	// MigrationSetupHours and MigrationTeardownHours price the one-off
+	// reconfiguration charges per added/removed instance, in hours of that
+	// instance's hourly price; 0.05 and 0.01 when zero.
+	MigrationSetupHours    float64
+	MigrationTeardownHours float64
+	// AmortizationHours is the horizon over which a candidate's $/hour
+	// saving must repay the migration charge; 1 when zero.
+	AmortizationHours float64
+	// AdaptBudget bounds the real evaluations of each warm-started
+	// re-search; 16 when zero.
+	AdaptBudget int
+}
+
+func (p Params) withDefaults() Params {
+	if p.WindowMs == 0 {
+		p.WindowMs = 10_000
+	}
+	if p.TickMs == 0 {
+		p.TickMs = 1_000
+	}
+	if p.RelThreshold == 0 {
+		p.RelThreshold = 0.25
+	}
+	if p.DwellMs == 0 {
+		p.DwellMs = 4_000
+	}
+	if p.DwellMs < 0 {
+		p.DwellMs = 0
+	}
+	if p.MigrationSetupHours == 0 {
+		p.MigrationSetupHours = 0.05
+	}
+	if p.MigrationTeardownHours == 0 {
+		p.MigrationTeardownHours = 0.01
+	}
+	if p.AmortizationHours == 0 {
+		p.AmortizationHours = 1
+	}
+	if p.AdaptBudget == 0 {
+		p.AdaptBudget = 16
+	}
+	return p
+}
+
+// Validate rejects parameters no control loop can run with. It is applied
+// to the pre-default values: zero always means "use the default".
+func (p Params) Validate() error {
+	for name, v := range map[string]float64{
+		"window_ms":                p.WindowMs,
+		"tick_ms":                  p.TickMs,
+		"rel_threshold":            p.RelThreshold,
+		"cooldown_ms":              p.CooldownMs,
+		"migration_setup_hours":    p.MigrationSetupHours,
+		"migration_teardown_hours": p.MigrationTeardownHours,
+		"amortization_hours":       p.AmortizationHours,
+	} {
+		if v < 0 {
+			return fmt.Errorf("controller: %s must be non-negative, got %g", name, v)
+		}
+	}
+	if p.RelThreshold >= 1 {
+		return fmt.Errorf("controller: rel_threshold %g out of (0,1)", p.RelThreshold)
+	}
+	if p.AdaptBudget < 0 {
+		return fmt.Errorf("controller: adapt_budget must be non-negative, got %d", p.AdaptBudget)
+	}
+	return nil
+}
+
+// Config describes the controlled service.
+type Config struct {
+	// Spec is the pool under control.
+	Spec serving.PoolSpec
+	// Sim configures the evaluation backend used for (re)searches;
+	// Sim.RateScale is the base load the controller starts provisioned
+	// for (1 when zero). Evaluations generate their own streams — the
+	// ingested arrival stream is never used for evaluation.
+	Sim serving.SimOptions
+	// Bounds fixes the per-type search bounds; discovered (24 probes)
+	// when nil.
+	Bounds []int
+	// Search tunes every search the controller launches.
+	Search core.Options
+	// InitialBudget bounds the cold search that establishes the first
+	// incumbent; 40 when zero. Ignored when Initial is set.
+	InitialBudget int
+	// Initial, when non-nil, supplies a completed search (e.g. an
+	// Optimizer run) whose best configuration becomes the incumbent
+	// without spending search evaluations (bounds discovery still probes
+	// the pool when Bounds is nil). It must be a Found result.
+	Initial *core.SearchResult
+	// Params tunes the control loop.
+	Params Params
+}
+
+// State labels the controller's position in the control loop.
+type State string
+
+// The controller states.
+const (
+	// StateWarmup: the initial search has not completed yet, or the
+	// estimator window has not filled once.
+	StateWarmup State = "warmup"
+	// StateSteady: the load estimate tracks the provisioned scale.
+	StateSteady State = "steady"
+	// StatePending: an excursion is being dwelled on.
+	StatePending State = "pending"
+	// StateAdapting: a shift is confirmed and the re-search is running.
+	StateAdapting State = "adapting"
+	// StateDone: the replayed stream is exhausted.
+	StateDone State = "done"
+)
+
+// Reconfiguration is one confirmed load shift and the decision it led to —
+// the controller's flight record, applied or not.
+type Reconfiguration struct {
+	// AtMs is the stream time of the confirmation tick.
+	AtMs float64
+	// ObservedScale is the estimator's load scale at confirmation;
+	// OldScale and NewScale are the provisioned scales before and after
+	// (NewScale == ObservedScale: the controller re-plans for the load it
+	// measured).
+	ObservedScale float64
+	OldScale      float64
+	NewScale      float64
+	// From is the incumbent configuration; To is the configuration chosen
+	// by the re-search (equal to From when the incumbent was kept).
+	From serving.Config
+	To   serving.Config
+	// FromCostPerHour and ToCostPerHour price the two pools;
+	// MigrationCost is the one-off switch charge between them.
+	FromCostPerHour float64
+	ToCostPerHour   float64
+	MigrationCost   float64
+	// IncumbentMeetsQoS reports whether From still met QoS under the new
+	// load (re-measured by the warm start).
+	IncumbentMeetsQoS bool
+	// Samples is the number of real evaluations the re-search spent.
+	Samples int
+	// Applied reports whether the pool switched to To; Reason explains
+	// the decision either way.
+	Applied bool
+	Reason  string
+}
+
+// Status is a point-in-time snapshot of the control loop.
+type Status struct {
+	// State is the loop position; NowMs the stream time of the last
+	// processed event.
+	State State
+	NowMs float64
+	// Arrivals and Ticks count ingested queries and detector evaluations.
+	Arrivals int
+	Ticks    int
+	// EstimatedScale is the current windowed load estimate relative to
+	// the model's base rate; AppliedScale is the load the incumbent is
+	// provisioned for.
+	EstimatedScale float64
+	AppliedScale   float64
+	// PendingForMs is how long the current excursion has been dwelled on;
+	// 0 unless State is "pending".
+	PendingForMs float64
+	// Incumbent is the currently deployed configuration with its price
+	// and QoS verdict under the provisioned load.
+	Incumbent            serving.Config
+	IncumbentCostPerHour float64
+	IncumbentMeetsQoS    bool
+	// SearchSamples is the total number of real evaluations spent so far
+	// (initial search plus every re-search).
+	SearchSamples int
+	// Reconfigurations is the decision history, oldest first.
+	Reconfigurations []Reconfiguration
+}
+
+// minTargetScale floors the load scale a reconfiguration re-plans for. An
+// (almost) empty estimator window carries no usable signal, and
+// serving.SimOptions treats RateScale 0 as "use the default" — so an
+// unfloored zero target would silently re-search at full base load and then
+// set AppliedScale to 0, permanently disarming the change detector.
+const minTargetScale = 0.05
+
+// Controller is the continuous pool manager. Create with New, drive with
+// Run; Snapshot is safe to call concurrently with Run.
+type Controller struct {
+	cfg       Config
+	baseScale float64
+	basePerMs float64 // base arrivals per ms at scale 1
+	migration MigrationModel
+
+	mu   sync.Mutex
+	est  *rateEstimator
+	det  *changeDetector
+	stat Status
+
+	bounds        []int
+	lastSteps     []core.Step
+	incumbent     serving.Result
+	hasIncumbent  bool
+	searches      int // completed searches, derives re-search seeds
+	cooldownUntil float64
+	ran           bool
+}
+
+// New validates the service description and prepares the control loop. No
+// evaluation runs until Run.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Spec.Dim() == 0 {
+		return nil, errors.New("controller: empty pool spec")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialBudget < 0 {
+		return nil, errors.New("controller: initial budget must be non-negative")
+	}
+	if cfg.InitialBudget == 0 {
+		cfg.InitialBudget = 40
+	}
+	if cfg.Initial != nil {
+		if !cfg.Initial.Found {
+			return nil, errors.New("controller: Initial search result must be Found")
+		}
+		if len(cfg.Initial.BestConfig) != cfg.Spec.Dim() {
+			return nil, fmt.Errorf("controller: Initial best config has %d types for a %d-type pool",
+				len(cfg.Initial.BestConfig), cfg.Spec.Dim())
+		}
+	}
+	if cfg.Bounds != nil && len(cfg.Bounds) != cfg.Spec.Dim() {
+		return nil, fmt.Errorf("controller: %d bounds for a %d-type pool", len(cfg.Bounds), cfg.Spec.Dim())
+	}
+	if cfg.Spec.Model.ArrivalRateQPS <= 0 {
+		return nil, errors.New("controller: model profile needs a positive arrival rate")
+	}
+	cfg.Params = cfg.Params.withDefaults()
+	baseScale := cfg.Sim.RateScale
+	if baseScale == 0 {
+		baseScale = 1
+	}
+	if baseScale < 0 {
+		return nil, errors.New("controller: base rate scale must be positive")
+	}
+	c := &Controller{
+		cfg:       cfg,
+		baseScale: baseScale,
+		basePerMs: cfg.Spec.Model.ArrivalRateQPS / 1000,
+		migration: MigrationModel{
+			SetupHours:    cfg.Params.MigrationSetupHours,
+			TeardownHours: cfg.Params.MigrationTeardownHours,
+		},
+		est: newRateEstimator(cfg.Params.WindowMs),
+		det: newChangeDetector(cfg.Params.RelThreshold, cfg.Params.DwellMs),
+	}
+	c.stat = Status{State: StateWarmup, AppliedScale: baseScale}
+	return c, nil
+}
+
+// Snapshot returns the current control-loop status. Safe for concurrent use
+// with Run; the returned value is safe to retain (the history slice is
+// copied, and recorded configurations are never mutated).
+func (c *Controller) Snapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Controller) snapshotLocked() Status {
+	s := c.stat
+	s.Incumbent = s.Incumbent.Clone()
+	s.Reconfigurations = append([]Reconfiguration(nil), s.Reconfigurations...)
+	return s
+}
+
+// evaluatorAt builds a fresh caching evaluator for the given load scale,
+// sharing every other evaluation option with the base configuration.
+func (c *Controller) evaluatorAt(scale float64) *serving.CachingEvaluator {
+	opts := c.cfg.Sim
+	opts.RateScale = scale
+	return serving.NewCachingEvaluator(serving.NewSimEvaluator(c.cfg.Spec, opts))
+}
+
+// initialize establishes the incumbent: bounds discovery plus a cold search
+// at the base load, or the caller-provided Initial result.
+func (c *Controller) initialize(ctx context.Context) error {
+	ev := c.evaluatorAt(c.baseScale)
+	if c.bounds == nil {
+		if c.cfg.Bounds != nil {
+			c.bounds = append([]int(nil), c.cfg.Bounds...)
+		} else {
+			b, err := core.DiscoverBoundsContext(ctx, ev, 24)
+			if err != nil {
+				return fmt.Errorf("controller: bounds discovery: %w", err)
+			}
+			c.bounds = b
+		}
+	}
+	var res core.SearchResult
+	if c.cfg.Initial != nil {
+		res = *c.cfg.Initial
+	} else {
+		res = core.NewSearcher(ev, c.bounds, c.cfg.Sim.Seed, c.cfg.Search).RunContext(ctx, c.cfg.InitialBudget)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !res.Found {
+			return errors.New("controller: initial search found no QoS-meeting configuration")
+		}
+	}
+	c.searches++
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastSteps = res.Steps
+	c.incumbent = res.BestResult
+	c.hasIncumbent = true
+	c.stat.Incumbent = res.BestConfig.Clone()
+	c.stat.IncumbentCostPerHour = res.BestResult.CostPerHour
+	c.stat.IncumbentMeetsQoS = res.BestResult.MeetsQoS
+	if c.cfg.Initial == nil {
+		c.stat.SearchSamples += res.Samples
+	}
+	return nil
+}
+
+// Run replays the stream through the control loop: every arrival feeds the
+// load estimator, the change detector fires at each TickMs boundary, and
+// confirmed shifts trigger warm-started re-searches. It returns the final
+// status; on context cancellation the partial status accumulated so far is
+// returned with the context's error. Run may be called once per Controller.
+func (c *Controller) Run(ctx context.Context, stream *workload.Stream) (Status, error) {
+	c.mu.Lock()
+	if c.ran {
+		c.mu.Unlock()
+		return c.Snapshot(), errors.New("controller: Run already called")
+	}
+	c.ran = true
+	c.mu.Unlock()
+
+	if stream == nil || len(stream.Queries) == 0 {
+		return c.Snapshot(), errors.New("controller: empty stream")
+	}
+	if err := c.initialize(ctx); err != nil {
+		return c.Snapshot(), err
+	}
+
+	tick := c.cfg.Params.TickMs
+	nextTick := tick
+	for _, q := range stream.Queries {
+		// A tick observes only arrivals at or before its boundary.
+		for nextTick <= q.ArrivalMs {
+			if err := ctx.Err(); err != nil {
+				return c.Snapshot(), err
+			}
+			if err := c.tick(ctx, nextTick); err != nil {
+				return c.Snapshot(), err
+			}
+			nextTick += tick
+		}
+		c.mu.Lock()
+		c.est.Observe(q.ArrivalMs)
+		c.stat.Arrivals++
+		c.stat.NowMs = q.ArrivalMs
+		c.mu.Unlock()
+	}
+	// One closing tick at the end of the stream, so a shift during the
+	// final partial window still registers in the status.
+	last := stream.Queries[len(stream.Queries)-1].ArrivalMs
+	if err := ctx.Err(); err != nil {
+		return c.Snapshot(), err
+	}
+	if err := c.tick(ctx, last); err != nil {
+		return c.Snapshot(), err
+	}
+
+	c.mu.Lock()
+	c.stat.State = StateDone
+	c.stat.PendingForMs = 0
+	out := c.snapshotLocked()
+	c.mu.Unlock()
+	return out, nil
+}
+
+// tick runs one detector evaluation at stream time nowMs and launches a
+// re-search when a shift is confirmed.
+func (c *Controller) tick(ctx context.Context, nowMs float64) error {
+	c.mu.Lock()
+	c.stat.Ticks++
+	c.stat.NowMs = nowMs
+	est := c.est.RatePerMs(nowMs) / c.basePerMs
+	c.stat.EstimatedScale = est
+
+	// Hold detection until the estimator has seen one full window — the
+	// early estimate is noisy — and through any post-shift cooldown. An
+	// empty window (est == 0, e.g. a quiet gap longer than the window)
+	// carries no signal either: hold steady rather than "detect" a
+	// collapse to zero.
+	if nowMs < c.cfg.Params.WindowMs || nowMs < c.cooldownUntil || est == 0 {
+		c.stat.State = StateWarmup
+		if nowMs >= c.cfg.Params.WindowMs {
+			c.stat.State = StateSteady
+		}
+		c.det.Reset()
+		c.stat.PendingForMs = 0
+		c.mu.Unlock()
+		return nil
+	}
+
+	confirmed := c.det.Update(nowMs, c.stat.AppliedScale, est)
+	if since, ok := c.det.Pending(); ok && !confirmed {
+		c.stat.State = StatePending
+		c.stat.PendingForMs = nowMs - since
+	} else if !confirmed {
+		c.stat.State = StateSteady
+		c.stat.PendingForMs = 0
+	}
+	c.mu.Unlock()
+
+	if !confirmed {
+		return nil
+	}
+	return c.reconfigure(ctx, nowMs, est)
+}
+
+// reconfigure handles one confirmed shift: a bounded warm-started re-search
+// at the observed load, then the keep-or-switch decision with migration
+// cost folded in. It always updates the provisioned scale — the load
+// assessment changed even when the pool does not — and always appends to
+// the history.
+func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) error {
+	if target < minTargetScale {
+		target = minTargetScale
+	}
+	c.mu.Lock()
+	oldScale := c.stat.AppliedScale
+	prevSteps := c.lastSteps
+	incumbent := c.incumbent
+	seed := c.cfg.Sim.Seed + uint64(c.searches)
+	c.stat.State = StateAdapting
+	c.stat.PendingForMs = 0
+	c.mu.Unlock()
+
+	ev := c.evaluatorAt(target)
+	s := core.NewAdaptedSearcher(ev, c.bounds, seed, c.cfg.Search, prevSteps, incumbent)
+	res := s.RunContext(ctx, c.cfg.Params.AdaptBudget)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// The warm start re-measured the incumbent under the new load as its
+	// first step; the caching evaluator hands it back for free.
+	incNow := ev.Evaluate(incumbent.Config)
+
+	rec := Reconfiguration{
+		AtMs:              nowMs,
+		ObservedScale:     target,
+		OldScale:          oldScale,
+		NewScale:          target,
+		From:              incumbent.Config.Clone(),
+		FromCostPerHour:   incumbent.CostPerHour,
+		IncumbentMeetsQoS: incNow.MeetsQoS,
+		Samples:           res.Samples,
+	}
+	next := incNow // deployed result under the new load unless we switch
+	switch {
+	case !res.Found:
+		rec.To = incumbent.Config.Clone()
+		rec.ToCostPerHour = incumbent.CostPerHour
+		rec.Reason = "no QoS-meeting configuration found within budget; incumbent kept"
+	case res.BestConfig.Key() == incumbent.Config.Key():
+		rec.To = res.BestConfig.Clone()
+		rec.ToCostPerHour = res.BestResult.CostPerHour
+		rec.Reason = "incumbent remains optimal at the new load"
+	default:
+		mig := c.migration.Cost(c.cfg.Spec, incumbent.Config, res.BestConfig)
+		rec.To = res.BestConfig.Clone()
+		rec.ToCostPerHour = res.BestResult.CostPerHour
+		rec.MigrationCost = mig
+		horizon := c.cfg.Params.AmortizationHours
+		switch {
+		case !incNow.MeetsQoS:
+			rec.Applied = true
+			rec.Reason = "incumbent violates QoS at the new load; switching to restore it"
+		case res.BestResult.CostPerHour*horizon+mig < incNow.CostPerHour*horizon-1e-9:
+			rec.Applied = true
+			rec.Reason = fmt.Sprintf("cheaper after migration: $%.3f/hr + $%.3f once vs $%.3f/hr",
+				res.BestResult.CostPerHour, mig, incNow.CostPerHour)
+		default:
+			rec.Reason = fmt.Sprintf("saving does not repay migration within %.2gh; incumbent kept", horizon)
+		}
+		if rec.Applied {
+			next = res.BestResult
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.searches++
+	c.lastSteps = res.Steps
+	c.incumbent = next
+	c.stat.AppliedScale = target
+	c.stat.Incumbent = next.Config.Clone()
+	c.stat.IncumbentCostPerHour = next.CostPerHour
+	c.stat.IncumbentMeetsQoS = next.MeetsQoS
+	c.stat.SearchSamples += res.Samples
+	c.stat.Reconfigurations = append(c.stat.Reconfigurations, rec)
+	c.stat.State = StateSteady
+	c.stat.PendingForMs = 0
+	c.det.Reset()
+	c.cooldownUntil = nowMs + c.cfg.Params.CooldownMs
+	return nil
+}

@@ -1,0 +1,63 @@
+package controller
+
+import "math"
+
+// changeDetector decides when a load shift is real. Two mechanisms guard
+// against thrashing the pool on arrival noise:
+//
+//   - a relative threshold: the windowed rate estimate must deviate from the
+//     provisioned (applied) rate scale by at least RelThreshold — Poisson
+//     jitter on a steady stream stays far below any sane threshold once the
+//     window holds a few hundred arrivals;
+//   - dwell-time hysteresis: the deviation must persist, in the same
+//     direction, for DwellMs of continuous stream time before the shift is
+//     confirmed. A transient blip resets the clock.
+//
+// The detector is a pure state machine over (tick time, applied scale,
+// estimated scale); it owns no clock and is therefore exactly as
+// deterministic as the tick sequence that drives it.
+type changeDetector struct {
+	relThreshold float64
+	dwellMs      float64
+
+	pendingSince float64 // tick time the current excursion started; -1 when steady
+	pendingUp    bool    // direction of the current excursion
+}
+
+func newChangeDetector(relThreshold, dwellMs float64) *changeDetector {
+	if relThreshold <= 0 || dwellMs < 0 {
+		panic("controller: invalid detector parameters")
+	}
+	return &changeDetector{relThreshold: relThreshold, dwellMs: dwellMs, pendingSince: -1}
+}
+
+// Update advances the detector by one tick and reports whether a shift is
+// confirmed: the estimate has deviated from the applied scale beyond the
+// relative threshold, in a consistent direction, for at least DwellMs.
+// Callers must Reset after acting on a confirmation.
+func (d *changeDetector) Update(nowMs, applied, estimated float64) bool {
+	if applied <= 0 || math.IsNaN(estimated) {
+		return false
+	}
+	dev := estimated/applied - 1
+	if math.Abs(dev) < d.relThreshold {
+		d.pendingSince = -1
+		return false
+	}
+	up := dev > 0
+	if d.pendingSince < 0 || up != d.pendingUp {
+		d.pendingSince = nowMs
+		d.pendingUp = up
+		return d.dwellMs == 0
+	}
+	return nowMs-d.pendingSince >= d.dwellMs
+}
+
+// Pending reports whether an excursion is being dwelled on, and since when.
+func (d *changeDetector) Pending() (sinceMs float64, ok bool) {
+	return d.pendingSince, d.pendingSince >= 0
+}
+
+// Reset returns the detector to steady state; the next excursion restarts
+// the dwell clock from zero.
+func (d *changeDetector) Reset() { d.pendingSince = -1 }

@@ -1,0 +1,66 @@
+package controller
+
+// rateEstimator maintains a sliding-window estimate of the arrival rate: the
+// number of arrivals observed in the trailing WindowMs, divided by the
+// effective window length. It is the controller's only view of the load —
+// the estimator never sees the schedule that generated the stream, so a
+// replayed trace and a live arrival feed are indistinguishable to it.
+//
+// The window is a FIFO of arrival timestamps backed by a ring buffer;
+// Observe and rate are amortized O(1) per arrival.
+type rateEstimator struct {
+	windowMs float64
+	times    []float64 // ring buffer of in-window arrival timestamps
+	head     int       // index of the oldest entry
+	n        int       // entries in the window
+}
+
+func newRateEstimator(windowMs float64) *rateEstimator {
+	if windowMs <= 0 {
+		panic("controller: window must be positive")
+	}
+	return &rateEstimator{windowMs: windowMs, times: make([]float64, 16)}
+}
+
+// Observe records one arrival at absolute time tMs. Arrivals must be fed in
+// non-decreasing time order (the stream contract of package workload).
+func (e *rateEstimator) Observe(tMs float64) {
+	e.evict(tMs)
+	if e.n == len(e.times) {
+		grown := make([]float64, 2*len(e.times))
+		for i := 0; i < e.n; i++ {
+			grown[i] = e.times[(e.head+i)%len(e.times)]
+		}
+		e.times = grown
+		e.head = 0
+	}
+	e.times[(e.head+e.n)%len(e.times)] = tMs
+	e.n++
+}
+
+// evict drops arrivals older than nowMs - windowMs.
+func (e *rateEstimator) evict(nowMs float64) {
+	cutoff := nowMs - e.windowMs
+	for e.n > 0 && e.times[e.head] < cutoff {
+		e.head = (e.head + 1) % len(e.times)
+		e.n--
+	}
+}
+
+// RatePerMs returns the windowed arrival-rate estimate at nowMs, in queries
+// per millisecond. Before a full window has elapsed the divisor is the time
+// observed so far, so early estimates are unbiased rather than low.
+func (e *rateEstimator) RatePerMs(nowMs float64) float64 {
+	e.evict(nowMs)
+	window := e.windowMs
+	if nowMs < window {
+		window = nowMs
+	}
+	if window <= 0 {
+		return 0
+	}
+	return float64(e.n) / window
+}
+
+// Count returns the number of arrivals currently inside the window.
+func (e *rateEstimator) Count() int { return e.n }

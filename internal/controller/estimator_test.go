@@ -1,0 +1,119 @@
+package controller
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRateEstimatorSteadyRate(t *testing.T) {
+	e := newRateEstimator(1000)
+	// One arrival every 10ms: 0.1 arrivals/ms.
+	for tMs := 10.0; tMs <= 5000; tMs += 10 {
+		e.Observe(tMs)
+	}
+	got := e.RatePerMs(5000)
+	if math.Abs(got-0.1) > 0.005 {
+		t.Fatalf("rate = %g, want ~0.1", got)
+	}
+}
+
+func TestRateEstimatorEvicts(t *testing.T) {
+	e := newRateEstimator(100)
+	for tMs := 1.0; tMs <= 100; tMs++ {
+		e.Observe(tMs)
+	}
+	if e.Count() != 100 {
+		t.Fatalf("count = %d, want 100", e.Count())
+	}
+	// Far in the future: the whole window is stale.
+	if got := e.RatePerMs(10_000); got != 0 {
+		t.Fatalf("stale rate = %g, want 0", got)
+	}
+	if e.Count() != 0 {
+		t.Fatalf("count after eviction = %d, want 0", e.Count())
+	}
+}
+
+func TestRateEstimatorPartialWindow(t *testing.T) {
+	e := newRateEstimator(10_000)
+	// 50 arrivals in the first 500ms; the divisor must be the elapsed
+	// 500ms, not the full 10s window.
+	for tMs := 10.0; tMs <= 500; tMs += 10 {
+		e.Observe(tMs)
+	}
+	got := e.RatePerMs(500)
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("partial-window rate = %g, want ~0.1", got)
+	}
+}
+
+func TestRateEstimatorRingGrowth(t *testing.T) {
+	e := newRateEstimator(1e9) // nothing evicts
+	for i := 0; i < 10_000; i++ {
+		e.Observe(float64(i))
+	}
+	if e.Count() != 10_000 {
+		t.Fatalf("count = %d, want 10000", e.Count())
+	}
+	// The ring wrapped several times while growing; order must survive.
+	if got := e.RatePerMs(9_999); math.Abs(got-10_000.0/9_999) > 1e-9 {
+		t.Fatalf("rate = %g", got)
+	}
+}
+
+func TestDetectorThresholdAndDwell(t *testing.T) {
+	d := newChangeDetector(0.25, 1000)
+	// Within threshold: never pending.
+	if d.Update(100, 1.0, 1.1) {
+		t.Fatal("confirmed inside threshold")
+	}
+	if _, ok := d.Pending(); ok {
+		t.Fatal("pending inside threshold")
+	}
+	// Excursion starts at t=200; dwell must hold 1000ms.
+	for _, tick := range []float64{200, 500, 900, 1100} {
+		if d.Update(tick, 1.0, 2.0) {
+			t.Fatalf("confirmed at %gms, before dwell", tick)
+		}
+	}
+	if !d.Update(1200, 1.0, 2.0) {
+		t.Fatal("not confirmed after dwell elapsed")
+	}
+}
+
+func TestDetectorBlipResetsDwell(t *testing.T) {
+	d := newChangeDetector(0.25, 1000)
+	d.Update(100, 1.0, 2.0)
+	d.Update(600, 1.0, 1.0) // back inside threshold: reset
+	d.Update(700, 1.0, 2.0) // excursion restarts
+	if d.Update(1200, 1.0, 2.0) {
+		t.Fatal("confirmed 500ms after restart; dwell is 1000ms")
+	}
+	if !d.Update(1700, 1.0, 2.0) {
+		t.Fatal("not confirmed after full dwell from restart")
+	}
+}
+
+func TestDetectorDirectionFlipResetsDwell(t *testing.T) {
+	d := newChangeDetector(0.25, 1000)
+	d.Update(100, 1.0, 2.0) // up excursion
+	d.Update(600, 1.0, 0.5) // down excursion: dwell restarts
+	if d.Update(1200, 1.0, 0.5) {
+		t.Fatal("confirmed across a direction flip")
+	}
+	if !d.Update(1600, 1.0, 0.5) {
+		t.Fatal("not confirmed after full dwell in the new direction")
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	d := newChangeDetector(0.25, 500)
+	d.Update(100, 1.0, 2.0)
+	d.Reset()
+	if d.Update(700, 1.0, 2.0) {
+		t.Fatal("confirmed immediately after Reset")
+	}
+	if !d.Update(1200, 1.0, 2.0) {
+		t.Fatal("not confirmed after dwell from Reset")
+	}
+}

@@ -1,0 +1,47 @@
+package controller
+
+import "ribbon/internal/serving"
+
+// MigrationModel prices a pool reconfiguration. Switching configurations is
+// not free in a real deployment: added instances pay a provisioning charge
+// (boot, image pull, model load) and removed instances pay a drain charge
+// (connection draining, in-flight completion) before their billing stops.
+// Both are expressed in hours of the instance's own hourly price, so a
+// charge of 0.05 means "one added g4dn costs 3 minutes of g4dn time".
+//
+// The controller folds this one-off cost into the keep-or-switch comparison
+// over an amortization horizon (Params.AmortizationHours): a candidate pool
+// replaces the incumbent only when
+//
+//	candidate $/hr * H + migration$ < incumbent $/hr * H
+//
+// so marginal savings that would take longer than H to repay the switch are
+// rejected — a second thrash guard, independent of the dwell hysteresis.
+type MigrationModel struct {
+	// SetupHours is the one-off charge per added instance, in hours of
+	// that instance's hourly price.
+	SetupHours float64
+	// TeardownHours is the one-off charge per removed instance, in hours
+	// of that instance's hourly price.
+	TeardownHours float64
+}
+
+// Cost returns the one-off dollar cost of migrating the pool from one
+// configuration to another. Both configurations must match the spec's
+// dimensionality. Unchanged instances cost nothing.
+func (m MigrationModel) Cost(spec serving.PoolSpec, from, to serving.Config) float64 {
+	if len(from) != spec.Dim() || len(to) != spec.Dim() {
+		panic("controller: migration configs do not match pool spec")
+	}
+	total := 0.0
+	for i, t := range spec.Types {
+		delta := to[i] - from[i]
+		switch {
+		case delta > 0:
+			total += float64(delta) * t.PricePerHour * m.SetupHours
+		case delta < 0:
+			total += float64(-delta) * t.PricePerHour * m.TeardownHours
+		}
+	}
+	return total
+}

@@ -1,0 +1,40 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+func TestMigrationCost(t *testing.T) {
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "c5", "r5n")
+	m := MigrationModel{SetupHours: 0.1, TeardownHours: 0.02}
+
+	from := serving.Config{2, 3, 1}
+	to := serving.Config{3, 1, 1} // +1 g4dn, -2 c5, r5n unchanged
+	want := 1*spec.Types[0].PricePerHour*0.1 + 2*spec.Types[1].PricePerHour*0.02
+	if got := m.Cost(spec, from, to); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost = %g, want %g", got, want)
+	}
+
+	if got := m.Cost(spec, from, from); got != 0 {
+		t.Fatalf("no-op migration cost = %g, want 0", got)
+	}
+
+	// Zero model: switching is free.
+	if got := (MigrationModel{}).Cost(spec, from, to); got != 0 {
+		t.Fatalf("zero-model cost = %g, want 0", got)
+	}
+}
+
+func TestMigrationCostDimensionMismatch(t *testing.T) {
+	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), 0.99, "g4dn", "c5")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	MigrationModel{SetupHours: 1}.Cost(spec, serving.Config{1, 2}, serving.Config{1, 2, 3})
+}

@@ -1,7 +1,10 @@
 // Package core implements Ribbon itself (Sec. 4): the two-regime objective
 // function over (QoS satisfaction, cost), the BO-driven search loop with
-// active pruning, automatic per-type search bounds (m_i) discovery, and the
-// warm-started re-search that follows a load change.
+// active pruning and speculative parallel evaluation (Options.Parallelism,
+// docs/performance.md), automatic per-type search bounds (m_i) discovery,
+// and the warm-started re-search that follows a load change — consumed one
+// shot by ribbon.Optimizer.AdaptToLoad and continuously by
+// internal/controller.
 package core
 
 import (

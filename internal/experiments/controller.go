@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"ribbon/internal/controller"
+	"ribbon/internal/serving"
+	"ribbon/internal/workload"
+)
+
+// ControllerScenarios lists the load schedules the controller experiment
+// replays — the shapes of the paper's Fig. 16 study (spike) plus the
+// production-shaped diurnal and ramp curves.
+func ControllerScenarios() []workload.Scenario {
+	return []workload.Scenario{workload.ScenarioSpike, workload.ScenarioDiurnal, workload.ScenarioRamp}
+}
+
+// ControllerAdaptation runs the continuous pool controller over one model
+// and one named load scenario and tabulates every reconfiguration decision:
+// when the shift was confirmed, what load was observed, which pool replaced
+// which at what migration cost, and why (or why not). It is the beyond-paper
+// successor of Fig. 16: instead of one scripted 1.5x adaptation, the
+// controller detects the shifts itself through its sliding-window estimator
+// and dwell-time hysteresis.
+//
+// The search bounds are discovered at the schedule's peak rate, so the
+// space contains QoS-satisfying pools for every phase of the replay.
+func ControllerAdaptation(s Setup, model string, scenario workload.Scenario) Table {
+	s = s.withDefaults()
+	spec := s.spec(model)
+
+	const totalQueries = 24_000
+	phases, err := workload.ScenarioPhases(scenario, totalQueries)
+	if err != nil {
+		panic(err)
+	}
+	maxRate := 0.0
+	for _, ph := range phases {
+		if ph.RateScale > maxRate {
+			maxRate = ph.RateScale
+		}
+	}
+	bounds := s.boundsFor(spec, serving.SimOptions{RateScale: maxRate})
+
+	params := controller.Params{
+		WindowMs:     8_000,
+		TickMs:       1_000,
+		RelThreshold: 0.25,
+		DwellMs:      4_000,
+		AdaptBudget:  16,
+	}
+	c, err := controller.New(controller.Config{
+		Spec:          spec,
+		Sim:           serving.SimOptions{Queries: s.Queries, Seed: s.Seed},
+		Bounds:        bounds,
+		InitialBudget: 40,
+		Params:        params,
+	})
+	if err != nil {
+		panic(err)
+	}
+	stream := workload.GenerateSchedule(spec.Model, s.Seed+3, workload.HeavyTailLogNormalBatch, phases)
+	st, err := c.Run(context.Background(), stream)
+	if err != nil {
+		panic(err)
+	}
+
+	t := Table{
+		ID: "controller",
+		Title: fmt.Sprintf("%s continuous controller on %q (%d queries; window %gs, dwell %gs, threshold %.0f%%)",
+			model, scenario, totalQueries, params.WindowMs/1000, params.DwellMs/1000, 100*params.RelThreshold),
+		Header: []string{"At (s)", "Load", "Decision", "Pool", "Cost", "Migration", "Samples", "Reason"},
+	}
+	initPool, initCost := initialIncumbent(st)
+	t.AddRow("0.0", "1.00x", "initial", initPool.String(), usd(initCost), "-",
+		itoa(st.SearchSamples-adaptSamples(st)), "cold search at base load")
+	for _, rec := range st.Reconfigurations {
+		decision := "kept"
+		if rec.Applied {
+			decision = "switched"
+		}
+		t.AddRow(
+			fmt.Sprintf("%.1f", rec.AtMs/1000),
+			fmt.Sprintf("%.2fx", rec.ObservedScale),
+			decision,
+			rec.From.String()+" -> "+rec.To.String(),
+			usd(rec.FromCostPerHour)+" -> "+usd(rec.ToCostPerHour),
+			fmt.Sprintf("$%.3f", rec.MigrationCost),
+			itoa(rec.Samples),
+			rec.Reason,
+		)
+	}
+	qos := "meets QoS"
+	if !st.IncumbentMeetsQoS {
+		qos = "VIOLATES QoS"
+	}
+	t.AddRow("summary",
+		fmt.Sprintf("%.2fx", st.EstimatedScale),
+		fmt.Sprintf("%d reconfig(s)", len(st.Reconfigurations)),
+		st.Incumbent.String(),
+		usd(st.IncumbentCostPerHour),
+		qos,
+		itoa(st.SearchSamples),
+		fmt.Sprintf("%d arrivals, %d ticks", st.Arrivals, st.Ticks))
+	return t
+}
+
+// initialIncumbent recovers the pool the cold search established: the
+// "from" side of the first reconfiguration, or the final incumbent when the
+// replay never reconfigured.
+func initialIncumbent(st controller.Status) (serving.Config, float64) {
+	if len(st.Reconfigurations) > 0 {
+		return st.Reconfigurations[0].From, st.Reconfigurations[0].FromCostPerHour
+	}
+	return st.Incumbent, st.IncumbentCostPerHour
+}
+
+// adaptSamples sums the evaluations spent by re-searches (excluding the
+// initial cold search).
+func adaptSamples(st controller.Status) int {
+	n := 0
+	for _, rec := range st.Reconfigurations {
+		n += rec.Samples
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestControllerAdaptationSpike smoke-tests the controller experiment on a
+// reduced setup: the spike replay must produce the initial row, at least one
+// reconfiguration row, and a QoS-meeting summary.
+func TestControllerAdaptationSpike(t *testing.T) {
+	s := Setup{Seed: 42, Queries: 1500, Budget: 24}
+	table := ControllerAdaptation(s, "MT-WND", "spike")
+	if table.ID != "controller" {
+		t.Fatalf("table id %q", table.ID)
+	}
+	if len(table.Rows) < 3 { // initial + >=1 reconfiguration + summary
+		t.Fatalf("only %d rows: %+v", len(table.Rows), table.Rows)
+	}
+	if table.Rows[0][2] != "initial" {
+		t.Fatalf("first row is not the initial pool: %v", table.Rows[0])
+	}
+	summary := table.Rows[len(table.Rows)-1]
+	if summary[0] != "summary" {
+		t.Fatalf("last row is not the summary: %v", summary)
+	}
+	if summary[5] != "meets QoS" {
+		t.Fatalf("summary does not meet QoS: %v", summary)
+	}
+	switched := false
+	for _, row := range table.Rows[1 : len(table.Rows)-1] {
+		if row[2] == "switched" {
+			switched = true
+			if !strings.Contains(row[3], "->") {
+				t.Fatalf("switch row without pool transition: %v", row)
+			}
+		}
+	}
+	if !switched {
+		t.Fatalf("spike replay never switched pools: %+v", table.Rows)
+	}
+}
+
+// TestControllerScenarioList keeps the bench wiring honest.
+func TestControllerScenarioList(t *testing.T) {
+	got := ControllerScenarios()
+	if len(got) != 3 {
+		t.Fatalf("scenarios = %v", got)
+	}
+}

@@ -1,7 +1,9 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (Sec. 5). Each Fig* function runs the corresponding experiment
-// deterministically and returns a Table; cmd/ribbon-bench prints them and
-// the root-level benchmarks time them.
+// evaluation (Sec. 5) plus the beyond-paper studies: the dispatch-policy
+// comparison (DispatchComparison), the continuous-controller replay
+// (ControllerAdaptation), and the search-core hot-path measurement (Perf).
+// Each experiment function runs deterministically and returns a Table;
+// cmd/ribbon-bench prints them and the root-level benchmarks time them.
 package experiments
 
 import (

@@ -1,0 +1,390 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ribbon"
+	"ribbon/api"
+	"ribbon/internal/workload"
+)
+
+// defaultControllerQueries is the replay length of a named scenario when the
+// request omits total_queries.
+const defaultControllerQueries = 20_000
+
+// ctl is the server-side state of one controller run. ctrl and phases are
+// immutable after create; everything else is behind the store mutex. The
+// live control-loop snapshot is not stored here at all — ribbon.Controller
+// publishes it concurrency-safely via Status(), so view() always reads the
+// freshest state without any progress plumbing.
+type ctl struct {
+	id       string
+	spec     api.ControllerSpec
+	ctrl     *ribbon.Controller
+	phases   []ribbon.LoadPhase
+	status   api.JobStatus
+	created  time.Time
+	started  *time.Time
+	finished *time.Time
+	err      *api.Error
+	cancel   context.CancelFunc // set while running
+}
+
+// controllerStore is a concurrency-safe registry of controller runs with a
+// bounded worker pool replaying them. It deliberately mirrors jobStore's
+// worker/queue/evict/cancel machinery line for line — the two lifecycles
+// must stay behaviorally identical, so fixes to either store's concurrency
+// logic (see in particular jobStore.run's cancel-vs-finish ordering note)
+// belong in both.
+type controllerStore struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	ctls       map[string]*ctl
+	order      []string
+	pending    []*ctl
+	seq        int
+	closed     bool
+	queueDepth int
+	retain     int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+func newControllerStore(workers, queueDepth, retain int) *controllerStore {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &controllerStore{
+		ctls:       map[string]*ctl{},
+		queueDepth: queueDepth,
+		retain:     retain,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.wg.Add(workers)
+	for range workers {
+		go st.worker()
+	}
+	return st
+}
+
+func (st *controllerStore) worker() {
+	defer st.wg.Done()
+	for {
+		st.mu.Lock()
+		for len(st.pending) == 0 && !st.closed {
+			st.cond.Wait()
+		}
+		if len(st.pending) == 0 {
+			st.mu.Unlock()
+			return
+		}
+		c := st.pending[0]
+		st.pending = st.pending[1:]
+		st.mu.Unlock()
+		st.run(c)
+	}
+}
+
+func (st *controllerStore) close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	st.baseCancel()
+	st.wg.Wait()
+}
+
+// create resolves the spec (catalogs, scenario expansion, controller
+// parameters) synchronously — an invalid request is a 400 here, not an
+// asynchronous failure — then registers and enqueues the run.
+func (st *controllerStore) create(spec api.ControllerSpec, defaultInitialBudget, defaultAdaptBudget int) (api.Controller, *api.Error) {
+	initialBudget := spec.InitialBudget
+	if initialBudget == 0 {
+		initialBudget = defaultInitialBudget
+	}
+	adaptBudget := spec.AdaptBudget
+	if adaptBudget == 0 {
+		adaptBudget = defaultAdaptBudget
+	}
+	ctrl, err := ribbon.NewController(ribbon.ControllerConfig{
+		Service:       serviceConfig(spec.ServiceSpec, ribbon.SearchOptions{}),
+		InitialBudget: initialBudget,
+		Controller: ribbon.ControllerParams{
+			WindowMs:               spec.WindowMs,
+			TickMs:                 spec.TickMs,
+			RelThreshold:           spec.RelThreshold,
+			DwellMs:                spec.DwellMs,
+			CooldownMs:             spec.CooldownMs,
+			MigrationSetupHours:    spec.MigrationSetupHours,
+			MigrationTeardownHours: spec.MigrationTeardownHours,
+			AmortizationHours:      spec.AmortizationHours,
+			AdaptBudget:            adaptBudget,
+		},
+	})
+	if err != nil {
+		return api.Controller{}, apiError(err)
+	}
+
+	var phases []ribbon.LoadPhase
+	if len(spec.Phases) > 0 {
+		phases = make([]ribbon.LoadPhase, len(spec.Phases))
+		for i, p := range spec.Phases {
+			phases[i] = ribbon.LoadPhase{Queries: p.Queries, RateScale: p.RateScale}
+		}
+	} else {
+		name := spec.Scenario
+		if name == "" {
+			name = string(ribbon.ScenarioSpike)
+		}
+		total := spec.TotalQueries
+		if total == 0 {
+			total = defaultControllerQueries
+		}
+		ph, err := workload.ScenarioPhases(workload.Scenario(name), total)
+		if err != nil {
+			return api.Controller{}, &api.Error{Code: api.ErrInvalidRequest, Message: err.Error()}
+		}
+		phases = ph
+	}
+
+	c := &ctl{spec: spec, ctrl: ctrl, phases: phases, status: api.JobQueued, created: time.Now()}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return api.Controller{}, &api.Error{Code: api.ErrOverloaded, Message: "server is shutting down"}
+	}
+	if len(st.pending) >= st.queueDepth {
+		return api.Controller{}, &api.Error{Code: api.ErrOverloaded,
+			Message: fmt.Sprintf("controller queue is full (%d pending)", len(st.pending))}
+	}
+	st.seq++
+	c.id = fmt.Sprintf("ctl-%06d", st.seq)
+	st.ctls[c.id] = c
+	st.order = append(st.order, c.id)
+	st.pending = append(st.pending, c)
+	st.evictLocked()
+	st.cond.Signal()
+	return c.view(), nil
+}
+
+// evictLocked drops the oldest terminal runs beyond the retain bound.
+// Callers hold st.mu.
+func (st *controllerStore) evictLocked() {
+	excess := len(st.ctls) - st.retain
+	if excess <= 0 {
+		return
+	}
+	kept := st.order[:0]
+	for _, id := range st.order {
+		if excess > 0 && st.ctls[id].status.Terminal() {
+			delete(st.ctls, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// run replays one controller on a worker goroutine.
+func (st *controllerStore) run(c *ctl) {
+	st.mu.Lock()
+	if c.status != api.JobQueued { // cancelled while waiting
+		st.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(st.baseCtx)
+	c.cancel = cancel
+	now := time.Now()
+	c.started = &now
+	c.status = api.JobRunning
+	st.mu.Unlock()
+	defer cancel()
+
+	_, err := c.ctrl.RunPhases(ctx, c.phases)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	end := time.Now()
+	c.finished = &end
+	switch {
+	case ctx.Err() != nil:
+		c.status = api.JobCancelled
+	case err != nil:
+		c.status = api.JobFailed
+		c.err = &api.Error{Code: api.ErrInternal, Message: err.Error()}
+	default:
+		c.status = api.JobDone
+	}
+}
+
+// cancel stops a queued or running controller run.
+func (st *controllerStore) cancel(id string) (api.Controller, *api.Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, ok := st.ctls[id]
+	if !ok {
+		return api.Controller{}, &api.Error{Code: api.ErrNotFound, Message: fmt.Sprintf("no controller %q", id)}
+	}
+	switch c.status {
+	case api.JobQueued:
+		now := time.Now()
+		c.finished = &now
+		c.status = api.JobCancelled
+		for i, p := range st.pending {
+			if p == c {
+				st.pending = append(st.pending[:i], st.pending[i+1:]...)
+				break
+			}
+		}
+	case api.JobRunning:
+		c.cancel() // run() observes the context and finalizes
+	default:
+		return api.Controller{}, &api.Error{Code: api.ErrJobFinished,
+			Message: fmt.Sprintf("controller %s already %s", id, c.status)}
+	}
+	return c.view(), nil
+}
+
+func (st *controllerStore) get(id string) (api.Controller, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, ok := st.ctls[id]
+	if !ok {
+		return api.Controller{}, false
+	}
+	return c.view(), true
+}
+
+// list returns every run in creation order; always a non-nil slice so the
+// endpoint encodes [] rather than null.
+func (st *controllerStore) list() []api.Controller {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]api.Controller, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.ctls[id].view())
+	}
+	return out
+}
+
+// view snapshots the run as its wire representation; the control-loop
+// snapshot comes straight from the (concurrency-safe) controller. Callers
+// hold st.mu.
+func (c *ctl) view() api.Controller {
+	return api.Controller{
+		ID:         c.id,
+		Status:     c.status,
+		CreatedAt:  c.created,
+		StartedAt:  c.started,
+		FinishedAt: c.finished,
+		Spec:       c.spec,
+		Snapshot:   controllerStatusDTO(c.ctrl.Status()),
+		Error:      c.err,
+	}
+}
+
+// controllerStatusDTO maps the library snapshot onto the wire schema.
+func controllerStatusDTO(st ribbon.ControllerStatus) api.ControllerStatus {
+	out := api.ControllerStatus{
+		State:                string(st.State),
+		NowMs:                st.NowMs,
+		Arrivals:             st.Arrivals,
+		Ticks:                st.Ticks,
+		EstimatedScale:       st.EstimatedScale,
+		AppliedScale:         st.AppliedScale,
+		PendingForMs:         st.PendingForMs,
+		Incumbent:            st.Incumbent,
+		IncumbentCostPerHour: st.IncumbentCostPerHour,
+		IncumbentMeetsQoS:    st.IncumbentMeetsQoS,
+		SearchSamples:        st.SearchSamples,
+		Reconfigurations:     make([]api.ControllerReconfiguration, 0, len(st.Reconfigurations)),
+	}
+	for _, r := range st.Reconfigurations {
+		out.Reconfigurations = append(out.Reconfigurations, api.ControllerReconfiguration{
+			AtMs:              r.AtMs,
+			ObservedScale:     r.ObservedScale,
+			OldScale:          r.OldScale,
+			NewScale:          r.NewScale,
+			From:              r.From,
+			To:                r.To,
+			FromCostPerHour:   r.FromCostPerHour,
+			ToCostPerHour:     r.ToCostPerHour,
+			MigrationCost:     r.MigrationCost,
+			IncumbentMeetsQoS: r.IncumbentMeetsQoS,
+			Samples:           r.Samples,
+			Applied:           r.Applied,
+			Reason:            r.Reason,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	out := api.ScenarioList{Scenarios: make([]api.ScenarioInfo, 0, len(ribbon.Scenarios()))}
+	for _, sc := range ribbon.Scenarios() {
+		phases, err := workload.ScenarioPhases(sc, defaultControllerQueries)
+		if err != nil { // unreachable for built-ins; fail loudly if it happens
+			s.writeErr(w, &api.Error{Code: api.ErrInternal, Message: err.Error()})
+			return
+		}
+		info := api.ScenarioInfo{Name: string(sc), Phases: make([]api.LoadPhase, 0, len(phases))}
+		for _, ph := range phases {
+			info.Phases = append(info.Phases, api.LoadPhase{Queries: ph.Queries, RateScale: ph.RateScale})
+		}
+		out.Scenarios = append(out.Scenarios, info)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateController(w http.ResponseWriter, r *http.Request) {
+	var spec api.ControllerSpec
+	if e := s.decode(w, r, &spec); e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	if e := spec.Validate(); e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	c, e := s.ctrls.create(spec, s.cfg.DefaultBudget, s.cfg.DefaultAdaptBudget)
+	if e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	w.Header().Set("Location", "/v1/controllers/"+c.ID)
+	s.writeJSON(w, http.StatusAccepted, c)
+}
+
+func (s *Server) handleListControllers(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, api.ControllerList{Controllers: s.ctrls.list()})
+}
+
+func (s *Server) handleGetController(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.ctrls.get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, &api.Error{Code: api.ErrNotFound,
+			Message: fmt.Sprintf("no controller %q", r.PathValue("id"))})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, c)
+}
+
+func (s *Server) handleCancelController(w http.ResponseWriter, r *http.Request) {
+	c, e := s.ctrls.cancel(r.PathValue("id"))
+	if e != nil {
+		s.writeErr(w, e)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, c)
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"ribbon/api"
+)
+
+// fastControllerBody is a controller spec tuned to finish in well under a
+// second: a small evaluation window, a short spike replay, tight loop
+// timing.
+const fastControllerBody = `{
+	"model": "MT-WND",
+	"queries": 1500,
+	"scenario": "spike",
+	"total_queries": 12000,
+	"initial_budget": 16,
+	"adapt_budget": 10,
+	"window_ms": 2000,
+	"tick_ms": 250,
+	"rel_threshold": 0.3,
+	"dwell_ms": 1000
+}`
+
+func decodeController(t *testing.T, body []byte) api.Controller {
+	t.Helper()
+	var c api.Controller
+	if err := json.Unmarshal(body, &c); err != nil {
+		t.Fatalf("decoding controller: %v from %s", err, body)
+	}
+	return c
+}
+
+func waitController(t *testing.T, s *Server, id string) api.Controller {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rr := doReq(t, s, http.MethodGet, "/v1/controllers/"+id, "")
+		if rr.Code != http.StatusOK {
+			t.Fatalf("get controller: %d %s", rr.Code, rr.Body.String())
+		}
+		c := decodeController(t, rr.Body.Bytes())
+		if c.Status.Terminal() {
+			return c
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("controller did not finish in time")
+	return api.Controller{}
+}
+
+func TestControllerLifecycle(t *testing.T) {
+	s := newTestServer(t)
+
+	rr := doReq(t, s, http.MethodPost, "/v1/controllers", fastControllerBody)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("create: %d %s", rr.Code, rr.Body.String())
+	}
+	created := decodeController(t, rr.Body.Bytes())
+	if created.ID == "" || created.Status.Terminal() {
+		t.Fatalf("unexpected created state: %+v", created)
+	}
+	if loc := rr.Header().Get("Location"); loc != "/v1/controllers/"+created.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	c := waitController(t, s, created.ID)
+	if c.Status != api.JobDone {
+		t.Fatalf("final status %s (error %v)", c.Status, c.Error)
+	}
+	snap := c.Snapshot
+	if snap.State != "done" {
+		t.Fatalf("snapshot state %q", snap.State)
+	}
+	if snap.Arrivals != 12000 {
+		t.Fatalf("arrivals %d, want 12000", snap.Arrivals)
+	}
+	// The spike scenario contains a 2x phase: the upshift must be
+	// confirmed and applied, and the history must say why.
+	if len(snap.Reconfigurations) == 0 {
+		t.Fatalf("no reconfigurations in history: %+v", snap)
+	}
+	first := snap.Reconfigurations[0]
+	if !first.Applied || first.NewScale < 1.5 {
+		t.Fatalf("unexpected first reconfiguration: %+v", first)
+	}
+	if first.Reason == "" || len(first.From) == 0 || len(first.To) == 0 {
+		t.Fatalf("incomplete reconfiguration record: %+v", first)
+	}
+	if !snap.IncumbentMeetsQoS {
+		t.Fatalf("final incumbent violates QoS: %+v", snap)
+	}
+	if snap.SearchSamples == 0 {
+		t.Fatal("no search samples accounted")
+	}
+
+	// The run appears in the listing.
+	rr = doReq(t, s, http.MethodGet, "/v1/controllers", "")
+	var list api.ControllerList
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Controllers) != 1 || list.Controllers[0].ID != created.ID {
+		t.Fatalf("listing = %+v", list)
+	}
+
+	// Cancelling a finished run conflicts.
+	rr = doReq(t, s, http.MethodDelete, "/v1/controllers/"+created.ID, "")
+	if rr.Code != http.StatusConflict || decodeErr(t, rr).Code != api.ErrJobFinished {
+		t.Fatalf("cancel finished: %d %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	s := newTestServer(t)
+
+	for name, body := range map[string]string{
+		"unknown model":       `{"model": "nope", "scenario": "spike"}`,
+		"unknown scenario":    `{"model": "MT-WND", "scenario": "weekend"}`,
+		"scenario and phases": `{"model": "MT-WND", "scenario": "spike", "phases": [{"queries": 10, "rate_scale": 1}]}`,
+		"bad phase":           `{"model": "MT-WND", "phases": [{"queries": -1, "rate_scale": 1}]}`,
+		"bad threshold":       `{"model": "MT-WND", "rel_threshold": 2}`,
+		"unknown field":       `{"model": "MT-WND", "scenrio": "spike"}`,
+	} {
+		rr := doReq(t, s, http.MethodPost, "/v1/controllers", body)
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, rr.Code, rr.Body.String())
+		}
+	}
+
+	rr := doReq(t, s, http.MethodGet, "/v1/controllers/ctl-999999", "")
+	if rr.Code != http.StatusNotFound || decodeErr(t, rr).Code != api.ErrNotFound {
+		t.Fatalf("unknown controller: %d %s", rr.Code, rr.Body.String())
+	}
+	rr = doReq(t, s, http.MethodDelete, "/v1/controllers/ctl-999999", "")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("cancel unknown controller: %d", rr.Code)
+	}
+}
+
+func TestControllerCancelMidRun(t *testing.T) {
+	s := newTestServer(t)
+
+	// A long replay with a large budget: plenty of time to cancel.
+	body := `{"model": "MT-WND", "scenario": "diurnal", "total_queries": 200000,
+		"queries": 4000, "initial_budget": 120}`
+	rr := doReq(t, s, http.MethodPost, "/v1/controllers", body)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("create: %d %s", rr.Code, rr.Body.String())
+	}
+	id := decodeController(t, rr.Body.Bytes()).ID
+
+	rr = doReq(t, s, http.MethodDelete, "/v1/controllers/"+id, "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", rr.Code, rr.Body.String())
+	}
+	c := waitController(t, s, id)
+	if c.Status != api.JobCancelled {
+		t.Fatalf("status after cancel: %s", c.Status)
+	}
+}
+
+func TestControllerScenariosEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	rr := doReq(t, s, http.MethodGet, "/v1/scenarios", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("scenarios: %d", rr.Code)
+	}
+	var list api.ScenarioList
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Scenarios) < 5 {
+		t.Fatalf("only %d scenarios listed", len(list.Scenarios))
+	}
+	for _, sc := range list.Scenarios {
+		if sc.Name == "" || len(sc.Phases) == 0 {
+			t.Fatalf("incomplete scenario info: %+v", sc)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 // Package server implements the Ribbon control-plane HTTP service behind
 // cmd/ribbon-server: a testable Server type that mounts the typed v1 API
-// (package api) — catalog inspection, synchronous evaluate/optimize, and an
-// asynchronous job-based optimize flow backed by a bounded worker pool.
+// (package api) — catalog inspection, synchronous evaluate/optimize, an
+// asynchronous job-based optimize flow, and continuous pool-controller runs
+// (/v1/controllers, docs/controller.md), each backed by a bounded worker
+// pool.
 //
 // The legacy /api/... routes are kept as deprecated aliases of their /v1/...
 // successors and answer with a Deprecation header.
@@ -34,8 +36,15 @@ type Config struct {
 	DefaultBudget int
 	// RetainJobs bounds how many terminal jobs stay queryable; once
 	// exceeded the oldest finished jobs are evicted (active jobs never
-	// are). 256 when zero.
+	// are). 256 when zero. Controller runs are retained under the same
+	// bound.
 	RetainJobs int
+	// ControllerWorkers bounds the number of controller replays running
+	// concurrently; Workers when zero.
+	ControllerWorkers int
+	// DefaultAdaptBudget is the controller's per-reconfiguration search
+	// budget when the request omits it; 16 when zero.
+	DefaultAdaptBudget int
 	// MaxBodyBytes caps request bodies; 1 MiB when zero.
 	MaxBodyBytes int64
 	// Logf receives diagnostics; log.Printf when nil.
@@ -43,11 +52,13 @@ type Config struct {
 }
 
 // Server is the Ribbon control plane. Create with New, mount Handler into
-// an http.Server, and Close on shutdown to stop the job workers.
+// an http.Server, and Close on shutdown to stop the job and controller
+// workers.
 type Server struct {
-	cfg  Config
-	mux  *http.ServeMux
-	jobs *jobStore
+	cfg   Config
+	mux   *http.ServeMux
+	jobs  *jobStore
+	ctrls *controllerStore
 }
 
 // New builds a Server and starts its job worker pool.
@@ -67,21 +78,33 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.ControllerWorkers <= 0 {
+		cfg.ControllerWorkers = cfg.Workers
+	}
+	if cfg.DefaultAdaptBudget <= 0 {
+		cfg.DefaultAdaptBudget = 16
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	s.jobs = newJobStore(cfg.Workers, cfg.QueueDepth, cfg.RetainJobs)
+	s.ctrls = newControllerStore(cfg.ControllerWorkers, cfg.QueueDepth, cfg.RetainJobs)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/instances", s.handleInstances)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v1/controllers", s.handleCreateController)
+	s.mux.HandleFunc("GET /v1/controllers", s.handleListControllers)
+	s.mux.HandleFunc("GET /v1/controllers/{id}", s.handleGetController)
+	s.mux.HandleFunc("DELETE /v1/controllers/{id}", s.handleCancelController)
 
 	// Deprecated v0 aliases.
 	s.mux.HandleFunc("GET /api/models", deprecated("/v1/models", s.handleModels))
@@ -95,9 +118,12 @@ func New(cfg Config) *Server {
 // deprecated /api/... aliases.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close cancels every queued and running job and stops the worker pool. The
-// Server must not serve requests afterwards.
-func (s *Server) Close() { s.jobs.close() }
+// Close cancels every queued and running job and controller run and stops
+// the worker pools. The Server must not serve requests afterwards.
+func (s *Server) Close() {
+	s.jobs.close()
+	s.ctrls.close()
+}
 
 // deprecated wraps an alias route so responses advertise the successor.
 func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
@@ -152,8 +178,9 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) *api.Erro
 	return nil
 }
 
-// newOptimizer resolves a service spec against the catalogs.
-func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions) (*ribbon.Optimizer, *api.Error) {
+// serviceConfig maps the wire-level service spec onto the library's
+// configuration; shared by the optimizer and controller constructors.
+func serviceConfig(spec api.ServiceSpec, opts ribbon.SearchOptions) ribbon.ServiceConfig {
 	cfg := ribbon.ServiceConfig{
 		Model:                spec.Model,
 		Families:             spec.Families,
@@ -176,13 +203,23 @@ func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions) (*ribbon.Opti
 			Sheddable: spec.ClassMix.Sheddable,
 		}
 	}
-	opt, err := ribbon.NewOptimizer(cfg)
+	return cfg
+}
+
+// apiError maps a library constructor error onto the wire error codes.
+func apiError(err error) *api.Error {
+	code := api.ErrInvalidRequest
+	if errors.Is(err, ribbon.ErrUnknownModel) || errors.Is(err, ribbon.ErrUnknownInstance) {
+		code = api.ErrUnknownModel
+	}
+	return &api.Error{Code: code, Message: err.Error()}
+}
+
+// newOptimizer resolves a service spec against the catalogs.
+func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions) (*ribbon.Optimizer, *api.Error) {
+	opt, err := ribbon.NewOptimizer(serviceConfig(spec, opts))
 	if err != nil {
-		code := api.ErrInvalidRequest
-		if errors.Is(err, ribbon.ErrUnknownModel) || errors.Is(err, ribbon.ErrUnknownInstance) {
-			code = api.ErrUnknownModel
-		}
-		return nil, &api.Error{Code: code, Message: err.Error()}
+		return nil, apiError(err)
 	}
 	return opt, nil
 }

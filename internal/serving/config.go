@@ -1,14 +1,19 @@
 // Package serving simulates a heterogeneous pool of cloud instances serving
-// an inference query stream, exactly as the paper's deployment does: queries
-// are dispatched first-come-first-serve to the first available instance in
-// the pool's type order (Sec. 5.1), each query's latency is queueing wait
-// plus modeled service time, and a configuration's quality is its QoS
-// satisfaction rate Rsat (fraction of queries within the model's tail-latency
-// target) together with its $/hour price.
+// an inference query stream: every arrival is routed by a pluggable dispatch
+// policy (internal/dispatch — the default reproduces the paper's
+// first-come-first-serve preference-order rule of Sec. 5.1 bit for bit),
+// each query's latency is queueing wait plus modeled service time, and a
+// configuration's quality is its QoS satisfaction rate Rsat (fraction of
+// queries within the model's tail-latency target) together with its $/hour
+// price.
 //
 // Evaluating one configuration is the "costly black-box sample" that Ribbon's
-// Bayesian optimizer minimizes; the CachingEvaluator also tracks the
-// exploration-cost accounting behind Figs. 13 and 14.
+// Bayesian optimizer minimizes. The event loop merges an arrival cursor with
+// a typed completions heap over a sync.Pool buffer arena, so one evaluation
+// costs ~11 allocations and is safe to run concurrently — see
+// docs/performance.md. The CachingEvaluator adds memoization, the
+// exploration-cost accounting behind Figs. 13 and 14, and the uncharged
+// speculative Lookahead the parallel search drives.
 package serving
 
 import (

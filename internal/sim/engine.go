@@ -1,7 +1,16 @@
-// Package sim implements a minimal discrete-event simulation engine: a
-// monotonically advancing clock and a time-ordered event heap with FIFO
-// tie-breaking. The serving cluster (internal/serving) is built on it; the
-// engine itself knows nothing about queries or instances.
+// Package sim implements minimal discrete-event simulation primitives with
+// a shared ordering contract — events fire by (time, scheduling order), so
+// ties break FIFO:
+//
+//   - Engine is the general-purpose form: a monotonically advancing clock
+//     over a heap of closure events. It is the reference implementation and
+//     the right tool when event payloads vary.
+//   - CompletionHeap is the specialized form on the serving hot path
+//     (internal/serving): a heap of plain completion values, no closures or
+//     interface boxing, with a backing array reused across runs.
+//
+// Both know nothing about queries or instances; the serving cluster's event
+// loop is built on CompletionHeap, with Engine equivalence pinned by tests.
 package sim
 
 import "container/heap"

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scenario names a built-in load-fluctuation schedule shape. Scenarios are
+// the named presets behind the controller experiments (docs/controller.md):
+// each expands into a piecewise []Phase over a total query count via
+// ScenarioPhases, and the result feeds GenerateSchedule unchanged.
+type Scenario string
+
+// The built-in scenarios.
+const (
+	// ScenarioSteady holds the base rate for the whole replay; the
+	// controller must never reconfigure on it.
+	ScenarioSteady Scenario = "steady"
+	// ScenarioNoise jitters the rate ±5% around the base — well inside any
+	// sane change-detector threshold, so a controller that reconfigures on
+	// it is thrashing.
+	ScenarioNoise Scenario = "noise"
+	// ScenarioSpike is the paper's Fig. 16 shape: a flat base phase, an
+	// abrupt sustained jump to 2x, and a return to base.
+	ScenarioSpike Scenario = "spike"
+	// ScenarioDiurnal approximates a day/night traffic curve: base, climb
+	// to a 1.6x peak, fall to a 0.5x trough, recover.
+	ScenarioDiurnal Scenario = "diurnal"
+	// ScenarioRamp grows the rate linearly from base to 2x in 0.2x steps.
+	ScenarioRamp Scenario = "ramp"
+)
+
+// Scenarios lists the built-in scenarios in documentation order.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioSteady, ScenarioNoise, ScenarioSpike, ScenarioDiurnal, ScenarioRamp}
+}
+
+// Valid reports whether s names a built-in scenario.
+func (s Scenario) Valid() bool {
+	for _, k := range Scenarios() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// scenarioShape is the normalized phase profile of one scenario: per-phase
+// (fraction of the total query count, rate scale). Fractions sum to 1.
+type scenarioShape []struct {
+	frac float64
+	rate float64
+}
+
+func shapeOf(s Scenario) (scenarioShape, bool) {
+	switch s {
+	case ScenarioSteady:
+		return scenarioShape{{1, 1.0}}, true
+	case ScenarioNoise:
+		return scenarioShape{
+			{0.125, 1.0}, {0.125, 1.05}, {0.125, 0.95}, {0.125, 1.05},
+			{0.125, 0.95}, {0.125, 1.0}, {0.125, 1.05}, {0.125, 0.95},
+		}, true
+	case ScenarioSpike:
+		return scenarioShape{{0.4, 1.0}, {0.3, 2.0}, {0.3, 1.0}}, true
+	case ScenarioDiurnal:
+		return scenarioShape{
+			{0.125, 1.0}, {0.125, 1.3}, {0.125, 1.6}, {0.125, 1.3},
+			{0.125, 1.0}, {0.125, 0.7}, {0.125, 0.5}, {0.125, 0.7},
+		}, true
+	case ScenarioRamp:
+		return scenarioShape{
+			{1.0 / 6, 1.0}, {1.0 / 6, 1.2}, {1.0 / 6, 1.4},
+			{1.0 / 6, 1.6}, {1.0 / 6, 1.8}, {1.0 / 6, 2.0},
+		}, true
+	}
+	return nil, false
+}
+
+// ScenarioPhases expands a named scenario into the piecewise schedule over
+// totalQueries queries. Every phase receives at least one query, so small
+// totals still exercise the full shape; the sum of phase query counts is
+// exactly totalQueries.
+func ScenarioPhases(s Scenario, totalQueries int) ([]Phase, error) {
+	shape, ok := shapeOf(s)
+	if !ok {
+		names := make([]string, 0, len(Scenarios()))
+		for _, k := range Scenarios() {
+			names = append(names, string(k))
+		}
+		return nil, fmt.Errorf("workload: unknown scenario %q (known: %s)", s, strings.Join(names, ", "))
+	}
+	if totalQueries < len(shape) {
+		return nil, fmt.Errorf("workload: scenario %q needs at least %d queries, got %d", s, len(shape), totalQueries)
+	}
+	phases := make([]Phase, len(shape))
+	assigned := 0
+	for i, seg := range shape {
+		n := int(seg.frac * float64(totalQueries))
+		if n < 1 {
+			n = 1
+		}
+		phases[i] = Phase{Queries: n, RateScale: seg.rate}
+		assigned += n
+	}
+	// Give the rounding remainder (positive or negative) to the last phase;
+	// the floor above guarantees it stays >= 1 for totals >= len(shape).
+	phases[len(phases)-1].Queries += totalQueries - assigned
+	if phases[len(phases)-1].Queries < 1 {
+		phases[len(phases)-1].Queries = 1
+	}
+	return phases, nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+
+	"ribbon/internal/models"
+)
+
+func TestScenarioPhasesTotals(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, total := range []int{10, 100, 4000, 20001} {
+			phases, err := ScenarioPhases(sc, total)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", sc, total, err)
+			}
+			sum := 0
+			for i, ph := range phases {
+				if ph.Queries < 1 {
+					t.Fatalf("%s/%d: phase %d has %d queries", sc, total, i, ph.Queries)
+				}
+				if ph.RateScale <= 0 {
+					t.Fatalf("%s/%d: phase %d has rate %g", sc, total, i, ph.RateScale)
+				}
+				sum += ph.Queries
+			}
+			if sum != total {
+				t.Fatalf("%s/%d: phases sum to %d", sc, total, sum)
+			}
+		}
+	}
+}
+
+func TestScenarioPhasesErrors(t *testing.T) {
+	if _, err := ScenarioPhases("weekend", 1000); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := ScenarioPhases(ScenarioDiurnal, 3); err == nil {
+		t.Fatal("tiny total accepted")
+	}
+	if Scenario("spike").Valid() != true {
+		t.Fatal("spike should be valid")
+	}
+	if Scenario("weekend").Valid() {
+		t.Fatal("weekend should be invalid")
+	}
+}
+
+func TestScenarioGeneratesValidStream(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	for _, sc := range Scenarios() {
+		phases, err := ScenarioPhases(sc, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := GenerateSchedule(m, 7, HeavyTailLogNormalBatch, phases)
+		if len(st.Queries) != 500 {
+			t.Fatalf("%s: got %d queries", sc, len(st.Queries))
+		}
+		if err := st.Validate(); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	m := models.MustLookup("DIEN")
+	phases, err := ScenarioPhases(ScenarioSpike, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := GenerateSchedule(m, 11, HeavyTailLogNormalBatch, phases)
+	b := GenerateSchedule(m, 11, HeavyTailLogNormalBatch, phases)
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d differs: %+v vs %+v", i, a.Queries[i], b.Queries[i])
+		}
+	}
+}

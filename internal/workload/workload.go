@@ -2,10 +2,12 @@
 // experiment: Poisson arrivals with heavy-tail log-normal batch sizes
 // (the paper's production-trace emulation, Sec. 5.1), a Gaussian batch-size
 // variant (Fig. 11 robustness study), and piecewise load schedules for the
-// load-fluctuation experiments (Fig. 16). Queries optionally carry a
-// criticality class (Critical / Standard / Sheddable) consumed by the
-// dispatch policies in internal/dispatch. Streams can be recorded to and
-// replayed from JSON for the ribbon-trace tool; traces recorded before
+// load-fluctuation experiments (Fig. 16) — including the named scenario
+// presets (steady, noise, spike, diurnal, ramp) the continuous controller
+// replays (internal/controller, docs/controller.md). Queries optionally
+// carry a criticality class (Critical / Standard / Sheddable) consumed by
+// the dispatch policies in internal/dispatch. Streams can be recorded to
+// and replayed from JSON for the ribbon-trace tool; traces recorded before
 // classes existed replay unchanged (missing class means Standard).
 package workload
 

@@ -15,6 +15,11 @@
 //	rec, err := opt.Run(40)
 //	fmt.Println(rec.BestConfig, rec.BestResult.CostPerHour)
 //
+// Beyond the one-shot Optimizer, the Controller (see controller.go and
+// docs/controller.md) runs the same planning continuously: it watches an
+// arrival stream for sustained load shifts and re-plans the pool with
+// warm-started searches, pricing migrations before switching.
+//
 // The heavy lifting lives in internal packages; this package re-exports the
 // stable vocabulary types (Config, Result, SearchResult, ...) as aliases so
 // downstream code never imports internal paths.
@@ -194,6 +199,48 @@ type ServiceConfig struct {
 	SearchOptions core.Options
 }
 
+// resolveSim resolves the service description into a pool spec and simulator
+// options — the shared backend construction of NewOptimizer (when no custom
+// Evaluator overrides it), AdaptToLoad, and NewController. The caller is
+// responsible for the defaulting NewOptimizer applies (QoSPercentile, Seed).
+func (cfg ServiceConfig) resolveSim() (serving.PoolSpec, serving.SimOptions, error) {
+	profile := cfg.Profile
+	if profile.Name == "" {
+		if cfg.Model == "" {
+			return serving.PoolSpec{}, serving.SimOptions{}, errors.New("ribbon: ServiceConfig needs Model, Profile, or Evaluator")
+		}
+		p, err := models.Lookup(cfg.Model)
+		if err != nil {
+			return serving.PoolSpec{}, serving.SimOptions{}, err
+		}
+		profile = p
+	}
+	fams := cfg.Families
+	if fams == nil {
+		def, err := DefaultPoolFamilies(profile.Name)
+		if err != nil {
+			return serving.PoolSpec{}, serving.SimOptions{}, fmt.Errorf("ribbon: %w (set Families explicitly for custom profiles)", err)
+		}
+		fams = def
+	}
+	spec, err := serving.NewPoolSpec(profile, cfg.QoSPercentile, fams...)
+	if err != nil {
+		return serving.PoolSpec{}, serving.SimOptions{}, err
+	}
+	batch := workload.HeavyTailLogNormalBatch
+	if cfg.GaussianBatch {
+		batch = workload.GaussianBatch
+	}
+	return spec, serving.SimOptions{
+		Queries:   cfg.QueriesPerEvaluation,
+		Seed:      cfg.Seed,
+		RateScale: cfg.RateScale,
+		Batch:     batch,
+		Dispatch:  cfg.Dispatch,
+		Mix:       cfg.ClassMix,
+	}, nil
+}
+
 // Optimizer plans a cost-minimal QoS-meeting pool configuration for one
 // inference service.
 type Optimizer struct {
@@ -204,10 +251,9 @@ type Optimizer struct {
 	lastRun *SearchResult
 }
 
-// NewOptimizer validates the service description and prepares the
-// evaluation backend. No configuration is deployed until Run or Evaluate is
-// called.
-func NewOptimizer(cfg ServiceConfig) (*Optimizer, error) {
+// normalize applies the service-wide defaults and shape-level validation
+// shared by NewOptimizer and NewController.
+func (cfg ServiceConfig) normalize() (ServiceConfig, error) {
 	if cfg.QoSPercentile == 0 {
 		cfg.QoSPercentile = 0.99
 	}
@@ -215,51 +261,32 @@ func NewOptimizer(cfg ServiceConfig) (*Optimizer, error) {
 		cfg.Seed = 42
 	}
 	if err := cfg.Dispatch.Validate(); err != nil {
-		return nil, fmt.Errorf("ribbon: %w", err)
+		return cfg, fmt.Errorf("ribbon: %w", err)
 	}
 	if err := cfg.ClassMix.Validate(); err != nil {
-		return nil, fmt.Errorf("ribbon: %w", err)
+		return cfg, fmt.Errorf("ribbon: %w", err)
+	}
+	return cfg, nil
+}
+
+// NewOptimizer validates the service description and prepares the
+// evaluation backend. No configuration is deployed until Run or Evaluate is
+// called.
+func NewOptimizer(cfg ServiceConfig) (*Optimizer, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
 	}
 
 	var inner Evaluator
 	if cfg.Evaluator != nil {
 		inner = cfg.Evaluator
 	} else {
-		profile := cfg.Profile
-		if profile.Name == "" {
-			if cfg.Model == "" {
-				return nil, errors.New("ribbon: ServiceConfig needs Model, Profile, or Evaluator")
-			}
-			p, err := models.Lookup(cfg.Model)
-			if err != nil {
-				return nil, err
-			}
-			profile = p
-		}
-		fams := cfg.Families
-		if fams == nil {
-			def, err := DefaultPoolFamilies(profile.Name)
-			if err != nil {
-				return nil, fmt.Errorf("ribbon: %w (set Families explicitly for custom profiles)", err)
-			}
-			fams = def
-		}
-		spec, err := serving.NewPoolSpec(profile, cfg.QoSPercentile, fams...)
+		spec, opts, err := cfg.resolveSim()
 		if err != nil {
 			return nil, err
 		}
-		batch := workload.HeavyTailLogNormalBatch
-		if cfg.GaussianBatch {
-			batch = workload.GaussianBatch
-		}
-		inner = serving.NewSimEvaluator(spec, serving.SimOptions{
-			Queries:   cfg.QueriesPerEvaluation,
-			Seed:      cfg.Seed,
-			RateScale: cfg.RateScale,
-			Batch:     batch,
-			Dispatch:  cfg.Dispatch,
-			Mix:       cfg.ClassMix,
-		})
+		inner = serving.NewSimEvaluator(spec, opts)
 	}
 	if cfg.Bounds != nil && len(cfg.Bounds) != inner.Spec().Dim() {
 		return nil, fmt.Errorf("ribbon: %d bounds for a %d-type pool", len(cfg.Bounds), inner.Spec().Dim())
