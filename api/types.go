@@ -424,6 +424,145 @@ type ControllerList struct {
 	Controllers []Controller `json:"controllers"`
 }
 
+// MaxFleetModels bounds FleetSpec.Models: beyond this the per-model
+// frontier searches dominate the worker pool for too long; split larger
+// catalogs across several fleets.
+const MaxFleetModels = 8
+
+// FleetModelSpec is one member of a fleet: a service spec plus its claim on
+// the shared budget.
+type FleetModelSpec struct {
+	ServiceSpec
+	// Name identifies the model fleet-wide; the catalog model name when
+	// omitted. Names must be unique within the fleet (so the same catalog
+	// model can appear twice only under distinct explicit names).
+	Name string `json:"name,omitempty"`
+	// Weight is the criticality weight; 1 when omitted. A weight of 2
+	// makes the model count as twice as starved at equal satisfaction, so
+	// the solver tops it up first.
+	Weight float64 `json:"weight,omitempty"`
+	// FloorCostPerHour reserves a minimum share of the budget for this
+	// model. The floors must sum to at most the budget.
+	FloorCostPerHour float64 `json:"floor_cost_per_hour,omitempty"`
+	// SearchBudget overrides the fleet-wide per-model frontier search
+	// budget for this model.
+	SearchBudget int `json:"search_budget,omitempty"`
+}
+
+// FleetSpec asks for a multi-model shared-budget optimization: every
+// model's pool is searched into a cost→Rsat frontier, a deterministic
+// weighted max-min solver splits BudgetPerHour across the frontiers, and
+// the most-constrained models are re-searched with warm starts. See
+// docs/fleet.md.
+type FleetSpec struct {
+	// Models is the catalog, 1 to MaxFleetModels entries.
+	Models []FleetModelSpec `json:"models"`
+	// BudgetPerHour is the shared $/hour budget split across the fleet.
+	// Required and positive.
+	BudgetPerHour float64 `json:"budget_per_hour"`
+	// SearchBudget bounds each model's frontier-extraction search; 40
+	// when omitted.
+	SearchBudget int `json:"search_budget,omitempty"`
+	// RefineBudget bounds each warm-started refinement re-search; 12 when
+	// omitted.
+	RefineBudget int `json:"refine_budget,omitempty"`
+	// RefineModels caps how many most-constrained models the refinement
+	// pass re-searches; 2 when omitted, -1 disables refinement.
+	RefineModels int `json:"refine_models,omitempty"`
+	// Parallelism is the per-search speculative evaluation parallelism,
+	// with the same semantics and MaxParallelism cap as
+	// OptimizeRequest.Parallelism: results are bit-identical at any
+	// setting.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// FleetAllocation is the solver's decision for one model.
+type FleetAllocation struct {
+	// Name is the model; Config the chosen instance-count vector.
+	Name   string `json:"name"`
+	Config []int  `json:"config"`
+	// CostPerHour prices the chosen configuration; ChargedPerHour is the
+	// budget it consumes (the cost, or the model's floor when higher).
+	CostPerHour    float64 `json:"cost_per_hour"`
+	ChargedPerHour float64 `json:"charged_per_hour"`
+	// QoSSatRate and MeetsQoS report the configuration against the
+	// model's own QoS target.
+	QoSSatRate float64 `json:"qos_sat_rate"`
+	MeetsQoS   bool    `json:"meets_qos"`
+	// Score is the solver's weighted normalized satisfaction — the
+	// max-min objective value this model contributes.
+	Score float64 `json:"score"`
+}
+
+// FleetModelStatus is the live view of one model's pipeline progress.
+type FleetModelStatus struct {
+	// Name is the model; Phase its pipeline position (pending, searching,
+	// refining, done).
+	Name  string `json:"name"`
+	Phase string `json:"phase"`
+	// Samples counts the model's real evaluations so far; FrontierSize
+	// the extracted frontier's point count (0 while searching).
+	Samples      int `json:"samples"`
+	FrontierSize int `json:"frontier_size,omitempty"`
+	// Allocation is the model's share of the solved plan; present once
+	// the allocation stage has run.
+	Allocation *FleetAllocation `json:"allocation,omitempty"`
+}
+
+// FleetStatus is the live pipeline snapshot of a fleet optimization,
+// frozen at its final value once the run is terminal.
+type FleetStatus struct {
+	// State is the pipeline position: searching, allocating, refining, or
+	// done.
+	State string `json:"state"`
+	// Samples is the fleet-wide count of real evaluations so far.
+	Samples int `json:"samples"`
+	// BudgetPerHour echoes the shared budget; TotalCostPerHour is the
+	// solved plan's spend (present once allocated).
+	BudgetPerHour    float64 `json:"budget_per_hour"`
+	TotalCostPerHour float64 `json:"total_cost_per_hour,omitempty"`
+	// Feasible reports whether even the cheapest per-model configurations
+	// fit the budget — false only for hopeless budgets. Absent until the
+	// allocation stage has solved a plan, so an in-flight poll never
+	// reads as infeasible.
+	Feasible *bool `json:"feasible,omitempty"`
+	// AllMeetQoS reports whether every model's allocation meets its own
+	// target (absent until a plan is solved); Binding names the model
+	// pinning the fleet's worst-case QoS.
+	AllMeetQoS *bool  `json:"all_meet_qos,omitempty"`
+	Binding    string `json:"binding,omitempty"`
+	// MinScore is the fleet's bottleneck: the smallest allocation score.
+	// Present once a plan is solved (alongside Feasible/AllMeetQoS) — a
+	// pointer because 0 is a legitimate bottleneck score under overload.
+	MinScore *float64 `json:"min_score,omitempty"`
+	// Models reports per-model progress and allocations, in catalog order.
+	Models []FleetModelStatus `json:"models"`
+	// Refined names the models the refinement pass re-searched.
+	Refined []string `json:"refined,omitempty"`
+}
+
+// Fleet is one asynchronous fleet optimization. Its lifecycle reuses the
+// job states: queued -> running -> done | failed | cancelled.
+type Fleet struct {
+	ID         string     `json:"id"`
+	Status     JobStatus  `json:"status"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Spec echoes the accepted FleetSpec.
+	Spec FleetSpec `json:"spec"`
+	// Snapshot is the pipeline's live view, updated while the run
+	// progresses and frozen at its final value once terminal.
+	Snapshot FleetStatus `json:"snapshot"`
+	// Error is set when the run failed.
+	Error *Error `json:"error,omitempty"`
+}
+
+// FleetList is the response of GET /v1/fleets.
+type FleetList struct {
+	Fleets []Fleet `json:"fleets"`
+}
+
 // ScenarioInfo describes one built-in load scenario, with its phase shape
 // expanded for the default replay length so callers can preview the
 // schedule a name stands for.

@@ -166,6 +166,70 @@ func (s ControllerSpec) Validate() *Error {
 	return nil
 }
 
+// Validate checks the schema-level invariants of a fleet spec: model count
+// and uniqueness, budget shape, and the per-model floors fitting the shared
+// budget. Catalog resolution stays the server's job.
+func (s FleetSpec) Validate() *Error {
+	if len(s.Models) == 0 {
+		return &Error{Code: ErrInvalidRequest, Message: "models is required"}
+	}
+	if len(s.Models) > MaxFleetModels {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("%d models exceed the fleet cap %d", len(s.Models), MaxFleetModels)}
+	}
+	if s.BudgetPerHour <= 0 || math.IsNaN(s.BudgetPerHour) || math.IsInf(s.BudgetPerHour, 0) {
+		return &Error{Code: ErrInvalidBudget,
+			Message: fmt.Sprintf("budget_per_hour %g must be positive and finite", s.BudgetPerHour)}
+	}
+	if s.SearchBudget < 0 {
+		return &Error{Code: ErrInvalidBudget,
+			Message: fmt.Sprintf("search_budget %d must be positive (omit for the default)", s.SearchBudget)}
+	}
+	if s.RefineBudget < 0 {
+		return &Error{Code: ErrInvalidBudget,
+			Message: fmt.Sprintf("refine_budget %d must be positive (omit for the default)", s.RefineBudget)}
+	}
+	if s.Parallelism < 0 || s.Parallelism > MaxParallelism {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("parallelism %d out of [0, %d]", s.Parallelism, MaxParallelism)}
+	}
+	names := map[string]bool{}
+	floors := 0.0
+	for i, m := range s.Models {
+		if err := m.ServiceSpec.Validate(); err != nil {
+			err.Message = fmt.Sprintf("models[%d]: %s", i, err.Message)
+			return err
+		}
+		name := m.Name
+		if name == "" {
+			name = m.Model
+		}
+		if names[name] {
+			return &Error{Code: ErrInvalidRequest,
+				Message: fmt.Sprintf("models[%d]: duplicate fleet model name %q (set distinct names)", i, name)}
+		}
+		names[name] = true
+		if m.Weight < 0 || math.IsNaN(m.Weight) || math.IsInf(m.Weight, 0) {
+			return &Error{Code: ErrInvalidRequest,
+				Message: fmt.Sprintf("models[%d]: weight %g must be finite and non-negative", i, m.Weight)}
+		}
+		if m.FloorCostPerHour < 0 || math.IsNaN(m.FloorCostPerHour) || math.IsInf(m.FloorCostPerHour, 0) {
+			return &Error{Code: ErrInvalidRequest,
+				Message: fmt.Sprintf("models[%d]: floor_cost_per_hour %g must be finite and non-negative", i, m.FloorCostPerHour)}
+		}
+		if m.SearchBudget < 0 {
+			return &Error{Code: ErrInvalidBudget,
+				Message: fmt.Sprintf("models[%d]: search_budget %d must be positive (omit for the default)", i, m.SearchBudget)}
+		}
+		floors += m.FloorCostPerHour
+	}
+	if floors > s.BudgetPerHour {
+		return &Error{Code: ErrInvalidBudget,
+			Message: fmt.Sprintf("floors sum to $%.3f/hr, exceeding the $%.3f/hr budget", floors, s.BudgetPerHour)}
+	}
+	return nil
+}
+
 // Validate checks an optimize request. Budget zero means "use the server
 // default"; explicit negative budgets are the caller's mistake.
 func (r OptimizeRequest) Validate() *Error {

@@ -1,6 +1,10 @@
 package api
 
-import "testing"
+import (
+	"fmt"
+	"math"
+	"testing"
+)
 
 func TestServiceSpecValidate(t *testing.T) {
 	cases := []struct {
@@ -138,5 +142,57 @@ func TestErrorFormatting(t *testing.T) {
 	e := &Error{Code: ErrInvalidBudget, Message: "budget -1 must be positive"}
 	if got := e.Error(); got != "invalid_budget: budget -1 must be positive" {
 		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestFleetSpecValidate(t *testing.T) {
+	model := func(name string) FleetModelSpec {
+		return FleetModelSpec{ServiceSpec: ServiceSpec{Model: "MT-WND"}, Name: name}
+	}
+	valid := FleetSpec{Models: []FleetModelSpec{model(""), model("wnd-2")}, BudgetPerHour: 5}
+
+	mut := func(f func(*FleetSpec)) FleetSpec {
+		s := valid
+		s.Models = append([]FleetModelSpec(nil), valid.Models...)
+		f(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		spec FleetSpec
+		code ErrorCode
+	}{
+		{"valid", valid, ""},
+		{"no models", mut(func(s *FleetSpec) { s.Models = nil }), ErrInvalidRequest},
+		{"too many models", mut(func(s *FleetSpec) {
+			for i := 0; i <= MaxFleetModels; i++ {
+				s.Models = append(s.Models, model(fmt.Sprintf("m%d", i)))
+			}
+		}), ErrInvalidRequest},
+		{"zero budget", mut(func(s *FleetSpec) { s.BudgetPerHour = 0 }), ErrInvalidBudget},
+		{"nan budget", mut(func(s *FleetSpec) { s.BudgetPerHour = math.NaN() }), ErrInvalidBudget},
+		{"negative search budget", mut(func(s *FleetSpec) { s.SearchBudget = -1 }), ErrInvalidBudget},
+		{"negative refine budget", mut(func(s *FleetSpec) { s.RefineBudget = -1 }), ErrInvalidBudget},
+		{"bad parallelism", mut(func(s *FleetSpec) { s.Parallelism = MaxParallelism + 1 }), ErrInvalidRequest},
+		{"bad service spec", mut(func(s *FleetSpec) { s.Models[0].Model = "" }), ErrInvalidRequest},
+		{"duplicate default names", mut(func(s *FleetSpec) { s.Models[1].Name = "" }), ErrInvalidRequest},
+		{"negative weight", mut(func(s *FleetSpec) { s.Models[0].Weight = -1 }), ErrInvalidRequest},
+		{"negative floor", mut(func(s *FleetSpec) { s.Models[0].FloorCostPerHour = -0.1 }), ErrInvalidRequest},
+		{"floors exceed budget", mut(func(s *FleetSpec) {
+			s.Models[0].FloorCostPerHour = 3
+			s.Models[1].FloorCostPerHour = 3
+		}), ErrInvalidBudget},
+		{"negative model search budget", mut(func(s *FleetSpec) { s.Models[0].SearchBudget = -1 }), ErrInvalidBudget},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		switch {
+		case tc.code == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.code != "" && err == nil:
+			t.Errorf("%s: expected %s", tc.name, tc.code)
+		case tc.code != "" && err.Code != tc.code:
+			t.Errorf("%s: code %s, want %s (%s)", tc.name, err.Code, tc.code, err.Message)
+		}
 	}
 }

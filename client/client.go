@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -38,10 +39,21 @@ import (
 	"ribbon/api"
 )
 
+// Default retry policy: the server answers 503/overloaded when one of its
+// bounded worker-pool queues (jobs, controllers, fleets) is momentarily
+// full — a transient condition worth a couple of jittered retries before
+// giving up.
+const (
+	defaultRetryAttempts = 3
+	defaultRetryBase     = 100 * time.Millisecond
+)
+
 // Client talks to one ribbon-server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base          string
+	hc            *http.Client
+	retryAttempts int
+	retryBase     time.Duration
 }
 
 // Option customizes a Client.
@@ -53,31 +65,92 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithRetry tunes the overload retry policy: at most attempts tries in
+// total (1 disables retrying), sleeping an equal-jittered exponential
+// backoff within (base<<n)/2 .. base<<n before try n+1. The default is 3
+// attempts at a 100ms base. Only 503/overloaded answers are retried — the
+// server rejected the work before starting it, so a retry never duplicates
+// anything.
+func WithRetry(attempts int, base time.Duration) Option {
+	return func(c *Client) {
+		if attempts >= 1 {
+			c.retryAttempts = attempts
+		}
+		if base > 0 {
+			c.retryBase = base
+		}
+	}
+}
+
 // New builds a client for the server at baseURL, e.g. "http://host:8080".
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:          strings.TrimRight(baseURL, "/"),
+		hc:            http.DefaultClient,
+		retryAttempts: defaultRetryAttempts,
+		retryBase:     defaultRetryBase,
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
 
-// do performs one round trip. A nil in skips the request body; a non-nil out
-// receives the decoded 2xx response.
+// do performs a round trip with the overload retry policy: 503/overloaded
+// answers — a momentarily full worker-pool queue — are retried with
+// jittered exponential backoff, up to the configured attempt bound, backing
+// off only while the context allows it. A nil in skips the request body; a
+// non-nil out receives the decoded 2xx response.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
+		buf = b
+	}
+	attempts := c.retryAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.roundTrip(ctx, method, path, buf, out)
+		if err == nil || attempt+1 >= attempts || !IsCode(err, api.ErrOverloaded) {
+			return err
+		}
+		// Equal jitter over an exponentially growing window: at least half
+		// the window — a guaranteed breather for the server — plus a random
+		// half so a burst of overloaded clients spreads out instead of
+		// reconverging.
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		window := c.retryBase << shift
+		if window <= 0 {
+			window = defaultRetryBase
+		}
+		half := int64(window / 2)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Duration(half + rand.Int63n(half+1))):
+		}
+	}
+}
+
+// roundTrip performs one attempt of do.
+func (c *Client) roundTrip(ctx context.Context, method, path string, buf []byte, out any) error {
+	var body io.Reader
+	if buf != nil {
 		body = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
-	if in != nil {
+	if buf != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -260,6 +333,58 @@ func (c *Client) WaitController(ctx context.Context, id string, poll time.Durati
 	return waitTerminal(ctx, poll,
 		func(ctx context.Context) (api.Controller, error) { return c.Controller(ctx, id) },
 		func(ctl api.Controller) api.JobStatus { return ctl.Status })
+}
+
+// CreateFleet submits an asynchronous multi-model fleet optimization — a
+// catalog of services sharing one $/hour budget (docs/fleet.md) — and
+// returns immediately with the queued run:
+//
+//	fl, err := c.CreateFleet(ctx, api.FleetSpec{
+//		Models: []api.FleetModelSpec{
+//			{ServiceSpec: api.ServiceSpec{Model: "CANDLE"}},
+//			{ServiceSpec: api.ServiceSpec{Model: "MT-WND"}, Weight: 2},
+//		},
+//		BudgetPerHour: 6.5,
+//	})
+//	if err != nil { ... }
+//	fl, err = c.WaitFleet(ctx, fl.ID, 500*time.Millisecond)
+//	for _, m := range fl.Snapshot.Models { fmt.Println(m.Name, m.Allocation) }
+func (c *Client) CreateFleet(ctx context.Context, spec api.FleetSpec) (api.Fleet, error) {
+	var out api.Fleet
+	err := c.do(ctx, http.MethodPost, "/v1/fleets", spec, &out)
+	return out, err
+}
+
+// Fleet fetches one fleet run's lifecycle status and live pipeline
+// snapshot (per-model phases, and the budget allocation once solved).
+func (c *Client) Fleet(ctx context.Context, id string) (api.Fleet, error) {
+	var out api.Fleet
+	err := c.do(ctx, http.MethodGet, "/v1/fleets/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// Fleets lists every fleet run the server knows about.
+func (c *Client) Fleets(ctx context.Context) ([]api.Fleet, error) {
+	var out api.FleetList
+	err := c.do(ctx, http.MethodGet, "/v1/fleets", nil, &out)
+	return out.Fleets, err
+}
+
+// CancelFleet asks the server to stop a queued or running fleet run. The
+// returned snapshot may still show it running; poll until
+// Status.Terminal().
+func (c *Client) CancelFleet(ctx context.Context, id string) (api.Fleet, error) {
+	var out api.Fleet
+	err := c.do(ctx, http.MethodDelete, "/v1/fleets/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// WaitFleet polls until the fleet run reaches a terminal state or the
+// context ends. poll defaults to 250ms when non-positive.
+func (c *Client) WaitFleet(ctx context.Context, id string, poll time.Duration) (api.Fleet, error) {
+	return waitTerminal(ctx, poll,
+		func(ctx context.Context) (api.Fleet, error) { return c.Fleet(ctx, id) },
+		func(f api.Fleet) api.JobStatus { return f.Status })
 }
 
 // IsCode reports whether err is an *api.Error with the given code.

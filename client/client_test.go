@@ -2,7 +2,11 @@ package client
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -282,5 +286,161 @@ func TestControllerFlow(t *testing.T) {
 	_, err = c.CancelController(ctx, ctl.ID)
 	if !IsCode(err, api.ErrJobFinished) {
 		t.Fatalf("want job_finished, got %v", err)
+	}
+}
+
+func TestFleetFlow(t *testing.T) {
+	c := newTestPair(t)
+	ctx := context.Background()
+
+	fl, err := c.CreateFleet(ctx, api.FleetSpec{
+		Models: []api.FleetModelSpec{
+			{ServiceSpec: api.ServiceSpec{Model: "CANDLE", Queries: 800}},
+			{ServiceSpec: api.ServiceSpec{Model: "MT-WND", Queries: 800}, Weight: 2},
+		},
+		BudgetPerHour: 6.0,
+		SearchBudget:  10,
+		RefineBudget:  6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.ID == "" {
+		t.Fatalf("no fleet id: %+v", fl)
+	}
+
+	listed, err := c.Fleets(ctx)
+	if err != nil || len(listed) != 1 {
+		t.Fatalf("fleets: %v (%d)", err, len(listed))
+	}
+
+	final, err := c.WaitFleet(ctx, fl.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.JobDone {
+		t.Fatalf("status %q (error %v)", final.Status, final.Error)
+	}
+	snap := final.Snapshot
+	if snap.State != "done" || len(snap.Models) != 2 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	for _, m := range snap.Models {
+		if m.Allocation == nil {
+			t.Fatalf("model %s missing allocation: %+v", m.Name, snap)
+		}
+	}
+	if roundTrip, err := c.Fleet(ctx, fl.ID); err != nil || roundTrip.ID != fl.ID {
+		t.Fatalf("get fleet: %v %+v", err, roundTrip)
+	}
+
+	// Schema violations surface as structured errors.
+	_, err = c.CreateFleet(ctx, api.FleetSpec{BudgetPerHour: 5})
+	if !IsCode(err, api.ErrInvalidRequest) {
+		t.Fatalf("want invalid_request, got %v", err)
+	}
+	_, err = c.CreateFleet(ctx, api.FleetSpec{
+		Models: []api.FleetModelSpec{{ServiceSpec: api.ServiceSpec{Model: "MT-WND"}}},
+	})
+	if !IsCode(err, api.ErrInvalidBudget) {
+		t.Fatalf("want invalid_budget, got %v", err)
+	}
+
+	// Cancelling the finished run is a structured conflict.
+	_, err = c.CancelFleet(ctx, fl.ID)
+	if !IsCode(err, api.ErrJobFinished) {
+		t.Fatalf("want job_finished, got %v", err)
+	}
+}
+
+// overloadedHandler answers 503/overloaded for the first fail requests,
+// then delegates; it counts every attempt.
+type overloadedHandler struct {
+	mu    sync.Mutex
+	fail  int
+	seen  int
+	inner http.Handler
+}
+
+func (h *overloadedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.seen++
+	overloaded := h.seen <= h.fail
+	h.mu.Unlock()
+	if overloaded {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"overloaded","message":"queue is full"}}`)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func (h *overloadedHandler) attempts() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seen
+}
+
+// TestRetryOverloaded is the regression test of the client's jittered
+// backoff: transient 503/overloaded answers from the bounded worker pools
+// are retried within the attempt bound, exhausted retries surface the
+// overload error, and the backoff aborts promptly when the context ends.
+func TestRetryOverloaded(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1, Logf: t.Logf})
+	t.Cleanup(srv.Close)
+
+	// Two failures, then success: the third attempt lands.
+	h := &overloadedHandler{fail: 2, inner: srv.Handler()}
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	c := New(hs.URL, WithRetry(3, time.Millisecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after transient overload: %v", err)
+	}
+	if got := h.attempts(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+
+	// Persistent overload: the attempt bound caps the retries and the
+	// overload error reaches the caller.
+	h2 := &overloadedHandler{fail: 1 << 30, inner: srv.Handler()}
+	hs2 := httptest.NewServer(h2)
+	t.Cleanup(hs2.Close)
+	c2 := New(hs2.URL, WithRetry(4, time.Millisecond))
+	err := c2.Health(context.Background())
+	if !IsCode(err, api.ErrOverloaded) {
+		t.Fatalf("want overloaded, got %v", err)
+	}
+	if got := h2.attempts(); got != 4 {
+		t.Fatalf("server saw %d attempts, want 4", got)
+	}
+
+	// Context-aware backoff: with a long backoff window, an expiring
+	// context aborts the wait instead of sleeping it out. The equal-jitter
+	// backoff sleeps at least half the base window, so the 50ms deadline
+	// fires during the first backoff.
+	c3 := New(hs2.URL, WithRetry(10, time.Minute))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = c3.Health(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored the context for %v", elapsed)
+	}
+
+	// WithRetry(1) disables retrying outright.
+	h3 := &overloadedHandler{fail: 1, inner: srv.Handler()}
+	hs3 := httptest.NewServer(h3)
+	t.Cleanup(hs3.Close)
+	c4 := New(hs3.URL, WithRetry(1, time.Millisecond))
+	if err := c4.Health(context.Background()); !IsCode(err, api.ErrOverloaded) {
+		t.Fatalf("want overloaded without retry, got %v", err)
+	}
+	if got := h3.attempts(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
 	}
 }

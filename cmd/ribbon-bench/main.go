@@ -8,13 +8,15 @@
 //
 // With no arguments every experiment runs in paper order. Experiments:
 // table1 table2 table3 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16, plus three beyond-paper experiments: the
+// fig13 fig14 fig15 fig16, plus four beyond-paper experiments: the
 // "dispatch" policy comparison (Rsat / tail / shed rate per dispatch policy
 // at 1x/2x/4x load; see docs/dispatch.md), the "controller" continuous
 // pool-controller replay (spike/diurnal/ramp load schedules with every
-// reconfiguration decision tabulated; see docs/controller.md), and the
-// "perf" search-core hot-path measurement, which additionally writes a
-// machine-readable report to -perf-out (BENCH_3.json by default; see
+// reconfiguration decision tabulated; see docs/controller.md), the "fleet"
+// shared-budget comparison (fleet allocation vs equal split vs per-model
+// independent optima at 1x/2x load; see docs/fleet.md), and the "perf"
+// search-core hot-path measurement, which additionally writes a
+// machine-readable report to -perf-out (BENCH_5.json by default; see
 // docs/performance.md).
 package main
 
@@ -36,7 +38,7 @@ func main() {
 		budget  = flag.Int("budget", 120, "evaluation budget per search strategy")
 		model   = flag.String("model", "", "restrict per-model experiments to one model (default: all five)")
 		types   = flag.Int("fig8-types", 4, "maximum pool cardinality for fig8 (5 is slow: ~minutes)")
-		perfOut = flag.String("perf-out", "BENCH_3.json", "file the perf experiment writes its machine-readable report to (empty disables)")
+		perfOut = flag.String("perf-out", "BENCH_5.json", "file the perf experiment writes its machine-readable report to (empty disables)")
 	)
 	flag.Parse()
 
@@ -48,7 +50,7 @@ func main() {
 
 	all := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"dispatch", "controller", "perf"}
+		"dispatch", "controller", "fleet", "perf"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -128,6 +130,8 @@ func run(id string, s experiments.Setup, modelList []string, fig8Types int) ([]e
 			out = append(out, experiments.DispatchComparison(s, m, nil))
 		}
 		return out, nil
+	case "fleet":
+		return experiments.FleetComparison(s, nil), nil
 	case "controller":
 		var out []experiments.Table
 		for _, m := range modelList {
@@ -138,7 +142,7 @@ func run(id string, s experiments.Setup, modelList []string, fig8Types int) ([]e
 		return out, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (known: %s)", id,
-			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch", "controller", "perf"}, ", "))
+			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch", "controller", "fleet", "perf"}, ", "))
 	}
 }
 

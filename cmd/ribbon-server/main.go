@@ -23,15 +23,21 @@
 //	GET    /v1/controllers       ControllerList
 //	GET    /v1/controllers/{id}  Controller (live snapshot + reconfiguration history)
 //	DELETE /v1/controllers/{id}  cancel a queued or running controller run
+//	POST   /v1/fleets            FleetSpec        -> Fleet (202, async)
+//	GET    /v1/fleets            FleetList
+//	GET    /v1/fleets/{id}       Fleet (live pipeline snapshot + budget allocation)
+//	DELETE /v1/fleets/{id}       cancel a queued or running fleet run
 //
 // The v0 routes /api/{models,instances,evaluate,optimize} remain as
-// deprecated aliases of their /v1 successors.
+// deprecated aliases of their /v1 successors, answering with Deprecation
+// and Sunset headers.
 //
 // Requests optionally select a pool dispatch policy (fcfs, least-loaded,
 // cost-random, criticality) and a workload criticality mix via the service
 // spec's "dispatch" and "class_mix" fields; see docs/dispatch.md.
 // Controller runs replay a named load scenario or an explicit piecewise
-// schedule; see docs/controller.md.
+// schedule; see docs/controller.md. Fleet runs optimize a catalog of
+// models against one shared $/hour budget; see docs/fleet.md.
 //
 // Usage:
 //
@@ -59,6 +65,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "concurrent optimize jobs")
 	ctrlWorkers := flag.Int("controller-workers", 0, "concurrent controller runs (default: same as -workers)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "concurrent fleet optimizations (default: same as -workers)")
 	queue := flag.Int("queue", 16, "pending job queue depth")
 	budget := flag.Int("default-budget", 40, "optimize budget when the request omits it")
 	adaptBudget := flag.Int("default-adapt-budget", 16, "controller re-search budget when the request omits it")
@@ -70,6 +77,7 @@ func main() {
 	if err := run(ctx, *addr, server.Config{
 		Workers:            *workers,
 		ControllerWorkers:  *ctrlWorkers,
+		FleetWorkers:       *fleetWorkers,
 		QueueDepth:         *queue,
 		DefaultBudget:      *budget,
 		DefaultAdaptBudget: *adaptBudget,

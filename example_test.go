@@ -68,3 +68,36 @@ func ExampleController() {
 	// t=11s load=1.9x applied=true (4 + 0 + 0) -> (4 + 7 + 8)
 	// t=16s load=1.0x applied=true (4 + 7 + 8) -> (3 + 2 + 0)
 }
+
+// ExampleFleet splits one shared $/hour budget across a small model
+// catalog: every model's pool is searched into a cost→Rsat frontier, the
+// deterministic weighted max-min solver allocates the budget, and the
+// binding models are refined with warm starts. The plan below is verified
+// on every test run.
+func ExampleFleet() {
+	f, err := ribbon.NewFleet(ribbon.FleetConfig{
+		Models: []ribbon.FleetModel{
+			{Service: ribbon.ServiceConfig{Model: "CANDLE", QueriesPerEvaluation: 1000}},
+			{Service: ribbon.ServiceConfig{Model: "MT-WND", QueriesPerEvaluation: 1000}},
+		},
+		BudgetPerHour: 5.2,
+		SearchBudget:  16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := f.Optimize(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible=%v all_meet=%v total=$%.3f/hr\n",
+		res.Plan.Feasible, res.Plan.AllMeetQoS, res.Plan.TotalPerHour)
+	for _, a := range res.Plan.Allocations {
+		fmt.Printf("%s -> %v $%.3f/hr rsat=%.3f\n",
+			a.Name, a.Point.Config, a.Point.CostPerHour, a.Point.Rsat)
+	}
+	// Output:
+	// feasible=true all_meet=true total=$5.054/hr
+	// CANDLE -> (6 + 3 + 0) $2.424/hr rsat=0.991
+	// MT-WND -> (5 + 0 + 0) $2.630/hr rsat=0.998
+}

@@ -1,0 +1,178 @@
+package ribbon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+
+	"ribbon/internal/fleet"
+)
+
+// FleetResult summarizes a completed fleet optimization: the final budget
+// split plus per-model search reports and frontiers.
+type FleetResult = fleet.Result
+
+// FleetPlan is a complete split of the shared budget across the fleet.
+type FleetPlan = fleet.Plan
+
+// FleetAllocation is the solver's decision for one model.
+type FleetAllocation = fleet.Allocation
+
+// FleetModelReport is one model's share of a completed fleet optimization.
+type FleetModelReport = fleet.ModelReport
+
+// FleetStatus is a point-in-time snapshot of a running fleet optimization.
+type FleetStatus = fleet.Status
+
+// FrontierPoint is one Pareto-optimal (cost, Rsat) provisioning level of a
+// model's pool.
+type FrontierPoint = fleet.Point
+
+// Frontier is a model's cost→Rsat Pareto menu.
+type Frontier = fleet.Frontier
+
+// FleetModel is one member of a fleet: a service description plus its claim
+// on the shared budget.
+type FleetModel struct {
+	// Name identifies the model fleet-wide; unique, and the deterministic
+	// tie-breaker of every solver decision. Defaults to the service's
+	// model name when empty.
+	Name string
+	// Service is the pool and evaluation description, exactly as for
+	// NewOptimizer (including Service.RateScale for the model's own load
+	// and Service.QoSPercentile for its own target), with two fleet-wide
+	// restrictions: a custom Evaluator is not supported (the fleet
+	// extracts frontiers through the built-in simulator backend), and
+	// Service.SearchOptions is shared by the whole fleet — mixing
+	// per-model search options would make the frontiers incomparable, so
+	// NewFleet rejects models whose options differ from the first
+	// model's.
+	Service ServiceConfig
+	// Weight is the criticality weight; 1 when zero. A weight of 2 makes
+	// the model count as twice as starved at equal satisfaction, so the
+	// solver tops it up first.
+	Weight float64
+	// FloorCostPerHour reserves a minimum share of the budget for this
+	// model; other models can never squeeze it below the floor.
+	FloorCostPerHour float64
+	// SearchBudget overrides the fleet-wide per-model frontier search
+	// budget for this model.
+	SearchBudget int
+}
+
+// FleetConfig describes a multi-model shared-budget optimization problem.
+type FleetConfig struct {
+	// Models is the catalog, at least one entry.
+	Models []FleetModel
+	// BudgetPerHour is the shared $/hour budget split across the fleet.
+	BudgetPerHour float64
+	// SearchBudget bounds each model's frontier-extraction search; 40
+	// when zero.
+	SearchBudget int
+	// RefineBudget bounds each warm-started refinement re-search; 12 when
+	// zero.
+	RefineBudget int
+	// RefineModels caps how many most-constrained models the refinement
+	// pass re-searches; 2 when zero, negative disables refinement.
+	RefineModels int
+}
+
+// Fleet optimizes a catalog of inference services against one shared
+// $/hour budget: each model's pool is searched into a cost→Rsat frontier,
+// a deterministic weighted max-min solver splits the budget across the
+// frontiers, and the most-constrained models are re-searched with warm
+// starts. Create with NewFleet, drive with Optimize (once), observe with
+// Status from any goroutine. See docs/fleet.md.
+type Fleet struct {
+	inner *fleet.Fleet
+}
+
+// NewFleet validates the fleet description and prepares the per-model
+// evaluation backends. No evaluation runs until Optimize is called.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if len(cfg.Models) == 0 {
+		return nil, errors.New("ribbon: fleet needs at least one model")
+	}
+	inner := fleet.Config{
+		BudgetPerHour: cfg.BudgetPerHour,
+		SearchBudget:  cfg.SearchBudget,
+		RefineBudget:  cfg.RefineBudget,
+		RefineModels:  cfg.RefineModels,
+	}
+	for i, m := range cfg.Models {
+		if m.Service.Evaluator != nil {
+			return nil, fmt.Errorf("ribbon: fleet model %d: custom evaluators are not supported", i)
+		}
+		svc, err := m.Service.normalize()
+		if err != nil {
+			return nil, err
+		}
+		spec, opts, err := svc.resolveSim()
+		if err != nil {
+			return nil, err
+		}
+		name := m.Name
+		if name == "" {
+			name = spec.Model.Name
+		}
+		if m.SearchBudget < 0 {
+			return nil, fmt.Errorf("ribbon: fleet model %q: search budget must be non-negative", name)
+		}
+		if svc.Bounds != nil && len(svc.Bounds) != spec.Dim() {
+			return nil, fmt.Errorf("ribbon: fleet model %q: %d bounds for a %d-type pool",
+				name, len(svc.Bounds), spec.Dim())
+		}
+		// The per-model search options travel through the shared
+		// fleet.Config.Search: mixing per-model ablation switches or
+		// parallelism would make the frontiers incomparable (or silently
+		// drop a setting), so divergence is an error, not a preference.
+		if i == 0 {
+			inner.Search = svc.SearchOptions
+		} else if !sameSearchOptions(svc.SearchOptions, inner.Search) {
+			return nil, fmt.Errorf(
+				"ribbon: fleet model %q: SearchOptions differ from the first model's — search options are fleet-wide",
+				name)
+		}
+		inner.Models = append(inner.Models, fleet.ModelConfig{
+			Name:         name,
+			Spec:         spec,
+			Sim:          opts,
+			Weight:       m.Weight,
+			FloorPerHour: m.FloorCostPerHour,
+			Bounds:       svc.Bounds,
+			SearchBudget: m.SearchBudget,
+		})
+	}
+	f, err := fleet.New(inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{inner: f}, nil
+}
+
+// sameSearchOptions reports whether two search-option sets are
+// interchangeable fleet-wide. Progress callbacks compare by presence only
+// (functions have no identity worth comparing); everything else must match
+// exactly.
+func sameSearchOptions(a, b SearchOptions) bool {
+	if (a.Progress == nil) != (b.Progress == nil) {
+		return false
+	}
+	a.Progress, b.Progress = nil, nil
+	return reflect.DeepEqual(a, b)
+}
+
+// Optimize runs the full pipeline — parallel frontier extraction, the
+// deterministic budget allocation, and the bounded refinement pass — and
+// returns the completed result. The context is checked before every
+// evaluation; on cancellation the error is returned and Status reports how
+// far the pipeline got. Optimize may be called once per Fleet.
+func (f *Fleet) Optimize(ctx context.Context) (FleetResult, error) {
+	return f.inner.Run(ctx)
+}
+
+// Status returns the current pipeline snapshot: per-model phases and sample
+// counts while searching, the solved plan once allocated. Safe to call
+// concurrently with Optimize.
+func (f *Fleet) Status() FleetStatus { return f.inner.Snapshot() }

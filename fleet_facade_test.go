@@ -1,0 +1,206 @@
+package ribbon_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"ribbon"
+)
+
+// acceptanceFleet is the calibrated 3-model scenario of the fleet
+// acceptance test: at a $7/hr shared budget the equal split ($2.33/model)
+// starves CANDLE and MT-WND below their QoS targets, while the cheapest
+// QoS-meeting configurations of all three models together cost ~$6.78/hr —
+// so a smart split can satisfy everyone.
+func acceptanceFleet(budget float64, parallelism int) ribbon.FleetConfig {
+	svc := func(model string) ribbon.ServiceConfig {
+		return ribbon.ServiceConfig{
+			Model:                model,
+			QueriesPerEvaluation: 1000,
+			SearchOptions:        ribbon.SearchOptions{Parallelism: parallelism},
+		}
+	}
+	return ribbon.FleetConfig{
+		Models: []ribbon.FleetModel{
+			{Service: svc("CANDLE")},
+			{Service: svc("ResNet50")},
+			{Service: svc("MT-WND")},
+		},
+		BudgetPerHour: budget,
+		SearchBudget:  16,
+	}
+}
+
+func runFleet(t *testing.T, budget float64, parallelism int) ribbon.FleetResult {
+	t.Helper()
+	f, err := ribbon.NewFleet(acceptanceFleet(budget, parallelism))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFleetAcceptance is the PR's acceptance scenario: under a budget where
+// the equal split violates at least one model's QoS, the fleet allocator
+// ends with every model at or above its target, beats the equal split on
+// worst-model Rsat at the same total budget, and the whole result is
+// byte-identical across runs and across search parallelism.
+func TestFleetAcceptance(t *testing.T) {
+	const budget = 7.0
+	res := runFleet(t, budget, 1)
+
+	if !res.Plan.Feasible {
+		t.Fatalf("plan infeasible at $%.1f/hr: %+v", budget, res.Plan)
+	}
+	if res.Plan.TotalPerHour > budget+1e-9 {
+		t.Fatalf("plan spends $%.3f/hr over the $%.1f/hr budget", res.Plan.TotalPerHour, budget)
+	}
+	if !res.Plan.AllMeetQoS {
+		t.Fatalf("fleet allocation leaves a model below target: %+v", res.Plan.Allocations)
+	}
+	for _, a := range res.Plan.Allocations {
+		if !a.Point.MeetsQoS {
+			t.Errorf("model %s allocated a violating point: %+v", a.Name, a.Point)
+		}
+	}
+
+	// The equal split of the same budget, solved per model over the same
+	// frontiers, must violate at least one model — and the fleet's worst
+	// model must sit strictly above the equal split's worst model.
+	share := budget / float64(len(res.Models))
+	violations := 0
+	equalWorst := math.Inf(1)
+	for _, m := range res.Models {
+		i, ok := m.Frontier.Best(share)
+		if !ok {
+			violations++
+			equalWorst = 0
+			continue
+		}
+		p := m.Frontier[i]
+		if !p.MeetsQoS {
+			violations++
+		}
+		equalWorst = math.Min(equalWorst, p.Rsat)
+	}
+	if violations == 0 {
+		t.Fatalf("calibration drifted: equal split of $%.1f/hr violates no model", budget)
+	}
+	if worst := res.Plan.WorstRsat(); worst <= equalWorst {
+		t.Fatalf("fleet worst-model Rsat %.4f does not beat equal split %.4f", worst, equalWorst)
+	}
+
+	// Byte determinism: a second identical run and a parallel (speculative
+	// Parallelism 4) run must reproduce the result exactly.
+	if again := runFleet(t, budget, 1); !reflect.DeepEqual(res, again) {
+		t.Fatal("two identical fleet runs diverged")
+	}
+	if par := runFleet(t, budget, 4); !reflect.DeepEqual(res, par) {
+		t.Fatal("Parallelism 4 fleet run diverged from the serial run")
+	}
+}
+
+// TestFleetTightBudget: when the budget cannot satisfy everyone, the solver
+// reports the binding model, stays within budget, and the refinement pass
+// re-searches at most the configured number of most-constrained models.
+func TestFleetTightBudget(t *testing.T) {
+	const budget = 6.0 // below the ~$6.78/hr all-meeting total
+	res := runFleet(t, budget, 1)
+
+	if !res.Plan.Feasible {
+		t.Fatalf("even the cheapest points should fit $%.1f/hr: %+v", budget, res.Plan)
+	}
+	if res.Plan.TotalPerHour > budget+1e-9 {
+		t.Fatalf("plan spends $%.3f/hr over the $%.1f/hr budget", res.Plan.TotalPerHour, budget)
+	}
+	if !res.Plan.AllMeetQoS && res.Plan.Binding == "" {
+		t.Fatalf("a model misses its target but no binding model is reported: %+v", res.Plan)
+	}
+	if len(res.Refined) > 2 {
+		t.Fatalf("refinement touched %d models, cap is 2: %v", len(res.Refined), res.Refined)
+	}
+	// Determinism holds under pressure too.
+	if again := runFleet(t, budget, 1); !reflect.DeepEqual(res, again) {
+		t.Fatal("two identical tight-budget runs diverged")
+	}
+}
+
+// TestFleetStatusLifecycle: the snapshot is observable from another
+// goroutine and settles on the exact exploration accounting.
+func TestFleetStatusLifecycle(t *testing.T) {
+	f, err := ribbon.NewFleet(acceptanceFleet(7.0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Status(); st.State != "idle" || len(st.Models) != 3 {
+		t.Fatalf("pre-run status = %+v", st)
+	}
+	res, err := f.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Status()
+	if st.State != "done" {
+		t.Fatalf("post-run state %q", st.State)
+	}
+	if st.Samples != res.Samples {
+		t.Fatalf("status samples %d != result samples %d", st.Samples, res.Samples)
+	}
+	if st.Plan == nil || !reflect.DeepEqual(*st.Plan, res.Plan) {
+		t.Fatalf("status plan %+v != result plan %+v", st.Plan, res.Plan)
+	}
+	for i, m := range st.Models {
+		if m.Phase != "done" || m.FrontierSize != len(res.Models[i].Frontier) {
+			t.Fatalf("model status %d = %+v", i, m)
+		}
+	}
+	if _, err := f.Optimize(context.Background()); err == nil {
+		t.Fatal("second Optimize should fail")
+	}
+}
+
+// stubEvaluator only exists to prove custom backends are rejected.
+type stubEvaluator struct{}
+
+func (stubEvaluator) Spec() ribbon.PoolSpec                { return ribbon.PoolSpec{} }
+func (stubEvaluator) Evaluate(ribbon.Config) ribbon.Result { return ribbon.Result{} }
+
+// TestFleetValidation covers the facade-level rejections.
+func TestFleetValidation(t *testing.T) {
+	base := acceptanceFleet(7, 1)
+	cases := []struct {
+		name string
+		mut  func(*ribbon.FleetConfig)
+	}{
+		{"no models", func(c *ribbon.FleetConfig) { c.Models = nil }},
+		{"zero budget", func(c *ribbon.FleetConfig) { c.BudgetPerHour = 0 }},
+		{"unknown model", func(c *ribbon.FleetConfig) { c.Models[0].Service.Model = "nope" }},
+		{"duplicate names", func(c *ribbon.FleetConfig) { c.Models[1].Name = "CANDLE" }},
+		{"negative weight", func(c *ribbon.FleetConfig) { c.Models[0].Weight = -1 }},
+		{"negative floor", func(c *ribbon.FleetConfig) { c.Models[0].FloorCostPerHour = -1 }},
+		{"floors exceed budget", func(c *ribbon.FleetConfig) {
+			c.Models[0].FloorCostPerHour = 4
+			c.Models[1].FloorCostPerHour = 4
+		}},
+		{"custom evaluator", func(c *ribbon.FleetConfig) {
+			c.Models[0].Service.Evaluator = stubEvaluator{}
+		}},
+		{"divergent search options", func(c *ribbon.FleetConfig) {
+			c.Models[1].Service.SearchOptions.Parallelism = 8
+		}},
+	}
+	for _, tc := range cases {
+		cfg := acceptanceFleet(7, 1)
+		cfg.Models = append([]ribbon.FleetModel(nil), base.Models...)
+		tc.mut(&cfg)
+		if _, err := ribbon.NewFleet(cfg); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// TestFleetComparison: the fleet allocator must beat the equal split on
+// worst-model Rsat at equal total budget, and the whole table must be
+// deterministic per seed.
+func TestFleetComparison(t *testing.T) {
+	s := Setup{Seed: 42, Queries: 1000, Budget: 64}
+	tables := FleetComparison(s, []float64{1})
+	if len(tables) != 1 {
+		t.Fatalf("%d tables, want 1", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want fleet/equal/indep", len(tab.Rows))
+	}
+	worst := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("row %v: bad worst Rsat %q", row, row[2])
+		}
+		worst[row[0]] = v
+	}
+	if worst["fleet"] <= worst["equal"] {
+		t.Fatalf("fleet worst Rsat %.3f does not beat equal split %.3f", worst["fleet"], worst["equal"])
+	}
+	if again := FleetComparison(s, []float64{1}); !reflect.DeepEqual(tables, again) {
+		t.Fatal("fleet comparison is not deterministic")
+	}
+}

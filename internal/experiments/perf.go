@@ -27,7 +27,9 @@ type PerfEntry struct {
 }
 
 // PerfReport is the machine-readable result of the perf experiment
-// (cmd/ribbon-bench writes it to BENCH_3.json). Searches at every
+// (cmd/ribbon-bench writes it to the -perf-out file, BENCH_5.json by
+// default; the checked-in BENCH_*.json reports are the repository's perf
+// trajectory). Searches at every
 // parallelism produce bit-identical SearchResults — the report records
 // wall-clock and allocation behavior only.
 type PerfReport struct {

@@ -1,0 +1,114 @@
+// Package fleet optimizes a catalog of inference services against one
+// shared dollar budget — the multi-model counterpart of the single-service
+// optimizer (the setting INFaaS and "No DNN Left Behind" argue production
+// serving lives in).
+//
+// The subsystem is three deterministic stages:
+//
+//   - Frontier extraction: every model runs the existing Ribbon search
+//     (internal/core) against its own caching evaluator; the committed
+//     evaluation history is then Pareto-filtered into a cost→Rsat frontier —
+//     the menu of provisioning levels the model can be bought at.
+//   - Budget allocation: a weighted max-min water-filling solver (Solve)
+//     splits the shared $/hour budget across the frontiers: it maximizes the
+//     worst model's criticality-weighted QoS satisfaction, then spends any
+//     residual budget lexicographically. Ties break by model name, so the
+//     plan is byte-deterministic.
+//   - Joint refinement: the one or two most-constrained models (allocations
+//     still violating their QoS target) are re-searched with warm starts
+//     (core.NewAdaptedSearcher) seeded from their first trace; the grown
+//     frontiers are re-solved. More frontier points never hurt the solver,
+//     so refinement only improves the plan.
+//
+// Every stage is deterministic per seed and safe under concurrency: model
+// searches run in parallel goroutines but are mutually independent, and the
+// speculative search parallelism (core.Options.Parallelism) is bit-identical
+// to the serial search by construction. See docs/fleet.md.
+package fleet
+
+import (
+	"sort"
+
+	"ribbon/internal/serving"
+)
+
+// Point is one Pareto-optimal provisioning level of a model's pool: no
+// explored configuration is both cheaper and better-satisfying.
+type Point struct {
+	// Config is the instance-count vector behind the point.
+	Config serving.Config
+	// CostPerHour and Rsat are the point's price and QoS satisfaction rate.
+	CostPerHour float64
+	Rsat        float64
+	// MeetsQoS reports Rsat against the model's own target percentile.
+	MeetsQoS bool
+}
+
+// Frontier is a model's cost→Rsat Pareto frontier, strictly increasing in
+// both cost and Rsat. The solver treats it as the menu of provisioning
+// levels the model can be bought at.
+type Frontier []Point
+
+// BuildFrontier Pareto-filters a committed evaluation history (for example
+// serving.CachingEvaluator.History) into a frontier. The construction is
+// deterministic for a given result set regardless of input order: results
+// are sorted by (cost, -Rsat, config key) before the dominance sweep.
+func BuildFrontier(results []serving.Result) Frontier {
+	if len(results) == 0 {
+		return nil
+	}
+	sorted := append([]serving.Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.CostPerHour != b.CostPerHour {
+			return a.CostPerHour < b.CostPerHour
+		}
+		if a.Rsat != b.Rsat {
+			return a.Rsat > b.Rsat
+		}
+		return a.Config.Key() < b.Config.Key()
+	})
+	var out Frontier
+	best := -1.0
+	for _, r := range sorted {
+		if r.Rsat <= best {
+			continue
+		}
+		best = r.Rsat
+		out = append(out, Point{
+			Config:      r.Config.Clone(),
+			CostPerHour: r.CostPerHour,
+			Rsat:        r.Rsat,
+			MeetsQoS:    r.MeetsQoS,
+		})
+	}
+	return out
+}
+
+// Best returns the index of the most-satisfying point affordable within
+// budget — the last frontier point with cost <= budget — and whether any
+// point is affordable at all. It is the per-model "solver" of the
+// equal-split baseline.
+func (f Frontier) Best(budget float64) (int, bool) {
+	idx, ok := -1, false
+	for i, p := range f {
+		if p.CostPerHour <= budget+1e-9 {
+			idx, ok = i, true
+		} else {
+			break
+		}
+	}
+	return idx, ok
+}
+
+// CheapestMeeting returns the index of the cheapest QoS-meeting point and
+// whether one exists — the per-model answer of the budget-unconstrained
+// independent baseline.
+func (f Frontier) CheapestMeeting() (int, bool) {
+	for i, p := range f {
+		if p.MeetsQoS {
+			return i, true
+		}
+	}
+	return -1, false
+}

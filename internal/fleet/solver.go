@@ -1,0 +1,289 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// costEps absorbs floating-point drift in budget comparisons; allocations
+// are feasible when they fit the budget within this tolerance.
+const costEps = 1e-9
+
+// ModelFrontier is the solver's view of one model: its provisioning menu
+// plus the knobs that shape its claim on the shared budget.
+type ModelFrontier struct {
+	// Name identifies the model; it must be unique fleet-wide and is the
+	// deterministic tie-breaker everywhere the solver has a choice.
+	Name string
+	// Frontier is the model's cost→Rsat menu; it must be non-empty.
+	Frontier Frontier
+	// Weight is the criticality weight; 1 when zero. A weight of 2 makes
+	// the model count as twice as starved at the same satisfaction level,
+	// so it is topped up first.
+	Weight float64
+	// Target is the model's QoS satisfaction target in (0,1) (the pool's
+	// QoS percentile); satisfaction is normalized by it so models with
+	// different targets are comparable.
+	Target float64
+	// FloorPerHour reserves a minimum budget share for the model: the
+	// solver charges max(point cost, floor) for it, so other models can
+	// never squeeze it below the floor.
+	FloorPerHour float64
+}
+
+// score is the solver's max-min objective for one model at one frontier
+// point: QoS satisfaction normalized by target, discounted by criticality
+// weight. Along a frontier the score is strictly increasing.
+func (m ModelFrontier) score(p Point) float64 {
+	w := m.Weight
+	if w == 0 {
+		w = 1
+	}
+	return p.Rsat / m.Target / w
+}
+
+// charged is the budget the model consumes at point cost c.
+func (m ModelFrontier) charged(c float64) float64 {
+	return math.Max(c, m.FloorPerHour)
+}
+
+// Allocation is the solver's decision for one model.
+type Allocation struct {
+	// Name is the model.
+	Name string
+	// Point is the chosen provisioning level; Index its frontier position.
+	Point Point
+	Index int
+	// ChargedPerHour is the budget consumed: the point's cost, or the
+	// model's floor when that is higher.
+	ChargedPerHour float64
+	// Score is the weighted normalized satisfaction the plan's max-min
+	// objective sees for this model.
+	Score float64
+}
+
+// Plan is a complete split of the shared budget across the fleet.
+type Plan struct {
+	// Allocations holds one decision per model, in the input order.
+	Allocations []Allocation
+	// TotalPerHour is the summed charged budget; BudgetPerHour the limit
+	// it was solved against.
+	TotalPerHour  float64
+	BudgetPerHour float64
+	// Feasible reports whether even the cheapest points fit the budget.
+	// When false the plan holds the cheapest allocation anyway, so the
+	// caller can see how far over budget the fleet is.
+	Feasible bool
+	// MinScore is the fleet's bottleneck: the smallest allocation score.
+	MinScore float64
+	// Binding names the model attaining MinScore (smallest name on ties) —
+	// the model that pins the fleet's worst-case QoS. Empty only for an
+	// empty plan.
+	Binding string
+	// AllMeetQoS reports whether every model's allocation meets its own
+	// QoS target.
+	AllMeetQoS bool
+}
+
+// validate rejects solver inputs no plan can be built from.
+func validate(ms []ModelFrontier, budget float64) error {
+	if len(ms) == 0 {
+		return fmt.Errorf("fleet: no models to allocate")
+	}
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return fmt.Errorf("fleet: budget must be positive and finite, got %g", budget)
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if m.Name == "" {
+			return fmt.Errorf("fleet: model needs a name")
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("fleet: duplicate model name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if len(m.Frontier) == 0 {
+			return fmt.Errorf("fleet: model %q has an empty frontier", m.Name)
+		}
+		if m.Target <= 0 || m.Target >= 1 {
+			return fmt.Errorf("fleet: model %q target %g out of (0,1)", m.Name, m.Target)
+		}
+		if m.Weight < 0 || math.IsNaN(m.Weight) || math.IsInf(m.Weight, 0) {
+			return fmt.Errorf("fleet: model %q weight %g must be finite and non-negative", m.Name, m.Weight)
+		}
+		if m.FloorPerHour < 0 || math.IsNaN(m.FloorPerHour) || math.IsInf(m.FloorPerHour, 0) {
+			return fmt.Errorf("fleet: model %q floor %g must be finite and non-negative", m.Name, m.FloorPerHour)
+		}
+	}
+	return nil
+}
+
+// Solve splits one shared $/hour budget across the fleet's frontiers:
+// weighted max-min water-filling over discrete provisioning menus.
+//
+// Phase 1 finds the highest worst-case score any split can guarantee. The
+// candidate values are the finitely many point scores; for a target score t
+// each model needs its first frontier point scoring >= t (frontier scores
+// increase with cost, so that point is unique and cheapest), making
+// feasibility monotone in t — the maximum feasible t is found by scanning
+// the sorted candidate set.
+//
+// Phase 2 spends the residual budget lexicographically: repeatedly upgrade
+// the lowest-scoring model (ties by name) to its next frontier point while
+// the upgrade fits; a model whose next point no longer fits is frozen —
+// frontier costs only grow, so it can never fit later.
+//
+// The per-model decisions, the totals (bit for bit — every budget sum runs
+// in name order), MinScore, and Binding depend only on the input set, never
+// on its order or on GOMAXPROCS: the solver is single-threaded pure
+// arithmetic with name tie-breaks. Only the order of Plan.Allocations
+// follows the input. The guaranteed minimum (Phase 1) is monotone in the
+// budget by construction, so a shrinking budget degrades the fleet's worst
+// model gracefully rather than arbitrarily.
+func Solve(ms []ModelFrontier, budget float64) (Plan, error) {
+	if err := validate(ms, budget); err != nil {
+		return Plan{}, err
+	}
+
+	// Every budget sum runs over the models in name order, so the
+	// floating-point totals are bit-identical under any permutation of
+	// the input.
+	byName := make([]int, len(ms))
+	for i := range byName {
+		byName[i] = i
+	}
+	sort.Slice(byName, func(a, b int) bool { return ms[byName[a]].Name < ms[byName[b]].Name })
+	totalOf := func(idx []int) float64 {
+		t := 0.0
+		for _, i := range byName {
+			t += ms[i].charged(ms[i].Frontier[idx[i]].CostPerHour)
+		}
+		return t
+	}
+
+	// Baseline: every model at its cheapest point. If even that does not
+	// fit, the plan is infeasible and reported as such.
+	idx := make([]int, len(ms))
+	total := totalOf(idx)
+	if total > budget+costEps {
+		return assemble(ms, idx, total, budget, false), nil
+	}
+
+	// Phase 1: the highest guaranteed worst-case score. Candidates are all
+	// point scores, deduplicated and ascending; feasibility is monotone
+	// decreasing in the candidate, so the last feasible one wins.
+	var cands []float64
+	for _, m := range ms {
+		for _, p := range m.Frontier {
+			cands = append(cands, m.score(p))
+		}
+	}
+	sort.Float64s(cands)
+	for _, t := range cands {
+		next := make([]int, len(ms))
+		ok := true
+		for i, m := range ms {
+			j := sort.Search(len(m.Frontier), func(k int) bool {
+				return m.score(m.Frontier[k]) >= t
+			})
+			if j == len(m.Frontier) {
+				ok = false // the model cannot reach t at any price
+				break
+			}
+			next[i] = j
+		}
+		if !ok {
+			break // feasibility is monotone: no higher t can work either
+		}
+		cost := totalOf(next)
+		if cost > budget+costEps {
+			break
+		}
+		idx, total = next, cost
+	}
+
+	// Phase 2: lexicographic residual water-filling above the guaranteed
+	// minimum.
+	frozen := make([]bool, len(ms))
+	for {
+		pick := -1
+		for i, m := range ms {
+			if frozen[i] || idx[i]+1 >= len(m.Frontier) {
+				continue
+			}
+			if pick == -1 {
+				pick = i
+				continue
+			}
+			si, sp := m.score(m.Frontier[idx[i]]), ms[pick].score(ms[pick].Frontier[idx[pick]])
+			if si < sp || (si == sp && m.Name < ms[pick].Name) {
+				pick = i
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		m := ms[pick]
+		delta := m.charged(m.Frontier[idx[pick]+1].CostPerHour) - m.charged(m.Frontier[idx[pick]].CostPerHour)
+		if total+delta > budget+costEps {
+			frozen[pick] = true
+			continue
+		}
+		idx[pick]++
+		total += delta
+	}
+
+	return assemble(ms, idx, total, budget, true), nil
+}
+
+// assemble freezes the chosen indices into a Plan.
+func assemble(ms []ModelFrontier, idx []int, total, budget float64, feasible bool) Plan {
+	p := Plan{
+		Allocations:   make([]Allocation, len(ms)),
+		TotalPerHour:  total,
+		BudgetPerHour: budget,
+		Feasible:      feasible,
+		MinScore:      math.Inf(1),
+		AllMeetQoS:    true,
+	}
+	for i, m := range ms {
+		pt := m.Frontier[idx[i]]
+		a := Allocation{
+			Name:           m.Name,
+			Point:          pt,
+			Index:          idx[i],
+			ChargedPerHour: m.charged(pt.CostPerHour),
+			Score:          m.score(pt),
+		}
+		p.Allocations[i] = a
+		if !pt.MeetsQoS {
+			p.AllMeetQoS = false
+		}
+		if a.Score < p.MinScore || (a.Score == p.MinScore && a.Name < p.Binding) {
+			p.MinScore = a.Score
+			p.Binding = a.Name
+		}
+	}
+	return p
+}
+
+// Allocation lookup by model name; ok is false for unknown names.
+func (p Plan) Allocation(name string) (Allocation, bool) {
+	for _, a := range p.Allocations {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Allocation{}, false
+}
+
+// WorstRsat returns the minimum raw (unweighted) QoS satisfaction across
+// the plan — the headline metric the fleet allocator is compared on.
+func (p Plan) WorstRsat() float64 {
+	worst := math.Inf(1)
+	for _, a := range p.Allocations {
+		worst = math.Min(worst, a.Point.Rsat)
+	}
+	return worst
+}

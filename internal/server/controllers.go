@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"sync"
-	"time"
 
 	"ribbon"
 	"ribbon/api"
@@ -17,91 +15,37 @@ import (
 const defaultControllerQueries = 20_000
 
 // ctl is the server-side state of one controller run. ctrl and phases are
-// immutable after create; everything else is behind the store mutex. The
+// immutable after create; the lifecycle is behind the store mutex. The
 // live control-loop snapshot is not stored here at all — ribbon.Controller
 // publishes it concurrency-safely via Status(), so view() always reads the
 // freshest state without any progress plumbing.
 type ctl struct {
-	id       string
-	spec     api.ControllerSpec
-	ctrl     *ribbon.Controller
-	phases   []ribbon.LoadPhase
-	status   api.JobStatus
-	created  time.Time
-	started  *time.Time
-	finished *time.Time
-	err      *api.Error
-	cancel   context.CancelFunc // set while running
+	lifecycle
+	spec   api.ControllerSpec
+	ctrl   *ribbon.Controller
+	phases []ribbon.LoadPhase
 }
 
-// controllerStore is a concurrency-safe registry of controller runs with a
-// bounded worker pool replaying them. It deliberately mirrors jobStore's
-// worker/queue/evict/cancel machinery line for line — the two lifecycles
-// must stay behaviorally identical, so fixes to either store's concurrency
-// logic (see in particular jobStore.run's cancel-vs-finish ordering note)
-// belong in both.
+// controllerStore is the controller-run lifecycle over the shared store
+// machinery (store.go).
 type controllerStore struct {
-	mu         sync.Mutex
-	cond       *sync.Cond
-	ctls       map[string]*ctl
-	order      []string
-	pending    []*ctl
-	seq        int
-	closed     bool
-	queueDepth int
-	retain     int
-
-	baseCtx    context.Context
-	baseCancel context.CancelFunc
-	wg         sync.WaitGroup
+	*store[ctl, api.Controller]
 }
 
 func newControllerStore(workers, queueDepth, retain int) *controllerStore {
-	ctx, cancel := context.WithCancel(context.Background())
-	st := &controllerStore{
-		ctls:       map[string]*ctl{},
-		queueDepth: queueDepth,
-		retain:     retain,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-	}
-	st.cond = sync.NewCond(&st.mu)
-	st.wg.Add(workers)
-	for range workers {
-		go st.worker()
-	}
+	st := &controllerStore{}
+	st.store = newStore("controller", "ctl", workers, queueDepth, retain,
+		func(c *ctl) *lifecycle { return &c.lifecycle },
+		execController, (*ctl).view)
 	return st
 }
 
-func (st *controllerStore) worker() {
-	defer st.wg.Done()
-	for {
-		st.mu.Lock()
-		for len(st.pending) == 0 && !st.closed {
-			st.cond.Wait()
-		}
-		if len(st.pending) == 0 {
-			st.mu.Unlock()
-			return
-		}
-		c := st.pending[0]
-		st.pending = st.pending[1:]
-		st.mu.Unlock()
-		st.run(c)
+// execController replays one controller run on a worker goroutine.
+func execController(ctx context.Context, c *ctl) *api.Error {
+	if _, err := c.ctrl.RunPhases(ctx, c.phases); ctx.Err() == nil && err != nil {
+		return &api.Error{Code: api.ErrInternal, Message: err.Error()}
 	}
-}
-
-func (st *controllerStore) close() {
-	st.mu.Lock()
-	if st.closed {
-		st.mu.Unlock()
-		return
-	}
-	st.closed = true
-	st.cond.Broadcast()
-	st.mu.Unlock()
-	st.baseCancel()
-	st.wg.Wait()
+	return nil
 }
 
 // create resolves the spec (catalogs, scenario expansion, controller
@@ -157,125 +101,7 @@ func (st *controllerStore) create(spec api.ControllerSpec, defaultInitialBudget,
 		phases = ph
 	}
 
-	c := &ctl{spec: spec, ctrl: ctrl, phases: phases, status: api.JobQueued, created: time.Now()}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.closed {
-		return api.Controller{}, &api.Error{Code: api.ErrOverloaded, Message: "server is shutting down"}
-	}
-	if len(st.pending) >= st.queueDepth {
-		return api.Controller{}, &api.Error{Code: api.ErrOverloaded,
-			Message: fmt.Sprintf("controller queue is full (%d pending)", len(st.pending))}
-	}
-	st.seq++
-	c.id = fmt.Sprintf("ctl-%06d", st.seq)
-	st.ctls[c.id] = c
-	st.order = append(st.order, c.id)
-	st.pending = append(st.pending, c)
-	st.evictLocked()
-	st.cond.Signal()
-	return c.view(), nil
-}
-
-// evictLocked drops the oldest terminal runs beyond the retain bound.
-// Callers hold st.mu.
-func (st *controllerStore) evictLocked() {
-	excess := len(st.ctls) - st.retain
-	if excess <= 0 {
-		return
-	}
-	kept := st.order[:0]
-	for _, id := range st.order {
-		if excess > 0 && st.ctls[id].status.Terminal() {
-			delete(st.ctls, id)
-			excess--
-			continue
-		}
-		kept = append(kept, id)
-	}
-	st.order = kept
-}
-
-// run replays one controller on a worker goroutine.
-func (st *controllerStore) run(c *ctl) {
-	st.mu.Lock()
-	if c.status != api.JobQueued { // cancelled while waiting
-		st.mu.Unlock()
-		return
-	}
-	ctx, cancel := context.WithCancel(st.baseCtx)
-	c.cancel = cancel
-	now := time.Now()
-	c.started = &now
-	c.status = api.JobRunning
-	st.mu.Unlock()
-	defer cancel()
-
-	_, err := c.ctrl.RunPhases(ctx, c.phases)
-
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	end := time.Now()
-	c.finished = &end
-	switch {
-	case ctx.Err() != nil:
-		c.status = api.JobCancelled
-	case err != nil:
-		c.status = api.JobFailed
-		c.err = &api.Error{Code: api.ErrInternal, Message: err.Error()}
-	default:
-		c.status = api.JobDone
-	}
-}
-
-// cancel stops a queued or running controller run.
-func (st *controllerStore) cancel(id string) (api.Controller, *api.Error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	c, ok := st.ctls[id]
-	if !ok {
-		return api.Controller{}, &api.Error{Code: api.ErrNotFound, Message: fmt.Sprintf("no controller %q", id)}
-	}
-	switch c.status {
-	case api.JobQueued:
-		now := time.Now()
-		c.finished = &now
-		c.status = api.JobCancelled
-		for i, p := range st.pending {
-			if p == c {
-				st.pending = append(st.pending[:i], st.pending[i+1:]...)
-				break
-			}
-		}
-	case api.JobRunning:
-		c.cancel() // run() observes the context and finalizes
-	default:
-		return api.Controller{}, &api.Error{Code: api.ErrJobFinished,
-			Message: fmt.Sprintf("controller %s already %s", id, c.status)}
-	}
-	return c.view(), nil
-}
-
-func (st *controllerStore) get(id string) (api.Controller, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	c, ok := st.ctls[id]
-	if !ok {
-		return api.Controller{}, false
-	}
-	return c.view(), true
-}
-
-// list returns every run in creation order; always a non-nil slice so the
-// endpoint encodes [] rather than null.
-func (st *controllerStore) list() []api.Controller {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := make([]api.Controller, 0, len(st.order))
-	for _, id := range st.order {
-		out = append(out, st.ctls[id].view())
-	}
-	return out
+	return st.add(&ctl{spec: spec, ctrl: ctrl, phases: phases})
 }
 
 // view snapshots the run as its wire representation; the control-loop

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ribbon/api"
+)
+
+// fastFleetBody is a two-model fleet tuned to finish in well under a
+// second: short evaluation windows and small search budgets.
+const fastFleetBody = `{
+	"models": [
+		{"model": "CANDLE", "queries": 800},
+		{"model": "MT-WND", "queries": 800, "weight": 2}
+	],
+	"budget_per_hour": 6.0,
+	"search_budget": 10,
+	"refine_budget": 6
+}`
+
+func decodeFleet(t *testing.T, body []byte) api.Fleet {
+	t.Helper()
+	var f api.Fleet
+	if err := json.Unmarshal(body, &f); err != nil {
+		t.Fatalf("decoding fleet: %v from %s", err, body)
+	}
+	return f
+}
+
+func waitFleet(t *testing.T, s *Server, id string) api.Fleet {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rr := doReq(t, s, http.MethodGet, "/v1/fleets/"+id, "")
+		if rr.Code != http.StatusOK {
+			t.Fatalf("get fleet: %d %s", rr.Code, rr.Body.String())
+		}
+		f := decodeFleet(t, rr.Body.Bytes())
+		if f.Status.Terminal() {
+			return f
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("fleet did not finish in time")
+	return api.Fleet{}
+}
+
+func TestFleetLifecycle(t *testing.T) {
+	s := newTestServer(t)
+
+	rr := doReq(t, s, http.MethodPost, "/v1/fleets", fastFleetBody)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("create: %d %s", rr.Code, rr.Body.String())
+	}
+	created := decodeFleet(t, rr.Body.Bytes())
+	if created.ID == "" || created.Status.Terminal() {
+		t.Fatalf("created fleet = %+v", created)
+	}
+	if loc := rr.Header().Get("Location"); loc != "/v1/fleets/"+created.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	f := waitFleet(t, s, created.ID)
+	if f.Status != api.JobDone {
+		t.Fatalf("status %s, error %+v", f.Status, f.Error)
+	}
+	snap := f.Snapshot
+	if snap.State != "done" || snap.Samples == 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Models) != 2 {
+		t.Fatalf("%d model statuses", len(snap.Models))
+	}
+	for _, m := range snap.Models {
+		if m.Phase != "done" || m.Allocation == nil || m.FrontierSize == 0 {
+			t.Fatalf("model status = %+v", m)
+		}
+		if len(m.Allocation.Config) == 0 || m.Allocation.CostPerHour <= 0 {
+			t.Fatalf("allocation = %+v", m.Allocation)
+		}
+	}
+	if snap.Feasible == nil || snap.AllMeetQoS == nil {
+		t.Fatalf("solved snapshot misses plan verdicts: %+v", snap)
+	}
+	if *snap.Feasible && snap.TotalCostPerHour > snap.BudgetPerHour+1e-9 {
+		t.Fatalf("feasible plan over budget: %+v", snap)
+	}
+	if !*snap.AllMeetQoS && snap.Binding == "" {
+		t.Fatalf("missing binding model: %+v", snap)
+	}
+
+	// The listing contains the run and encodes as a proper array.
+	rr = doReq(t, s, http.MethodGet, "/v1/fleets", "")
+	var list api.FleetList
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Fleets) != 1 || list.Fleets[0].ID != created.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestFleetValidationEndpoint(t *testing.T) {
+	s := newTestServer(t)
+
+	manyModels := `{"models": [` + strings.Repeat(`{"model": "MT-WND"},`, api.MaxFleetModels) +
+		`{"model": "CANDLE"}], "budget_per_hour": 5}`
+	for name, body := range map[string]string{
+		"no models":       `{"models": [], "budget_per_hour": 5}`,
+		"no budget":       `{"models": [{"model": "MT-WND"}]}`,
+		"negative budget": `{"models": [{"model": "MT-WND"}], "budget_per_hour": -1}`,
+		"unknown model":   `{"models": [{"model": "nope"}], "budget_per_hour": 5}`,
+		"duplicate names": `{"models": [{"model": "MT-WND"}, {"model": "MT-WND"}], "budget_per_hour": 5}`,
+		"bad weight":      `{"models": [{"model": "MT-WND", "weight": -1}], "budget_per_hour": 5}`,
+		"floors exceed":   `{"models": [{"model": "MT-WND", "floor_cost_per_hour": 9}], "budget_per_hour": 5}`,
+		"bad parallelism": `{"models": [{"model": "MT-WND"}], "budget_per_hour": 5, "parallelism": 1000}`,
+		"unknown field":   `{"models": [{"model": "MT-WND"}], "budget_per_hr": 5}`,
+		"too many models": manyModels,
+	} {
+		rr := doReq(t, s, http.MethodPost, "/v1/fleets", body)
+		if rr.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, rr.Code, rr.Body.String())
+		}
+	}
+
+	rr := doReq(t, s, http.MethodGet, "/v1/fleets/fleet-999999", "")
+	if rr.Code != http.StatusNotFound || decodeErr(t, rr).Code != api.ErrNotFound {
+		t.Fatalf("unknown fleet: %d %s", rr.Code, rr.Body.String())
+	}
+	rr = doReq(t, s, http.MethodDelete, "/v1/fleets/fleet-999999", "")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("cancel unknown fleet: %d", rr.Code)
+	}
+}
+
+func TestFleetCancelMidRun(t *testing.T) {
+	s := newTestServer(t)
+
+	// Full-length evaluations and a large per-model budget: plenty of time
+	// to cancel.
+	body := `{"models": [
+		{"model": "CANDLE", "queries": 4000},
+		{"model": "ResNet50", "queries": 4000},
+		{"model": "MT-WND", "queries": 4000}
+	], "budget_per_hour": 8, "search_budget": 200}`
+	rr := doReq(t, s, http.MethodPost, "/v1/fleets", body)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("create: %d %s", rr.Code, rr.Body.String())
+	}
+	id := decodeFleet(t, rr.Body.Bytes()).ID
+
+	rr = doReq(t, s, http.MethodDelete, "/v1/fleets/"+id, "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", rr.Code, rr.Body.String())
+	}
+	f := waitFleet(t, s, id)
+	if f.Status != api.JobCancelled {
+		t.Fatalf("status after cancel: %s", f.Status)
+	}
+
+	// A terminal fleet rejects a second cancel.
+	rr = doReq(t, s, http.MethodDelete, "/v1/fleets/"+id, "")
+	if rr.Code != http.StatusConflict || decodeErr(t, rr).Code != api.ErrJobFinished {
+		t.Fatalf("double cancel: %d %s", rr.Code, rr.Body.String())
+	}
+}

@@ -2,103 +2,60 @@ package server
 
 import (
 	"context"
-	"fmt"
 	"math"
-	"sync"
-	"time"
 
 	"ribbon"
 	"ribbon/api"
 )
 
-// job is the server-side state of one asynchronous optimize run. All fields
-// behind the store mutex except opt/req, which are immutable after create.
+// job is the server-side state of one asynchronous optimize run. req and
+// opt are immutable after create; the lifecycle and progress/result fields
+// are behind the store mutex. pending is the worker's staging slot for the
+// assembled summary — only exec writes it and only finish reads it, so the
+// view-visible result appears atomically with the terminal status.
 type job struct {
-	id       string
+	lifecycle
 	req      api.OptimizeRequest
 	opt      *ribbon.Optimizer
-	status   api.JobStatus
-	created  time.Time
-	started  *time.Time
-	finished *time.Time
 	progress api.JobProgress
+	pending  *api.OptimizeResponse
 	result   *api.OptimizeResponse
-	err      *api.Error
-	cancel   context.CancelFunc // set while running
 }
 
-// jobStore is a concurrency-safe in-memory job registry with a bounded
-// worker pool executing the searches.
+// jobStore is the job lifecycle over the shared store machinery
+// (store.go): bounded workers, queue, eviction, cooperative cancel.
 type jobStore struct {
-	mu         sync.Mutex
-	cond       *sync.Cond // signaled when pending grows or the store closes
-	jobs       map[string]*job
-	order      []string
-	pending    []*job // queued jobs not yet picked by a worker
-	seq        int
-	closed     bool
-	queueDepth int
-	retain     int // max terminal jobs kept for polling
-
-	baseCtx    context.Context
-	baseCancel context.CancelFunc
-	wg         sync.WaitGroup
+	*store[job, api.Job]
 }
 
 func newJobStore(workers, queueDepth, retain int) *jobStore {
-	ctx, cancel := context.WithCancel(context.Background())
-	st := &jobStore{
-		jobs:       map[string]*job{},
-		queueDepth: queueDepth,
-		retain:     retain,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-	}
-	st.cond = sync.NewCond(&st.mu)
-	st.wg.Add(workers)
-	for range workers {
-		go st.worker()
-	}
+	st := &jobStore{}
+	st.store = newStore("job", "job", workers, queueDepth, retain,
+		func(j *job) *lifecycle { return &j.lifecycle },
+		execJob, (*job).view)
+	st.store.finish = func(j *job) { j.result = j.pending }
 	return st
 }
 
-// worker pops pending jobs until the store closes.
-func (st *jobStore) worker() {
-	defer st.wg.Done()
-	for {
-		st.mu.Lock()
-		for len(st.pending) == 0 && !st.closed {
-			st.cond.Wait()
-		}
-		if len(st.pending) == 0 {
-			st.mu.Unlock()
-			return
-		}
-		j := st.pending[0]
-		st.pending = st.pending[1:]
-		st.mu.Unlock()
-		st.run(j)
+// execJob runs one search on a worker goroutine. The summary assembles
+// here — the homogeneous-baseline comparison spends extra evaluations and
+// is skipped for cancelled jobs, whose partial summary is still kept — but
+// stages in j.pending: the finish hook publishes it together with the
+// terminal status, so a poll never sees a result on a running job.
+func execJob(ctx context.Context, j *job) *api.Error {
+	res, err := j.opt.RunContext(ctx, j.req.Budget)
+	if ctx.Err() == nil && err != nil {
+		return &api.Error{Code: api.ErrInternal, Message: err.Error()}
 	}
-}
-
-// close cancels everything in flight and stops the workers.
-func (st *jobStore) close() {
-	st.mu.Lock()
-	if st.closed {
-		st.mu.Unlock()
-		return
-	}
-	st.closed = true
-	st.cond.Broadcast()
-	st.mu.Unlock()
-	st.baseCancel()
-	st.wg.Wait()
+	r := optimizeResponse(j.opt, res, ctx.Err() == nil)
+	j.pending = &r
+	return nil
 }
 
 // create validates the request against the catalogs, registers the job, and
 // enqueues it. It never blocks: a full queue is an overload error.
 func (st *jobStore) create(req api.OptimizeRequest) (api.Job, *api.Error) {
-	j := &job{req: req, status: api.JobQueued, created: time.Now()}
+	j := &job{req: req}
 	// Resolve the spec now so an unknown model is a synchronous 400, not
 	// an asynchronous failure the caller discovers by polling. The
 	// progress callback owns the live Samples/BestCost view.
@@ -111,94 +68,7 @@ func (st *jobStore) create(req api.OptimizeRequest) (api.Job, *api.Error) {
 		return api.Job{}, e
 	}
 	j.opt = opt
-
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.closed {
-		return api.Job{}, &api.Error{Code: api.ErrOverloaded, Message: "server is shutting down"}
-	}
-	if len(st.pending) >= st.queueDepth {
-		return api.Job{}, &api.Error{Code: api.ErrOverloaded,
-			Message: fmt.Sprintf("job queue is full (%d pending)", len(st.pending))}
-	}
-	st.seq++
-	j.id = fmt.Sprintf("job-%06d", st.seq)
-	st.jobs[j.id] = j
-	st.order = append(st.order, j.id)
-	st.pending = append(st.pending, j)
-	st.evictLocked()
-	st.cond.Signal()
-	return j.view(), nil
-}
-
-// evictLocked drops the oldest terminal jobs once more than retain are kept,
-// so a long-lived control plane does not grow without bound. Active jobs are
-// never evicted. Callers hold st.mu.
-func (st *jobStore) evictLocked() {
-	excess := len(st.jobs) - st.retain
-	if excess <= 0 {
-		return
-	}
-	kept := st.order[:0]
-	for _, id := range st.order {
-		if excess > 0 && st.jobs[id].status.Terminal() {
-			delete(st.jobs, id)
-			excess--
-			continue
-		}
-		kept = append(kept, id)
-	}
-	st.order = kept
-}
-
-// run executes one job on a worker goroutine.
-func (st *jobStore) run(j *job) {
-	st.mu.Lock()
-	if j.status != api.JobQueued { // cancelled while waiting
-		st.mu.Unlock()
-		return
-	}
-	ctx, cancel := context.WithCancel(st.baseCtx)
-	j.cancel = cancel
-	now := time.Now()
-	j.started = &now
-	j.status = api.JobRunning
-	st.mu.Unlock()
-	defer cancel()
-
-	res, err := j.opt.RunContext(ctx, j.req.Budget)
-
-	// Assemble the summary before re-locking: the homogeneous-baseline
-	// comparison spends extra evaluations. Skip it for cancelled jobs —
-	// the caller asked us to stop burning samples.
-	var resp *api.OptimizeResponse
-	var jerr *api.Error
-	if ctx.Err() == nil && err != nil {
-		jerr = &api.Error{Code: api.ErrInternal, Message: err.Error()}
-	} else {
-		r := optimizeResponse(j.opt, res, ctx.Err() == nil)
-		resp = &r
-	}
-
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	end := time.Now()
-	j.finished = &end
-	j.result = resp
-	j.err = jerr
-	switch {
-	case ctx.Err() != nil:
-		// Checked under the store lock, where cancel() runs: any DELETE
-		// acknowledged before this point — even one landing while the
-		// baseline comparison above was running — is honored as a
-		// cancellation rather than silently finalizing as done.
-		j.status = api.JobCancelled
-		j.err = nil
-	case jerr != nil:
-		j.status = api.JobFailed
-	default:
-		j.status = api.JobDone
-	}
+	return st.add(j)
 }
 
 // observe is the per-step progress hook.
@@ -212,58 +82,6 @@ func (st *jobStore) observe(j *job, step ribbon.Step) {
 		j.progress.Found = true
 		j.progress.BestCostPerHour = step.BestCost
 	}
-}
-
-// cancel stops a queued or running job.
-func (st *jobStore) cancel(id string) (api.Job, *api.Error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	j, ok := st.jobs[id]
-	if !ok {
-		return api.Job{}, &api.Error{Code: api.ErrNotFound, Message: fmt.Sprintf("no job %q", id)}
-	}
-	switch j.status {
-	case api.JobQueued:
-		now := time.Now()
-		j.finished = &now
-		j.status = api.JobCancelled
-		// Free the queue slot immediately so cancelled jobs do not
-		// count against QueueDepth.
-		for i, p := range st.pending {
-			if p == j {
-				st.pending = append(st.pending[:i], st.pending[i+1:]...)
-				break
-			}
-		}
-	case api.JobRunning:
-		j.cancel() // run() observes the context and finalizes the job
-	default:
-		return api.Job{}, &api.Error{Code: api.ErrJobFinished,
-			Message: fmt.Sprintf("job %s already %s", id, j.status)}
-	}
-	return j.view(), nil
-}
-
-func (st *jobStore) get(id string) (api.Job, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	j, ok := st.jobs[id]
-	if !ok {
-		return api.Job{}, false
-	}
-	return j.view(), true
-}
-
-// list returns every job in creation order; always a non-nil slice so the
-// endpoint encodes [] rather than null.
-func (st *jobStore) list() []api.Job {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := make([]api.Job, 0, len(st.order))
-	for _, id := range st.order {
-		out = append(out, st.jobs[id].view())
-	}
-	return out
 }
 
 // view snapshots the job as its wire representation. Callers hold st.mu.

@@ -42,6 +42,10 @@ type Config struct {
 	// ControllerWorkers bounds the number of controller replays running
 	// concurrently; Workers when zero.
 	ControllerWorkers int
+	// FleetWorkers bounds the number of fleet optimizations running
+	// concurrently; Workers when zero. Each fleet additionally fans its
+	// per-model searches out onto its own goroutines.
+	FleetWorkers int
 	// DefaultAdaptBudget is the controller's per-reconfiguration search
 	// budget when the request omits it; 16 when zero.
 	DefaultAdaptBudget int
@@ -55,10 +59,11 @@ type Config struct {
 // an http.Server, and Close on shutdown to stop the job and controller
 // workers.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	jobs  *jobStore
-	ctrls *controllerStore
+	cfg    Config
+	mux    *http.ServeMux
+	jobs   *jobStore
+	ctrls  *controllerStore
+	fleets *fleetStore
 }
 
 // New builds a Server and starts its job worker pool.
@@ -81,6 +86,9 @@ func New(cfg Config) *Server {
 	if cfg.ControllerWorkers <= 0 {
 		cfg.ControllerWorkers = cfg.Workers
 	}
+	if cfg.FleetWorkers <= 0 {
+		cfg.FleetWorkers = cfg.Workers
+	}
 	if cfg.DefaultAdaptBudget <= 0 {
 		cfg.DefaultAdaptBudget = 16
 	}
@@ -90,6 +98,7 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	s.jobs = newJobStore(cfg.Workers, cfg.QueueDepth, cfg.RetainJobs)
 	s.ctrls = newControllerStore(cfg.ControllerWorkers, cfg.QueueDepth, cfg.RetainJobs)
+	s.fleets = newFleetStore(cfg.FleetWorkers, cfg.QueueDepth, cfg.RetainJobs)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
@@ -105,6 +114,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/controllers", s.handleListControllers)
 	s.mux.HandleFunc("GET /v1/controllers/{id}", s.handleGetController)
 	s.mux.HandleFunc("DELETE /v1/controllers/{id}", s.handleCancelController)
+	s.mux.HandleFunc("POST /v1/fleets", s.handleCreateFleet)
+	s.mux.HandleFunc("GET /v1/fleets", s.handleListFleets)
+	s.mux.HandleFunc("GET /v1/fleets/{id}", s.handleGetFleet)
+	s.mux.HandleFunc("DELETE /v1/fleets/{id}", s.handleCancelFleet)
 
 	// Deprecated v0 aliases.
 	s.mux.HandleFunc("GET /api/models", deprecated("/v1/models", s.handleModels))
@@ -123,12 +136,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() {
 	s.jobs.close()
 	s.ctrls.close()
+	s.fleets.close()
 }
 
-// deprecated wraps an alias route so responses advertise the successor.
+// legacySunset is the announced removal date of the deprecated /api/...
+// aliases, advertised via the Sunset header (RFC 8594) so clients can plan
+// their migration against a date rather than an open-ended deprecation.
+const legacySunset = "Sun, 01 Nov 2026 00:00:00 GMT"
+
+// deprecated wraps an alias route so responses advertise the successor and
+// the removal date.
 func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", legacySunset)
 		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
 		h(w, r)
 	}

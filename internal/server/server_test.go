@@ -241,8 +241,17 @@ func TestAliasParity(t *testing.T) {
 		if old.Header().Get("Deprecation") != "true" {
 			t.Errorf("%s missing Deprecation header", pair[0])
 		}
+		if sunset := old.Header().Get("Sunset"); sunset == "" {
+			t.Errorf("%s missing Sunset header", pair[0])
+		} else if _, err := http.ParseTime(sunset); err != nil {
+			t.Errorf("%s Sunset header %q is not an HTTP date: %v", pair[0], sunset, err)
+		}
 		if !strings.Contains(old.Header().Get("Link"), pair[1]) {
 			t.Errorf("%s missing successor Link header", pair[0])
+		}
+		// The successor routes must not advertise deprecation.
+		if cur.Header().Get("Deprecation") != "" || cur.Header().Get("Sunset") != "" {
+			t.Errorf("%s leaks deprecation headers", pair[1])
 		}
 	}
 

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ribbon/api"
+)
+
+// lifecycle is the shared server-side run state every store item embeds:
+// identity, job-style status, timestamps, terminal error, and the cancel
+// hook set while running. All fields are guarded by the owning store's
+// mutex.
+type lifecycle struct {
+	id       string
+	status   api.JobStatus
+	created  time.Time
+	started  *time.Time
+	finished *time.Time
+	err      *api.Error
+	cancel   context.CancelFunc // set while running
+}
+
+// store is the concurrency-safe registry plus bounded worker pool shared by
+// the job, controller, and fleet lifecycles. Exactly one copy of the
+// worker/queue/evict/cancel machinery exists — the three lifecycles stay
+// behaviorally identical by construction, so a concurrency fix (see in
+// particular run's cancel-vs-finish ordering note) lands in all of them at
+// once.
+//
+// T is the item type (embedding lifecycle), V its wire representation.
+type store[T, V any] struct {
+	kind     string // "job" | "controller" | "fleet": error messages
+	idPrefix string // "job" | "ctl" | "fleet": id minting
+
+	// lc exposes the item's embedded lifecycle; exec runs one item on a
+	// worker goroutine (outside the store lock — it must not touch fields
+	// that views read); view snapshots an item as its wire form and is
+	// always called under st.mu. finish, when set, publishes exec's
+	// outcome into view-visible fields — it runs in the same critical
+	// section that finalizes the status, so a result is never observable
+	// on a non-terminal item.
+	lc     func(*T) *lifecycle
+	exec   func(context.Context, *T) *api.Error
+	view   func(*T) V
+	finish func(*T)
+
+	mu         sync.Mutex
+	cond       *sync.Cond // signaled when pending grows or the store closes
+	items      map[string]*T
+	order      []string
+	pending    []*T // queued items not yet picked by a worker
+	seq        int
+	closed     bool
+	queueDepth int
+	retain     int // max terminal items kept for polling
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+func newStore[T, V any](kind, idPrefix string, workers, queueDepth, retain int,
+	lc func(*T) *lifecycle, exec func(context.Context, *T) *api.Error, view func(*T) V) *store[T, V] {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := &store[T, V]{
+		kind:       kind,
+		idPrefix:   idPrefix,
+		lc:         lc,
+		exec:       exec,
+		view:       view,
+		items:      map[string]*T{},
+		queueDepth: queueDepth,
+		retain:     retain,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.wg.Add(workers)
+	for range workers {
+		go st.worker()
+	}
+	return st
+}
+
+// worker pops pending items until the store closes.
+func (st *store[T, V]) worker() {
+	defer st.wg.Done()
+	for {
+		st.mu.Lock()
+		for len(st.pending) == 0 && !st.closed {
+			st.cond.Wait()
+		}
+		if len(st.pending) == 0 {
+			st.mu.Unlock()
+			return
+		}
+		t := st.pending[0]
+		st.pending = st.pending[1:]
+		st.mu.Unlock()
+		st.run(t)
+	}
+}
+
+// close cancels everything in flight and stops the workers.
+func (st *store[T, V]) close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	st.baseCancel()
+	st.wg.Wait()
+}
+
+// add registers an already-resolved item and enqueues it. It never blocks:
+// a full queue is an overload error. The item's lifecycle is initialized
+// here (id, queued status, creation time).
+func (st *store[T, V]) add(t *T) (V, *api.Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var zero V
+	if st.closed {
+		return zero, &api.Error{Code: api.ErrOverloaded, Message: "server is shutting down"}
+	}
+	if len(st.pending) >= st.queueDepth {
+		return zero, &api.Error{Code: api.ErrOverloaded,
+			Message: fmt.Sprintf("%s queue is full (%d pending)", st.kind, len(st.pending))}
+	}
+	st.seq++
+	l := st.lc(t)
+	l.id = fmt.Sprintf("%s-%06d", st.idPrefix, st.seq)
+	l.status = api.JobQueued
+	l.created = time.Now()
+	st.items[l.id] = t
+	st.order = append(st.order, l.id)
+	st.pending = append(st.pending, t)
+	st.evictLocked()
+	st.cond.Signal()
+	return st.view(t), nil
+}
+
+// evictLocked drops the oldest terminal items once more than retain are
+// kept, so a long-lived control plane does not grow without bound. Active
+// items are never evicted. Callers hold st.mu.
+func (st *store[T, V]) evictLocked() {
+	excess := len(st.items) - st.retain
+	if excess <= 0 {
+		return
+	}
+	kept := st.order[:0]
+	for _, id := range st.order {
+		if excess > 0 && st.lc(st.items[id]).status.Terminal() {
+			delete(st.items, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// run executes one item on a worker goroutine.
+func (st *store[T, V]) run(t *T) {
+	l := st.lc(t)
+	st.mu.Lock()
+	if l.status != api.JobQueued { // cancelled while waiting
+		st.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(st.baseCtx)
+	l.cancel = cancel
+	now := time.Now()
+	l.started = &now
+	l.status = api.JobRunning
+	st.mu.Unlock()
+	defer cancel()
+
+	e := st.exec(ctx, t)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	end := time.Now()
+	l.finished = &end
+	if st.finish != nil {
+		st.finish(t)
+	}
+	switch {
+	case ctx.Err() != nil:
+		// Checked under the store lock, where cancel() runs: any DELETE
+		// acknowledged before this point — even one landing while exec's
+		// post-search work was still running — is honored as a
+		// cancellation rather than silently finalizing as done.
+		l.status = api.JobCancelled
+		l.err = nil
+	case e != nil:
+		l.status = api.JobFailed
+		l.err = e
+	default:
+		l.status = api.JobDone
+	}
+}
+
+// cancel stops a queued or running item.
+func (st *store[T, V]) cancel(id string) (V, *api.Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var zero V
+	t, ok := st.items[id]
+	if !ok {
+		return zero, &api.Error{Code: api.ErrNotFound, Message: fmt.Sprintf("no %s %q", st.kind, id)}
+	}
+	l := st.lc(t)
+	switch l.status {
+	case api.JobQueued:
+		now := time.Now()
+		l.finished = &now
+		l.status = api.JobCancelled
+		// Free the queue slot immediately so cancelled items do not
+		// count against the queue depth.
+		for i, p := range st.pending {
+			if p == t {
+				st.pending = append(st.pending[:i], st.pending[i+1:]...)
+				break
+			}
+		}
+	case api.JobRunning:
+		l.cancel() // run() observes the context and finalizes the item
+	default:
+		return zero, &api.Error{Code: api.ErrJobFinished,
+			Message: fmt.Sprintf("%s %s already %s", st.kind, id, l.status)}
+	}
+	return st.view(t), nil
+}
+
+func (st *store[T, V]) get(id string) (V, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, ok := st.items[id]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return st.view(t), true
+}
+
+// list returns every item in creation order; always a non-nil slice so the
+// endpoints encode [] rather than null.
+func (st *store[T, V]) list() []V {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]V, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.view(st.items[id]))
+	}
+	return out
+}
