@@ -51,6 +51,11 @@ type Error struct {
 	// HTTPStatus is the HTTP status the error travelled with; it is set
 	// by the client when decoding a response and never serialized.
 	HTTPStatus int `json:"-"`
+	// RetryAfter is the server-suggested delay before retrying, parsed
+	// from the Retry-After header of a 503 response; zero when the server
+	// sent none. Like HTTPStatus it is set by the client when decoding a
+	// response and never serialized.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements the error interface.
@@ -574,4 +579,104 @@ type ScenarioInfo struct {
 // ScenarioList is the response of GET /v1/scenarios.
 type ScenarioList struct {
 	Scenarios []ScenarioInfo `json:"scenarios"`
+}
+
+// InferRequest is the body of POST /v1/infer on the ribbon-gateway data
+// plane (docs/gateway.md).
+type InferRequest struct {
+	// Class is the criticality tier: "critical", "standard" (default), or
+	// "sheddable". Sheddable requests may be dropped under queue pressure
+	// when the gateway runs the criticality dispatch policy.
+	Class string `json:"class,omitempty"`
+	// Batch is the number of samples in this request; 1 when omitted.
+	Batch int `json:"batch,omitempty"`
+	// ArrivalMs optionally carries the scheduled stream-time arrival of a
+	// replayed flood, so latency is measured open-loop from the schedule
+	// rather than from request receipt. Omit for organic traffic.
+	ArrivalMs float64 `json:"arrival_ms,omitempty"`
+	// Payload is an opaque body forwarded verbatim to proxy backends.
+	Payload string `json:"payload,omitempty"`
+}
+
+// InferResponse is the success body of POST /v1/infer.
+type InferResponse struct {
+	// Outcome is "queued" for a served request (shed and rejected requests
+	// answer 503/overloaded instead).
+	Outcome string `json:"outcome"`
+	// LatencyMs is stream time from (scheduled) arrival to completion;
+	// ServiceMs the modeled service time of the batch the request rode in.
+	LatencyMs float64 `json:"latency_ms"`
+	ServiceMs float64 `json:"service_ms"`
+	// Instance names the instance type that served the request.
+	Instance string `json:"instance"`
+	// Body is the backend's response payload, when the backend produced
+	// one (proxy backends).
+	Body string `json:"body,omitempty"`
+}
+
+// GatewayTierStats is one criticality tier's counters in a gateway metrics
+// snapshot.
+type GatewayTierStats struct {
+	// Tier is "critical", "standard", or "sheddable".
+	Tier string `json:"tier"`
+	// Completed, Shed, Rejected, and QoSMet count outcomes; QoSSatRate is
+	// QoSMet over all three (shed and rejected count as violations).
+	Completed  uint64  `json:"completed"`
+	Shed       uint64  `json:"shed"`
+	Rejected   uint64  `json:"rejected"`
+	QoSMet     uint64  `json:"qos_met"`
+	QoSSatRate float64 `json:"qos_sat_rate"`
+	// P50Ms and P99Ms are completion-latency quantiles in stream-time
+	// milliseconds (0 while the tier is empty).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// GatewayInstance describes one live pool instance in a gateway metrics
+// snapshot.
+type GatewayInstance struct {
+	ID   int    `json:"id"`
+	Type string `json:"type"`
+	// QueueDepth and Inflight are the instance's load at snapshot time;
+	// Served its lifetime completions.
+	QueueDepth int64  `json:"queue_depth"`
+	Inflight   int64  `json:"inflight"`
+	Served     uint64 `json:"served"`
+	// Retiring marks an instance draining toward removal.
+	Retiring bool `json:"retiring,omitempty"`
+}
+
+// GatewayMetrics is the response of GET /v1/gateway/metrics: a point-in-time
+// view of the serving data plane.
+type GatewayMetrics struct {
+	// Model and Policy identify the served model and the dispatch policy.
+	Model  string `json:"model"`
+	Policy string `json:"policy"`
+	// Config is the currently deployed instance-count vector.
+	Config []int `json:"config"`
+	// Accepted counts admitted requests; Completed, Shed, Rejected, and
+	// Failed partition outcomes (Accepted exceeds their sum by the
+	// requests currently in flight).
+	Accepted  uint64 `json:"accepted"`
+	Completed uint64 `json:"completed"`
+	Shed      uint64 `json:"shed"`
+	Rejected  uint64 `json:"rejected"`
+	Failed    uint64 `json:"failed"`
+	// FeedDropped counts arrival samples dropped on the controller feed.
+	FeedDropped uint64 `json:"feed_dropped,omitempty"`
+	// Batches and BatchedRequests describe batching efficacy.
+	Batches         uint64 `json:"batches"`
+	BatchedRequests uint64 `json:"batched_requests"`
+	// QueueDepth and Inflight are pool-wide load at snapshot time.
+	QueueDepth int64 `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+	// Tiers is per-criticality accounting, critical first.
+	Tiers []GatewayTierStats `json:"tiers"`
+	// Instances is the live pool.
+	Instances []GatewayInstance `json:"instances"`
+	// Reconfigurations is the controller decision history, oldest first.
+	Reconfigurations []ControllerReconfiguration `json:"reconfigurations"`
+	// Controller is the live control-loop status; absent when the gateway
+	// serves a static pool.
+	Controller *ControllerStatus `json:"controller,omitempty"`
 }

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -132,10 +133,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			window = defaultRetryBase
 		}
 		half := int64(window / 2)
+		sleep := time.Duration(half + rand.Int63n(half+1))
+		// Honor a server-suggested Retry-After when it asks for more
+		// patience than the backoff would grant — the server knows its own
+		// queue — but never less: the jitter exists to de-synchronize
+		// retrying clients and a fixed header value would undo it.
+		if ra := retryAfterOf(err); ra > sleep {
+			sleep = ra
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(time.Duration(half + rand.Int63n(half+1))):
+		case <-time.After(sleep):
 		}
 	}
 }
@@ -166,6 +175,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, buf []byte,
 		var er api.ErrorResponse
 		if jerr := json.Unmarshal(raw, &er); jerr == nil && er.Error != nil {
 			er.Error.HTTPStatus = resp.StatusCode
+			er.Error.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			return er.Error
 		}
 		return fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, raw)
@@ -391,4 +401,43 @@ func (c *Client) WaitFleet(ctx context.Context, id string, poll time.Duration) (
 func IsCode(err error, code api.ErrorCode) bool {
 	var ae *api.Error
 	return errors.As(err, &ae) && ae.Code == code
+}
+
+// maxRetryAfter caps how long a Retry-After header can park the retry loop;
+// a server asking for more is answered by giving up faster via the normal
+// attempt bound instead of stalling callers for minutes.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter reads a Retry-After header value. Both RFC 9110 forms are
+// accepted — delta-seconds and HTTP-date — and anything unparseable or
+// negative maps to zero (no suggestion).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// retryAfterOf extracts the server-suggested retry delay from an error
+// chain, capped at maxRetryAfter.
+func retryAfterOf(err error) time.Duration {
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.RetryAfter <= 0 {
+		return 0
+	}
+	if ae.RetryAfter > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return ae.RetryAfter
 }

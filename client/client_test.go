@@ -354,12 +354,14 @@ func TestFleetFlow(t *testing.T) {
 }
 
 // overloadedHandler answers 503/overloaded for the first fail requests,
-// then delegates; it counts every attempt.
+// then delegates; it counts every attempt. A non-empty retryAfter is sent
+// as the Retry-After header of the 503s.
 type overloadedHandler struct {
-	mu    sync.Mutex
-	fail  int
-	seen  int
-	inner http.Handler
+	mu         sync.Mutex
+	fail       int
+	seen       int
+	retryAfter string
+	inner      http.Handler
 }
 
 func (h *overloadedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -368,6 +370,9 @@ func (h *overloadedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	overloaded := h.seen <= h.fail
 	h.mu.Unlock()
 	if overloaded {
+		if h.retryAfter != "" {
+			w.Header().Set("Retry-After", h.retryAfter)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprint(w, `{"error":{"code":"overloaded","message":"queue is full"}}`)
@@ -380,6 +385,13 @@ func (h *overloadedHandler) attempts() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.seen
+}
+
+// reset re-arms the handler to fail the next n requests.
+func (h *overloadedHandler) reset(n int) {
+	h.mu.Lock()
+	h.fail, h.seen = n, 0
+	h.mu.Unlock()
 }
 
 // TestRetryOverloaded is the regression test of the client's jittered
@@ -442,5 +454,75 @@ func TestRetryOverloaded(t *testing.T) {
 	}
 	if got := h3.attempts(); got != 1 {
 		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 header forms and the cap that
+// keeps a hostile or misconfigured server from parking the retry loop.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{"30", 30 * time.Second},
+		{"-5", 0},
+		{"soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// HTTP-date form: a date in the future yields a positive delay, a past
+	// date none.
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= 0 || got > 10*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~10s", future, got)
+	}
+	past := time.Now().Add(-10 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Errorf("parseRetryAfter(%q) = %v, want 0", past, got)
+	}
+
+	if got := retryAfterOf(&api.Error{Code: api.ErrOverloaded, RetryAfter: time.Hour}); got != maxRetryAfter {
+		t.Errorf("retryAfterOf(1h) = %v, want capped %v", got, maxRetryAfter)
+	}
+	if got := retryAfterOf(errors.New("plain")); got != 0 {
+		t.Errorf("retryAfterOf(non-api error) = %v, want 0", got)
+	}
+}
+
+// TestRetryHonorsRetryAfter: when a 503 names a Retry-After longer than the
+// jittered backoff window, the client waits the server-suggested delay
+// before the next attempt, and the decoded error carries the hint.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1, Logf: t.Logf})
+	t.Cleanup(srv.Close)
+	h := &overloadedHandler{fail: 1, retryAfter: "1", inner: srv.Handler()}
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+
+	// Millisecond backoff base: any wait near a second is the header's.
+	c := New(hs.URL, WithRetry(2, time.Millisecond))
+	start := time.Now()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after hinted overload: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, before the 1s Retry-After hint", elapsed)
+	}
+	if got := h.attempts(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+
+	// The hint is visible on the surfaced error too.
+	c2 := New(hs.URL, WithRetry(1, time.Millisecond))
+	h.reset(1)
+	err := c2.Health(context.Background())
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.RetryAfter != time.Second {
+		t.Fatalf("error does not carry the Retry-After hint: %v", err)
 	}
 }

@@ -14,10 +14,17 @@
 // pool-controller replay (spike/diurnal/ramp load schedules with every
 // reconfiguration decision tabulated; see docs/controller.md), the "fleet"
 // shared-budget comparison (fleet allocation vs equal split vs per-model
-// independent optima at 1x/2x load; see docs/fleet.md), and the "perf"
+// independent optima at 1x/2x load; see docs/fleet.md), the "perf"
 // search-core hot-path measurement, which additionally writes a
 // machine-readable report to -perf-out (BENCH_5.json by default; see
-// docs/performance.md).
+// docs/performance.md), and the "gateway" live data-plane flood, which
+// stands up a real ribbon-gateway (simulated backend) and drives seeded
+// open-loop floods through it at 1x/2x/4x the provisioned load, reporting
+// sustained req/s and per-tier p50/p99 with the shed/reject split, written
+// to -gateway-out (BENCH_6.json by default; see docs/gateway.md). With
+// -gateway-url the flood instead targets an already-running gateway over
+// HTTP, and -gateway-smoke turns the run into a CI assertion: at least one
+// request served, zero critical-tier sheds.
 package main
 
 import (
@@ -39,6 +46,11 @@ func main() {
 		model   = flag.String("model", "", "restrict per-model experiments to one model (default: all five)")
 		types   = flag.Int("fig8-types", 4, "maximum pool cardinality for fig8 (5 is slow: ~minutes)")
 		perfOut = flag.String("perf-out", "BENCH_5.json", "file the perf experiment writes its machine-readable report to (empty disables)")
+
+		gatewayOut   = flag.String("gateway-out", "BENCH_6.json", "file the gateway experiment writes its machine-readable report to (empty disables)")
+		gatewayURL   = flag.String("gateway-url", "", "flood a running ribbon-gateway at this base URL instead of an in-process one")
+		gatewaySmoke = flag.Bool("gateway-smoke", false, "with -gateway-url: fail unless at least one request was served and zero critical-tier requests were shed")
+		gatewayReqs  = flag.Int("gateway-requests", 2000, "with -gateway-url: number of requests to send")
 	)
 	flag.Parse()
 
@@ -50,7 +62,7 @@ func main() {
 
 	all := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"dispatch", "controller", "fleet", "perf"}
+		"dispatch", "controller", "fleet", "perf", "gateway"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -64,6 +76,15 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("[perf completed in %.1fs]\n\n", time.Since(start).Seconds())
+			continue
+		}
+		if id == "gateway" {
+			err := runGateway(setup, *gatewayOut, *gatewayURL, *gatewaySmoke, *gatewayReqs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ribbon-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[gateway completed in %.1fs]\n\n", time.Since(start).Seconds())
 			continue
 		}
 		tables, err := run(id, setup, modelList, *types)
@@ -142,7 +163,7 @@ func run(id string, s experiments.Setup, modelList []string, fig8Types int) ([]e
 		return out, nil
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (known: %s)", id,
-			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch", "controller", "fleet", "perf"}, ", "))
+			strings.Join([]string{"table1..3", "fig3..fig5", "fig7..fig16", "dispatch", "controller", "fleet", "perf", "gateway"}, ", "))
 	}
 }
 
@@ -171,5 +192,51 @@ func runPerf(s experiments.Setup, out string) error {
 		return err
 	}
 	fmt.Printf("perf report written to %s\n", out)
+	return nil
+}
+
+// runGateway drives the live data-plane flood — in-process by default, or
+// against a running gateway when url is set — prints the table, and writes
+// the machine-readable report. With smoke set, a remote run's assertions
+// (some request served, zero critical sheds) become the exit status.
+func runGateway(s experiments.Setup, out, url string, smoke bool, requests int) error {
+	var (
+		table  experiments.Table
+		report experiments.GatewayReport
+	)
+	if url != "" {
+		var err error
+		table, report, err = experiments.GatewayRemoteFlood(s, experiments.GatewayOptions{}, url, requests, 0)
+		if err != nil && smoke {
+			table.Fprint(os.Stdout)
+			return err
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ribbon-bench: gateway (non-fatal without -gateway-smoke): %v\n", err)
+		}
+	} else {
+		table, report = experiments.GatewayFlood(s, experiments.GatewayOptions{})
+	}
+	if err := table.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("gateway report written to %s\n", out)
 	return nil
 }

@@ -1,0 +1,216 @@
+// Command ribbon-gateway runs the Ribbon live serving data plane: an HTTP
+// ingress that admits inference requests, classifies them by criticality,
+// dispatches them across a heterogeneous instance pool under one of the
+// paper's routing policies, and — when the controller is enabled — streams
+// every measured arrival into the continuous pool controller so the live
+// pool follows the load it is actually receiving.
+//
+// Endpoints (v1):
+//
+//	POST /v1/infer            InferRequest -> InferResponse (or 503 + Retry-After)
+//	GET  /v1/gateway/metrics  data-plane snapshot: per-tier latency quantiles,
+//	                          shed/reject counters, live instances, decisions
+//	GET  /healthz             liveness probe
+//
+// Two backends are built in: the default simulated backend sleeps out the
+// calibrated service-time model (optionally time-compressed via -time-scale),
+// and -proxy-target forwards every admitted request to a real serving
+// endpoint. See docs/gateway.md.
+//
+// Usage:
+//
+//	ribbon-gateway -addr :8081 -model CANDLE -types c5a,m5,t3 -initial 2+2+2
+//	ribbon-gateway -model CANDLE -controller            # cold search + live adaptation
+//	ribbon-gateway -proxy-target http://10.0.0.7:8501/v1/predict -initial 4+0+0
+//
+// The process drains connections on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ribbon/internal/controller"
+	"ribbon/internal/dispatch"
+	"ribbon/internal/gateway"
+	"ribbon/internal/models"
+	"ribbon/internal/serving"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8081", "listen address")
+		model       = flag.String("model", "CANDLE", "served model (see ribbon-explore -list)")
+		types       = flag.String("types", "c5a,m5,t3", "instance type families, preference order")
+		qos         = flag.Float64("qos", 0.99, "QoS satisfaction percentile")
+		policy      = flag.String("policy", "fcfs", "dispatch policy: fcfs, least-loaded, cost-random, criticality")
+		shedQueue   = flag.Int("shed-queue", 0, "criticality policy shed threshold (0: default)")
+		initial     = flag.String("initial", "", "initial pool configuration, e.g. 2+2+2 (empty: cold search)")
+		budget      = flag.Int("budget", 40, "cold-search evaluation budget")
+		rateScale   = flag.Float64("rate-scale", 1, "provisioned load scale relative to the model's base rate")
+		queries     = flag.Int("queries", 4000, "simulated queries per controller evaluation")
+		seed        = flag.Uint64("seed", 42, "deterministic seed for searches and routing")
+		ctrl        = flag.Bool("controller", false, "enable live adaptation from measured arrivals")
+		windowMs    = flag.Float64("window-ms", 0, "controller estimator window (0: default 10000)")
+		tickMs      = flag.Float64("tick-ms", 0, "controller detector tick (0: default 1000)")
+		dwellMs     = flag.Float64("dwell-ms", 0, "controller dwell before confirming a shift (0: default 4000)")
+		threshold   = flag.Float64("threshold", 0, "controller relative deviation threshold (0: default 0.25)")
+		adaptBudget = flag.Int("adapt-budget", 0, "controller re-search budget (0: default 16)")
+		timeScale   = flag.Float64("time-scale", 1, "stream-to-wall time compression for the simulated backend")
+		queueDepth  = flag.Int("queue-depth", 0, "per-instance per-rank queue bound (0: default 64)")
+		maxBatch    = flag.Int("max-batch", 0, "max requests fused per backend call (0: no batching)")
+		batchWaitMs = flag.Float64("batch-timeout-ms", 0, "flush timeout for a partial batch, stream ms (0: default 2)")
+		warmupMs    = flag.Float64("warmup-ms", 0, "warm-up charge for instances added by a reconfiguration, stream ms")
+		proxyTarget = flag.String("proxy-target", "", "forward requests to this endpoint instead of simulating")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts, err := buildOptions(gatewayFlags{
+		model: *model, types: *types, qos: *qos,
+		policy: *policy, shedQueue: *shedQueue,
+		initial: *initial, budget: *budget, rateScale: *rateScale, queries: *queries, seed: *seed,
+		controller: *ctrl, windowMs: *windowMs, tickMs: *tickMs, dwellMs: *dwellMs,
+		threshold: *threshold, adaptBudget: *adaptBudget,
+		timeScale: *timeScale, queueDepth: *queueDepth,
+		maxBatch: *maxBatch, batchTimeoutMs: *batchWaitMs, warmupMs: *warmupMs,
+		proxyTarget: *proxyTarget,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ribbon-gateway: %v\n", err)
+		os.Exit(2)
+	}
+	if err := run(ctx, *addr, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "ribbon-gateway: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// gatewayFlags is the parsed command line, decoupled from package flag so the
+// entrypoint is testable.
+type gatewayFlags struct {
+	model, types   string
+	qos            float64
+	policy         string
+	shedQueue      int
+	initial        string
+	budget         int
+	rateScale      float64
+	queries        int
+	seed           uint64
+	controller     bool
+	windowMs       float64
+	tickMs         float64
+	dwellMs        float64
+	threshold      float64
+	adaptBudget    int
+	timeScale      float64
+	queueDepth     int
+	maxBatch       int
+	batchTimeoutMs float64
+	warmupMs       float64
+	proxyTarget    string
+}
+
+// buildOptions translates flags into gateway.Options.
+func buildOptions(f gatewayFlags) (gateway.Options, error) {
+	m, err := models.Lookup(f.model)
+	if err != nil {
+		return gateway.Options{}, err
+	}
+	fams := strings.Split(f.types, ",")
+	for i := range fams {
+		fams[i] = strings.TrimSpace(fams[i])
+	}
+	spec, err := serving.NewPoolSpec(m, f.qos, fams...)
+	if err != nil {
+		return gateway.Options{}, err
+	}
+
+	opts := gateway.Options{
+		Spec: spec,
+		Dispatch: dispatch.Spec{
+			Kind:            dispatch.Kind(f.policy),
+			ShedQueueLength: f.shedQueue,
+		},
+		InitialBudget: f.budget,
+		Sim: serving.SimOptions{
+			Seed:      f.seed,
+			Queries:   f.queries,
+			RateScale: f.rateScale,
+		},
+		Seed:           f.seed,
+		TimeScale:      f.timeScale,
+		QueueDepth:     f.queueDepth,
+		MaxBatch:       f.maxBatch,
+		BatchTimeoutMs: f.batchTimeoutMs,
+		WarmupMs:       f.warmupMs,
+	}
+	if f.initial != "" {
+		cfg, err := serving.ParseConfig(f.initial)
+		if err != nil {
+			return gateway.Options{}, err
+		}
+		opts.Initial = cfg
+	}
+	if f.controller {
+		opts.Controller = &controller.Params{
+			WindowMs:     f.windowMs,
+			TickMs:       f.tickMs,
+			RelThreshold: f.threshold,
+			DwellMs:      f.dwellMs,
+			AdaptBudget:  f.adaptBudget,
+		}
+	}
+	if f.proxyTarget != "" {
+		opts.Backend = &gateway.ProxyBackend{Target: f.proxyTarget, TimeScale: f.timeScale}
+	} else {
+		opts.Backend = gateway.NewSimBackend(m, f.timeScale, f.seed)
+	}
+	return opts, nil
+}
+
+// run builds the gateway (including any initial search) and serves until the
+// context is cancelled, then drains connections and shuts the data plane
+// down.
+func run(ctx context.Context, addr string, opts gateway.Options) error {
+	g, err := gateway.New(ctx, opts)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	log.Printf("ribbon-gateway pool %s for %s (%s dispatch)",
+		g.Config().Key(), opts.Spec.Model.Name, opts.Dispatch.Name())
+
+	hs := &http.Server{
+		Addr:        addr,
+		Handler:     g.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ribbon-gateway listening on %s", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("ribbon-gateway shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(drainCtx)
+}

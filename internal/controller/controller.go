@@ -415,7 +415,7 @@ func (c *Controller) Run(ctx context.Context, stream *workload.Stream) (Status, 
 			if err := ctx.Err(); err != nil {
 				return c.Snapshot(), err
 			}
-			if err := c.tick(ctx, nextTick); err != nil {
+			if _, err := c.tick(ctx, nextTick); err != nil {
 				return c.Snapshot(), err
 			}
 			nextTick += tick
@@ -432,7 +432,7 @@ func (c *Controller) Run(ctx context.Context, stream *workload.Stream) (Status, 
 	if err := ctx.Err(); err != nil {
 		return c.Snapshot(), err
 	}
-	if err := c.tick(ctx, last); err != nil {
+	if _, err := c.tick(ctx, last); err != nil {
 		return c.Snapshot(), err
 	}
 
@@ -445,8 +445,10 @@ func (c *Controller) Run(ctx context.Context, stream *workload.Stream) (Status, 
 }
 
 // tick runs one detector evaluation at stream time nowMs and launches a
-// re-search when a shift is confirmed.
-func (c *Controller) tick(ctx context.Context, nowMs float64) error {
+// re-search when a shift is confirmed. It returns the reconfiguration
+// decision when one was made this tick (applied or not), so live drivers can
+// act on it.
+func (c *Controller) tick(ctx context.Context, nowMs float64) (*Reconfiguration, error) {
 	c.mu.Lock()
 	c.stat.Ticks++
 	c.stat.NowMs = nowMs
@@ -466,7 +468,7 @@ func (c *Controller) tick(ctx context.Context, nowMs float64) error {
 		c.det.Reset()
 		c.stat.PendingForMs = 0
 		c.mu.Unlock()
-		return nil
+		return nil, nil
 	}
 
 	confirmed := c.det.Update(nowMs, c.stat.AppliedScale, est)
@@ -480,7 +482,7 @@ func (c *Controller) tick(ctx context.Context, nowMs float64) error {
 	c.mu.Unlock()
 
 	if !confirmed {
-		return nil
+		return nil, nil
 	}
 	return c.reconfigure(ctx, nowMs, est)
 }
@@ -490,7 +492,7 @@ func (c *Controller) tick(ctx context.Context, nowMs float64) error {
 // cost folded in. It always updates the provisioned scale — the load
 // assessment changed even when the pool does not — and always appends to
 // the history.
-func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) error {
+func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) (*Reconfiguration, error) {
 	if target < minTargetScale {
 		target = minTargetScale
 	}
@@ -507,7 +509,7 @@ func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) err
 	s := core.NewAdaptedSearcher(ev, c.bounds, seed, c.cfg.Search, prevSteps, incumbent)
 	res := s.RunContext(ctx, c.cfg.Params.AdaptBudget)
 	if err := ctx.Err(); err != nil {
-		return err
+		return nil, err
 	}
 
 	// The warm start re-measured the incumbent under the new load as its
@@ -571,5 +573,5 @@ func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) err
 	c.stat.PendingForMs = 0
 	c.det.Reset()
 	c.cooldownUntil = nowMs + c.cfg.Params.CooldownMs
-	return nil
+	return &rec, nil
 }

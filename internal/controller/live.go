@@ -1,0 +1,103 @@
+package controller
+
+import (
+	"context"
+	"errors"
+)
+
+// RunLive drives the control loop from a live arrival feed instead of a
+// replayed stream: the caller (in practice the ribbon-gateway data plane)
+// sends the stream-time timestamp of every measured arrival on the channel,
+// and the controller interleaves estimator updates with detector ticks
+// exactly as Run does — the estimator genuinely cannot tell a live feed from
+// a replay, which is what makes live decision traces byte-stable under a
+// seeded flood.
+//
+// Every reconfiguration decision (applied or not) is passed to onDecision
+// before the next arrival is consumed, so a serving data plane can apply the
+// new pool synchronously with the decision history; a nil onDecision is
+// allowed. onDecision runs on the RunLive goroutine — arrivals buffer in the
+// channel while it (and the re-search before it) runs, which only delays
+// ticks in wall time, never in stream time.
+//
+// Timestamps must be non-decreasing; out-of-order stragglers (an HTTP data
+// plane admits requests from many connections) are clamped to the maximum
+// seen rather than rejected, so a slightly racy feed degrades gracefully.
+// RunLive returns when the channel closes (final status, nil error) or the
+// context is cancelled (partial status, context error). Like Run, it may be
+// called once per Controller, and Snapshot remains safe to call concurrently.
+func (c *Controller) RunLive(ctx context.Context, arrivals <-chan float64, onDecision func(Reconfiguration)) (Status, error) {
+	c.mu.Lock()
+	if c.ran {
+		c.mu.Unlock()
+		return c.Snapshot(), errors.New("controller: Run already called")
+	}
+	c.ran = true
+	c.mu.Unlock()
+
+	if arrivals == nil {
+		return c.Snapshot(), errors.New("controller: nil arrival feed")
+	}
+	if err := c.initialize(ctx); err != nil {
+		return c.Snapshot(), err
+	}
+
+	tick := c.cfg.Params.TickMs
+	nextTick := tick
+	last := 0.0
+	seen := false
+	for {
+		var t float64
+		select {
+		case <-ctx.Done():
+			return c.Snapshot(), ctx.Err()
+		case v, ok := <-arrivals:
+			if !ok {
+				// Feed closed: one closing tick so a shift inside the
+				// final partial window still registers.
+				if seen {
+					if err := ctx.Err(); err != nil {
+						return c.Snapshot(), err
+					}
+					rec, err := c.tick(ctx, last)
+					if err != nil {
+						return c.Snapshot(), err
+					}
+					if rec != nil && onDecision != nil {
+						onDecision(*rec)
+					}
+				}
+				c.mu.Lock()
+				c.stat.State = StateDone
+				c.stat.PendingForMs = 0
+				out := c.snapshotLocked()
+				c.mu.Unlock()
+				return out, nil
+			}
+			t = v
+		}
+		if t < last {
+			t = last // clamp stragglers; the estimator needs monotone time
+		}
+		for nextTick <= t {
+			if err := ctx.Err(); err != nil {
+				return c.Snapshot(), err
+			}
+			rec, err := c.tick(ctx, nextTick)
+			if err != nil {
+				return c.Snapshot(), err
+			}
+			if rec != nil && onDecision != nil {
+				onDecision(*rec)
+			}
+			nextTick += tick
+		}
+		c.mu.Lock()
+		c.est.Observe(t)
+		c.stat.Arrivals++
+		c.stat.NowMs = t
+		c.mu.Unlock()
+		last = t
+		seen = true
+	}
+}

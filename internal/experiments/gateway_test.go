@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestGatewayFlood runs a miniature live flood (tiny query counts, heavy time
+// compression) and checks the structural invariants the full experiment
+// reports on: every overload level present, tier accounting consistent with
+// the totals, and — the shedding contract — zero critical-tier sheds at any
+// overload.
+func TestGatewayFlood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live flood")
+	}
+	s := Setup{Seed: 42, Queries: 800, Budget: 16}
+	opts := GatewayOptions{
+		BaseScale: 0.4,
+		Overloads: []float64{1, 4},
+		DurationS: 1.5,
+		TimeScale: 0.05,
+		Budget:    16,
+	}
+	table, report := GatewayFlood(s, opts)
+
+	if len(report.Rows) != len(opts.Overloads) {
+		t.Fatalf("%d report rows, want %d", len(report.Rows), len(opts.Overloads))
+	}
+	if len(table.Rows) != len(opts.Overloads)*3 {
+		t.Fatalf("%d table rows, want %d (overloads x tiers)", len(table.Rows), len(opts.Overloads)*3)
+	}
+	for _, row := range report.Rows {
+		if row.Completed == 0 {
+			t.Fatalf("overload %gx served nothing: %+v", row.Overload, row)
+		}
+		var tierOutcomes uint64
+		for _, tier := range row.Tiers {
+			tierOutcomes += tier.Completed + tier.Shed + tier.Rejected
+			if tier.Tier == "critical" && tier.Shed > 0 {
+				t.Fatalf("overload %gx shed %d critical requests", row.Overload, tier.Shed)
+			}
+			if tier.Completed > 0 && tier.P99Ms <= 0 {
+				t.Fatalf("overload %gx tier %s completed %d with p99 %g", row.Overload, tier.Tier, tier.Completed, tier.P99Ms)
+			}
+		}
+		if total := row.Completed + row.Shed + row.Rejected; tierOutcomes != total {
+			t.Fatalf("overload %gx: tier outcomes %d != totals %d", row.Overload, tierOutcomes, total)
+		}
+	}
+
+	// The report must round-trip as JSON — it is checked in as BENCH_6.json.
+	b, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back GatewayReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != report.Model || len(back.Rows) != len(report.Rows) {
+		t.Fatalf("report did not round-trip: %s", b)
+	}
+}

@@ -1,0 +1,205 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ribbon/internal/cloud"
+	"ribbon/internal/models"
+	"ribbon/internal/perf"
+	"ribbon/internal/stats"
+)
+
+// Batch is one fused unit of backend work: the requests an instance worker
+// collected before the max-batch-size or flush-timeout bound fired.
+type Batch struct {
+	// Requests is the number of fused queries; Samples their summed batch
+	// sizes (the quantity the performance model prices).
+	Requests int
+	Samples  int
+	// Payloads carries the per-request bodies when the data plane received
+	// any (HTTP ingress); nil for payload-free floods. Bodies receives the
+	// per-request backend responses when the backend produces them.
+	Payloads [][]byte
+	Bodies   [][]byte
+}
+
+// Backend executes batches on behalf of a live pool instance. Serve blocks
+// for the duration of the batch — the instance is busy exactly while Serve
+// runs — and returns the service time in stream-time milliseconds (the time
+// base latencies and QoS targets are expressed in).
+//
+// Implementations must be safe for concurrent use: every live instance calls
+// Serve from its own worker goroutine.
+type Backend interface {
+	Serve(ctx context.Context, t cloud.InstanceType, b *Batch) (serviceMs float64, err error)
+}
+
+// SimBackend serves batches by sleeping out the calibrated service time of
+// the instance type under the model profile (internal/perf, the same latency
+// model the offline simulator uses), scaled into wall time by TimeScale. It
+// makes the whole serving loop — gateway, batching, live adaptation —
+// testable and benchmarkable on a laptop with no GPUs attached.
+type SimBackend struct {
+	// Model is the served model profile.
+	Model models.Profile
+	// TimeScale maps stream-time milliseconds to wall time: a batch whose
+	// modeled service time is m ms occupies the instance for m*TimeScale
+	// wall milliseconds. 1 (real time) when zero; 0.01 runs floods a
+	// hundred times faster than real time.
+	TimeScale float64
+	// Seed derives the service-time noise streams.
+	Seed uint64
+
+	rngs    sync.Pool
+	nextRNG atomic.Uint64
+}
+
+// NewSimBackend builds a simulated backend for the model.
+func NewSimBackend(m models.Profile, timeScale float64, seed uint64) *SimBackend {
+	if timeScale == 0 {
+		timeScale = 1
+	}
+	if timeScale < 0 {
+		panic(fmt.Sprintf("gateway: negative time scale %g", timeScale))
+	}
+	return &SimBackend{Model: m, TimeScale: timeScale, Seed: seed}
+}
+
+func (s *SimBackend) rng() *stats.RNG {
+	if r, _ := s.rngs.Get().(*stats.RNG); r != nil {
+		return r
+	}
+	// Each leased RNG gets its own derived stream; workers run concurrently
+	// and live service noise needs independence, not replayability.
+	n := s.nextRNG.Add(1)
+	return stats.Derive(s.Seed, "gateway", "service", fmt.Sprintf("%d", n))
+}
+
+// Serve sleeps out the modeled service time for the batch.
+func (s *SimBackend) Serve(ctx context.Context, t cloud.InstanceType, b *Batch) (float64, error) {
+	r := s.rng()
+	ms := perf.NoisyServiceMs(s.Model, t, b.Samples, r)
+	s.rngs.Put(r)
+	scale := s.TimeScale
+	if scale == 0 {
+		scale = 1
+	}
+	if err := sleepFor(ctx, time.Duration(ms*scale*float64(time.Millisecond))); err != nil {
+		return ms, err
+	}
+	return ms, nil
+}
+
+// sleepFor sleeps d with sub-millisecond precision: a coarse timer for the
+// bulk and a short spin for the remainder, so heavily time-compressed floods
+// (service times below the platform timer resolution) do not systematically
+// under-drive the pool. The spin budget is deliberately small: every live
+// worker pays it per served batch, and a compressed flood runs thousands of
+// batches per wall second — a generous spin would burn more cores than the
+// simulated pool has.
+func sleepFor(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	const spin = 100 * time.Microsecond
+	due := time.Now().Add(d)
+	if d > spin {
+		t := time.NewTimer(d - spin)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for time.Now().Before(due) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProxyBackend forwards batches to a real inference endpoint over HTTP: each
+// request in the batch becomes one POST to Target (concurrently — fusing a
+// batch into a single endpoint call is model-specific and out of scope for a
+// transport), and the measured wall time divided by TimeScale is reported as
+// the service time. Use it to put the gateway's routing, batching, and
+// shedding in front of an actual serving endpoint.
+type ProxyBackend struct {
+	// Target is the endpoint URL, e.g. "http://10.0.0.7:8501/v1/predict".
+	Target string
+	// Client performs the forwarded requests; http.DefaultClient when nil.
+	Client *http.Client
+	// TimeScale converts measured wall milliseconds into stream-time
+	// milliseconds; 1 when zero (real endpoints live in real time).
+	TimeScale float64
+}
+
+// Serve forwards every request of the batch and collects the response
+// bodies. A non-2xx answer or transport error fails the whole batch.
+func (p *ProxyBackend) Serve(ctx context.Context, t cloud.InstanceType, b *Batch) (float64, error) {
+	hc := p.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	n := b.Requests
+	if n < 1 {
+		n = 1
+	}
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		var payload []byte
+		if i < len(b.Payloads) {
+			payload = b.Payloads[i]
+		}
+		wg.Add(1)
+		go func(i int, payload []byte) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.Target, bytes.NewReader(payload))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := hc.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+				errs[i] = fmt.Errorf("gateway: backend %s answered %s", p.Target, resp.Status)
+				return
+			}
+			bodies[i] = body
+		}(i, payload)
+	}
+	wg.Wait()
+	scale := p.TimeScale
+	if scale == 0 {
+		scale = 1
+	}
+	ms := float64(time.Since(start)) / float64(time.Millisecond) / scale
+	for _, err := range errs {
+		if err != nil {
+			return ms, err
+		}
+	}
+	b.Bodies = bodies
+	return ms, nil
+}

@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ribbon/api"
+	"ribbon/internal/controller"
+	"ribbon/internal/dispatch"
+	"ribbon/internal/workload"
+)
+
+// Handler returns the gateway's HTTP API:
+//
+//	POST /v1/infer            — admit one inference request, wait for it
+//	GET  /v1/gateway/metrics  — point-in-time data-plane snapshot
+//	GET  /healthz             — liveness
+//
+// Shed and rejected requests answer 503 overloaded with a Retry-After hint,
+// the same contract the control-plane server uses, so the shared client's
+// backoff logic applies unchanged.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/infer", g.handleInfer)
+	mux.HandleFunc("GET /v1/gateway/metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, e *api.Error) {
+	if status == http.StatusServiceUnavailable {
+		// Shed/rejected means the pool is saturated right now; a drained
+		// queue is at most a service time or two away. One second is the
+		// honest wall-clock hint at any time scale.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, api.ErrorResponse{Error: e})
+}
+
+func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req api.InferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest,
+			&api.Error{Code: api.ErrInvalidRequest, Message: "bad request body: " + err.Error()})
+		return
+	}
+	class := workload.Criticality(req.Class).Normalize()
+	if !class.Valid() {
+		writeErr(w, http.StatusBadRequest,
+			&api.Error{Code: api.ErrInvalidRequest, Message: fmt.Sprintf("unknown class %q", req.Class)})
+		return
+	}
+	if req.Batch < 0 || req.ArrivalMs < 0 {
+		writeErr(w, http.StatusBadRequest,
+			&api.Error{Code: api.ErrInvalidRequest, Message: "batch and arrival_ms must be non-negative"})
+		return
+	}
+	arrival := req.ArrivalMs
+	if arrival == 0 {
+		arrival = g.nowMs()
+	}
+	var payload []byte
+	if req.Payload != "" {
+		payload = []byte(req.Payload)
+	}
+	resp, out, err := g.Ingest(r.Context(), arrival, req.Batch, class, payload)
+	switch {
+	case out != OutcomeQueued:
+		writeErr(w, http.StatusServiceUnavailable,
+			&api.Error{Code: api.ErrOverloaded, Message: "request " + out.String() + ": pool saturated"})
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError,
+			&api.Error{Code: api.ErrInternal, Message: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, api.InferResponse{
+			Outcome:   out.String(),
+			LatencyMs: resp.LatencyMs,
+			ServiceMs: resp.ServiceMs,
+			Instance:  resp.Instance,
+			Body:      string(resp.Body),
+		})
+	}
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.MetricsDTO())
+}
+
+// MetricsDTO assembles the wire-level metrics snapshot served by
+// GET /v1/gateway/metrics.
+func (g *Gateway) MetricsDTO() api.GatewayMetrics {
+	s := g.Metrics()
+	out := api.GatewayMetrics{
+		Model:           g.spec.Model.Name,
+		Policy:          string(g.kind),
+		Config:          g.Config(),
+		Accepted:        s.Accepted,
+		Completed:       s.Completed,
+		Shed:            s.Shed,
+		Rejected:        s.Rejected,
+		Failed:          s.Failed,
+		FeedDropped:     s.FeedDropped,
+		Batches:         s.Batches,
+		BatchedRequests: s.BatchedRequests,
+		QueueDepth:      s.QueueDepth,
+		Inflight:        s.Inflight,
+	}
+	for r := dispatch.NumRanks - 1; r >= 0; r-- { // critical first
+		t := s.Tiers[r]
+		out.Tiers = append(out.Tiers, api.GatewayTierStats{
+			Tier:       t.Tier,
+			Completed:  t.Completed,
+			Shed:       t.Shed,
+			Rejected:   t.Rejected,
+			QoSMet:     t.QoSMet,
+			QoSSatRate: t.Rsat(),
+			P50Ms:      t.P50Ms,
+			P99Ms:      t.P99Ms,
+		})
+	}
+	for _, inst := range s.Instances {
+		out.Instances = append(out.Instances, api.GatewayInstance{
+			ID:         inst.ID,
+			Type:       inst.Type,
+			QueueDepth: inst.QueueDepth,
+			Inflight:   inst.Inflight,
+			Served:     inst.Served,
+			Retiring:   inst.Retiring,
+		})
+	}
+	out.Reconfigurations = make([]api.ControllerReconfiguration, 0, len(s.Reconfigurations))
+	for _, rec := range s.Reconfigurations {
+		out.Reconfigurations = append(out.Reconfigurations, reconfigDTO(rec))
+	}
+	if stat, ok := g.ControllerStatus(); ok {
+		cs := controllerStatusDTO(stat)
+		out.Controller = &cs
+	}
+	return out
+}
+
+func reconfigDTO(rec controller.Reconfiguration) api.ControllerReconfiguration {
+	return api.ControllerReconfiguration{
+		AtMs:              rec.AtMs,
+		ObservedScale:     rec.ObservedScale,
+		OldScale:          rec.OldScale,
+		NewScale:          rec.NewScale,
+		From:              rec.From,
+		To:                rec.To,
+		FromCostPerHour:   rec.FromCostPerHour,
+		ToCostPerHour:     rec.ToCostPerHour,
+		MigrationCost:     rec.MigrationCost,
+		IncumbentMeetsQoS: rec.IncumbentMeetsQoS,
+		Samples:           rec.Samples,
+		Applied:           rec.Applied,
+		Reason:            rec.Reason,
+	}
+}
+
+func controllerStatusDTO(s controller.Status) api.ControllerStatus {
+	out := api.ControllerStatus{
+		State:                string(s.State),
+		NowMs:                s.NowMs,
+		Arrivals:             s.Arrivals,
+		Ticks:                s.Ticks,
+		EstimatedScale:       s.EstimatedScale,
+		AppliedScale:         s.AppliedScale,
+		PendingForMs:         s.PendingForMs,
+		Incumbent:            s.Incumbent,
+		IncumbentCostPerHour: s.IncumbentCostPerHour,
+		IncumbentMeetsQoS:    s.IncumbentMeetsQoS,
+		SearchSamples:        s.SearchSamples,
+		Reconfigurations:     make([]api.ControllerReconfiguration, 0, len(s.Reconfigurations)),
+	}
+	for _, rec := range s.Reconfigurations {
+		out.Reconfigurations = append(out.Reconfigurations, reconfigDTO(rec))
+	}
+	return out
+}

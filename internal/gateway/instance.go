@@ -1,0 +1,301 @@
+package gateway
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ribbon/internal/cloud"
+	"ribbon/internal/dispatch"
+)
+
+// request is one admitted inference request traveling through the data
+// plane. Requests are pooled (sync.Pool) — the dispatch hot path allocates
+// nothing per request.
+type request struct {
+	arrivalMs float64 // scheduled stream-time arrival (latency epoch)
+	batch     int     // samples fused into this request
+	rank      int     // criticality rank, [0, dispatch.NumRanks)
+	payload   []byte  // request body; nil for payload-free floods
+	wait      bool    // a waiter is blocked on done
+	done      chan Response
+}
+
+// response is the completion record delivered to a waiting caller.
+type Response struct {
+	// LatencyMs is stream time from scheduled arrival to completion;
+	// ServiceMs the modeled service time of the batch it rode in.
+	LatencyMs float64
+	ServiceMs float64
+	// Instance names the serving instance type.
+	Instance string
+	// Body is the backend's answer (ProxyBackend only).
+	Body []byte
+	// Err is the backend failure, if any.
+	Err error
+}
+
+// instance is one live pool member: bounded per-rank queues and a worker
+// goroutine that batches and serves them. The queues are the only handoff —
+// the router never blocks on an instance.
+type instance struct {
+	id   int
+	slot int // index into the pool spec's type vector
+	typ  cloud.InstanceType
+	name string // typ.Name(), precomputed: completions must not allocate
+
+	// queues is one bounded FIFO per criticality rank; the worker serves
+	// higher ranks first, which is what gives critical traffic priority
+	// under backlog without any shared lock.
+	queues [dispatch.NumRanks]chan *request
+
+	depth    atomic.Int64  // queued, not yet taken by the worker
+	inflight atomic.Int64  // taken, being served
+	served   atomic.Uint64 // completed on this instance
+	retiring atomic.Bool   // drain-then-retire initiated
+	exited   atomic.Bool   // worker past its final drain barrier
+
+	warmupMs float64 // one-off boot charge before the worker serves
+
+	stop chan struct{} // closed by applyConfig to retire
+	done chan struct{} // closed by the worker on exit
+}
+
+func newInstance(id, slot int, typ cloud.InstanceType, queueDepth int, warmupMs float64) *instance {
+	inst := &instance{
+		id:       id,
+		slot:     slot,
+		typ:      typ,
+		name:     typ.Name(),
+		warmupMs: warmupMs,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for r := range inst.queues {
+		inst.queues[r] = make(chan *request, queueDepth)
+	}
+	return inst
+}
+
+// load is the queue-depth-plus-inflight figure the routing policies rank by.
+func (inst *instance) load() int64 {
+	return inst.depth.Load() + inst.inflight.Load()
+}
+
+// took settles the queue counters after a request leaves inst's queues, by
+// any path (worker take, blocking receive, router rescue).
+func (g *Gateway) took(inst *instance) {
+	inst.depth.Add(-1)
+	g.totalQueued.Add(-1)
+}
+
+// take pops the highest-rank queued request from inst without blocking, nil
+// when all queues are empty.
+func (g *Gateway) take(inst *instance) *request {
+	for r := dispatch.NumRanks - 1; r >= 0; r-- {
+		select {
+		case req := <-inst.queues[r]:
+			g.took(inst)
+			return req
+		default:
+		}
+	}
+	return nil
+}
+
+// worker is the instance's serving loop: collect a batch (bounded by
+// MaxBatch and the flush timeout), hand it to the backend, record the
+// completions, repeat. On retire it drains every queued request before
+// exiting — admitted work is never dropped by a reconfiguration.
+func (g *Gateway) worker(inst *instance) {
+	defer close(inst.done)
+
+	// One reusable flush timer per worker; Reset/Stop with explicit drain
+	// keeps the batch-collection loop allocation-free.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	batch := make([]*request, 0, g.maxBatch)
+	// One reusable Batch per worker: it crosses the Backend interface by
+	// pointer, so a stack-local would escape and cost an allocation per
+	// served batch.
+	scratch := new(Batch)
+
+	if inst.warmupMs > 0 {
+		if err := sleepFor(g.ctx, g.scaled(inst.warmupMs)); err != nil {
+			g.failDrain(inst)
+			return
+		}
+	}
+
+	for {
+		first := g.take(inst)
+		if first == nil {
+			select {
+			case <-g.ctx.Done():
+				g.failDrain(inst)
+				return
+			case <-inst.stop:
+				g.retireDrain(inst, batch, scratch)
+				return
+			case first = <-inst.queues[2]:
+				g.took(inst)
+			case first = <-inst.queues[1]:
+				g.took(inst)
+			case first = <-inst.queues[0]:
+				g.took(inst)
+			}
+		}
+		batch = append(batch[:0], first)
+		stopping := g.collect(inst, &batch, timer)
+		g.serveBatch(inst, batch, scratch)
+		if stopping {
+			g.retireDrain(inst, batch, scratch)
+			return
+		}
+	}
+}
+
+// collect fills batch (which already holds one request) up to MaxBatch,
+// waiting at most the flush timeout for stragglers. It reports whether a
+// retire was requested while collecting.
+func (g *Gateway) collect(inst *instance, batch *[]*request, timer *time.Timer) (stopping bool) {
+	if g.maxBatch <= 1 {
+		return false
+	}
+	// Greedily absorb whatever is already queued.
+	for len(*batch) < g.maxBatch {
+		r := g.take(inst)
+		if r == nil {
+			break
+		}
+		*batch = append(*batch, r)
+	}
+	if len(*batch) >= g.maxBatch || g.batchTimeoutMs <= 0 {
+		return false
+	}
+	timer.Reset(g.scaled(g.batchTimeoutMs))
+	defer func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}()
+	for len(*batch) < g.maxBatch {
+		r := g.take(inst)
+		if r == nil {
+			select {
+			case <-timer.C:
+				return false
+			case <-g.ctx.Done():
+				return false
+			case <-inst.stop:
+				return true
+			case r = <-inst.queues[2]:
+				g.took(inst)
+			case r = <-inst.queues[1]:
+				g.took(inst)
+			case r = <-inst.queues[0]:
+				g.took(inst)
+			}
+		}
+		if r != nil {
+			*batch = append(*batch, r)
+		}
+	}
+	return false
+}
+
+// serveBatch executes one collected batch on the backend and records every
+// completion. The Batch value and payload slice live on the worker stack —
+// nothing escapes on the payload-free path.
+func (g *Gateway) serveBatch(inst *instance, reqs []*request, b *Batch) {
+	n := len(reqs)
+	if n == 0 {
+		return
+	}
+	samples := 0
+	withPayload := false
+	for _, r := range reqs {
+		samples += r.batch
+		if r.payload != nil {
+			withPayload = true
+		}
+	}
+	*b = Batch{Requests: n, Samples: samples}
+	if withPayload {
+		payloads := make([][]byte, n)
+		for i, r := range reqs {
+			payloads[i] = r.payload
+		}
+		b.Payloads = payloads
+	}
+
+	inst.inflight.Add(int64(n))
+	svcMs, err := g.backend.Serve(g.ctx, inst.typ, b)
+	inst.inflight.Add(-int64(n))
+	now := g.nowMs()
+
+	g.m.batches.Add(1)
+	g.m.batchedReqs.Add(uint64(n))
+	for i, r := range reqs {
+		if err != nil {
+			g.m.failed.Add(1)
+			g.respond(r, Response{Err: err, Instance: inst.name})
+			continue
+		}
+		lat := now - r.arrivalMs
+		g.m.completeOK(r.rank, lat, lat <= g.qosMs)
+		inst.served.Add(1)
+		var body []byte
+		if b.Bodies != nil {
+			body = b.Bodies[i]
+		}
+		g.respond(r, Response{
+			LatencyMs: lat,
+			ServiceMs: svcMs,
+			Instance:  inst.name,
+			Body:      body,
+		})
+	}
+}
+
+// retireDrain is the worker side of drain-then-retire. Ordering matters: the
+// exited store happens before the drain loop, and the router checks exited
+// after its enqueue — so either the router's send is observed by this drain,
+// or the router sees exited and rescues the request itself. Either way no
+// admitted request is stranded on a retired instance.
+func (g *Gateway) retireDrain(inst *instance, batch []*request, scratch *Batch) {
+	inst.exited.Store(true)
+	for {
+		batch = batch[:0]
+		for len(batch) < g.maxBatch {
+			r := g.take(inst)
+			if r == nil {
+				break
+			}
+			batch = append(batch, r)
+		}
+		if len(batch) == 0 {
+			return
+		}
+		g.serveBatch(inst, batch, scratch)
+	}
+}
+
+// failDrain fails out everything still queued when the gateway itself shuts
+// down (context cancelled): respond with the context error, serve nothing.
+func (g *Gateway) failDrain(inst *instance) {
+	inst.exited.Store(true)
+	err := g.ctx.Err()
+	for {
+		r := g.take(inst)
+		if r == nil {
+			return
+		}
+		g.m.failed.Add(1)
+		g.respond(r, Response{Err: err, Instance: inst.name})
+	}
+}

@@ -1,0 +1,229 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ribbon/internal/controller"
+	"ribbon/internal/dispatch"
+)
+
+// histBuckets is the per-tier latency histogram resolution: log-spaced
+// buckets, histPerOctave per doubling, covering 0.25 ms up to ~4 minutes of
+// stream time. Recording is one atomic increment — the dispatch hot path
+// never takes a lock for metrics.
+const (
+	histBuckets   = 128
+	histPerOctave = 8
+	histMinMs     = 0.25
+)
+
+// bucketOf maps a latency to its histogram bucket.
+func bucketOf(ms float64) int {
+	if ms <= histMinMs {
+		return 0
+	}
+	b := int(math.Log2(ms/histMinMs) * histPerOctave)
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpperMs returns the inclusive upper bound of bucket b, used when
+// interpolating quantiles back out of the histogram.
+func bucketUpperMs(b int) float64 {
+	return histMinMs * math.Pow(2, float64(b+1)/histPerOctave)
+}
+
+// tierMetrics accumulates one criticality tier's counters. All fields are
+// atomics: workers on different instances record completions concurrently.
+type tierMetrics struct {
+	completed atomic.Uint64
+	shed      atomic.Uint64
+	rejected  atomic.Uint64
+	qosMet    atomic.Uint64
+	hist      [histBuckets]atomic.Uint64
+}
+
+// metrics is the gateway-wide metrics registry.
+type metrics struct {
+	accepted    atomic.Uint64
+	completed   atomic.Uint64
+	shed        atomic.Uint64
+	rejected    atomic.Uint64
+	failed      atomic.Uint64
+	feedDropped atomic.Uint64
+	batches     atomic.Uint64
+	batchedReqs atomic.Uint64
+
+	tiers [dispatch.NumRanks]tierMetrics
+
+	mu       sync.Mutex
+	reconfig []controller.Reconfiguration
+}
+
+func (m *metrics) completeOK(rank int, latencyMs float64, qosMet bool) {
+	m.completed.Add(1)
+	t := &m.tiers[rank]
+	t.completed.Add(1)
+	if qosMet {
+		t.qosMet.Add(1)
+	}
+	t.hist[bucketOf(latencyMs)].Add(1)
+}
+
+func (m *metrics) recordShed(rank int) {
+	m.shed.Add(1)
+	m.tiers[rank].shed.Add(1)
+}
+
+func (m *metrics) recordReject(rank int) {
+	m.rejected.Add(1)
+	m.tiers[rank].rejected.Add(1)
+}
+
+func (m *metrics) recordDecision(rec controller.Reconfiguration) {
+	m.mu.Lock()
+	m.reconfig = append(m.reconfig, rec)
+	m.mu.Unlock()
+}
+
+// TierSnapshot is one criticality tier's counters at a point in time.
+type TierSnapshot struct {
+	// Tier is the tier name ("critical", "standard", "sheddable").
+	Tier string `json:"tier"`
+	// Completed is the number of requests served to completion.
+	Completed uint64 `json:"completed"`
+	// Shed is the number dropped by the shedding policy.
+	Shed uint64 `json:"shed"`
+	// Rejected is the number refused at admission (every queue full).
+	Rejected uint64 `json:"rejected"`
+	// QoSMet is the number of completions within the model's latency target.
+	QoSMet uint64 `json:"qos_met"`
+	// P50Ms and P99Ms are latency quantiles over completions, in stream-time
+	// milliseconds, interpolated from the histogram (0 when empty).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+
+	hist [histBuckets]uint64
+}
+
+// Rsat returns the tier's QoS satisfaction rate, counting shed and rejected
+// requests as violations — the same accounting the offline simulator uses.
+func (t TierSnapshot) Rsat() float64 {
+	total := t.Completed + t.Shed + t.Rejected
+	if total == 0 {
+		return 1
+	}
+	return float64(t.QoSMet) / float64(total)
+}
+
+// quantile interpolates the q-quantile (0..1) out of the tier histogram.
+func (t *TierSnapshot) quantile(q float64) float64 {
+	var total uint64
+	for _, c := range t.hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var seen float64
+	for b, c := range t.hist {
+		if c == 0 {
+			continue
+		}
+		lo := histMinMs
+		if b > 0 {
+			lo = bucketUpperMs(b - 1)
+		}
+		hi := bucketUpperMs(b)
+		if seen+float64(c) >= target {
+			frac := (target - seen) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(c)
+	}
+	return bucketUpperMs(histBuckets - 1)
+}
+
+// Snapshot is a consistent-enough point-in-time view of the gateway: counters
+// are read atomically one by one (individual counters are exact; cross-counter
+// sums can be off by in-flight requests, which is inherent to a live plane).
+type Snapshot struct {
+	// Accepted counts requests admitted into the data plane; Completed,
+	// Shed, Rejected, and Failed partition their outcomes (Failed means the
+	// backend errored). Accepted can exceed the outcome sum by the requests
+	// currently in flight.
+	Accepted  uint64 `json:"accepted"`
+	Completed uint64 `json:"completed"`
+	Shed      uint64 `json:"shed"`
+	Rejected  uint64 `json:"rejected"`
+	Failed    uint64 `json:"failed"`
+	// FeedDropped counts arrival timestamps dropped on the controller feed
+	// because the channel was full; nonzero drops void replay determinism
+	// but never block serving.
+	FeedDropped uint64 `json:"feed_dropped"`
+	// Batches and BatchedRequests describe batching efficacy: mean fused
+	// batch size is BatchedRequests/Batches.
+	Batches         uint64 `json:"batches"`
+	BatchedRequests uint64 `json:"batched_requests"`
+	// QueueDepth is the total number of requests queued across the live
+	// pool at snapshot time; Inflight the number being served.
+	QueueDepth int64 `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+
+	// Tiers is indexed by criticality rank (0 sheddable, 1 standard,
+	// 2 critical — dispatch rank order).
+	Tiers [dispatch.NumRanks]TierSnapshot `json:"tiers"`
+
+	// Instances describes the live pool.
+	Instances []InstanceSnapshot `json:"instances"`
+
+	// Reconfigurations is the controller decision history so far.
+	Reconfigurations []controller.Reconfiguration `json:"reconfigurations"`
+}
+
+// InstanceSnapshot describes one live pool instance.
+type InstanceSnapshot struct {
+	// ID is the gateway-unique instance ID.
+	ID int `json:"id"`
+	// Type is the instance type name, e.g. "c5a.2xlarge".
+	Type string `json:"type"`
+	// QueueDepth and Inflight are the instance's current load.
+	QueueDepth int64 `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+	// Served is the number of requests completed on this instance.
+	Served uint64 `json:"served"`
+	// Retiring reports a drain-then-retire in progress.
+	Retiring bool `json:"retiring"`
+}
+
+var tierNames = [dispatch.NumRanks]string{"sheddable", "standard", "critical"}
+
+// snapshotTiers fills the tier views from the atomic registries.
+func (m *metrics) snapshotTiers() [dispatch.NumRanks]TierSnapshot {
+	var out [dispatch.NumRanks]TierSnapshot
+	for r := range m.tiers {
+		t := &m.tiers[r]
+		s := TierSnapshot{
+			Tier:      tierNames[r],
+			Completed: t.completed.Load(),
+			Shed:      t.shed.Load(),
+			Rejected:  t.rejected.Load(),
+			QoSMet:    t.qosMet.Load(),
+		}
+		for b := range t.hist {
+			s.hist[b] = t.hist[b].Load()
+		}
+		s.P50Ms = s.quantile(0.50)
+		s.P99Ms = s.quantile(0.99)
+		out[r] = s
+	}
+	return out
+}

@@ -183,6 +183,10 @@ func TestJobQueueOverload(t *testing.T) {
 			if e := decodeErr(t, rr); e.Code != api.ErrOverloaded {
 				t.Fatalf("code %q", e.Code)
 			}
+			// Overload answers carry a retry hint for the client's backoff.
+			if got := rr.Header().Get("Retry-After"); got != "1" {
+				t.Fatalf("503 Retry-After = %q, want \"1\"", got)
+			}
 		default:
 			t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
 		}

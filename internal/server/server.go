@@ -182,7 +182,15 @@ func statusFor(code api.ErrorCode) int {
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, e *api.Error) {
-	s.writeJSON(w, statusFor(e.Code), api.ErrorResponse{Error: e})
+	status := statusFor(e.Code)
+	if status == http.StatusServiceUnavailable {
+		// Overloaded means a bounded worker-pool queue (jobs, controllers,
+		// fleets) is momentarily full; a slot frees as soon as one queued
+		// run finishes its current evaluation. One second is a fair hint,
+		// and the client folds it into its jittered backoff.
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, status, api.ErrorResponse{Error: e})
 }
 
 // decode parses a JSON body strictly: unknown fields and trailing garbage

@@ -271,3 +271,27 @@ func TestAliasParity(t *testing.T) {
 		t.Fatalf("alias error code %q", e.Code)
 	}
 }
+
+// TestWriteErrRetryAfter: every 503 carries the Retry-After hint and no
+// other status does — the contract the client's backoff builds on.
+func TestWriteErrRetryAfter(t *testing.T) {
+	s := newTestServer(t)
+
+	rr := httptest.NewRecorder()
+	s.writeErr(rr, &api.Error{Code: api.ErrOverloaded, Message: "queue full"})
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded status %d", rr.Code)
+	}
+	if got := rr.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("503 Retry-After = %q, want \"1\"", got)
+	}
+
+	rr = httptest.NewRecorder()
+	s.writeErr(rr, &api.Error{Code: api.ErrNotFound, Message: "no such job"})
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("not-found status %d", rr.Code)
+	}
+	if got := rr.Header().Get("Retry-After"); got != "" {
+		t.Fatalf("non-503 carries Retry-After %q", got)
+	}
+}
