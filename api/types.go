@@ -405,6 +405,32 @@ type ControllerStatus struct {
 	// Reconfigurations is the decision history, oldest first; always
 	// present (possibly empty).
 	Reconfigurations []ControllerReconfiguration `json:"reconfigurations"`
+	// Events is the control loop's audit trail (shift detections,
+	// keep-or-switch verdicts, cooldowns), oldest first. Timestamps are
+	// stream time, so seeded replays produce identical trails.
+	Events []AuditEvent `json:"events,omitempty"`
+}
+
+// AuditEvent is one typed control-plane decision record. See
+// docs/observability.md for the event catalog.
+type AuditEvent struct {
+	// Seq orders events within one component's trail, starting at 1.
+	Seq int `json:"seq"`
+	// AtMs is the decision's stream-time timestamp, never wall clock.
+	AtMs float64 `json:"at_ms"`
+	// Kind is the event type, e.g. "shift_detected" or "reconfigure".
+	Kind string `json:"kind"`
+	// Message is a human-readable one-liner.
+	Message string `json:"message"`
+	// Fields carries the decision's structured details in a fixed order.
+	Fields []AuditField `json:"fields,omitempty"`
+}
+
+// AuditField is one key/value detail of an audit event. Values are
+// pre-rendered strings so the schema is stable across clients.
+type AuditField struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // Controller is one controller run. Its lifecycle reuses the job states:
@@ -544,6 +570,9 @@ type FleetStatus struct {
 	Models []FleetModelStatus `json:"models"`
 	// Refined names the models the refinement pass re-searched.
 	Refined []string `json:"refined,omitempty"`
+	// Events is the pipeline's audit trail (phase transitions, solver
+	// verdicts, refinement outcomes), oldest first.
+	Events []AuditEvent `json:"events,omitempty"`
 }
 
 // Fleet is one asynchronous fleet optimization. Its lifecycle reuses the
@@ -612,6 +641,41 @@ type InferResponse struct {
 	// Body is the backend's response payload, when the backend produced
 	// one (proxy backends).
 	Body string `json:"body,omitempty"`
+	// TraceID identifies the request's trace: the X-Request-Id header when
+	// one was sent, otherwise a gateway-assigned ID. Also echoed in the
+	// X-Request-Id response header.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// TraceSpan is one timed stage of a traced request, in stream-time
+// milliseconds: admit, queue, batch-fuse, backend, respond.
+type TraceSpan struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+}
+
+// GatewayTrace is one sampled request timeline from the gateway data plane.
+type GatewayTrace struct {
+	// ID is the request's trace ID (adopted X-Request-Id or assigned); Seq
+	// its ingress ordinal.
+	ID  string `json:"id"`
+	Seq uint64 `json:"seq"`
+	// Class is the criticality tier; Outcome served, shed, rejected, or
+	// failed; Instance the serving instance type (served requests).
+	Class    string `json:"class,omitempty"`
+	Outcome  string `json:"outcome"`
+	Instance string `json:"instance,omitempty"`
+	// ArrivalMs is the scheduled arrival; LatencyMs arrival-to-completion.
+	ArrivalMs float64 `json:"arrival_ms"`
+	LatencyMs float64 `json:"latency_ms"`
+	// Spans is the stage timeline in execution order.
+	Spans []TraceSpan `json:"spans"`
+}
+
+// GatewayTraces is the response of GET /v1/gateway/traces, newest first.
+type GatewayTraces struct {
+	Traces []GatewayTrace `json:"traces"`
 }
 
 // GatewayTierStats is one criticality tier's counters in a gateway metrics
@@ -619,6 +683,9 @@ type InferResponse struct {
 type GatewayTierStats struct {
 	// Tier is "critical", "standard", or "sheddable".
 	Tier string `json:"tier"`
+	// Requests counts every request offered to the tier, whatever its
+	// outcome (mirrors ribbon_gateway_requests_total).
+	Requests uint64 `json:"requests"`
 	// Completed, Shed, Rejected, and QoSMet count outcomes; QoSSatRate is
 	// QoSMet over all three (shed and rejected count as violations).
 	Completed  uint64  `json:"completed"`
@@ -676,6 +743,9 @@ type GatewayMetrics struct {
 	Instances []GatewayInstance `json:"instances"`
 	// Reconfigurations is the controller decision history, oldest first.
 	Reconfigurations []ControllerReconfiguration `json:"reconfigurations"`
+	// Events is the gateway's control-plane audit trail (reconfiguration
+	// verdicts, drain-then-retire progress), oldest first.
+	Events []AuditEvent `json:"events,omitempty"`
 	// Controller is the live control-loop status; absent when the gateway
 	// serves a static pool.
 	Controller *ControllerStatus `json:"controller,omitempty"`

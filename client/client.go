@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"ribbon/api"
+	"ribbon/internal/obs"
 )
 
 // Default retry policy: the server answers 503/overloaded when one of its
@@ -55,6 +56,7 @@ type Client struct {
 	hc            *http.Client
 	retryAttempts int
 	retryBase     time.Duration
+	logger        *obs.Logger
 }
 
 // Option customizes a Client.
@@ -81,6 +83,13 @@ func WithRetry(attempts int, base time.Duration) Option {
 			c.retryBase = base
 		}
 	}
+}
+
+// WithLogger attaches a structured logger (ribbon.NewLogger); the retry
+// loop then emits one backoff event per retried attempt, recording the
+// route, the attempt number, and the chosen sleep. A nil logger is inert.
+func WithLogger(l *obs.Logger) Option {
+	return func(c *Client) { c.logger = l }
 }
 
 // New builds a client for the server at baseURL, e.g. "http://host:8080".
@@ -141,6 +150,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if ra := retryAfterOf(err); ra > sleep {
 			sleep = ra
 		}
+		c.logger.Warn("overloaded; backing off",
+			obs.F("method", method), obs.F("path", path),
+			obs.F("attempt", attempt+1), obs.F("attempts", attempts),
+			obs.F("sleep_ms", sleep.Milliseconds()),
+			obs.F("retry_after_ms", retryAfterOf(err).Milliseconds()))
 		select {
 		case <-ctx.Done():
 			return ctx.Err()

@@ -1,16 +1,19 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"ribbon/api"
+	"ribbon/internal/obs"
 	"ribbon/internal/server"
 )
 
@@ -454,6 +457,39 @@ func TestRetryOverloaded(t *testing.T) {
 	}
 	if got := h3.attempts(); got != 1 {
 		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestRetryBackoffLogging: with WithLogger attached, each retried attempt
+// emits one structured backoff event naming the route and sleep.
+func TestRetryBackoffLogging(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1, Logf: t.Logf})
+	t.Cleanup(srv.Close)
+	h := &overloadedHandler{fail: 2, inner: srv.Handler()}
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+
+	var buf bytes.Buffer
+	c := New(hs.URL,
+		WithRetry(3, time.Millisecond),
+		WithLogger(obs.NewLogger(&buf, obs.LevelInfo, obs.FormatText)))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after transient overload: %v", err)
+	}
+	logged := buf.String()
+	if got := strings.Count(logged, `msg="overloaded; backing off"`); got != 2 {
+		t.Fatalf("backoff events = %d, want 2:\n%s", got, logged)
+	}
+	for _, want := range []string{"path=/healthz", "method=GET", "attempt=1", "attempt=2", "sleep_ms="} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("backoff log missing %q:\n%s", want, logged)
+		}
+	}
+
+	// A logger-less client stays silent and still works.
+	h.reset(1)
+	if err := New(hs.URL, WithRetry(2, time.Millisecond)).Health(context.Background()); err != nil {
+		t.Fatalf("health without logger: %v", err)
 	}
 }
 

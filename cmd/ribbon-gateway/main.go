@@ -30,7 +30,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -43,6 +42,7 @@ import (
 	"ribbon/internal/dispatch"
 	"ribbon/internal/gateway"
 	"ribbon/internal/models"
+	"ribbon/internal/obs"
 	"ribbon/internal/serving"
 )
 
@@ -71,8 +71,27 @@ func main() {
 		batchWaitMs = flag.Float64("batch-timeout-ms", 0, "flush timeout for a partial batch, stream ms (0: default 2)")
 		warmupMs    = flag.Float64("warmup-ms", 0, "warm-up charge for instances added by a reconfiguration, stream ms")
 		proxyTarget = flag.String("proxy-target", "", "forward requests to this endpoint instead of simulating")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text (key=value) or json")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty: disabled)")
+		sampleEvery = flag.Int("trace-sample", 0, "sample one request trace in every N (0: default 16)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ribbon-gateway: %v\n", err)
+		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		bound, stopPprof, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ribbon-gateway: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopPprof()
+		logger.Info("pprof listening", obs.F("addr", bound))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -86,6 +105,7 @@ func main() {
 		timeScale: *timeScale, queueDepth: *queueDepth,
 		maxBatch: *maxBatch, batchTimeoutMs: *batchWaitMs, warmupMs: *warmupMs,
 		proxyTarget: *proxyTarget,
+		logger:      logger, traceSampleEvery: *sampleEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ribbon-gateway: %v\n", err)
@@ -100,27 +120,42 @@ func main() {
 // gatewayFlags is the parsed command line, decoupled from package flag so the
 // entrypoint is testable.
 type gatewayFlags struct {
-	model, types   string
-	qos            float64
-	policy         string
-	shedQueue      int
-	initial        string
-	budget         int
-	rateScale      float64
-	queries        int
-	seed           uint64
-	controller     bool
-	windowMs       float64
-	tickMs         float64
-	dwellMs        float64
-	threshold      float64
-	adaptBudget    int
-	timeScale      float64
-	queueDepth     int
-	maxBatch       int
-	batchTimeoutMs float64
-	warmupMs       float64
-	proxyTarget    string
+	model, types     string
+	qos              float64
+	policy           string
+	shedQueue        int
+	initial          string
+	budget           int
+	rateScale        float64
+	queries          int
+	seed             uint64
+	controller       bool
+	windowMs         float64
+	tickMs           float64
+	dwellMs          float64
+	threshold        float64
+	adaptBudget      int
+	timeScale        float64
+	queueDepth       int
+	maxBatch         int
+	batchTimeoutMs   float64
+	warmupMs         float64
+	proxyTarget      string
+	logger           *obs.Logger
+	traceSampleEvery int
+}
+
+// newLogger builds the process logger from the -log-level/-log-format flags.
+func newLogger(level, format string) (*obs.Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := obs.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(os.Stderr, lv, fm), nil
 }
 
 // buildOptions translates flags into gateway.Options.
@@ -150,12 +185,14 @@ func buildOptions(f gatewayFlags) (gateway.Options, error) {
 			Queries:   f.queries,
 			RateScale: f.rateScale,
 		},
-		Seed:           f.seed,
-		TimeScale:      f.timeScale,
-		QueueDepth:     f.queueDepth,
-		MaxBatch:       f.maxBatch,
-		BatchTimeoutMs: f.batchTimeoutMs,
-		WarmupMs:       f.warmupMs,
+		Seed:             f.seed,
+		TimeScale:        f.timeScale,
+		QueueDepth:       f.queueDepth,
+		MaxBatch:         f.maxBatch,
+		BatchTimeoutMs:   f.batchTimeoutMs,
+		WarmupMs:         f.warmupMs,
+		Logger:           f.logger,
+		TraceSampleEvery: f.traceSampleEvery,
 	}
 	if f.initial != "" {
 		cfg, err := serving.ParseConfig(f.initial)
@@ -190,8 +227,10 @@ func run(ctx context.Context, addr string, opts gateway.Options) error {
 		return err
 	}
 	defer g.Close()
-	log.Printf("ribbon-gateway pool %s for %s (%s dispatch)",
-		g.Config().Key(), opts.Spec.Model.Name, opts.Dispatch.Name())
+	opts.Logger.Info("ribbon-gateway pool ready",
+		obs.F("config", g.Config().Key()),
+		obs.F("model", opts.Spec.Model.Name),
+		obs.F("dispatch", opts.Dispatch.Name()))
 
 	hs := &http.Server{
 		Addr:        addr,
@@ -200,7 +239,7 @@ func run(ctx context.Context, addr string, opts gateway.Options) error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ribbon-gateway listening on %s", addr)
+		opts.Logger.Info("ribbon-gateway listening", obs.F("addr", addr))
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -209,7 +248,7 @@ func run(ctx context.Context, addr string, opts gateway.Options) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("ribbon-gateway shutting down")
+	opts.Logger.Info("ribbon-gateway shutting down")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return hs.Shutdown(drainCtx)

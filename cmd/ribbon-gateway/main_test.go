@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ribbon/api"
+	"ribbon/internal/obs"
 )
 
 // TestRunServesInference boots the real entrypoint on an ephemeral port with
@@ -110,5 +111,31 @@ func TestBuildOptionsRejectsBadFlags(t *testing.T) {
 		if _, err := buildOptions(f); err == nil {
 			t.Errorf("buildOptions(%+v) accepted invalid flags", f)
 		}
+	}
+}
+
+// TestPprofFlagSmoke exercises the -pprof-addr wiring: a dedicated listener
+// serving the pprof index, separate from the data-plane mux.
+func TestPprofFlagSmoke(t *testing.T) {
+	if _, err := newLogger("info", "yaml"); err == nil {
+		t.Fatal("newLogger accepted a bogus format")
+	}
+	logger, err := newLogger("warn", "text")
+	if err != nil || logger == nil {
+		t.Fatalf("newLogger = %v, %v", logger, err)
+	}
+
+	addr, stop, err := obs.ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
 	}
 }

@@ -50,7 +50,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -58,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"ribbon/internal/obs"
 	"ribbon/internal/server"
 )
 
@@ -70,7 +70,25 @@ func main() {
 	budget := flag.Int("default-budget", 40, "optimize budget when the request omits it")
 	adaptBudget := flag.Int("default-adapt-budget", 16, "controller re-search budget when the request omits it")
 	retain := flag.Int("retain-jobs", 256, "finished jobs kept queryable before eviction")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log encoding: text (key=value) or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty: disabled)")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ribbon-server: %v\n", err)
+		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		bound, stopPprof, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ribbon-server: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopPprof()
+		logger.Info("pprof listening", obs.F("addr", bound))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -82,10 +100,24 @@ func main() {
 		DefaultBudget:      *budget,
 		DefaultAdaptBudget: *adaptBudget,
 		RetainJobs:         *retain,
+		Logger:             logger,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "ribbon-server: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger from the -log-level/-log-format flags.
+func newLogger(level, format string) (*obs.Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := obs.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(os.Stderr, lv, fm), nil
 }
 
 // run serves until the context is cancelled, then shuts down gracefully:
@@ -104,7 +136,7 @@ func run(ctx context.Context, addr string, cfg server.Config) error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ribbon-server listening on %s", addr)
+		cfg.Logger.Info("ribbon-server listening", obs.F("addr", addr))
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -113,7 +145,7 @@ func run(ctx context.Context, addr string, cfg server.Config) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("ribbon-server shutting down")
+	cfg.Logger.Info("ribbon-server shutting down")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return hs.Shutdown(drainCtx)

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"ribbon/internal/obs"
 	"ribbon/internal/server"
 )
 
@@ -63,5 +64,31 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// TestPprofFlagSmoke exercises the -pprof-addr wiring: a dedicated listener
+// serving the pprof index, separate from the service mux.
+func TestPprofFlagSmoke(t *testing.T) {
+	if _, err := newLogger("verbose", "text"); err == nil {
+		t.Fatal("newLogger accepted a bogus level")
+	}
+	logger, err := newLogger("debug", "json")
+	if err != nil || logger == nil {
+		t.Fatalf("newLogger = %v, %v", logger, err)
+	}
+
+	addr, stop, err := obs.ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
 	}
 }

@@ -81,6 +81,14 @@ type ControllerConfig struct {
 	// Bounds discovery still probes the pool unless Service.Bounds is
 	// set too.
 	Initial *SearchResult
+	// Logger, when non-nil, mirrors every control-plane audit event
+	// (shift detections, keep-or-switch verdicts) as a structured log
+	// line. Logging never influences decisions: seeded replays are
+	// byte-identical with or without it. See docs/observability.md.
+	Logger *Logger
+	// AuditCapacity bounds the decision audit trail exposed through
+	// Status; 256 when zero.
+	AuditCapacity int
 }
 
 // Controller is the continuous pool manager: it ingests an arrival stream,
@@ -119,6 +127,8 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		InitialBudget: cfg.InitialBudget,
 		Initial:       cfg.Initial,
 		Params:        cfg.Controller,
+		Logger:        cfg.Logger,
+		AuditCapacity: cfg.AuditCapacity,
 	})
 	if err != nil {
 		return nil, err

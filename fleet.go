@@ -76,6 +76,13 @@ type FleetConfig struct {
 	// RefineModels caps how many most-constrained models the refinement
 	// pass re-searches; 2 when zero, negative disables refinement.
 	RefineModels int
+	// Logger, when non-nil, mirrors every pipeline audit event (frontier
+	// extractions, budget splits, refinements) as a structured log line.
+	// Logging never influences decisions. See docs/observability.md.
+	Logger *Logger
+	// AuditCapacity bounds the decision audit trail exposed through
+	// Status; 128 when zero.
+	AuditCapacity int
 }
 
 // Fleet optimizes a catalog of inference services against one shared
@@ -99,6 +106,8 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		SearchBudget:  cfg.SearchBudget,
 		RefineBudget:  cfg.RefineBudget,
 		RefineModels:  cfg.RefineModels,
+		Logger:        cfg.Logger,
+		AuditCapacity: cfg.AuditCapacity,
 	}
 	for i, m := range cfg.Models {
 		if m.Service.Evaluator != nil {

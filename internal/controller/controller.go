@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"ribbon/internal/core"
+	"ribbon/internal/obs"
 	"ribbon/internal/serving"
 	"ribbon/internal/workload"
 )
@@ -156,6 +157,13 @@ type Config struct {
 	Initial *core.SearchResult
 	// Params tunes the control loop.
 	Params Params
+	// Logger, when non-nil, mirrors every audit event as a structured log
+	// line. Logging never influences decisions: the audit trail itself is
+	// stamped with stream time only, so seeded replays stay byte-identical
+	// whether or not a logger is attached.
+	Logger *obs.Logger
+	// AuditCapacity bounds the retained audit events; 256 when zero.
+	AuditCapacity int
 }
 
 // State labels the controller's position in the control loop.
@@ -235,6 +243,10 @@ type Status struct {
 	SearchSamples int
 	// Reconfigurations is the decision history, oldest first.
 	Reconfigurations []Reconfiguration
+	// Events is the typed audit trail behind the history: shift
+	// confirmations and keep-or-switch verdicts with their inputs, oldest
+	// first. Timestamps are stream time, so replays reproduce it exactly.
+	Events []obs.Event
 }
 
 // minTargetScale floors the load scale a reconfiguration re-plans for. An
@@ -252,10 +264,11 @@ type Controller struct {
 	basePerMs float64 // base arrivals per ms at scale 1
 	migration MigrationModel
 
-	mu   sync.Mutex
-	est  *rateEstimator
-	det  *changeDetector
-	stat Status
+	mu    sync.Mutex
+	est   *rateEstimator
+	det   *changeDetector
+	stat  Status
+	trail *obs.Trail
 
 	bounds        []int
 	lastSteps     []core.Step
@@ -315,6 +328,11 @@ func New(cfg Config) (*Controller, error) {
 		est: newRateEstimator(cfg.Params.WindowMs),
 		det: newChangeDetector(cfg.Params.RelThreshold, cfg.Params.DwellMs),
 	}
+	auditCap := cfg.AuditCapacity
+	if auditCap == 0 {
+		auditCap = 256
+	}
+	c.trail = obs.NewTrail(auditCap, cfg.Logger)
 	c.stat = Status{State: StateWarmup, AppliedScale: baseScale}
 	return c, nil
 }
@@ -332,6 +350,7 @@ func (c *Controller) snapshotLocked() Status {
 	s := c.stat
 	s.Incumbent = s.Incumbent.Clone()
 	s.Reconfigurations = append([]Reconfiguration(nil), s.Reconfigurations...)
+	s.Events = c.trail.Events()
 	return s
 }
 
@@ -383,6 +402,13 @@ func (c *Controller) initialize(ctx context.Context) error {
 	if c.cfg.Initial == nil {
 		c.stat.SearchSamples += res.Samples
 	}
+	c.trail.Record(0, "incumbent_established", "initial incumbent "+res.BestConfig.Key(),
+		obs.F("config", res.BestConfig.Key()),
+		obs.F("cost_per_hour", res.BestResult.CostPerHour),
+		obs.F("meets_qos", res.BestResult.MeetsQoS),
+		obs.F("strategy", res.Strategy),
+		obs.F("samples", res.Samples),
+	)
 	return nil
 }
 
@@ -471,7 +497,8 @@ func (c *Controller) tick(ctx context.Context, nowMs float64) (*Reconfiguration,
 		return nil, nil
 	}
 
-	confirmed := c.det.Update(nowMs, c.stat.AppliedScale, est)
+	applied := c.stat.AppliedScale
+	confirmed := c.det.Update(nowMs, applied, est)
 	if since, ok := c.det.Pending(); ok && !confirmed {
 		c.stat.State = StatePending
 		c.stat.PendingForMs = nowMs - since
@@ -484,6 +511,10 @@ func (c *Controller) tick(ctx context.Context, nowMs float64) (*Reconfiguration,
 	if !confirmed {
 		return nil, nil
 	}
+	c.trail.Record(nowMs, "shift_detected", "load shift confirmed",
+		obs.F("observed_scale", est),
+		obs.F("applied_scale", applied),
+	)
 	return c.reconfigure(ctx, nowMs, est)
 }
 
@@ -573,5 +604,19 @@ func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) (*R
 	c.stat.PendingForMs = 0
 	c.det.Reset()
 	c.cooldownUntil = nowMs + c.cfg.Params.CooldownMs
+	verdict := "keep"
+	if rec.Applied {
+		verdict = "switch"
+	}
+	c.trail.Record(nowMs, "reconfigure", verdict+": "+rec.Reason,
+		obs.F("applied", rec.Applied),
+		obs.F("observed_scale", rec.ObservedScale),
+		obs.F("from", rec.From.Key()),
+		obs.F("to", rec.To.Key()),
+		obs.F("from_cost_per_hour", rec.FromCostPerHour),
+		obs.F("to_cost_per_hour", rec.ToCostPerHour),
+		obs.F("migration_cost", rec.MigrationCost),
+		obs.F("samples", rec.Samples),
+	)
 	return &rec, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"ribbon/internal/core"
 	"ribbon/internal/models"
+	"ribbon/internal/obs"
 	"ribbon/internal/serving"
 	"ribbon/internal/workload"
 )
@@ -134,6 +135,42 @@ func TestControllerDeterministic(t *testing.T) {
 		if a != b {
 			t.Fatalf("%s replay not byte-stable:\n%s\nvs\n%s", name, a, b)
 		}
+	}
+}
+
+// TestControllerTelemetryPreservesDeterminism attaches a structured logger —
+// the full telemetry path — and requires the status, audit trail included, to
+// stay byte-identical with a silent replay. Audit events must derive only
+// from stream time and decision data, never the wall clock.
+func TestControllerTelemetryPreservesDeterminism(t *testing.T) {
+	phases := []workload.Phase{{Queries: 6000, RateScale: 1.0}, {Queries: 8000, RateScale: 2.0}}
+
+	silent := mustRun(t, testConfig(), phases)
+
+	var buf strings.Builder
+	cfg := testConfig()
+	cfg.Logger = obs.NewLogger(&buf, obs.LevelDebug, obs.FormatText)
+	logged := mustRun(t, cfg, phases)
+
+	a := fmt.Sprintf("%#v", silent)
+	b := fmt.Sprintf("%#v", logged)
+	if a != b {
+		t.Fatalf("telemetry changed the replay:\n%s\nvs\n%s", a, b)
+	}
+	if len(logged.Events) < 3 { // incumbent_established, shift_detected, reconfigure
+		t.Fatalf("got %d audit events, want >= 3: %+v", len(logged.Events), logged.Events)
+	}
+	kinds := make(map[obs.EventKind]int)
+	for _, ev := range logged.Events {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []obs.EventKind{"incumbent_established", "shift_detected", "reconfigure"} {
+		if kinds[k] == 0 {
+			t.Errorf("audit trail missing %q event: %+v", k, logged.Events)
+		}
+	}
+	if !strings.Contains(buf.String(), "kind=reconfigure") {
+		t.Errorf("logger mirror missing reconfigure line:\n%s", buf.String())
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -356,5 +358,104 @@ func GatewayRemoteFlood(s Setup, o GatewayOptions, baseURL string, requests, wor
 			return t, report, fmt.Errorf("gateway smoke: %d critical-tier requests shed", tier.Shed)
 		}
 	}
+	if err := verifyGatewayExposition(client, baseURL, ok2xx.Load()+overloaded.Load()); err != nil {
+		return t, report, err
+	}
+	if err := verifyGatewayTraces(client, baseURL); err != nil {
+		return t, report, err
+	}
 	return t, report, nil
+}
+
+// verifyGatewayExposition scrapes GET /metrics and cross-checks the
+// Prometheus series against the flood: the core families must exist, the
+// per-tier request counters must account for every answered request, and
+// the served/shed/rejected split must conserve the offered total.
+func verifyGatewayExposition(client *http.Client, baseURL string, answered uint64) error {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("gateway smoke: scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("gateway smoke: GET /metrics = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("gateway smoke: read /metrics: %w", err)
+	}
+	series := make(map[string]float64)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("gateway smoke: malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return fmt.Errorf("gateway smoke: malformed value in %q: %v", line, err)
+		}
+		series[line[:sp]] = v
+	}
+
+	var reqs, served, shed, rejected float64
+	for _, tier := range []string{"sheddable", "standard", "critical"} {
+		key := `{tier="` + tier + `"}`
+		if _, ok := series["ribbon_gateway_requests_total"+key]; !ok {
+			return fmt.Errorf("gateway smoke: series ribbon_gateway_requests_total%s missing", key)
+		}
+		if _, ok := series["ribbon_gateway_request_latency_ms_count"+key]; !ok {
+			return fmt.Errorf("gateway smoke: series ribbon_gateway_request_latency_ms_count%s missing", key)
+		}
+		if _, ok := series["ribbon_gateway_shed_total"+key]; !ok {
+			return fmt.Errorf("gateway smoke: series ribbon_gateway_shed_total%s missing", key)
+		}
+		reqs += series["ribbon_gateway_requests_total"+key]
+		served += series["ribbon_gateway_served_total"+key]
+		shed += series["ribbon_gateway_shed_total"+key]
+		rejected += series["ribbon_gateway_rejected_total"+key]
+	}
+	if served+shed+rejected != reqs {
+		return fmt.Errorf("gateway smoke: served+shed+rejected = %.0f+%.0f+%.0f, want requests_total %.0f",
+			served, shed, rejected, reqs)
+	}
+	if reqs < float64(answered) {
+		return fmt.Errorf("gateway smoke: requests_total %.0f below the %d answered flood requests", reqs, answered)
+	}
+	return nil
+}
+
+// verifyGatewayTraces reads the sampled-trace ring and requires at least one
+// served request with its span timeline intact and monotone.
+func verifyGatewayTraces(client *http.Client, baseURL string) error {
+	resp, err := client.Get(baseURL + "/v1/gateway/traces")
+	if err != nil {
+		return fmt.Errorf("gateway smoke: traces: %w", err)
+	}
+	defer resp.Body.Close()
+	var traces api.GatewayTraces
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		return fmt.Errorf("gateway smoke: traces: %w", err)
+	}
+	checked := 0
+	for _, tr := range traces.Traces {
+		if tr.Outcome != "served" {
+			continue
+		}
+		checked++
+		prevEnd := 0.0
+		for _, sp := range tr.Spans {
+			if sp.EndMs < sp.StartMs || sp.StartMs < prevEnd {
+				return fmt.Errorf("gateway smoke: trace %s span %s not monotone (%.3f..%.3f after %.3f)",
+					tr.ID, sp.Name, sp.StartMs, sp.EndMs, prevEnd)
+			}
+			prevEnd = sp.EndMs
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("gateway smoke: no served trace sampled (%d traces)", len(traces.Traces))
+	}
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"ribbon/internal/core"
+	"ribbon/internal/obs"
 	"ribbon/internal/serving"
 )
 
@@ -54,6 +55,15 @@ type Config struct {
 	// is invoked from concurrent model searches and must be safe for
 	// concurrent use.
 	Search core.Options
+	// Logger, when set, mirrors every audit event as a structured log line.
+	// Logging never influences decisions: the pipeline is byte-identical
+	// with or without it.
+	Logger *obs.Logger
+	// AuditCapacity bounds the decision audit trail; 128 when zero. Events
+	// are recorded only at deterministic pipeline barriers (never from the
+	// concurrent per-model searches), so the trail is reproducible run to
+	// run.
+	AuditCapacity int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -120,6 +130,8 @@ type Status struct {
 	Plan *Plan
 	// Refined names the models the refinement pass re-searched.
 	Refined []string
+	// Events is the decision audit trail, oldest first.
+	Events []obs.Event
 }
 
 // ModelReport is one model's share of a completed fleet optimization.
@@ -160,7 +172,8 @@ type Result struct {
 // Fleet is a multi-model shared-budget optimizer. Create with New, drive
 // with Run (once), observe with Snapshot from any goroutine.
 type Fleet struct {
-	cfg Config
+	cfg   Config
+	trail *obs.Trail
 
 	mu   sync.Mutex
 	stat Status
@@ -211,7 +224,11 @@ func New(cfg Config) (*Fleet, error) {
 			floors, cfg.BudgetPerHour)
 	}
 	cfg = cfg.withDefaults()
-	f := &Fleet{cfg: cfg}
+	auditCap := cfg.AuditCapacity
+	if auditCap == 0 {
+		auditCap = 128
+	}
+	f := &Fleet{cfg: cfg, trail: obs.NewTrail(auditCap, cfg.Logger)}
 	f.stat = Status{State: StateIdle, BudgetPerHour: cfg.BudgetPerHour,
 		Models: make([]ModelStatus, len(cfg.Models))}
 	for i, m := range cfg.Models {
@@ -228,6 +245,7 @@ func (f *Fleet) Snapshot() Status {
 	s := f.stat
 	s.Models = append([]ModelStatus(nil), f.stat.Models...)
 	s.Refined = append([]string(nil), f.stat.Refined...)
+	s.Events = f.trail.Events()
 	return s
 }
 
@@ -305,6 +323,15 @@ func (f *Fleet) Run(ctx context.Context) (Result, error) {
 			return Result{}, err
 		}
 	}
+	// Audit events are recorded at this barrier, in catalog order, rather
+	// than from the concurrent searches — the trail stays deterministic.
+	for _, r := range runs {
+		f.trail.Record(0, "frontier_extracted", "model "+r.cfg.Name+" frontier extracted",
+			obs.F("model", r.cfg.Name),
+			obs.F("frontier_size", len(r.frontier)),
+			obs.F("samples", r.eval.Samples()),
+		)
+	}
 
 	// Stage 2: the deterministic budget split.
 	f.mu.Lock()
@@ -315,6 +342,7 @@ func (f *Fleet) Run(ctx context.Context) (Result, error) {
 		return Result{}, err
 	}
 	f.publish(plan, nil)
+	f.recordPlan("plan_solved", plan)
 
 	// Stage 3: bounded joint refinement of the most-constrained models,
 	// then a re-solve over the grown frontiers. Frontiers only gain
@@ -328,11 +356,16 @@ func (f *Fleet) Run(ctx context.Context) (Result, error) {
 			if err := f.refine(ctx, i, runs[i], plan); err != nil {
 				return Result{}, err
 			}
+			f.trail.Record(0, "model_refined", "model "+runs[i].cfg.Name+" re-searched",
+				obs.F("model", runs[i].cfg.Name),
+				obs.F("frontier_size", len(runs[i].frontier)),
+			)
 		}
 		plan, err = f.solve(runs)
 		if err != nil {
 			return Result{}, err
 		}
+		f.recordPlan("plan_resolved", plan)
 	}
 
 	names := make([]string, len(refined))
@@ -421,6 +454,19 @@ func (f *Fleet) solve(runs []*modelRun) (Plan, error) {
 		}
 	}
 	return Solve(ms, f.cfg.BudgetPerHour)
+}
+
+// recordPlan audits one solver outcome. AtMs is always 0: the fleet pipeline
+// has no stream clock, and event sequence numbers carry the ordering.
+func (f *Fleet) recordPlan(kind obs.EventKind, plan Plan) {
+	f.trail.Record(0, kind, fmt.Sprintf("budget split: $%.3f/hr of $%.3f/hr", plan.TotalPerHour, plan.BudgetPerHour),
+		obs.F("total_per_hour", plan.TotalPerHour),
+		obs.F("budget_per_hour", plan.BudgetPerHour),
+		obs.F("feasible", plan.Feasible),
+		obs.F("min_score", plan.MinScore),
+		obs.F("binding", plan.Binding),
+		obs.F("all_meet_qos", plan.AllMeetQoS),
+	)
 }
 
 // publish installs a plan (and the refined-model names) into the status.

@@ -31,6 +31,7 @@ import (
 	"ribbon/internal/controller"
 	"ribbon/internal/core"
 	"ribbon/internal/dispatch"
+	"ribbon/internal/obs"
 	"ribbon/internal/serving"
 	"ribbon/internal/workload"
 )
@@ -116,6 +117,20 @@ type Options struct {
 	// FeedDepth buffers the controller arrival feed; 65536 when zero.
 	// Overflow is dropped (counted, never blocking the data plane).
 	FeedDepth int
+
+	// Registry receives the gateway's metric families (served at
+	// GET /metrics). A private registry is created when nil.
+	Registry *obs.Registry
+	// Logger, when non-nil, mirrors control-plane audit events as
+	// structured log lines. The data-plane hot path never logs.
+	Logger *obs.Logger
+	// TraceCapacity bounds the sampled-trace ring readable at
+	// GET /v1/gateway/traces; 256 when zero, negative disables tracing.
+	TraceCapacity int
+	// TraceSampleEvery samples one request trace in every N; 16 when zero.
+	TraceSampleEvery int
+	// AuditCapacity bounds the retained audit events; 512 when zero.
+	AuditCapacity int
 }
 
 // Gateway is the live data plane. Create with New, ingest with Ingest /
@@ -142,9 +157,10 @@ type Gateway struct {
 	totalQueued atomic.Int64
 	nextInstID  atomic.Int64
 
-	m    metrics
-	reqs sync.Pool
-	rngs sync.Pool
+	m      metrics
+	traces *obs.TraceRing
+	reqs   sync.Pool
+	rngs   sync.Pool
 
 	nextRNG atomic.Uint64
 
@@ -253,6 +269,20 @@ func New(ctx context.Context, opts Options) (*Gateway, error) {
 		warmupMs:       opts.WarmupMs,
 	}
 
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	auditCap := opts.AuditCapacity
+	if auditCap == 0 {
+		auditCap = 512
+	}
+	g.m.init(reg, string(kind), opts.Logger, auditCap)
+	if opts.TraceCapacity >= 0 {
+		g.traces = obs.NewTraceRing(opts.TraceCapacity, opts.TraceSampleEvery)
+	}
+	g.registerGauges(reg)
+
 	if opts.Controller == nil && opts.Initial != nil {
 		// Static pool, fixed configuration: nothing to search or evaluate.
 		if len(opts.Initial) != opts.Spec.Dim() {
@@ -350,12 +380,50 @@ func (g *Gateway) resolveInitial(ctx context.Context, opts Options) (*core.Searc
 	return &res, bounds, nil
 }
 
+// registerGauges publishes the live-load gauges, sampled at exposition time
+// so the hot path never updates them.
+func (g *Gateway) registerGauges(reg *obs.Registry) {
+	reg.GaugeFunc("ribbon_gateway_queue_depth",
+		"Requests queued across the live pool.",
+		func() float64 { return float64(g.totalQueued.Load()) })
+	reg.GaugeFunc("ribbon_gateway_inflight",
+		"Requests being served by a backend right now.",
+		func() float64 {
+			var n int64
+			if p := g.pool.Load(); p != nil {
+				for _, inst := range p.instances {
+					n += inst.inflight.Load()
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("ribbon_gateway_pool_instances",
+		"Instances in the live pool (retiring instances excluded once replaced).",
+		func() float64 {
+			if p := g.pool.Load(); p != nil {
+				return float64(len(p.instances))
+			}
+			return 0
+		})
+	reg.GaugeFunc("ribbon_gateway_pool_cost_per_hour",
+		"Hourly price of the live pool, dollars.",
+		func() float64 {
+			var c float64
+			if p := g.pool.Load(); p != nil {
+				for _, inst := range p.instances {
+					c += inst.typ.PricePerHour
+				}
+			}
+			return c
+		})
+}
+
 // runController drives the control loop off the live feed and applies its
 // decisions to the live pool.
 func (g *Gateway) runController() {
 	defer close(g.ctrlDone)
 	stat, err := g.ctrl.RunLive(g.ctx, g.feed, func(rec controller.Reconfiguration) {
-		g.m.recordDecision(rec)
+		g.m.recordDecision(rec.AtMs, rec)
 		if rec.Applied {
 			g.applyConfig(rec.To)
 		}
@@ -452,6 +520,7 @@ func (g *Gateway) applyConfig(next serving.Config) {
 		if !live[inst] {
 			inst.retiring.Store(true)
 			close(inst.stop)
+			g.m.recordRetire(g.nowMs(), "drain_retire", inst)
 		}
 	}
 }
@@ -499,8 +568,10 @@ func (g *Gateway) respond(r *request, resp Response) {
 }
 
 // admit validates, stamps, and routes one request. It owns the controller
-// feed (every offered arrival is load, even ones that end up shed).
-func (g *Gateway) admit(arrivalMs float64, batch int, class workload.Criticality, payload []byte, wait bool) (*request, Outcome) {
+// feed (every offered arrival is load, even ones that end up shed) and the
+// trace sampling decision; span timestamps are only taken for sampled
+// requests, so the unsampled hot path pays one atomic increment.
+func (g *Gateway) admit(arrivalMs float64, batch int, class workload.Criticality, payload []byte, wait bool, traceID string) (*request, Outcome) {
 	g.setEpoch(arrivalMs)
 	g.feedArrival(arrivalMs)
 	r := g.getRequest()
@@ -509,13 +580,35 @@ func (g *Gateway) admit(arrivalMs float64, batch int, class workload.Criticality
 	r.rank = class.Normalize().Rank()
 	r.payload = payload
 	r.wait = wait
+	r.id = traceID
+	r.seq, r.sampled = g.traces.Next()
+	if r.sampled {
+		r.tAdmit = g.nowMs()
+	}
 	out := g.route(r)
 	if out != OutcomeQueued {
+		if r.sampled {
+			g.recordShortTrace(r, out)
+		}
 		g.putRequest(r)
 		return nil, out
 	}
-	g.m.accepted.Add(1)
+	g.m.accepted.Inc()
 	return r, OutcomeQueued
+}
+
+// recordShortTrace captures the timeline of a request that never made it
+// onto a queue: a single admit span with the terminal outcome.
+func (g *Gateway) recordShortTrace(r *request, out Outcome) {
+	end := g.nowMs()
+	g.traces.Record(func(t *obs.Trace) {
+		t.Seq = r.seq
+		t.ID = r.id
+		t.Class = tierNames[r.rank]
+		t.Outcome = out.String()
+		t.ArrivalMs = r.arrivalMs
+		t.Spans = append(t.Spans, obs.Span{Name: "admit", StartMs: r.tAdmit, EndMs: end})
+	})
 }
 
 // IngestAsync admits a request without waiting for completion: the outcome
@@ -526,7 +619,7 @@ func (g *Gateway) IngestAsync(arrivalMs float64, batch int, class workload.Criti
 	if batch < 1 {
 		batch = 1
 	}
-	_, out := g.admit(arrivalMs, batch, class, nil, false)
+	_, out := g.admit(arrivalMs, batch, class, nil, false, "")
 	return out
 }
 
@@ -535,10 +628,16 @@ func (g *Gateway) IngestAsync(arrivalMs float64, batch int, class workload.Criti
 // OutcomeQueued the response carries latency, service time, serving
 // instance, and the backend body if any.
 func (g *Gateway) Ingest(ctx context.Context, arrivalMs float64, batch int, class workload.Criticality, payload []byte) (Response, Outcome, error) {
+	return g.IngestWithID(ctx, arrivalMs, batch, class, payload, "")
+}
+
+// IngestWithID is Ingest with an externally assigned request ID (adopted
+// from an X-Request-Id header) attached to the request's trace.
+func (g *Gateway) IngestWithID(ctx context.Context, arrivalMs float64, batch int, class workload.Criticality, payload []byte, traceID string) (Response, Outcome, error) {
 	if batch < 1 {
 		batch = 1
 	}
-	r, out := g.admit(arrivalMs, batch, class, payload, true)
+	r, out := g.admit(arrivalMs, batch, class, payload, true, traceID)
 	if out != OutcomeQueued {
 		return Response{}, out, nil
 	}
@@ -554,19 +653,23 @@ func (g *Gateway) Ingest(ctx context.Context, arrivalMs float64, batch int, clas
 	}
 }
 
-// Metrics assembles a point-in-time snapshot of the data plane.
+// Metrics assembles a point-in-time snapshot of the data plane, reading the
+// same registry children GET /metrics exposes.
 func (g *Gateway) Metrics() Snapshot {
 	s := Snapshot{
-		Accepted:        g.m.accepted.Load(),
-		Completed:       g.m.completed.Load(),
-		Shed:            g.m.shed.Load(),
-		Rejected:        g.m.rejected.Load(),
-		Failed:          g.m.failed.Load(),
-		FeedDropped:     g.m.feedDropped.Load(),
-		Batches:         g.m.batches.Load(),
-		BatchedRequests: g.m.batchedReqs.Load(),
+		Accepted:        g.m.accepted.Value(),
+		Failed:          g.m.failed.Value(),
+		FeedDropped:     g.m.feedDropped.Value(),
+		Batches:         g.m.batches.Value(),
+		BatchedRequests: g.m.batchedReqs.Value(),
 		QueueDepth:      g.totalQueued.Load(),
 		Tiers:           g.m.snapshotTiers(),
+		Events:          g.m.trail.Events(),
+	}
+	for _, t := range s.Tiers {
+		s.Completed += t.Completed
+		s.Shed += t.Shed
+		s.Rejected += t.Rejected
 	}
 	if p := g.pool.Load(); p != nil {
 		s.Instances = make([]InstanceSnapshot, len(p.instances))
@@ -587,6 +690,17 @@ func (g *Gateway) Metrics() Snapshot {
 	g.m.mu.Unlock()
 	return s
 }
+
+// Registry returns the gateway's metrics registry, for mounting at
+// GET /metrics or sharing with other components in the same process.
+func (g *Gateway) Registry() *obs.Registry { return g.m.reg }
+
+// Traces returns the sampled request traces, newest first; nil when tracing
+// is disabled.
+func (g *Gateway) Traces() []obs.Trace { return g.traces.Traces() }
+
+// Events returns the gateway's control-plane audit trail, oldest first.
+func (g *Gateway) Events() []obs.Event { return g.m.trail.Events() }
 
 // Config returns the currently deployed instance-count vector.
 func (g *Gateway) Config() serving.Config {

@@ -8,6 +8,7 @@ import (
 	"ribbon/api"
 	"ribbon/internal/controller"
 	"ribbon/internal/dispatch"
+	"ribbon/internal/obs"
 	"ribbon/internal/workload"
 )
 
@@ -15,6 +16,8 @@ import (
 //
 //	POST /v1/infer            — admit one inference request, wait for it
 //	GET  /v1/gateway/metrics  — point-in-time data-plane snapshot
+//	GET  /v1/gateway/traces   — sampled request traces, newest first
+//	GET  /metrics             — Prometheus text exposition
 //	GET  /healthz             — liveness
 //
 // Shed and rejected requests answer 503 overloaded with a Retry-After hint,
@@ -24,6 +27,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", g.handleInfer)
 	mux.HandleFunc("GET /v1/gateway/metrics", g.handleMetrics)
+	mux.HandleFunc("GET /v1/gateway/traces", g.handleTraces)
+	mux.Handle("GET /metrics", g.m.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -76,23 +81,55 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if req.Payload != "" {
 		payload = []byte(req.Payload)
 	}
-	resp, out, err := g.Ingest(r.Context(), arrival, req.Batch, class, payload)
+	reqID := r.Header.Get("X-Request-Id")
+	resp, out, err := g.IngestWithID(r.Context(), arrival, req.Batch, class, payload, reqID)
 	switch {
 	case out != OutcomeQueued:
+		if reqID != "" {
+			w.Header().Set("X-Request-Id", reqID)
+		}
 		writeErr(w, http.StatusServiceUnavailable,
 			&api.Error{Code: api.ErrOverloaded, Message: "request " + out.String() + ": pool saturated"})
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError,
 			&api.Error{Code: api.ErrInternal, Message: err.Error()})
 	default:
+		traceID := ""
+		if resp.TraceSeq != 0 || resp.TraceID != "" {
+			traceID = obs.TraceID(resp.TraceSeq, resp.TraceID)
+			w.Header().Set("X-Request-Id", traceID)
+		}
 		writeJSON(w, http.StatusOK, api.InferResponse{
 			Outcome:   out.String(),
 			LatencyMs: resp.LatencyMs,
 			ServiceMs: resp.ServiceMs,
 			Instance:  resp.Instance,
 			Body:      string(resp.Body),
+			TraceID:   traceID,
 		})
 	}
+}
+
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := g.Traces()
+	out := make([]api.GatewayTrace, 0, len(traces))
+	for _, t := range traces {
+		dto := api.GatewayTrace{
+			ID:        obs.TraceID(t.Seq, t.ID),
+			Seq:       t.Seq,
+			Class:     t.Class,
+			Outcome:   t.Outcome,
+			Instance:  t.Instance,
+			ArrivalMs: t.ArrivalMs,
+			LatencyMs: t.LatencyMs,
+			Spans:     make([]api.TraceSpan, 0, len(t.Spans)),
+		}
+		for _, sp := range t.Spans {
+			dto.Spans = append(dto.Spans, api.TraceSpan{Name: sp.Name, StartMs: sp.StartMs, EndMs: sp.EndMs})
+		}
+		out = append(out, dto)
+	}
+	writeJSON(w, http.StatusOK, api.GatewayTraces{Traces: out})
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -122,6 +159,7 @@ func (g *Gateway) MetricsDTO() api.GatewayMetrics {
 		t := s.Tiers[r]
 		out.Tiers = append(out.Tiers, api.GatewayTierStats{
 			Tier:       t.Tier,
+			Requests:   t.Requests,
 			Completed:  t.Completed,
 			Shed:       t.Shed,
 			Rejected:   t.Rejected,
@@ -145,9 +183,31 @@ func (g *Gateway) MetricsDTO() api.GatewayMetrics {
 	for _, rec := range s.Reconfigurations {
 		out.Reconfigurations = append(out.Reconfigurations, reconfigDTO(rec))
 	}
+	out.Events = auditEventsDTO(s.Events)
 	if stat, ok := g.ControllerStatus(); ok {
 		cs := controllerStatusDTO(stat)
 		out.Controller = &cs
+	}
+	return out
+}
+
+// auditEventsDTO maps obs audit events onto the wire schema.
+func auditEventsDTO(evs []obs.Event) []api.AuditEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]api.AuditEvent, 0, len(evs))
+	for _, ev := range evs {
+		dto := api.AuditEvent{
+			Seq:     ev.Seq,
+			AtMs:    ev.AtMs,
+			Kind:    string(ev.Kind),
+			Message: ev.Message,
+		}
+		for _, f := range ev.Fields {
+			dto.Fields = append(dto.Fields, api.AuditField{Key: f.Key, Value: f.Value})
+		}
+		out = append(out, dto)
 	}
 	return out
 }
@@ -188,5 +248,6 @@ func controllerStatusDTO(s controller.Status) api.ControllerStatus {
 	for _, rec := range s.Reconfigurations {
 		out.Reconfigurations = append(out.Reconfigurations, reconfigDTO(rec))
 	}
+	out.Events = auditEventsDTO(s.Events)
 	return out
 }

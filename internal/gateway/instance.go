@@ -6,6 +6,7 @@ import (
 
 	"ribbon/internal/cloud"
 	"ribbon/internal/dispatch"
+	"ribbon/internal/obs"
 )
 
 // request is one admitted inference request traveling through the data
@@ -18,6 +19,16 @@ type request struct {
 	payload   []byte  // request body; nil for payload-free floods
 	wait      bool    // a waiter is blocked on done
 	done      chan Response
+
+	// Tracing. seq is the ingress ordinal (always assigned when tracing is
+	// on); the span stamps are stream-time and only taken when sampled, so
+	// unsampled requests skip the clock reads entirely.
+	seq       uint64
+	id        string // adopted X-Request-Id, "" otherwise
+	sampled   bool
+	tAdmit    float64 // admit span start (ingress)
+	tAdmitted float64 // enqueued: admit ends, queue span starts
+	tTaken    float64 // worker pulled it off the queue
 }
 
 // response is the completion record delivered to a waiting caller.
@@ -32,6 +43,11 @@ type Response struct {
 	Body []byte
 	// Err is the backend failure, if any.
 	Err error
+	// TraceSeq is the request's ingress ordinal (0 when tracing is off) and
+	// TraceID the adopted X-Request-Id, if one was supplied. Render a
+	// user-facing ID with obs.TraceID(TraceSeq, TraceID).
+	TraceSeq uint64
+	TraceID  string
 }
 
 // instance is one live pool member: bounded per-rank queues and a worker
@@ -88,13 +104,22 @@ func (g *Gateway) took(inst *instance) {
 	g.totalQueued.Add(-1)
 }
 
+// tookReq settles the counters for a request received by a blocking select
+// and stamps its queue-exit time when it is being traced.
+func (g *Gateway) tookReq(inst *instance, r *request) {
+	g.took(inst)
+	if r.sampled {
+		r.tTaken = g.nowMs()
+	}
+}
+
 // take pops the highest-rank queued request from inst without blocking, nil
 // when all queues are empty.
 func (g *Gateway) take(inst *instance) *request {
 	for r := dispatch.NumRanks - 1; r >= 0; r-- {
 		select {
 		case req := <-inst.queues[r]:
-			g.took(inst)
+			g.tookReq(inst, req)
 			return req
 		default:
 		}
@@ -139,11 +164,11 @@ func (g *Gateway) worker(inst *instance) {
 				g.retireDrain(inst, batch, scratch)
 				return
 			case first = <-inst.queues[2]:
-				g.took(inst)
+				g.tookReq(inst, first)
 			case first = <-inst.queues[1]:
-				g.took(inst)
+				g.tookReq(inst, first)
 			case first = <-inst.queues[0]:
-				g.took(inst)
+				g.tookReq(inst, first)
 			}
 		}
 		batch = append(batch[:0], first)
@@ -194,11 +219,11 @@ func (g *Gateway) collect(inst *instance, batch *[]*request, timer *time.Timer) 
 			case <-inst.stop:
 				return true
 			case r = <-inst.queues[2]:
-				g.took(inst)
+				g.tookReq(inst, r)
 			case r = <-inst.queues[1]:
-				g.took(inst)
+				g.tookReq(inst, r)
 			case r = <-inst.queues[0]:
-				g.took(inst)
+				g.tookReq(inst, r)
 			}
 		}
 		if r != nil {
@@ -218,10 +243,14 @@ func (g *Gateway) serveBatch(inst *instance, reqs []*request, b *Batch) {
 	}
 	samples := 0
 	withPayload := false
+	anySampled := false
 	for _, r := range reqs {
 		samples += r.batch
 		if r.payload != nil {
 			withPayload = true
+		}
+		if r.sampled {
+			anySampled = true
 		}
 	}
 	*b = Batch{Requests: n, Samples: samples}
@@ -233,17 +262,27 @@ func (g *Gateway) serveBatch(inst *instance, reqs []*request, b *Batch) {
 		b.Payloads = payloads
 	}
 
+	// backendStart closes the batch-fuse span and opens the backend span for
+	// every traced request riding in this batch.
+	backendStart := 0.0
+	if anySampled {
+		backendStart = g.nowMs()
+	}
 	inst.inflight.Add(int64(n))
 	svcMs, err := g.backend.Serve(g.ctx, inst.typ, b)
 	inst.inflight.Add(-int64(n))
 	now := g.nowMs()
 
-	g.m.batches.Add(1)
+	g.m.batches.Inc()
 	g.m.batchedReqs.Add(uint64(n))
+	g.m.batchSize.Observe(float64(n))
 	for i, r := range reqs {
 		if err != nil {
-			g.m.failed.Add(1)
-			g.respond(r, Response{Err: err, Instance: inst.name})
+			g.m.failed.Inc()
+			if r.sampled {
+				g.recordServeTrace(r, inst, backendStart, now, 0, "failed")
+			}
+			g.respond(r, Response{Err: err, Instance: inst.name, TraceSeq: r.seq, TraceID: r.id})
 			continue
 		}
 		lat := now - r.arrivalMs
@@ -253,13 +292,41 @@ func (g *Gateway) serveBatch(inst *instance, reqs []*request, b *Batch) {
 		if b.Bodies != nil {
 			body = b.Bodies[i]
 		}
+		if r.sampled {
+			g.recordServeTrace(r, inst, backendStart, now, lat, "served")
+		}
 		g.respond(r, Response{
 			LatencyMs: lat,
 			ServiceMs: svcMs,
 			Instance:  inst.name,
 			Body:      body,
+			TraceSeq:  r.seq,
+			TraceID:   r.id,
 		})
 	}
+}
+
+// recordServeTrace copies a completed request's timeline into the trace
+// ring. Called before respond — after respond the pooled request may be
+// reused by a concurrent admit.
+func (g *Gateway) recordServeTrace(r *request, inst *instance, backendStart, backendEnd, latMs float64, outcome string) {
+	end := g.nowMs()
+	g.traces.Record(func(t *obs.Trace) {
+		t.Seq = r.seq
+		t.ID = r.id
+		t.Class = tierNames[r.rank]
+		t.Outcome = outcome
+		t.Instance = inst.name
+		t.ArrivalMs = r.arrivalMs
+		t.LatencyMs = latMs
+		t.Spans = append(t.Spans,
+			obs.Span{Name: "admit", StartMs: r.tAdmit, EndMs: r.tAdmitted},
+			obs.Span{Name: "queue", StartMs: r.tAdmitted, EndMs: r.tTaken},
+			obs.Span{Name: "batch-fuse", StartMs: r.tTaken, EndMs: backendStart},
+			obs.Span{Name: "backend", StartMs: backendStart, EndMs: backendEnd},
+			obs.Span{Name: "respond", StartMs: backendEnd, EndMs: end},
+		)
+	})
 }
 
 // retireDrain is the worker side of drain-then-retire. Ordering matters: the
@@ -279,6 +346,7 @@ func (g *Gateway) retireDrain(inst *instance, batch []*request, scratch *Batch) 
 			batch = append(batch, r)
 		}
 		if len(batch) == 0 {
+			g.m.recordRetire(g.nowMs(), "instance_retired", inst)
 			return
 		}
 		g.serveBatch(inst, batch, scratch)
@@ -295,7 +363,7 @@ func (g *Gateway) failDrain(inst *instance) {
 		if r == nil {
 			return
 		}
-		g.m.failed.Add(1)
-		g.respond(r, Response{Err: err, Instance: inst.name})
+		g.m.failed.Inc()
+		g.respond(r, Response{Err: err, Instance: inst.name, TraceSeq: r.seq, TraceID: r.id})
 	}
 }

@@ -2,11 +2,12 @@ package gateway
 
 import (
 	"math"
+	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"ribbon/internal/controller"
 	"ribbon/internal/dispatch"
+	"ribbon/internal/obs"
 )
 
 // histBuckets is the per-tier latency histogram resolution: log-spaced
@@ -19,84 +20,161 @@ const (
 	histMinMs     = 0.25
 )
 
-// bucketOf maps a latency to its histogram bucket.
-func bucketOf(ms float64) int {
-	if ms <= histMinMs {
-		return 0
-	}
-	b := int(math.Log2(ms/histMinMs) * histPerOctave)
-	if b < 0 {
-		b = 0
-	}
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	return b
-}
-
-// bucketUpperMs returns the inclusive upper bound of bucket b, used when
-// interpolating quantiles back out of the histogram.
+// bucketUpperMs returns the inclusive upper bound of latency bucket b.
 func bucketUpperMs(b int) float64 {
 	return histMinMs * math.Pow(2, float64(b+1)/histPerOctave)
 }
 
-// tierMetrics accumulates one criticality tier's counters. All fields are
-// atomics: workers on different instances record completions concurrently.
+// latencyBuckets materializes the log-spaced bucket bounds once, shared by
+// every per-tier histogram in the registry.
+var latencyBuckets = func() []float64 {
+	out := make([]float64, histBuckets)
+	for b := range out {
+		out[b] = bucketUpperMs(b)
+	}
+	return out
+}()
+
+// batchSizeBuckets covers fused batch sizes up to the largest MaxBatch the
+// flood drivers use.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// tierMetrics holds one criticality tier's pre-resolved registry children.
+// Resolving the labeled series once at construction keeps the hot path at a
+// single atomic op per event — no map lookups, no locks.
 type tierMetrics struct {
-	completed atomic.Uint64
-	shed      atomic.Uint64
-	rejected  atomic.Uint64
-	qosMet    atomic.Uint64
-	hist      [histBuckets]atomic.Uint64
+	requests  *obs.Counter
+	completed *obs.Counter
+	shed      *obs.Counter
+	rejected  *obs.Counter
+	qosMet    *obs.Counter
+	latency   *obs.Histogram
 }
 
-// metrics is the gateway-wide metrics registry.
+// metrics is the gateway's view over its obs.Registry, plus the controller
+// decision history and the control-plane audit trail.
 type metrics struct {
-	accepted    atomic.Uint64
-	completed   atomic.Uint64
-	shed        atomic.Uint64
-	rejected    atomic.Uint64
-	failed      atomic.Uint64
-	feedDropped atomic.Uint64
-	batches     atomic.Uint64
-	batchedReqs atomic.Uint64
+	reg *obs.Registry
+
+	accepted      *obs.Counter
+	failed        *obs.Counter
+	feedDropped   *obs.Counter
+	batches       *obs.Counter
+	batchedReqs   *obs.Counter
+	batchSize     *obs.Histogram
+	pickSeconds   *obs.Histogram
+	reconfApplied *obs.Counter
+	reconfKept    *obs.Counter
 
 	tiers [dispatch.NumRanks]tierMetrics
+
+	trail *obs.Trail
 
 	mu       sync.Mutex
 	reconfig []controller.Reconfiguration
 }
 
-func (m *metrics) completeOK(rank int, latencyMs float64, qosMet bool) {
-	m.completed.Add(1)
-	t := &m.tiers[rank]
-	t.completed.Add(1)
-	if qosMet {
-		t.qosMet.Add(1)
+// init registers the gateway's metric families on reg and resolves every
+// labeled child the hot path will touch.
+func (m *metrics) init(reg *obs.Registry, policy string, logger *obs.Logger, auditCap int) {
+	m.reg = reg
+	m.trail = obs.NewTrail(auditCap, logger)
+
+	requests := reg.CounterVec("ribbon_gateway_requests_total",
+		"Requests offered to the data plane by criticality tier (served + shed + rejected + in flight).", "tier")
+	completed := reg.CounterVec("ribbon_gateway_served_total",
+		"Requests served to completion by tier.", "tier")
+	shed := reg.CounterVec("ribbon_gateway_shed_total",
+		"Requests dropped by the shedding policy by tier.", "tier")
+	rejected := reg.CounterVec("ribbon_gateway_rejected_total",
+		"Requests refused at admission (every queue full, or no live pool) by tier.", "tier")
+	qosMet := reg.CounterVec("ribbon_gateway_qos_met_total",
+		"Completions within the model's latency target by tier.", "tier")
+	latency := reg.HistogramVec("ribbon_gateway_request_latency_ms",
+		"Request latency from scheduled arrival to completion, stream-time milliseconds.",
+		latencyBuckets, "tier")
+	for r := range m.tiers {
+		m.tiers[r] = tierMetrics{
+			requests:  requests.With(tierNames[r]),
+			completed: completed.With(tierNames[r]),
+			shed:      shed.With(tierNames[r]),
+			rejected:  rejected.With(tierNames[r]),
+			qosMet:    qosMet.With(tierNames[r]),
+			latency:   latency.With(tierNames[r]),
+		}
 	}
-	t.hist[bucketOf(latencyMs)].Add(1)
+
+	m.accepted = reg.Counter("ribbon_gateway_accepted_total",
+		"Requests admitted onto an instance queue.")
+	m.failed = reg.Counter("ribbon_gateway_failed_total",
+		"Requests that failed (backend error, shutdown, or displaced without a home).")
+	m.feedDropped = reg.Counter("ribbon_gateway_feed_dropped_total",
+		"Arrival samples dropped on a full controller feed.")
+	m.batches = reg.Counter("ribbon_gateway_batches_total",
+		"Batches handed to the backend.")
+	m.batchedReqs = reg.Counter("ribbon_gateway_batched_requests_total",
+		"Requests carried inside those batches.")
+	m.batchSize = reg.Histogram("ribbon_gateway_batch_size",
+		"Fused batch size at backend hand-off.", batchSizeBuckets)
+	m.pickSeconds = reg.HistogramVec("ribbon_gateway_pick_seconds",
+		"Dispatch-policy instance selection latency, wall seconds.",
+		obs.ExpBuckets(1e-7, 4, 10), "policy").With(policy)
+	reconf := reg.CounterVec("ribbon_gateway_reconfigurations_total",
+		"Controller keep-or-switch verdicts by whether the switch was applied.", "applied")
+	m.reconfApplied = reconf.With("true")
+	m.reconfKept = reconf.With("false")
 }
 
-func (m *metrics) recordShed(rank int) {
-	m.shed.Add(1)
-	m.tiers[rank].shed.Add(1)
+func (m *metrics) recordRequest(rank int) { m.tiers[rank].requests.Inc() }
+
+func (m *metrics) completeOK(rank int, latencyMs float64, qosMet bool) {
+	t := &m.tiers[rank]
+	t.completed.Inc()
+	if qosMet {
+		t.qosMet.Inc()
+	}
+	t.latency.Observe(latencyMs)
 }
 
-func (m *metrics) recordReject(rank int) {
-	m.rejected.Add(1)
-	m.tiers[rank].rejected.Add(1)
-}
+func (m *metrics) recordShed(rank int) { m.tiers[rank].shed.Inc() }
 
-func (m *metrics) recordDecision(rec controller.Reconfiguration) {
+func (m *metrics) recordReject(rank int) { m.tiers[rank].rejected.Inc() }
+
+func (m *metrics) recordDecision(atMs float64, rec controller.Reconfiguration) {
 	m.mu.Lock()
 	m.reconfig = append(m.reconfig, rec)
 	m.mu.Unlock()
+	if rec.Applied {
+		m.reconfApplied.Inc()
+	} else {
+		m.reconfKept.Inc()
+	}
+	m.trail.Record(atMs, "reconfigure", "controller verdict: "+rec.Reason,
+		obs.F("applied", rec.Applied),
+		obs.F("observed_scale", rec.ObservedScale),
+		obs.F("from", rec.From.Key()),
+		obs.F("to", rec.To.Key()),
+		obs.F("from_cost_per_hour", rec.FromCostPerHour),
+		obs.F("to_cost_per_hour", rec.ToCostPerHour),
+		obs.F("migration_cost", rec.MigrationCost),
+		obs.F("samples", rec.Samples),
+	)
+}
+
+func (m *metrics) recordRetire(atMs float64, kind obs.EventKind, inst *instance) {
+	m.trail.Record(atMs, kind, string(kind)+" instance "+strconv.Itoa(inst.id),
+		obs.F("instance", inst.id),
+		obs.F("type", inst.name),
+		obs.F("served", inst.served.Load()),
+	)
 }
 
 // TierSnapshot is one criticality tier's counters at a point in time.
 type TierSnapshot struct {
 	// Tier is the tier name ("critical", "standard", "sheddable").
 	Tier string `json:"tier"`
+	// Requests is the number offered to the tier (all outcomes).
+	Requests uint64 `json:"requests"`
 	// Completed is the number of requests served to completion.
 	Completed uint64 `json:"completed"`
 	// Shed is the number dropped by the shedding policy.
@@ -109,8 +187,6 @@ type TierSnapshot struct {
 	// milliseconds, interpolated from the histogram (0 when empty).
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
-
-	hist [histBuckets]uint64
 }
 
 // Rsat returns the tier's QoS satisfaction rate, counting shed and rejected
@@ -121,35 +197,6 @@ func (t TierSnapshot) Rsat() float64 {
 		return 1
 	}
 	return float64(t.QoSMet) / float64(total)
-}
-
-// quantile interpolates the q-quantile (0..1) out of the tier histogram.
-func (t *TierSnapshot) quantile(q float64) float64 {
-	var total uint64
-	for _, c := range t.hist {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	target := q * float64(total)
-	var seen float64
-	for b, c := range t.hist {
-		if c == 0 {
-			continue
-		}
-		lo := histMinMs
-		if b > 0 {
-			lo = bucketUpperMs(b - 1)
-		}
-		hi := bucketUpperMs(b)
-		if seen+float64(c) >= target {
-			frac := (target - seen) / float64(c)
-			return lo + frac*(hi-lo)
-		}
-		seen += float64(c)
-	}
-	return bucketUpperMs(histBuckets - 1)
 }
 
 // Snapshot is a consistent-enough point-in-time view of the gateway: counters
@@ -187,6 +234,10 @@ type Snapshot struct {
 
 	// Reconfigurations is the controller decision history so far.
 	Reconfigurations []controller.Reconfiguration `json:"reconfigurations"`
+
+	// Events is the gateway's control-plane audit trail (reconfiguration
+	// verdicts and drain-then-retire progress), oldest first.
+	Events []obs.Event `json:"events,omitempty"`
 }
 
 // InstanceSnapshot describes one live pool instance.
@@ -206,24 +257,21 @@ type InstanceSnapshot struct {
 
 var tierNames = [dispatch.NumRanks]string{"sheddable", "standard", "critical"}
 
-// snapshotTiers fills the tier views from the atomic registries.
+// snapshotTiers fills the tier views from the registry children.
 func (m *metrics) snapshotTiers() [dispatch.NumRanks]TierSnapshot {
 	var out [dispatch.NumRanks]TierSnapshot
 	for r := range m.tiers {
 		t := &m.tiers[r]
-		s := TierSnapshot{
+		out[r] = TierSnapshot{
 			Tier:      tierNames[r],
-			Completed: t.completed.Load(),
-			Shed:      t.shed.Load(),
-			Rejected:  t.rejected.Load(),
-			QoSMet:    t.qosMet.Load(),
+			Requests:  t.requests.Value(),
+			Completed: t.completed.Value(),
+			Shed:      t.shed.Value(),
+			Rejected:  t.rejected.Value(),
+			QoSMet:    t.qosMet.Value(),
+			P50Ms:     t.latency.Quantile(0.50),
+			P99Ms:     t.latency.Quantile(0.99),
 		}
-		for b := range t.hist {
-			s.hist[b] = t.hist[b].Load()
-		}
-		s.P50Ms = s.quantile(0.50)
-		s.P99Ms = s.quantile(0.99)
-		out[r] = s
 	}
 	return out
 }

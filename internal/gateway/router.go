@@ -3,6 +3,7 @@ package gateway
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"ribbon/internal/dispatch"
 	"ribbon/internal/serving"
@@ -30,6 +31,7 @@ type pool struct {
 // fall back to any instance with queue space, shed or reject when the policy
 // says so. It is safe for arbitrary concurrent callers.
 func (g *Gateway) route(r *request) Outcome {
+	g.m.recordRequest(r.rank)
 	p := g.pool.Load()
 	if p == nil || len(p.instances) == 0 {
 		g.m.recordReject(r.rank)
@@ -56,7 +58,9 @@ func (g *Gateway) route(r *request) Outcome {
 // instance with queue space in preference order. False when every queue is
 // full.
 func (g *Gateway) place(p *pool, r *request) bool {
+	t0 := time.Now()
 	inst := g.pick(p, r)
+	g.m.pickSeconds.Observe(time.Since(t0).Seconds())
 	if inst != nil && g.enqueue(inst, r) {
 		return true
 	}
@@ -149,6 +153,11 @@ func (g *Gateway) pickCostRandom(p *pool) *instance {
 // (and anything else stranded) back through the router — see retireDrain for
 // why the two-sided check is race-free.
 func (g *Gateway) enqueue(inst *instance, r *request) bool {
+	// The queue span opens before the channel send: once r is on the queue a
+	// worker may own it, so its fields cannot be written afterwards.
+	if r.sampled {
+		r.tAdmitted = g.nowMs()
+	}
 	inst.depth.Add(1)
 	g.totalQueued.Add(1)
 	select {
@@ -180,8 +189,8 @@ func (g *Gateway) rescue(inst *instance) {
 		if p := g.pool.Load(); p != nil && g.place(p, r) {
 			continue
 		}
-		g.m.failed.Add(1)
-		g.respond(r, Response{Err: errRescueFailed})
+		g.m.failed.Inc()
+		g.respond(r, Response{Err: errRescueFailed, TraceSeq: r.seq, TraceID: r.id})
 	}
 }
 

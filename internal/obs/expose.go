@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name; children
+// appear in creation order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		f.mu.Lock()
+		children := append([]child(nil), f.children...)
+		f.mu.Unlock()
+		if len(children) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, c := range children {
+			switch m := c.(type) {
+			case *Counter:
+				writeSeries(bw, f.name, "", m.ls, "", formatUint(m.Value()))
+			case *Gauge:
+				writeSeries(bw, f.name, "", m.ls, "", formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogram(bw, f.name, m)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	// Snapshot count first: Observe bumps the bucket before the total, so
+	// reading the total first keeps sum(buckets) >= +Inf impossible and the
+	// rendered series internally consistent under concurrent writes.
+	cum := uint64(0)
+	for i, upper := range h.uppers {
+		cum += h.counts[i].Load()
+		writeSeries(bw, name, "_bucket", h.ls, `le="`+formatFloat(upper)+`"`, formatUint(cum))
+	}
+	count := h.Count()
+	if count < cum {
+		count = cum
+	}
+	writeSeries(bw, name, "_bucket", h.ls, `le="+Inf"`, formatUint(count))
+	writeSeries(bw, name, "_sum", h.ls, "", formatFloat(h.Sum()))
+	writeSeries(bw, name, "_count", h.ls, "", formatUint(count))
+}
+
+func writeSeries(bw *bufio.Writer, name, suffix, labels, extraLabel, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" || extraLabel != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extraLabel != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extraLabel)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// exposition format, for mounting at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

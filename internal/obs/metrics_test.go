@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Total requests.")
+	c.Add(42)
+	cv := r.CounterVec("app_shed_total", "Shed requests by tier.", "tier")
+	cv.With("sheddable").Add(7)
+	cv.With("critical") // zero-valued child still rendered
+	g := r.Gauge("app_queue_depth", "Requests queued.")
+	g.Set(3)
+	r.GaugeFunc("app_pool_size", "Instances in the pool.", func() float64 { return 5 })
+	h := r.Histogram("app_latency_ms", "Request latency.", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9) // beyond last bound: only +Inf
+	want := strings.Join([]string{
+		"# HELP app_latency_ms Request latency.",
+		"# TYPE app_latency_ms histogram",
+		`app_latency_ms_bucket{le="1"} 1`,
+		`app_latency_ms_bucket{le="2"} 2`,
+		`app_latency_ms_bucket{le="4"} 2`,
+		`app_latency_ms_bucket{le="+Inf"} 3`,
+		"app_latency_ms_sum 11",
+		"app_latency_ms_count 3",
+		"# HELP app_pool_size Instances in the pool.",
+		"# TYPE app_pool_size gauge",
+		"app_pool_size 5",
+		"# HELP app_queue_depth Requests queued.",
+		"# TYPE app_queue_depth gauge",
+		"app_queue_depth 3",
+		"# HELP app_requests_total Total requests.",
+		"# TYPE app_requests_total counter",
+		"app_requests_total 42",
+		"# HELP app_shed_total Shed requests by tier.",
+		"# TYPE app_shed_total counter",
+		`app_shed_total{tier="sheddable"} 7`,
+		`app_shed_total{tier="critical"} 0`,
+		"",
+	}, "\n")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestRegistryReuseAndValidation(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Error("re-registering the same counter should return the same child")
+	}
+	v := r.CounterVec("y_total", "y", "tier")
+	if v.With("a") != v.With("a") {
+		t.Error("same label values should return the same child")
+	}
+	for _, bad := range []string{"", "9lead", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "bad")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering with a different shape should panic")
+			}
+		}()
+		r.Gauge("x_total", "now a gauge")
+	}()
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "esc", "v").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped: %s", sb.String())
+	}
+}
+
+// TestCounterConservation hammers a tier-split counter family from many
+// goroutines and asserts requests == served + shed + rejected, mirroring
+// the gateway invariant the registry must preserve under -race.
+func TestCounterConservation(t *testing.T) {
+	r := NewRegistry()
+	tiers := []string{"sheddable", "standard", "critical"}
+	requests := r.CounterVec("req_total", "r", "tier")
+	served := r.CounterVec("served_total", "s", "tier")
+	shed := r.CounterVec("shed_total", "sh", "tier")
+	rejected := r.CounterVec("rejected_total", "rj", "tier")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tier := tiers[(w+i)%len(tiers)]
+				requests.With(tier).Inc()
+				switch i % 3 {
+				case 0:
+					served.With(tier).Inc()
+				case 1:
+					shed.With(tier).Inc()
+				default:
+					rejected.With(tier).Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var reqs, outcomes uint64
+	for _, tier := range tiers {
+		reqs += requests.With(tier).Value()
+		outcomes += served.With(tier).Value() + shed.With(tier).Value() + rejected.With(tier).Value()
+	}
+	if reqs != workers*perWorker {
+		t.Errorf("requests = %d, want %d", reqs, workers*perWorker)
+	}
+	if outcomes != reqs {
+		t.Errorf("served+shed+rejected = %d, want %d", outcomes, reqs)
+	}
+}
+
+// TestHistogramConcurrent asserts bucket monotonicity and count/sum
+// conservation under concurrent observation.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", "l", ExpBuckets(0.25, 2, 12))
+	const workers, perWorker = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%2000) / 3.0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
+	}
+	counts := h.Counts(nil)
+	var inBuckets uint64
+	for _, n := range counts {
+		inBuckets += n
+	}
+	if inBuckets > h.Count() {
+		t.Errorf("bucket total %d exceeds count %d", inBuckets, h.Count())
+	}
+	// Cumulative rendering must be non-decreasing and end at count.
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	prev := -1.0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_ms_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("cumulative bucket decreased: %q after %v", line, prev)
+		}
+		prev = v
+	}
+	if want := float64(h.Count()); prev != want {
+		t.Errorf("+Inf bucket = %v, want %v", prev, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_ms", "q", []float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%8) + 0.5)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1 || p50 > 8 {
+		t.Errorf("p50 = %v out of range", p50)
+	}
+	if h.Quantile(0.99) < p50 {
+		t.Error("p99 < p50")
+	}
+	empty := r.Histogram("e_ms", "e", []float64{1})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestGaugeAddCAS(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "g")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); math.Abs(got-4000) > 1e-6 {
+		t.Errorf("gauge = %v, want 4000", got)
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// PprofMux returns a mux serving the net/http/pprof handlers under
+// /debug/pprof/, for binding to a dedicated listener. Keeping profiling off
+// the service mux means production ports never expose it by accident.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServePprof starts the pprof mux on addr (e.g. "localhost:6060") on a
+// background goroutine. It returns the bound address and a shutdown
+// function. Pass addr with port 0 to pick a free port, as the smoke tests
+// do.
+func ServePprof(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: PprofMux(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	stop := func() { srv.Close() }
+	return ln.Addr().String(), stop, nil
+}

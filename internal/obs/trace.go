@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxSpans is the per-trace span capacity of ring slots. Fill callbacks
+// must not append more spans than this or they will allocate.
+const MaxSpans = 8
+
+// Span is one timed stage of a request. Start and End are in stream
+// milliseconds on the owning component's clock, so spans within a trace are
+// mutually comparable.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+}
+
+// Trace is a sampled request timeline. Seq is the request's ordinal at the
+// ingress point; ID is the externally supplied X-Request-Id when one was
+// adopted, otherwise empty (render Seq with TraceID).
+type Trace struct {
+	Seq       uint64  `json:"seq"`
+	ID        string  `json:"id,omitempty"`
+	Class     string  `json:"class,omitempty"`
+	Outcome   string  `json:"outcome"`
+	Instance  string  `json:"instance,omitempty"`
+	ArrivalMs float64 `json:"arrival_ms"`
+	LatencyMs float64 `json:"latency_ms"`
+	Spans     []Span  `json:"spans"`
+}
+
+// TraceID renders a trace identifier for a request: the adopted external ID
+// when present, otherwise the ingress sequence number in hex.
+func TraceID(seq uint64, adopted string) string {
+	if adopted != "" {
+		return adopted
+	}
+	return "t" + strconv.FormatUint(seq, 16)
+}
+
+// TraceRing samples request traces into a fixed ring of preallocated slots.
+// Deciding whether to sample is one atomic increment; recording a sampled
+// trace copies span data into a reused slot under a short mutex and never
+// allocates.
+type TraceRing struct {
+	every uint64 // sample 1 in every
+	seen  atomic.Uint64
+
+	mu    sync.Mutex
+	slots []Trace
+	next  int
+	n     int
+}
+
+// NewTraceRing returns a ring holding capacity traces (256 when <= 0),
+// sampling one in sampleEvery requests (16 when <= 0, every request when 1).
+func NewTraceRing(capacity, sampleEvery int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 16
+	}
+	r := &TraceRing{every: uint64(sampleEvery), slots: make([]Trace, capacity)}
+	for i := range r.slots {
+		r.slots[i].Spans = make([]Span, 0, MaxSpans)
+	}
+	return r
+}
+
+// Next assigns the next request sequence number and reports whether this
+// request should be traced. Safe for concurrent use; lock-free.
+func (r *TraceRing) Next() (seq uint64, sampled bool) {
+	if r == nil {
+		return 0, false
+	}
+	seq = r.seen.Add(1)
+	return seq, seq%r.every == 0
+}
+
+// Seen returns how many requests have passed the ingress point.
+func (r *TraceRing) Seen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seen.Load()
+}
+
+// Record fills the next ring slot via fill. The slot's Spans slice is reset
+// to length zero with capacity MaxSpans; fill appends spans and sets the
+// remaining fields in place.
+func (r *TraceRing) Record(fill func(t *Trace)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	slot := &r.slots[r.next]
+	slot.Spans = slot.Spans[:0]
+	slot.Seq, slot.ID, slot.Class, slot.Outcome, slot.Instance = 0, "", "", "", ""
+	slot.ArrivalMs, slot.LatencyMs = 0, 0
+	fill(slot)
+	r.next = (r.next + 1) % len(r.slots)
+	if r.n < len(r.slots) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Traces returns a deep copy of the retained traces, newest first.
+func (r *TraceRing) Traces() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.slots)*2) % len(r.slots)
+		t := r.slots[idx]
+		t.Spans = append([]Span(nil), t.Spans...)
+		out = append(out, t)
+	}
+	return out
+}

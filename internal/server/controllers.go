@@ -7,6 +7,7 @@ import (
 
 	"ribbon"
 	"ribbon/api"
+	"ribbon/internal/obs"
 	"ribbon/internal/workload"
 )
 
@@ -27,9 +28,12 @@ type ctl struct {
 }
 
 // controllerStore is the controller-run lifecycle over the shared store
-// machinery (store.go).
+// machinery (store.go). sm and logger splice the server's telemetry into
+// every controller it creates; both may be nil (tests).
 type controllerStore struct {
 	*store[ctl, api.Controller]
+	sm     *serverMetrics
+	logger *obs.Logger
 }
 
 func newControllerStore(workers, queueDepth, retain int) *controllerStore {
@@ -60,8 +64,11 @@ func (st *controllerStore) create(spec api.ControllerSpec, defaultInitialBudget,
 	if adaptBudget == 0 {
 		adaptBudget = defaultAdaptBudget
 	}
+	svc := serviceConfig(spec.ServiceSpec, ribbon.SearchOptions{})
+	svc.DispatchObserver = st.sm.observer()
 	ctrl, err := ribbon.NewController(ribbon.ControllerConfig{
-		Service:       serviceConfig(spec.ServiceSpec, ribbon.SearchOptions{}),
+		Service:       svc,
+		Logger:        st.logger,
 		InitialBudget: initialBudget,
 		Controller: ribbon.ControllerParams{
 			WindowMs:               spec.WindowMs,
@@ -152,6 +159,28 @@ func controllerStatusDTO(st ribbon.ControllerStatus) api.ControllerStatus {
 			Applied:           r.Applied,
 			Reason:            r.Reason,
 		})
+	}
+	out.Events = auditEventsDTO(st.Events)
+	return out
+}
+
+// auditEventsDTO maps obs audit events onto the wire schema.
+func auditEventsDTO(evs []obs.Event) []api.AuditEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]api.AuditEvent, 0, len(evs))
+	for _, ev := range evs {
+		dto := api.AuditEvent{
+			Seq:     ev.Seq,
+			AtMs:    ev.AtMs,
+			Kind:    string(ev.Kind),
+			Message: ev.Message,
+		}
+		for _, f := range ev.Fields {
+			dto.Fields = append(dto.Fields, api.AuditField{Key: f.Key, Value: f.Value})
+		}
+		out = append(out, dto)
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 
 	"ribbon"
 	"ribbon/api"
+	"ribbon/internal/obs"
 )
 
 // flt is the server-side state of one fleet optimization. fleet is
@@ -21,9 +22,12 @@ type flt struct {
 }
 
 // fleetStore is the fleet-run lifecycle over the shared store machinery
-// (store.go).
+// (store.go). sm and logger splice the server's telemetry into every fleet
+// it creates; both may be nil (tests).
 type fleetStore struct {
 	*store[flt, api.Fleet]
+	sm     *serverMetrics
+	logger *obs.Logger
 }
 
 func newFleetStore(workers, queueDepth, retain int) *fleetStore {
@@ -51,11 +55,14 @@ func (st *fleetStore) create(spec api.FleetSpec) (api.Fleet, *api.Error) {
 		SearchBudget:  spec.SearchBudget,
 		RefineBudget:  spec.RefineBudget,
 		RefineModels:  spec.RefineModels,
+		Logger:        st.logger,
 	}
 	for _, m := range spec.Models {
+		svc := serviceConfig(m.ServiceSpec, ribbon.SearchOptions{Parallelism: spec.Parallelism})
+		svc.DispatchObserver = st.sm.observer()
 		cfg.Models = append(cfg.Models, ribbon.FleetModel{
 			Name:             m.Name,
-			Service:          serviceConfig(m.ServiceSpec, ribbon.SearchOptions{Parallelism: spec.Parallelism}),
+			Service:          svc,
 			Weight:           m.Weight,
 			FloorCostPerHour: m.FloorCostPerHour,
 			SearchBudget:     m.SearchBudget,
@@ -91,6 +98,7 @@ func fleetStatusDTO(st ribbon.FleetStatus) api.FleetStatus {
 		BudgetPerHour: st.BudgetPerHour,
 		Models:        make([]api.FleetModelStatus, 0, len(st.Models)),
 		Refined:       st.Refined,
+		Events:        auditEventsDTO(st.Events),
 	}
 	for _, m := range st.Models {
 		out.Models = append(out.Models, api.FleetModelStatus{

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"math"
+	"time"
 
 	"ribbon"
 	"ribbon/api"
@@ -26,13 +27,15 @@ type job struct {
 // (store.go): bounded workers, queue, eviction, cooperative cancel.
 type jobStore struct {
 	*store[job, api.Job]
+	sm *serverMetrics
 }
 
-func newJobStore(workers, queueDepth, retain int) *jobStore {
-	st := &jobStore{}
+func newJobStore(workers, queueDepth, retain int, sm *serverMetrics) *jobStore {
+	st := &jobStore{sm: sm}
 	st.store = newStore("job", "job", workers, queueDepth, retain,
 		func(j *job) *lifecycle { return &j.lifecycle },
-		execJob, (*job).view)
+		func(ctx context.Context, j *job) *api.Error { return execJob(ctx, j, sm) },
+		(*job).view)
 	st.store.finish = func(j *job) { j.result = j.pending }
 	return st
 }
@@ -42,8 +45,10 @@ func newJobStore(workers, queueDepth, retain int) *jobStore {
 // is skipped for cancelled jobs, whose partial summary is still kept — but
 // stages in j.pending: the finish hook publishes it together with the
 // terminal status, so a poll never sees a result on a running job.
-func execJob(ctx context.Context, j *job) *api.Error {
+func execJob(ctx context.Context, j *job, sm *serverMetrics) *api.Error {
+	t0 := time.Now()
 	res, err := j.opt.RunContext(ctx, j.req.Budget)
+	sm.observeSearch(time.Since(t0))
 	if ctx.Err() == nil && err != nil {
 		return &api.Error{Code: api.ErrInternal, Message: err.Error()}
 	}
@@ -63,7 +68,7 @@ func (st *jobStore) create(req api.OptimizeRequest) (api.Job, *api.Error) {
 		Parallelism: req.Parallelism,
 		Progress: func(step ribbon.Step) {
 			st.observe(j, step)
-		}})
+		}}, st.sm)
 	if e != nil {
 		return api.Job{}, e
 	}

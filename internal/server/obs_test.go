@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ribbon/api"
+)
+
+// scrapeServer parses the /metrics exposition into series -> value.
+func scrapeServer(t *testing.T, s *Server) map[string]float64 {
+	t.Helper()
+	rr := doReq(t, s, http.MethodGet, "/metrics", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(rr.Body.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+func TestServerPrometheusEndpoint(t *testing.T) {
+	s := newTestServer(t)
+
+	// One simulation-backed evaluate (drives the dispatch observer), one
+	// malformed request (a 400 in the HTTP counters), and one async job
+	// (store lifecycle + search metrics).
+	if rr := doReq(t, s, http.MethodPost, "/v1/evaluate",
+		`{"model":"MT-WND","families":["g4dn","t3"],"config":[5,0],"queries":1000}`); rr.Code != http.StatusOK {
+		t.Fatalf("evaluate = %d: %s", rr.Code, rr.Body.String())
+	}
+	if rr := doReq(t, s, http.MethodPost, "/v1/evaluate", `garbage`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad evaluate = %d", rr.Code)
+	}
+	rr := doReq(t, s, http.MethodPost, "/v1/jobs",
+		`{"model":"MT-WND","families":["g4dn","t3"],"budget":6,"queries":800}`)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("create job = %d: %s", rr.Code, rr.Body.String())
+	}
+	var j api.Job
+	if err := json.Unmarshal(rr.Body.Bytes(), &j); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rr = doReq(t, s, http.MethodGet, "/v1/jobs/"+j.ID, "")
+		if err := json.Unmarshal(rr.Body.Bytes(), &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", j.ID, j.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if j.Status != api.JobDone {
+		t.Fatalf("job finished %s: %+v", j.Status, j.Error)
+	}
+
+	series := scrapeServer(t, s)
+	if got := series[`ribbon_server_http_requests_total{method="POST",code="200"}`]; got < 1 {
+		t.Errorf("http 200 counter = %v, want >= 1", got)
+	}
+	if got := series[`ribbon_server_http_requests_total{method="POST",code="400"}`]; got < 1 {
+		t.Errorf("http 400 counter = %v, want >= 1", got)
+	}
+	if got := series["ribbon_server_search_evaluations_total"]; got <= 0 {
+		t.Errorf("search evaluations = %v, want > 0", got)
+	}
+	if got := series["ribbon_server_search_seconds_count"]; got != 1 {
+		t.Errorf("search duration count = %v, want 1", got)
+	}
+	if got := series[`ribbon_server_pick_seconds_count{policy="fcfs"}`]; got <= 0 {
+		t.Errorf("pick count = %v, want > 0", got)
+	}
+	if got := series[`ribbon_server_runs_total{kind="job"}`]; got != 1 {
+		t.Errorf("runs created = %v, want 1", got)
+	}
+	if got := series[`ribbon_server_runs_finished_total{kind="job",status="done"}`]; got != 1 {
+		t.Errorf("runs finished = %v, want 1", got)
+	}
+	if got := series[`ribbon_server_runs_running{kind="job"}`]; got != 0 {
+		t.Errorf("runs running = %v, want 0", got)
+	}
+}
+
+// TestServerControllerAuditEvents drives a short controller run through the
+// HTTP API and requires the status DTO to carry the decision audit trail.
+func TestServerControllerAuditEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := newTestServer(t)
+	body := `{"model":"MT-WND","families":["g4dn","t3"],"queries":1500,"scenario":"spike",
+		"total_queries":8000,"window_ms":2000,"tick_ms":200,"dwell_ms":1000,
+		"initial_budget":10,"adapt_budget":8}`
+	rr := doReq(t, s, http.MethodPost, "/v1/controllers", body)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("create controller = %d: %s", rr.Code, rr.Body.String())
+	}
+	var c api.Controller
+	if err := json.Unmarshal(rr.Body.Bytes(), &c); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rr = doReq(t, s, http.MethodGet, "/v1/controllers/"+c.ID, "")
+		if err := json.Unmarshal(rr.Body.Bytes(), &c); err != nil {
+			t.Fatal(err)
+		}
+		if c.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("controller %s still %s", c.ID, c.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if c.Status != api.JobDone {
+		t.Fatalf("controller finished %s: %+v", c.Status, c.Error)
+	}
+	if len(c.Snapshot.Events) == 0 {
+		t.Fatal("controller status DTO has no audit events")
+	}
+	found := false
+	for _, ev := range c.Snapshot.Events {
+		if ev.Kind == "incumbent_established" {
+			found = true
+			if len(ev.Fields) == 0 {
+				t.Errorf("incumbent_established event has no fields: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no incumbent_established event in %+v", c.Snapshot.Events)
+	}
+}

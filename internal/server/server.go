@@ -13,13 +13,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"math"
 	"net/http"
+	"time"
 
 	"ribbon"
 	"ribbon/api"
 	"ribbon/internal/dispatch"
+	"ribbon/internal/obs"
 )
 
 // Config tunes a Server. The zero value is ready for production use.
@@ -51,8 +52,19 @@ type Config struct {
 	DefaultAdaptBudget int
 	// MaxBodyBytes caps request bodies; 1 MiB when zero.
 	MaxBodyBytes int64
-	// Logf receives diagnostics; log.Printf when nil.
+	// Logf receives diagnostics.
+	//
+	// Deprecated: set Logger instead. When only Logf is set it backs a
+	// shim logger, so existing callers keep working unchanged.
 	Logf func(format string, args ...any)
+	// Logger receives structured diagnostics and mirrors every
+	// control-plane audit event (controller and fleet decisions). When
+	// nil, one is derived from Logf, or a stderr text logger is used.
+	Logger *obs.Logger
+	// Registry collects the server's Prometheus metrics and backs
+	// GET /metrics; a private registry is created when nil. Share one
+	// registry to co-expose several subsystems on one endpoint.
+	Registry *obs.Registry
 }
 
 // Server is the Ribbon control plane. Create with New, mount Handler into
@@ -61,6 +73,7 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
+	sm     *serverMetrics
 	jobs   *jobStore
 	ctrls  *controllerStore
 	fleets *fleetStore
@@ -92,14 +105,31 @@ func New(cfg Config) *Server {
 	if cfg.DefaultAdaptBudget <= 0 {
 		cfg.DefaultAdaptBudget = 16
 	}
+	if cfg.Logger == nil {
+		if cfg.Logf != nil {
+			cfg.Logger = obs.NewPrintfLogger(cfg.Logf, obs.LevelInfo)
+		} else {
+			cfg.Logger = obs.NewStderrLogger()
+		}
+	}
 	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+		cfg.Logf = cfg.Logger.Printf
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
-	s.jobs = newJobStore(cfg.Workers, cfg.QueueDepth, cfg.RetainJobs)
+	s.sm = newServerMetrics(cfg.Registry)
+	s.jobs = newJobStore(cfg.Workers, cfg.QueueDepth, cfg.RetainJobs, s.sm)
 	s.ctrls = newControllerStore(cfg.ControllerWorkers, cfg.QueueDepth, cfg.RetainJobs)
 	s.fleets = newFleetStore(cfg.FleetWorkers, cfg.QueueDepth, cfg.RetainJobs)
+	s.jobs.hooks = s.sm.storeHooks("job")
+	s.ctrls.hooks = s.sm.storeHooks("controller")
+	s.ctrls.sm, s.ctrls.logger = s.sm, cfg.Logger
+	s.fleets.hooks = s.sm.storeHooks("fleet")
+	s.fleets.sm, s.fleets.logger = s.sm, cfg.Logger
 
+	s.mux.Handle("GET /metrics", cfg.Registry.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/instances", s.handleInstances)
@@ -127,9 +157,9 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the root handler serving /healthz, /v1/..., and the
-// deprecated /api/... aliases.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler serving /healthz, /metrics, /v1/..., and
+// the deprecated /api/... aliases, instrumented with the HTTP counters.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // Close cancels every queued and running job and controller run and stops
 // the worker pools. The Server must not serve requests afterwards.
@@ -244,9 +274,19 @@ func apiError(err error) *api.Error {
 	return &api.Error{Code: code, Message: err.Error()}
 }
 
-// newOptimizer resolves a service spec against the catalogs.
-func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions) (*ribbon.Optimizer, *api.Error) {
-	opt, err := ribbon.NewOptimizer(serviceConfig(spec, opts))
+// newOptimizer resolves a service spec against the catalogs, splicing the
+// server's evaluation counter and dispatch telemetry into the configuration.
+func newOptimizer(spec api.ServiceSpec, opts ribbon.SearchOptions, sm *serverMetrics) (*ribbon.Optimizer, *api.Error) {
+	user := opts.Progress
+	opts.Progress = func(step ribbon.Step) {
+		sm.countStep(step)
+		if user != nil {
+			user(step)
+		}
+	}
+	cfg := serviceConfig(spec, opts)
+	cfg.DispatchObserver = sm.observer()
+	opt, err := ribbon.NewOptimizer(cfg)
 	if err != nil {
 		return nil, apiError(err)
 	}
@@ -308,7 +348,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, e)
 		return
 	}
-	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{})
+	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{}, s.sm)
 	if e != nil {
 		s.writeErr(w, e)
 		return
@@ -361,7 +401,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, e)
 		return
 	}
-	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{Parallelism: req.Parallelism})
+	opt, e := newOptimizer(req.ServiceSpec, ribbon.SearchOptions{Parallelism: req.Parallelism}, s.sm)
 	if e != nil {
 		s.writeErr(w, e)
 		return
@@ -370,7 +410,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if budget == 0 {
 		budget = s.cfg.DefaultBudget
 	}
+	t0 := time.Now()
 	res, err := opt.RunContext(r.Context(), budget)
+	s.sm.observeSearch(time.Since(t0))
 	if err != nil {
 		if r.Context().Err() != nil {
 			// Client disconnect (write is a no-op) or server shutdown,

@@ -47,6 +47,11 @@ type store[T, V any] struct {
 	view   func(*T) V
 	finish func(*T)
 
+	// hooks, when non-nil, publishes lifecycle transitions into the
+	// metrics registry (see serverMetrics.storeHooks). Set once, before
+	// any item is added.
+	hooks *storeHooks
+
 	mu         sync.Mutex
 	cond       *sync.Cond // signaled when pending grows or the store closes
 	items      map[string]*T
@@ -142,6 +147,7 @@ func (st *store[T, V]) add(t *T) (V, *api.Error) {
 	st.pending = append(st.pending, t)
 	st.evictLocked()
 	st.cond.Signal()
+	st.hooks.add()
 	return st.view(t), nil
 }
 
@@ -179,6 +185,7 @@ func (st *store[T, V]) run(t *T) {
 	l.started = &now
 	l.status = api.JobRunning
 	st.mu.Unlock()
+	st.hooks.start()
 	defer cancel()
 
 	e := st.exec(ctx, t)
@@ -204,6 +211,7 @@ func (st *store[T, V]) run(t *T) {
 	default:
 		l.status = api.JobDone
 	}
+	st.hooks.finish(l.status, true)
 }
 
 // cancel stops a queued or running item.
@@ -229,6 +237,7 @@ func (st *store[T, V]) cancel(id string) (V, *api.Error) {
 				break
 			}
 		}
+		st.hooks.finish(api.JobCancelled, false)
 	case api.JobRunning:
 		l.cancel() // run() observes the context and finalizes the item
 	default:

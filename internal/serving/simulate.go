@@ -114,6 +114,10 @@ type SimOptions struct {
 	// value keeps the legacy unannotated all-Standard stream. Ignored by
 	// NewTraceEvaluator (the trace carries its own classes).
 	Mix workload.ClassMix
+	// Observer, when non-nil, receives per-decision routing telemetry
+	// from every evaluation (see dispatch.Instrument). Purely passive:
+	// results are bit-identical with or without it.
+	Observer dispatch.Observer
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -324,8 +328,9 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	// policies never perturb the service-time noise.
 	key := deploymentKey(spec, cfg)
 	noise := stats.Derive(e.opts.Seed, "serving", "noise", spec.Model.Name, key)
-	pol := e.opts.Dispatch.MustNew(types,
-		stats.Derive(e.opts.Seed, "dispatch", e.opts.Dispatch.Name(), spec.Model.Name, key))
+	pol := dispatch.Instrument(e.opts.Dispatch.MustNew(types,
+		stats.Derive(e.opts.Seed, "dispatch", e.opts.Dispatch.Name(), spec.Model.Name, key)),
+		e.opts.Observer)
 	lc, hasLC := pol.(dispatch.Lifecycle)
 	pool := sc.state
 	pool.Reset(types)

@@ -35,6 +35,7 @@ import (
 	"ribbon/internal/core"
 	"ribbon/internal/dispatch"
 	"ribbon/internal/models"
+	"ribbon/internal/obs"
 	"ribbon/internal/serving"
 	"ribbon/internal/workload"
 )
@@ -84,6 +85,35 @@ type DispatchSpec = dispatch.Spec
 // DispatchPolicy is the pluggable routing interface; implement it and set
 // DispatchSpec.Factory to route queries with custom logic.
 type DispatchPolicy = dispatch.Policy
+
+// DispatchObserver receives per-decision routing telemetry from every
+// evaluation a service runs (pick latency, sheds by criticality). Purely
+// passive: results are bit-identical with or without one. See
+// docs/observability.md.
+type DispatchObserver = dispatch.Observer
+
+// Logger is the structured leveled logger shared by the library's telemetry
+// surfaces (controller and fleet audit mirrors, the server, the gateway).
+// See internal/obs and docs/observability.md.
+type Logger = obs.Logger
+
+// AuditEvent is one recorded control-plane decision; controllers and fleets
+// publish their trails through Status snapshots.
+type AuditEvent = obs.Event
+
+// Log levels and formats for NewLogger.
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
+
+	LogText = obs.FormatText
+	LogJSON = obs.FormatJSON
+)
+
+// NewLogger builds a structured leveled logger writing to w; see obs.NewLogger.
+var NewLogger = obs.NewLogger
 
 // The built-in dispatch policies.
 const (
@@ -184,6 +214,11 @@ type ServiceConfig struct {
 	// criticality dispatch policy); the zero value keeps the legacy
 	// all-Standard stream.
 	ClassMix ClassMix
+	// DispatchObserver, when non-nil, receives per-decision routing
+	// telemetry (pick latency, sheds by criticality) from every evaluation
+	// this service runs. Purely passive: search results are bit-identical
+	// with or without it.
+	DispatchObserver DispatchObserver
 	// Bounds fixes the per-type search bounds m_i; when nil they are
 	// discovered automatically per the paper's saturation rule.
 	Bounds []int
@@ -238,6 +273,7 @@ func (cfg ServiceConfig) resolveSim() (serving.PoolSpec, serving.SimOptions, err
 		Batch:     batch,
 		Dispatch:  cfg.Dispatch,
 		Mix:       cfg.ClassMix,
+		Observer:  cfg.DispatchObserver,
 	}, nil
 }
 
@@ -412,6 +448,7 @@ func (o *Optimizer) AdaptToLoadContext(ctx context.Context, newRateScale float64
 		Batch:     batch,
 		Dispatch:  o.cfg.Dispatch,
 		Mix:       o.cfg.ClassMix,
+		Observer:  o.cfg.DispatchObserver,
 	}))
 	bounds, err := o.BoundsContext(ctx)
 	if err != nil {
