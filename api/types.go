@@ -346,6 +346,49 @@ type ControllerSpec struct {
 	// AmortizationHours is the horizon over which a candidate's saving
 	// must repay the migration charge; 1 when omitted.
 	AmortizationHours float64 `json:"amortization_hours,omitempty"`
+	// Chaos, when set, generates a seeded capacity-event storm (spot
+	// revocations, hard failures, price moves) and replays it against the
+	// run. See docs/resilience.md.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// UseSpot prices searches and the spend meter at spot-market rates,
+	// tracking the storm's price events.
+	UseSpot bool `json:"use_spot,omitempty"`
+}
+
+// ChaosSpec parameterizes the seeded capacity-event storm of a controller
+// run. Every field except HorizonMs is optional; the generated schedule is
+// a pure function of these values, so two runs with the same spec replay
+// the identical storm.
+type ChaosSpec struct {
+	// Seed is the storm's master seed; the service seed when omitted.
+	Seed uint64 `json:"seed,omitempty"`
+	// HorizonMs is the stream-time extent the storm covers. Required and
+	// positive; events beyond the replay's end simply never fire.
+	HorizonMs float64 `json:"horizon_ms"`
+	// RevocationMultiplier scales each family's catalog revocation rate
+	// (1 = nominal weather; storms use 10-50x). Negative disables
+	// revocations.
+	RevocationMultiplier float64 `json:"revocation_multiplier,omitempty"`
+	// WarningMs is the revocation notice window; the standard two-minute
+	// warning when omitted.
+	WarningMs float64 `json:"warning_ms,omitempty"`
+	// FailuresPerHour is the hard-failure rate per family; 0 disables.
+	FailuresPerHour float64 `json:"failures_per_hour,omitempty"`
+	// SlowdownsPerHour is the straggler rate per family; 0 disables.
+	SlowdownsPerHour float64 `json:"slowdowns_per_hour,omitempty"`
+	// SlowdownFactor is the straggler service-time multiplier; 3 when
+	// omitted.
+	SlowdownFactor float64 `json:"slowdown_factor,omitempty"`
+	// SlowdownMs is the straggler window length; 30000 when omitted.
+	SlowdownMs float64 `json:"slowdown_ms,omitempty"`
+	// PriceStepMs is the spot-price walk step; 0 disables price events.
+	PriceStepMs float64 `json:"price_step_ms,omitempty"`
+	// PriceVolatility is the stddev of each log-price step; 0.08 when
+	// omitted.
+	PriceVolatility float64 `json:"price_volatility,omitempty"`
+	// RestoreAfterMs, when positive, refills each revoked or failed
+	// instance that many ms after the capacity left.
+	RestoreAfterMs float64 `json:"restore_after_ms,omitempty"`
 }
 
 // ControllerReconfiguration is one confirmed load shift and the resulting
@@ -366,6 +409,9 @@ type ControllerReconfiguration struct {
 	ToCostPerHour   float64 `json:"to_cost_per_hour"`
 	// MigrationCost is the one-off switch charge between From and To.
 	MigrationCost float64 `json:"migration_cost,omitempty"`
+	// Trigger labels capacity-driven decisions ("emergency", "drain",
+	// "price"); empty for ordinary load-shift decisions.
+	Trigger string `json:"trigger,omitempty"`
 	// IncumbentMeetsQoS reports whether From still met QoS under the new
 	// load.
 	IncumbentMeetsQoS bool `json:"incumbent_meets_qos"`
@@ -402,6 +448,18 @@ type ControllerStatus struct {
 	IncumbentMeetsQoS    bool    `json:"incumbent_meets_qos"`
 	// SearchSamples is the total number of real evaluations spent so far.
 	SearchSamples int `json:"search_samples"`
+	// LiveConfig is the capacity actually serving right now: the incumbent
+	// minus instances lost to revocations and failures. Equal to Incumbent
+	// when the pool is whole.
+	LiveConfig []int `json:"live_config,omitempty"`
+	// Degraded reports that LiveConfig is below the decided Incumbent —
+	// capacity was lost and not yet replaced.
+	Degraded bool `json:"degraded,omitempty"`
+	// CapacityEvents counts the chaos/capacity events observed so far.
+	CapacityEvents int `json:"capacity_events,omitempty"`
+	// AccruedCost is the integrated spend of the live pool so far, in
+	// dollars of stream time, at spot rates when the run uses them.
+	AccruedCost float64 `json:"accrued_cost,omitempty"`
 	// Reconfigurations is the decision history, oldest first; always
 	// present (possibly empty).
 	Reconfigurations []ControllerReconfiguration `json:"reconfigurations"`

@@ -163,6 +163,44 @@ func (s ControllerSpec) Validate() *Error {
 		return &Error{Code: ErrInvalidRequest,
 			Message: fmt.Sprintf("rel_threshold %g out of [0,1) (0 means default 0.25)", s.RelThreshold)}
 	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks the schema-level invariants of a chaos storm spec.
+func (c ChaosSpec) Validate() *Error {
+	if c.HorizonMs <= 0 || math.IsNaN(c.HorizonMs) || math.IsInf(c.HorizonMs, 0) {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("chaos.horizon_ms %g must be positive and finite", c.HorizonMs)}
+	}
+	for name, v := range map[string]float64{
+		"chaos.warning_ms":         c.WarningMs,
+		"chaos.failures_per_hour":  c.FailuresPerHour,
+		"chaos.slowdowns_per_hour": c.SlowdownsPerHour,
+		"chaos.slowdown_ms":        c.SlowdownMs,
+		"chaos.price_step_ms":      c.PriceStepMs,
+		"chaos.price_volatility":   c.PriceVolatility,
+		"chaos.restore_after_ms":   c.RestoreAfterMs,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return &Error{Code: ErrInvalidRequest,
+				Message: fmt.Sprintf("%s must be finite and non-negative, got %g", name, v)}
+		}
+	}
+	// RevocationMultiplier may be negative (disables revocations), but not
+	// non-finite; SlowdownFactor below 1 would speed instances up.
+	if math.IsNaN(c.RevocationMultiplier) || math.IsInf(c.RevocationMultiplier, 0) {
+		return &Error{Code: ErrInvalidRequest,
+			Message: "chaos.revocation_multiplier must be finite"}
+	}
+	if c.SlowdownFactor != 0 && (c.SlowdownFactor < 1 || math.IsNaN(c.SlowdownFactor) || math.IsInf(c.SlowdownFactor, 0)) {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("chaos.slowdown_factor %g must be at least 1 (omit for the default)", c.SlowdownFactor)}
+	}
 	return nil
 }
 

@@ -292,6 +292,68 @@ func TestControllerFlow(t *testing.T) {
 	}
 }
 
+// TestControllerChaosFlow: a chaos storm rides the controller spec through
+// the wire — the run observes capacity events, records capacity-triggered
+// reconfigurations, and reports the live/degraded pool fields; a bad storm
+// spec is rejected client-side as a structured error.
+func TestControllerChaosFlow(t *testing.T) {
+	c := newTestPair(t)
+	ctx := context.Background()
+
+	ctl, err := c.CreateController(ctx, api.ControllerSpec{
+		ServiceSpec:   api.ServiceSpec{Model: "MT-WND", Queries: 1500},
+		Scenario:      "steady",
+		TotalQueries:  8000,
+		InitialBudget: 16,
+		AdaptBudget:   10,
+		WindowMs:      2000,
+		TickMs:        250,
+		RelThreshold:  0.3,
+		DwellMs:       1000,
+		UseSpot:       true,
+		Chaos: &api.ChaosSpec{
+			HorizonMs:            600_000,
+			RevocationMultiplier: 2_000,
+			WarningMs:            500,
+			FailuresPerHour:      600,
+			PriceStepMs:          2_000,
+			PriceVolatility:      0.25,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitController(ctx, ctl.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.JobDone {
+		t.Fatalf("status %q (error %v)", final.Status, final.Error)
+	}
+	if final.Snapshot.CapacityEvents == 0 {
+		t.Fatalf("storm reached no capacity events: %+v", final.Snapshot)
+	}
+	triggered := 0
+	for _, r := range final.Snapshot.Reconfigurations {
+		if r.Trigger != "" {
+			triggered++
+		}
+	}
+	if triggered == 0 {
+		t.Fatalf("no capacity-triggered reconfigurations in %d total",
+			len(final.Snapshot.Reconfigurations))
+	}
+
+	// A storm without a horizon is rejected before the run is created.
+	_, err = c.CreateController(ctx, api.ControllerSpec{
+		ServiceSpec: api.ServiceSpec{Model: "MT-WND"},
+		Chaos:       &api.ChaosSpec{RevocationMultiplier: 1},
+	})
+	if !IsCode(err, api.ErrInvalidRequest) {
+		t.Fatalf("want invalid_request for horizonless storm, got %v", err)
+	}
+}
+
 func TestFleetFlow(t *testing.T) {
 	c := newTestPair(t)
 	ctx := context.Background()

@@ -47,6 +47,9 @@ func main() {
 		types   = flag.Int("fig8-types", 4, "maximum pool cardinality for fig8 (5 is slow: ~minutes)")
 		perfOut = flag.String("perf-out", "BENCH_5.json", "file the perf experiment writes its machine-readable report to (empty disables)")
 
+		chaosOut   = flag.String("chaos-out", "BENCH_8.json", "file the chaos experiment writes its machine-readable report to (empty disables)")
+		chaosSmoke = flag.Bool("chaos-smoke", false, "turn the chaos experiment into a CI gate: capacity responses within the dwell window, zero dropped admitted requests, byte-identical second replay")
+
 		gatewayOut   = flag.String("gateway-out", "BENCH_6.json", "file the gateway experiment writes its machine-readable report to (empty disables)")
 		gatewayURL   = flag.String("gateway-url", "", "flood a running ribbon-gateway at this base URL instead of an in-process one")
 		gatewaySmoke = flag.Bool("gateway-smoke", false, "with -gateway-url: fail unless at least one request was served and zero critical-tier requests were shed")
@@ -62,7 +65,7 @@ func main() {
 
 	all := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"dispatch", "controller", "fleet", "perf", "gateway"}
+		"dispatch", "controller", "fleet", "perf", "gateway", "chaos"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -76,6 +79,14 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("[perf completed in %.1fs]\n\n", time.Since(start).Seconds())
+			continue
+		}
+		if id == "chaos" {
+			if err := runChaos(setup, *chaosOut, *chaosSmoke); err != nil {
+				fmt.Fprintf(os.Stderr, "ribbon-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[chaos completed in %.1fs]\n\n", time.Since(start).Seconds())
 			continue
 		}
 		if id == "gateway" {
@@ -192,6 +203,71 @@ func runPerf(s experiments.Setup, out string) error {
 		return err
 	}
 	fmt.Printf("perf report written to %s\n", out)
+	return nil
+}
+
+// runChaos replays the hostile-cloud resilience study, prints the table,
+// writes the machine-readable report, and — with smoke set — turns the
+// resilience contract into the exit status.
+func runChaos(s experiments.Setup, out string, smoke bool) error {
+	table, report := experiments.ChaosResilience(s, experiments.ChaosOptions{})
+	if err := table.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("chaos report written to %s\n", out)
+	}
+	if !smoke {
+		return nil
+	}
+	if !report.ReplayIdentical {
+		return fmt.Errorf("chaos-smoke: second storm replay diverged from the first")
+	}
+	if report.Live.Dropped != 0 || report.Live.Failed != 0 {
+		return fmt.Errorf("chaos-smoke: live plane dropped %d / failed %d admitted requests",
+			report.Live.Dropped, report.Live.Failed)
+	}
+	for _, run := range report.Runs {
+		if run.CapacityResponses == 0 {
+			return fmt.Errorf("chaos-smoke: %gx %s run saw %d capacity events but responded to none",
+				run.Load, run.Pricing, run.CapacityEvents)
+		}
+		if !run.WithinDwell {
+			return fmt.Errorf("chaos-smoke: %gx %s run took %.0fms to respond (dwell window %.0fms)",
+				run.Load, run.Pricing, run.MaxResponseMs, 1000.0)
+		}
+		if !run.FinalMeetsQoS {
+			return fmt.Errorf("chaos-smoke: %gx %s run ends with a QoS-violating pool", run.Load, run.Pricing)
+		}
+	}
+	// The paper-premise gate: riding the spot market through the storm must
+	// end up cheaper than the on-demand-only baseline at the same load.
+	for _, spot := range report.Runs {
+		if spot.Pricing != "spot" {
+			continue
+		}
+		for _, od := range report.Runs {
+			if od.Pricing == "on-demand" && od.Load == spot.Load && spot.AccruedCost >= od.AccruedCost {
+				return fmt.Errorf("chaos-smoke: %gx spot run accrued $%.4f, not cheaper than on-demand $%.4f",
+					spot.Load, spot.AccruedCost, od.AccruedCost)
+			}
+		}
+	}
+	fmt.Println("chaos-smoke: all resilience gates passed")
 	return nil
 }
 

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"ribbon/internal/chaos"
 	"ribbon/internal/controller"
 	"ribbon/internal/dispatch"
 	"ribbon/internal/gateway"
@@ -71,6 +72,14 @@ func main() {
 		batchWaitMs = flag.Float64("batch-timeout-ms", 0, "flush timeout for a partial batch, stream ms (0: default 2)")
 		warmupMs    = flag.Float64("warmup-ms", 0, "warm-up charge for instances added by a reconfiguration, stream ms")
 		proxyTarget = flag.String("proxy-target", "", "forward requests to this endpoint instead of simulating")
+		chaosStorm  = flag.Float64("chaos-storm", 0, "inject a seeded capacity storm: multiplier on catalog spot revocation rates (0: disabled)")
+		chaosFails  = flag.Float64("chaos-failures", 0, "storm hard-failure rate per family per hour")
+		chaosPrice  = flag.Float64("chaos-price-step-ms", 0, "storm spot-price walk step, stream ms (0: no price events)")
+		chaosWarn   = flag.Float64("chaos-warning-ms", 0, "storm revocation notice window, stream ms (0: the two-minute default)")
+		chaosRegrow = flag.Float64("chaos-restore-ms", 0, "respawn storm-lost capacity this many ms after it leaves (0: stays lost)")
+		chaosSpanMs = flag.Float64("chaos-horizon-ms", 600000, "stream-time extent of the generated storm")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "storm seed (0: the -seed value)")
+		useSpot     = flag.Bool("use-spot", false, "price controller decisions and the spend meter at spot-market rates")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log encoding: text (key=value) or json")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty: disabled)")
@@ -105,7 +114,10 @@ func main() {
 		timeScale: *timeScale, queueDepth: *queueDepth,
 		maxBatch: *maxBatch, batchTimeoutMs: *batchWaitMs, warmupMs: *warmupMs,
 		proxyTarget: *proxyTarget,
-		logger:      logger, traceSampleEvery: *sampleEvery,
+		chaosStorm:  *chaosStorm, chaosFailures: *chaosFails, chaosPriceStepMs: *chaosPrice,
+		chaosWarningMs: *chaosWarn, chaosRestoreMs: *chaosRegrow, chaosHorizonMs: *chaosSpanMs,
+		chaosSeed: *chaosSeed, useSpot: *useSpot,
+		logger: logger, traceSampleEvery: *sampleEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ribbon-gateway: %v\n", err)
@@ -141,6 +153,14 @@ type gatewayFlags struct {
 	batchTimeoutMs   float64
 	warmupMs         float64
 	proxyTarget      string
+	chaosStorm       float64
+	chaosFailures    float64
+	chaosPriceStepMs float64
+	chaosWarningMs   float64
+	chaosRestoreMs   float64
+	chaosHorizonMs   float64
+	chaosSeed        uint64
+	useSpot          bool
 	logger           *obs.Logger
 	traceSampleEvery int
 }
@@ -211,10 +231,27 @@ func buildOptions(f gatewayFlags) (gateway.Options, error) {
 		}
 	}
 	if f.proxyTarget != "" {
-		opts.Backend = &gateway.ProxyBackend{Target: f.proxyTarget, TimeScale: f.timeScale}
+		opts.Backend = &gateway.ProxyBackend{Target: f.proxyTarget, TimeScale: f.timeScale, Seed: f.seed}
 	} else {
 		opts.Backend = gateway.NewSimBackend(m, f.timeScale, f.seed)
 	}
+	if f.chaosStorm != 0 || f.chaosFailures > 0 || f.chaosPriceStepMs > 0 {
+		seed := f.chaosSeed
+		if seed == 0 {
+			seed = f.seed
+		}
+		opts.Chaos = chaos.GenerateStorm(chaos.StormOptions{
+			Seed:                 seed,
+			HorizonMs:            f.chaosHorizonMs,
+			Families:             fams,
+			RevocationMultiplier: f.chaosStorm,
+			WarningMs:            f.chaosWarningMs,
+			FailuresPerHour:      f.chaosFailures,
+			PriceStepMs:          f.chaosPriceStepMs,
+			RestoreAfterMs:       f.chaosRestoreMs,
+		})
+	}
+	opts.UseSpot = f.useSpot
 	return opts, nil
 }
 

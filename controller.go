@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ribbon/internal/chaos"
 	"ribbon/internal/controller"
 	"ribbon/internal/workload"
 )
@@ -60,6 +61,34 @@ const (
 // Scenarios lists the built-in load scenarios.
 func Scenarios() []Scenario { return workload.Scenarios() }
 
+// ChaosSchedule is a replay-deterministic capacity-event storm: spot
+// revocations with warning windows, hard failures, straggler slowdowns,
+// spot-price moves, and restores, all in stream time. Build one by hand or
+// with GenerateStorm. See docs/resilience.md.
+type ChaosSchedule = chaos.Schedule
+
+// CapacityEvent is one stream-time capacity event of a ChaosSchedule.
+type CapacityEvent = chaos.CapacityEvent
+
+// ChaosKind names a capacity-event type.
+type ChaosKind = chaos.Kind
+
+// The capacity-event kinds.
+const (
+	ChaosRevocation = chaos.KindRevocation
+	ChaosFailure    = chaos.KindFailure
+	ChaosSlowdown   = chaos.KindSlowdown
+	ChaosPrice      = chaos.KindPrice
+	ChaosRestore    = chaos.KindRestore
+)
+
+// StormOptions parameterizes GenerateStorm.
+type StormOptions = chaos.StormOptions
+
+// GenerateStorm derives a seeded capacity-event schedule: a pure function
+// of its options, so the same storm replays byte-identically everywhere.
+func GenerateStorm(o StormOptions) *ChaosSchedule { return chaos.GenerateStorm(o) }
+
 // ControllerConfig describes a continuously managed inference service.
 type ControllerConfig struct {
 	// Service is the pool and evaluation description, exactly as for
@@ -89,6 +118,19 @@ type ControllerConfig struct {
 	// AuditCapacity bounds the decision audit trail exposed through
 	// Status; 256 when zero.
 	AuditCapacity int
+	// Chaos, when non-nil, replays this capacity-event schedule against
+	// the control loop in stream time: revocations and failures degrade
+	// the live pool and trigger warm-started emergency re-searches that
+	// bypass the dwell hysteresis. See docs/resilience.md.
+	Chaos *ChaosSchedule
+	// ChaosStorm, when non-nil and Chaos is nil, generates the schedule
+	// with GenerateStorm. Families defaults to the service's resolved
+	// pool; HorizonMs must be positive.
+	ChaosStorm *StormOptions
+	// UseSpot prices searches and the spend meter at spot-market rates,
+	// tracking the schedule's price events; capacity events then also
+	// trigger price-aware re-optimization.
+	UseSpot bool
 }
 
 // Controller is the continuous pool manager: it ingests an arrival stream,
@@ -119,6 +161,19 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	sched := cfg.Chaos
+	if sched == nil && cfg.ChaosStorm != nil {
+		o := *cfg.ChaosStorm
+		if len(o.Families) == 0 {
+			for _, t := range spec.Types {
+				o.Families = append(o.Families, t.Family)
+			}
+		}
+		if o.HorizonMs <= 0 {
+			return nil, errors.New("ribbon: ChaosStorm needs a positive HorizonMs")
+		}
+		sched = chaos.GenerateStorm(o)
+	}
 	inner, err := controller.New(controller.Config{
 		Spec:          spec,
 		Sim:           opts,
@@ -129,6 +184,8 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		Params:        cfg.Controller,
 		Logger:        cfg.Logger,
 		AuditCapacity: cfg.AuditCapacity,
+		Chaos:         sched,
+		UseSpot:       cfg.UseSpot,
 	})
 	if err != nil {
 		return nil, err
@@ -139,6 +196,12 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 // Status returns the current control-loop snapshot. Safe to call
 // concurrently with a running Run — a monitoring goroutine can poll it.
 func (c *Controller) Status() ControllerStatus { return c.inner.Snapshot() }
+
+// ObserveCapacity feeds one capacity event into the control loop from an
+// external driver (e.g. a real cloud's revocation notice). The degradation
+// registers immediately in Status; the response fires at the next tick of a
+// running Run. Safe for concurrent use.
+func (c *Controller) ObserveCapacity(ev CapacityEvent) { c.inner.ObserveCapacity(ev) }
 
 // RunPhases replays a piecewise load schedule through the control loop and
 // returns the final status. Each Run method may be used once per Controller;

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"math"
+
+	"ribbon/internal/cloud"
+	"ribbon/internal/stats"
+)
+
+// StormOptions parameterize GenerateStorm. The zero value of every field
+// except Families/HorizonMs selects a sensible default; rates are per
+// instance-family-hour and scale the catalog's empirical revocation hazard.
+type StormOptions struct {
+	// Seed is the master seed; every event stream derives from it.
+	Seed uint64
+	// HorizonMs is the stream-time extent to generate over.
+	HorizonMs float64
+	// Families are the instance families in play (typically the pool
+	// spec's types, in pool order — the order is part of the determinism
+	// contract).
+	Families []string
+	// RevocationMultiplier scales each family's catalog RevocationsPerHour
+	// (1 = nominal weather; storms use 10-50x). 0 defaults to 1; negative
+	// disables revocations.
+	RevocationMultiplier float64
+	// WarningMs is the revocation notice window; DefaultWarningMs when 0.
+	WarningMs float64
+	// FailuresPerHour is the hard-failure rate per family; 0 disables.
+	FailuresPerHour float64
+	// SlowdownsPerHour is the straggler rate per family; 0 disables.
+	SlowdownsPerHour float64
+	// SlowdownFactor is the straggler service-time multiplier; 3 when 0.
+	SlowdownFactor float64
+	// SlowdownMs is the straggler window length; 30000 when 0.
+	SlowdownMs float64
+	// PriceStepMs is the spot-price walk step; 0 disables price events.
+	PriceStepMs float64
+	// PriceVolatility is the stddev of each log-price step; 0.08 when 0.
+	PriceVolatility float64
+	// RestoreAfterMs, when positive, brings each revoked or failed
+	// instance's replacement online that many ms after the capacity left
+	// (the market refilling the pool). 0 means lost capacity stays lost.
+	RestoreAfterMs float64
+}
+
+func (o StormOptions) withDefaults() StormOptions {
+	if o.RevocationMultiplier == 0 {
+		o.RevocationMultiplier = 1
+	}
+	if o.WarningMs == 0 {
+		o.WarningMs = DefaultWarningMs
+	}
+	if o.SlowdownFactor == 0 {
+		o.SlowdownFactor = 3
+	}
+	if o.SlowdownMs == 0 {
+		o.SlowdownMs = 30000
+	}
+	if o.PriceVolatility == 0 {
+		o.PriceVolatility = 0.08
+	}
+	return o
+}
+
+const msPerHour = 3600000.0
+
+// GenerateStorm builds a deterministic capacity-event schedule from the
+// options: Poisson revocation/failure/straggler processes per family (rates
+// from the cloud catalog) and a clamped geometric price walk. The result is
+// a pure function of the options — same options, same storm, byte for byte.
+func GenerateStorm(o StormOptions) *Schedule {
+	o = o.withDefaults()
+	s := &Schedule{Seed: o.Seed, HorizonMs: o.HorizonMs}
+	for _, fam := range o.Families {
+		ct, err := cloud.Lookup(fam)
+		if err != nil {
+			// Unknown families simply generate no events; the schedule
+			// stays valid for whatever pool it is replayed against.
+			continue
+		}
+		if o.RevocationMultiplier > 0 && ct.RevocationsPerHour > 0 {
+			rate := ct.RevocationsPerHour * o.RevocationMultiplier / msPerHour
+			for _, at := range poissonTimes(o.Seed, "revoke", fam, rate, o.HorizonMs) {
+				s.Events = append(s.Events, CapacityEvent{
+					AtMs: at, Kind: KindRevocation, Family: fam, Count: 1, WarningMs: o.WarningMs,
+				})
+				if o.RestoreAfterMs > 0 {
+					s.Events = append(s.Events, CapacityEvent{
+						AtMs: round1(at + o.WarningMs + o.RestoreAfterMs), Kind: KindRestore, Family: fam, Count: 1,
+					})
+				}
+			}
+		}
+		if o.FailuresPerHour > 0 {
+			rate := o.FailuresPerHour / msPerHour
+			for _, at := range poissonTimes(o.Seed, "fail", fam, rate, o.HorizonMs) {
+				s.Events = append(s.Events, CapacityEvent{
+					AtMs: at, Kind: KindFailure, Family: fam, Count: 1,
+				})
+				if o.RestoreAfterMs > 0 {
+					s.Events = append(s.Events, CapacityEvent{
+						AtMs: round1(at + o.RestoreAfterMs), Kind: KindRestore, Family: fam, Count: 1,
+					})
+				}
+			}
+		}
+		if o.SlowdownsPerHour > 0 {
+			rate := o.SlowdownsPerHour / msPerHour
+			for _, at := range poissonTimes(o.Seed, "slow", fam, rate, o.HorizonMs) {
+				s.Events = append(s.Events, CapacityEvent{
+					AtMs: at, Kind: KindSlowdown, Family: fam, Count: 1,
+					Factor: o.SlowdownFactor, DurationMs: o.SlowdownMs,
+				})
+			}
+		}
+		if o.PriceStepMs > 0 && ct.SpotPricePerHour > 0 {
+			rng := stats.Derive(o.Seed, "chaos", "price", fam)
+			factor := 1.0
+			for at := o.PriceStepMs; at <= o.HorizonMs; at += o.PriceStepMs {
+				factor *= math.Exp(rng.Normal(0, o.PriceVolatility))
+				if factor < 0.4 {
+					factor = 0.4
+				}
+				if factor > 2.5 {
+					factor = 2.5
+				}
+				s.Events = append(s.Events, CapacityEvent{
+					AtMs: round1(at), Kind: KindPrice, Family: fam, Factor: round4(factor),
+				})
+			}
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// poissonTimes samples the arrival times of a Poisson process with the
+// given per-ms rate over [0, horizon), rounded to 0.1ms so the JSON form
+// is stable and readable.
+func poissonTimes(seed uint64, kind, fam string, rate, horizonMs float64) []float64 {
+	if rate <= 0 || horizonMs <= 0 {
+		return nil
+	}
+	rng := stats.Derive(seed, "chaos", kind, fam)
+	var out []float64
+	t := rng.Exponential(rate)
+	for t < horizonMs {
+		out = append(out, round1(t))
+		t += rng.Exponential(rate)
+	}
+	return out
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }

@@ -1,7 +1,10 @@
 // Package cloud describes the pool of AWS EC2 instance types studied in the
 // Ribbon paper (Table 2): identity, sizing, device class, and the published
-// us-east-1 Linux on-demand price. Performance characteristics live in
-// internal/perf; this package is the billing- and inventory-side substrate.
+// us-east-1 Linux on-demand price, plus the spot-market side of each family
+// (baseline spot price and revocation rate) that the hostile-cloud
+// resilience subsystem (internal/chaos, docs/resilience.md) builds on.
+// Performance characteristics live in internal/perf; this package is the
+// billing- and inventory-side substrate.
 package cloud
 
 import (
@@ -55,6 +58,16 @@ type InstanceType struct {
 	MemoryGiB int
 	// PricePerHour is the us-east-1 Linux on-demand price in USD.
 	PricePerHour float64
+	// SpotPricePerHour is the family's baseline spot-market price in USD
+	// (2021 us-east-1 averages, roughly 30-40% of on-demand). The live
+	// spot price is this baseline times a market factor that fluctuates
+	// over time (internal/chaos price walks); 0 means the family is not
+	// offered on the spot market.
+	SpotPricePerHour float64
+	// RevocationsPerHour is the expected spot-capacity revocations per
+	// instance-hour — the empirical interruption hazard of the family's
+	// spot pool. 0 for families without spot capacity.
+	RevocationsPerHour float64
 	// Description is the Table 2 blurb.
 	Description string
 }
@@ -65,23 +78,34 @@ func (t InstanceType) Name() string { return t.Family + "." + t.Size }
 func (t InstanceType) String() string { return t.Name() }
 
 // catalog is the fixed instance inventory of the paper (Table 2) with 2021
-// us-east-1 on-demand pricing.
+// us-east-1 on-demand pricing. Spot baselines sit at roughly 30-40% of
+// on-demand; revocation rates reflect the usual ordering of spot-pool
+// churn (burstable/GPU pools are interrupted most, memory-optimized
+// least).
 var catalog = []InstanceType{
 	{Family: "t3", Size: "xlarge", Class: General, VCPU: 4, MemoryGiB: 16, PricePerHour: 0.1664,
+		SpotPricePerHour: 0.0499, RevocationsPerHour: 0.20,
 		Description: "burstable general purpose (Intel Skylake)"},
 	{Family: "m5", Size: "xlarge", Class: General, VCPU: 4, MemoryGiB: 16, PricePerHour: 0.192,
+		SpotPricePerHour: 0.0672, RevocationsPerHour: 0.10,
 		Description: "general purpose (Intel Xeon Platinum)"},
 	{Family: "m5n", Size: "xlarge", Class: General, VCPU: 4, MemoryGiB: 16, PricePerHour: 0.238,
+		SpotPricePerHour: 0.0833, RevocationsPerHour: 0.12,
 		Description: "general purpose, network optimized"},
 	{Family: "c5", Size: "2xlarge", Class: Compute, VCPU: 8, MemoryGiB: 16, PricePerHour: 0.34,
+		SpotPricePerHour: 0.1292, RevocationsPerHour: 0.15,
 		Description: "compute optimized (Intel Cascade Lake)"},
 	{Family: "c5a", Size: "2xlarge", Class: Compute, VCPU: 8, MemoryGiB: 16, PricePerHour: 0.308,
+		SpotPricePerHour: 0.1078, RevocationsPerHour: 0.13,
 		Description: "compute optimized (AMD EPYC)"},
 	{Family: "r5", Size: "large", Class: Memory, VCPU: 2, MemoryGiB: 16, PricePerHour: 0.126,
+		SpotPricePerHour: 0.0441, RevocationsPerHour: 0.06,
 		Description: "memory optimized"},
 	{Family: "r5n", Size: "large", Class: Memory, VCPU: 2, MemoryGiB: 16, PricePerHour: 0.149,
+		SpotPricePerHour: 0.0536, RevocationsPerHour: 0.08,
 		Description: "memory optimized, network optimized"},
 	{Family: "g4dn", Size: "xlarge", Class: Accelerator, VCPU: 4, MemoryGiB: 16, PricePerHour: 0.526,
+		SpotPricePerHour: 0.1578, RevocationsPerHour: 0.18,
 		Description: "NVIDIA T4 GPU, cost-effective ML inference"},
 }
 
@@ -130,4 +154,24 @@ func PoolCost(types []InstanceType, counts []int) float64 {
 		c += float64(counts[i]) * t.PricePerHour
 	}
 	return c
+}
+
+// SpotPrice returns the family's live spot price under the given market
+// factor (1.0 = the baseline). Families with no spot offering fall back to
+// the on-demand price so a spot-priced pool is never cheaper than reality.
+func (t InstanceType) SpotPrice(marketFactor float64) float64 {
+	if t.SpotPricePerHour <= 0 {
+		return t.PricePerHour
+	}
+	return t.SpotPricePerHour * marketFactor
+}
+
+// SpotPriced returns a copy of t billed at its spot price under the given
+// market factor. The copy is what price-aware planning hands to the
+// searcher: the whole $/hour pipeline (PoolCost, search objectives,
+// migration models) reads PricePerHour, so swapping it is the one-line
+// overlay that reprices every downstream consumer.
+func (t InstanceType) SpotPriced(marketFactor float64) InstanceType {
+	t.PricePerHour = t.SpotPrice(marketFactor)
+	return t
 }

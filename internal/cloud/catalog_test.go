@@ -65,6 +65,57 @@ func TestPricesMatchPublished(t *testing.T) {
 	}
 }
 
+func TestSpotMetadata(t *testing.T) {
+	for _, inst := range Catalog() {
+		if inst.SpotPricePerHour <= 0 {
+			t.Errorf("%s has no spot price", inst.Family)
+			continue
+		}
+		ratio := inst.SpotPricePerHour / inst.PricePerHour
+		if ratio < 0.25 || ratio > 0.45 {
+			t.Errorf("%s spot/on-demand ratio %.3f outside [0.25, 0.45]", inst.Family, ratio)
+		}
+		if inst.RevocationsPerHour <= 0 || inst.RevocationsPerHour > 1 {
+			t.Errorf("%s revocation rate %.3f outside (0, 1]", inst.Family, inst.RevocationsPerHour)
+		}
+	}
+}
+
+func TestSpotPrice(t *testing.T) {
+	g := MustLookup("g4dn")
+	if got := g.SpotPrice(1.0); got != g.SpotPricePerHour {
+		t.Fatalf("SpotPrice(1.0) = %g, want baseline %g", got, g.SpotPricePerHour)
+	}
+	if got := g.SpotPrice(2.0); got != 2*g.SpotPricePerHour {
+		t.Fatalf("SpotPrice(2.0) = %g, want %g", got, 2*g.SpotPricePerHour)
+	}
+	// A family without a spot offering bills at on-demand no matter the market.
+	noSpot := g
+	noSpot.SpotPricePerHour = 0
+	if got := noSpot.SpotPrice(0.5); got != g.PricePerHour {
+		t.Fatalf("no-spot SpotPrice = %g, want on-demand %g", got, g.PricePerHour)
+	}
+}
+
+func TestSpotPriced(t *testing.T) {
+	g := MustLookup("g4dn")
+	s := g.SpotPriced(1.5)
+	if s.PricePerHour != g.SpotPricePerHour*1.5 {
+		t.Fatalf("SpotPriced price = %g, want %g", s.PricePerHour, g.SpotPricePerHour*1.5)
+	}
+	if s.Family != g.Family || s.VCPU != g.VCPU {
+		t.Fatalf("SpotPriced must preserve identity and sizing")
+	}
+	if g.PricePerHour != MustLookup("g4dn").PricePerHour {
+		t.Fatalf("SpotPriced mutated the receiver")
+	}
+	// A spot-priced pool costs the spot rate through the standard pipeline.
+	got := PoolCost([]InstanceType{s}, []int{2})
+	if want := 2 * g.SpotPricePerHour * 1.5; got != want {
+		t.Fatalf("spot PoolCost = %g, want %g", got, want)
+	}
+}
+
 func TestLookupUnknown(t *testing.T) {
 	if _, err := Lookup("p4d"); err == nil {
 		t.Fatalf("expected error for unknown family")

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ribbon/internal/chaos"
 	"ribbon/internal/core"
 	"ribbon/internal/obs"
 	"ribbon/internal/serving"
@@ -75,6 +76,17 @@ type Params struct {
 	// AdaptBudget bounds the real evaluations of each warm-started
 	// re-search; 16 when zero.
 	AdaptBudget int
+	// EmergencyCooldownMs gates capacity-event responses (emergency
+	// re-search on failure, drain replacement, price re-optimization):
+	// after one fires, further capacity triggers accumulate silently for
+	// this long and are then handled by a single consolidated re-search —
+	// the anti-thrash guard that keeps a revocation storm from burning a
+	// search per casualty. 15000 when zero; negative disables the gate.
+	EmergencyCooldownMs float64
+	// PriceRelThreshold is the relative spot-market move |factor/last - 1|
+	// that triggers a price-aware re-optimization (UseSpot pools only);
+	// 0.15 when zero.
+	PriceRelThreshold float64
 }
 
 func (p Params) withDefaults() Params {
@@ -105,6 +117,15 @@ func (p Params) withDefaults() Params {
 	if p.AdaptBudget == 0 {
 		p.AdaptBudget = 16
 	}
+	if p.EmergencyCooldownMs == 0 {
+		p.EmergencyCooldownMs = 15_000
+	}
+	if p.EmergencyCooldownMs < 0 {
+		p.EmergencyCooldownMs = 0
+	}
+	if p.PriceRelThreshold == 0 {
+		p.PriceRelThreshold = 0.15
+	}
 	return p
 }
 
@@ -119,6 +140,7 @@ func (p Params) Validate() error {
 		"migration_setup_hours":    p.MigrationSetupHours,
 		"migration_teardown_hours": p.MigrationTeardownHours,
 		"amortization_hours":       p.AmortizationHours,
+		"price_rel_threshold":      p.PriceRelThreshold,
 	} {
 		if v < 0 {
 			return fmt.Errorf("controller: %s must be non-negative, got %g", name, v)
@@ -164,6 +186,20 @@ type Config struct {
 	Logger *obs.Logger
 	// AuditCapacity bounds the retained audit events; 256 when zero.
 	AuditCapacity int
+	// Chaos, when non-nil, is the capacity-event schedule the controller
+	// lives through: events are ingested at each tick (replay-determinism:
+	// the same schedule and stream reproduce the same decision history),
+	// revocations and failures degrade the live pool, and the capacity
+	// path responds — graceful drain replacement inside the warning
+	// window, emergency re-search on hard failure, price-aware
+	// re-optimization. Live drivers (the gateway) leave this nil and feed
+	// ObserveCapacity directly.
+	Chaos *chaos.Schedule
+	// UseSpot prices the pool at live spot-market rates: every search,
+	// migration charge, and the accrued-cost meter use each family's
+	// catalog spot price times the current market factor (price events)
+	// instead of the on-demand price.
+	UseSpot bool
 }
 
 // State labels the controller's position in the control loop.
@@ -184,11 +220,15 @@ const (
 	StateDone State = "done"
 )
 
-// Reconfiguration is one confirmed load shift and the decision it led to —
-// the controller's flight record, applied or not.
+// Reconfiguration is one confirmed load shift or capacity event and the
+// decision it led to — the controller's flight record, applied or not.
 type Reconfiguration struct {
 	// AtMs is the stream time of the confirmation tick.
 	AtMs float64
+	// Trigger names the control path that fired: "" for a load shift (the
+	// legacy path), "drain" for a spot-revocation warning, "emergency" for
+	// a hard failure, "price" for a spot-market move.
+	Trigger string
 	// ObservedScale is the estimator's load scale at confirmation;
 	// OldScale and NewScale are the provisioned scales before and after
 	// (NewScale == ObservedScale: the controller re-plans for the load it
@@ -233,11 +273,22 @@ type Status struct {
 	// PendingForMs is how long the current excursion has been dwelled on;
 	// 0 unless State is "pending".
 	PendingForMs float64
-	// Incumbent is the currently deployed configuration with its price
-	// and QoS verdict under the provisioned load.
+	// Incumbent is the configuration the controller decided on, with its
+	// price and QoS verdict under the provisioned load.
 	Incumbent            serving.Config
 	IncumbentCostPerHour float64
 	IncumbentMeetsQoS    bool
+	// LiveConfig is the capacity that actually exists right now: the
+	// incumbent minus instances revoked or failed and not yet replaced.
+	// Degraded reports the two differ — the controller knows its plan is
+	// stale and a capacity response is pending or cooling down.
+	LiveConfig serving.Config
+	Degraded   bool
+	// CapacityEvents counts ingested chaos events; AccruedCost is the
+	// integrated pool spend over stream time in dollars (live spot prices
+	// when UseSpot), including applied migration charges.
+	CapacityEvents int
+	AccruedCost    float64
 	// SearchSamples is the total number of real evaluations spent so far
 	// (initial search plus every re-search).
 	SearchSamples int
@@ -277,6 +328,20 @@ type Controller struct {
 	searches      int // completed searches, derives re-search seeds
 	cooldownUntil float64
 	ran           bool
+
+	// Capacity-event path state (guarded by mu). lost[i] is how many
+	// incumbent instances of slot i are gone (revoked or failed) and not
+	// yet replaced; market/lastMarket track per-family spot factors now
+	// and as of the last reconfiguration decision.
+	lost                  []int
+	market                map[string]float64
+	lastMarket            map[string]float64
+	pendingEmergency      bool
+	pendingDrain          bool
+	pendingPrice          bool
+	capacityCooldownUntil float64
+	chaosIdx              int
+	accrualLastMs         float64
 }
 
 // New validates the service description and prepares the control loop. No
@@ -309,6 +374,12 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Spec.Model.ArrivalRateQPS <= 0 {
 		return nil, errors.New("controller: model profile needs a positive arrival rate")
 	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Chaos = cfg.Chaos.Clone()
+	}
 	cfg.Params = cfg.Params.withDefaults()
 	baseScale := cfg.Sim.RateScale
 	if baseScale == 0 {
@@ -325,8 +396,11 @@ func New(cfg Config) (*Controller, error) {
 			SetupHours:    cfg.Params.MigrationSetupHours,
 			TeardownHours: cfg.Params.MigrationTeardownHours,
 		},
-		est: newRateEstimator(cfg.Params.WindowMs),
-		det: newChangeDetector(cfg.Params.RelThreshold, cfg.Params.DwellMs),
+		est:        newRateEstimator(cfg.Params.WindowMs),
+		det:        newChangeDetector(cfg.Params.RelThreshold, cfg.Params.DwellMs),
+		lost:       make([]int, cfg.Spec.Dim()),
+		market:     make(map[string]float64),
+		lastMarket: make(map[string]float64),
 	}
 	auditCap := cfg.AuditCapacity
 	if auditCap == 0 {
@@ -349,17 +423,27 @@ func (c *Controller) Snapshot() Status {
 func (c *Controller) snapshotLocked() Status {
 	s := c.stat
 	s.Incumbent = s.Incumbent.Clone()
+	s.LiveConfig = s.LiveConfig.Clone()
 	s.Reconfigurations = append([]Reconfiguration(nil), s.Reconfigurations...)
 	s.Events = c.trail.Events()
 	return s
 }
 
-// evaluatorAt builds a fresh caching evaluator for the given load scale,
-// sharing every other evaluation option with the base configuration.
-func (c *Controller) evaluatorAt(scale float64) *serving.CachingEvaluator {
+// evaluatorForSpec builds a fresh caching evaluator over the given
+// (possibly spot-repriced) spec at the given load scale, sharing every
+// other evaluation option with the base configuration.
+func (c *Controller) evaluatorForSpec(spec serving.PoolSpec, scale float64) *serving.CachingEvaluator {
 	opts := c.cfg.Sim
 	opts.RateScale = scale
-	return serving.NewCachingEvaluator(serving.NewSimEvaluator(c.cfg.Spec, opts))
+	return serving.NewCachingEvaluator(serving.NewSimEvaluator(spec, opts))
+}
+
+// evaluatorAt is evaluatorForSpec at the current market prices.
+func (c *Controller) evaluatorAt(scale float64) *serving.CachingEvaluator {
+	c.mu.Lock()
+	spec := c.pricedSpecLocked()
+	c.mu.Unlock()
+	return c.evaluatorForSpec(spec, scale)
 }
 
 // initialize establishes the incumbent: bounds discovery plus a cold search
@@ -399,6 +483,7 @@ func (c *Controller) initialize(ctx context.Context) error {
 	c.stat.Incumbent = res.BestConfig.Clone()
 	c.stat.IncumbentCostPerHour = res.BestResult.CostPerHour
 	c.stat.IncumbentMeetsQoS = res.BestResult.MeetsQoS
+	c.stat.LiveConfig = res.BestConfig.Clone()
 	if c.cfg.Initial == nil {
 		c.stat.SearchSamples += res.Samples
 	}
@@ -478,8 +563,39 @@ func (c *Controller) tick(ctx context.Context, nowMs float64) (*Reconfiguration,
 	c.mu.Lock()
 	c.stat.Ticks++
 	c.stat.NowMs = nowMs
+	if c.cfg.Chaos != nil {
+		c.ingestChaosLocked(nowMs)
+	}
+	c.accrueLocked(nowMs)
 	est := c.est.RatePerMs(nowMs) / c.basePerMs
 	c.stat.EstimatedScale = est
+
+	// Capacity events bypass the load detector's dwell hysteresis
+	// entirely — a revoked instance is hard evidence, not Poisson noise.
+	// Only the emergency cooldown gates them, so a storm is answered by
+	// consolidated re-searches rather than one per casualty.
+	trigger := ""
+	if nowMs >= c.capacityCooldownUntil {
+		switch {
+		case c.pendingEmergency:
+			trigger = "emergency"
+		case c.pendingDrain:
+			trigger = "drain"
+		case c.pendingPrice:
+			trigger = "price"
+		}
+	}
+	if trigger != "" {
+		c.pendingEmergency, c.pendingDrain, c.pendingPrice = false, false, false
+		c.stat.State = StateAdapting
+		c.stat.PendingForMs = 0
+		c.mu.Unlock()
+		c.trail.Record(nowMs, "capacity_shift", "capacity response: "+trigger,
+			obs.F("trigger", trigger),
+			obs.F("estimated_scale", est),
+		)
+		return c.reconfigureCapacity(ctx, nowMs, trigger, est)
+	}
 
 	// Hold detection until the estimator has seen one full window — the
 	// early estimate is noisy — and through any post-shift cooldown. An
@@ -531,12 +647,19 @@ func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) (*R
 	oldScale := c.stat.AppliedScale
 	prevSteps := c.lastSteps
 	incumbent := c.incumbent
+	// The pool the decision starts from is the capacity that exists, not
+	// the capacity once decided: a revoked instance the capacity path has
+	// not yet replaced must not be priced, measured, or migrated-from as
+	// if it were still serving.
+	live := c.liveConfigLocked()
+	degraded := live.Key() != incumbent.Config.Key()
+	spec := c.pricedSpecLocked()
 	seed := c.cfg.Sim.Seed + uint64(c.searches)
 	c.stat.State = StateAdapting
 	c.stat.PendingForMs = 0
 	c.mu.Unlock()
 
-	ev := c.evaluatorAt(target)
+	ev := c.evaluatorForSpec(spec, target)
 	s := core.NewAdaptedSearcher(ev, c.bounds, seed, c.cfg.Search, prevSteps, incumbent)
 	res := s.RunContext(ctx, c.cfg.Params.AdaptBudget)
 	if err := ctx.Err(); err != nil {
@@ -544,31 +667,36 @@ func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) (*R
 	}
 
 	// The warm start re-measured the incumbent under the new load as its
-	// first step; the caching evaluator hands it back for free.
-	incNow := ev.Evaluate(incumbent.Config)
+	// first step; the caching evaluator hands it back for free (when not
+	// degraded — a degraded pool is measured as it actually is).
+	incNow := ev.Evaluate(live)
+	fromCost := incumbent.CostPerHour
+	if degraded {
+		fromCost = incNow.CostPerHour
+	}
 
 	rec := Reconfiguration{
 		AtMs:              nowMs,
 		ObservedScale:     target,
 		OldScale:          oldScale,
 		NewScale:          target,
-		From:              incumbent.Config.Clone(),
-		FromCostPerHour:   incumbent.CostPerHour,
+		From:              live.Clone(),
+		FromCostPerHour:   fromCost,
 		IncumbentMeetsQoS: incNow.MeetsQoS,
 		Samples:           res.Samples,
 	}
 	next := incNow // deployed result under the new load unless we switch
 	switch {
 	case !res.Found:
-		rec.To = incumbent.Config.Clone()
-		rec.ToCostPerHour = incumbent.CostPerHour
+		rec.To = live.Clone()
+		rec.ToCostPerHour = fromCost
 		rec.Reason = "no QoS-meeting configuration found within budget; incumbent kept"
-	case res.BestConfig.Key() == incumbent.Config.Key():
+	case res.BestConfig.Key() == live.Key():
 		rec.To = res.BestConfig.Clone()
 		rec.ToCostPerHour = res.BestResult.CostPerHour
 		rec.Reason = "incumbent remains optimal at the new load"
 	default:
-		mig := c.migration.Cost(c.cfg.Spec, incumbent.Config, res.BestConfig)
+		mig := c.migration.Cost(spec, live, res.BestConfig)
 		rec.To = res.BestConfig.Clone()
 		rec.ToCostPerHour = res.BestResult.CostPerHour
 		rec.MigrationCost = mig
@@ -591,19 +719,31 @@ func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) (*R
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.accrueLocked(nowMs)
+	if rec.Applied {
+		c.stat.AccruedCost += rec.MigrationCost
+	}
 	c.searches++
 	c.lastSteps = res.Steps
 	c.incumbent = next
+	// Whatever was decided, the decision replaces any missing capacity: the
+	// chosen pool is provisioned fresh, so the degradation ledger clears.
+	for i := range c.lost {
+		c.lost[i] = 0
+	}
 	c.stat.AppliedScale = target
 	c.stat.Incumbent = next.Config.Clone()
 	c.stat.IncumbentCostPerHour = next.CostPerHour
 	c.stat.IncumbentMeetsQoS = next.MeetsQoS
+	c.stat.LiveConfig = next.Config.Clone()
+	c.stat.Degraded = false
 	c.stat.SearchSamples += res.Samples
 	c.stat.Reconfigurations = append(c.stat.Reconfigurations, rec)
 	c.stat.State = StateSteady
 	c.stat.PendingForMs = 0
 	c.det.Reset()
 	c.cooldownUntil = nowMs + c.cfg.Params.CooldownMs
+	c.syncMarketLocked()
 	verdict := "keep"
 	if rec.Applied {
 		verdict = "switch"

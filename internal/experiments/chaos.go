@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"ribbon/internal/chaos"
+	"ribbon/internal/controller"
+	"ribbon/internal/gateway"
+	"ribbon/internal/obs"
+	"ribbon/internal/serving"
+	"ribbon/internal/workload"
+)
+
+// ChaosOptions tunes the resilience experiment; the zero value runs the
+// default rig (CANDLE over its Table 3 pool).
+type ChaosOptions struct {
+	// Model is the served model; CANDLE when empty.
+	Model string
+	// TimeScale compresses the live-gateway leg; 0.001 when zero.
+	TimeScale float64
+}
+
+// ChaosRunReport is one controller replay under the storm.
+type ChaosRunReport struct {
+	// Load is the stream's rate scale relative to the model's base rate.
+	Load float64 `json:"load"`
+	// Pricing is "on-demand" or "spot".
+	Pricing string `json:"pricing"`
+	// CapacityEvents counts storm events the controller observed;
+	// CapacityResponses the capacity-triggered reconfiguration decisions
+	// (emergency, drain, or price), and Applied how many switched pools.
+	CapacityEvents    int `json:"capacity_events"`
+	CapacityResponses int `json:"capacity_responses"`
+	Applied           int `json:"applied"`
+	// MaxResponseMs is the worst stream-time gap between a capacity event
+	// and the response tick that answered it; WithinDwell reports every
+	// response beat the ordinary dwell window (capacity triggers bypass
+	// dwell, so this is the restoration-latency gate).
+	MaxResponseMs float64 `json:"max_response_ms"`
+	WithinDwell   bool    `json:"within_dwell"`
+	// AccruedCost is the integrated live-pool spend over the replay.
+	AccruedCost float64 `json:"accrued_cost"`
+	// FinalPool, FinalCostPerHour, FinalMeetsQoS describe the incumbent
+	// at stream end.
+	FinalPool        []int   `json:"final_pool"`
+	FinalCostPerHour float64 `json:"final_cost_per_hour"`
+	FinalMeetsQoS    bool    `json:"final_meets_qos"`
+}
+
+// ChaosLiveReport is the live-gateway storm leg: a static pool served on
+// the data plane while the schedule revokes and restores instances.
+type ChaosLiveReport struct {
+	Accepted  uint64 `json:"accepted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Requeued  uint64 `json:"requeued"`
+	// Dropped is Accepted - Completed - Failed after shutdown: admitted
+	// requests the plane lost track of. The resilience contract is 0.
+	Dropped uint64 `json:"dropped"`
+	// ChaosEvents counts chaos_* audit events the gateway recorded.
+	ChaosEvents int `json:"chaos_events"`
+}
+
+// ChaosReport is the machine-readable result of the chaos experiment
+// (BENCH_8.json).
+type ChaosReport struct {
+	Model string `json:"model"`
+	Seed  uint64 `json:"seed"`
+	// StormEvents is the generated schedule's event count.
+	StormEvents int `json:"storm_events"`
+	// HorizonMs is the storm's stream-time extent (the 1x stream span).
+	HorizonMs float64          `json:"horizon_ms"`
+	Runs      []ChaosRunReport `json:"runs"`
+	// ReplayIdentical reports that a second replay of the spot 1x run
+	// produced a %#v-identical decision trace and audit trail.
+	ReplayIdentical bool            `json:"replay_identical"`
+	Live            ChaosLiveReport `json:"live"`
+}
+
+// chaosParams is the control loop used by every replay: tight ticks so
+// capacity responses land promptly, and a cooldown shorter than the dwell
+// window so even an event absorbed mid-cooldown is answered within
+// cooldown + one tick ≤ DwellMs — the restoration-latency gate below.
+var chaosParams = controller.Params{
+	WindowMs:            2_000,
+	TickMs:              200,
+	RelThreshold:        0.3,
+	DwellMs:             1_000,
+	AdaptBudget:         12,
+	EmergencyCooldownMs: 800,
+}
+
+// ChaosResilience replays a seeded revocation storm against the continuous
+// controller at 1x and 2x load, on-demand and spot-priced, then drives the
+// same weather through the live gateway: the hostile-cloud study of
+// docs/resilience.md. All legs are deterministic per seed.
+func ChaosResilience(s Setup, o ChaosOptions) (Table, ChaosReport) {
+	s = s.withDefaults()
+	if o.Model == "" {
+		o.Model = "CANDLE"
+	}
+	if o.TimeScale == 0 {
+		o.TimeScale = 0.001
+	}
+	spec := s.spec(o.Model)
+	bounds := s.boundsFor(spec, serving.SimOptions{RateScale: 2})
+
+	// The storm spans the 1x stream; rates are scaled so a ~10 s stream
+	// sees several revocations and failures (a 2x-load stream is shorter
+	// and meets the front of the same weather).
+	const totalQueries = 8_000
+	baseStream := chaosStream(spec, s.Seed, totalQueries, 1)
+	horizon := baseStream.Duration()
+	storm := chaos.GenerateStorm(chaos.StormOptions{
+		Seed:                 s.Seed + 11,
+		HorizonMs:            horizon,
+		Families:             PoolFor(o.Model),
+		RevocationMultiplier: 6_000,
+		WarningMs:            400,
+		FailuresPerHour:      1_200,
+		PriceStepMs:          1_500,
+		PriceVolatility:      0.25,
+	})
+
+	report := ChaosReport{
+		Model:       o.Model,
+		Seed:        s.Seed,
+		StormEvents: len(storm.Events),
+		HorizonMs:   horizon,
+	}
+	t := Table{
+		ID: "chaos",
+		Title: fmt.Sprintf("%s hostile-cloud resilience (%d-event storm over %.1fs; cooldown %gs)",
+			o.Model, len(storm.Events), horizon/1000, chaosParams.EmergencyCooldownMs/1000),
+		Header: []string{"Leg", "Load", "Pricing", "Events", "Responses", "Applied", "MaxResp (ms)", "Accrued", "Final pool", "QoS"},
+	}
+
+	for _, load := range []float64{1, 2} {
+		for _, spot := range []bool{false, true} {
+			st := runChaosReplay(s, spec, bounds, storm, load, spot, totalQueries)
+			run := summarizeChaosRun(st, load, spot)
+			report.Runs = append(report.Runs, run)
+			qos := "meets"
+			if !run.FinalMeetsQoS {
+				qos = "VIOLATES"
+			}
+			t.AddRow("controller",
+				fmt.Sprintf("%.0fx", load), run.Pricing,
+				itoa(run.CapacityEvents), itoa(run.CapacityResponses), itoa(run.Applied),
+				fmt.Sprintf("%.0f", run.MaxResponseMs),
+				fmt.Sprintf("$%.4f", run.AccruedCost),
+				serving.Config(run.FinalPool).String(), qos)
+		}
+	}
+
+	// Replay-determinism gate: the spot 1x run a second time, %#v-compared.
+	first := runChaosReplay(s, spec, bounds, storm, 1, true, totalQueries)
+	second := runChaosReplay(s, spec, bounds, storm, 1, true, totalQueries)
+	report.ReplayIdentical = fmt.Sprintf("%#v%#v", first.Reconfigurations, first.Events) ==
+		fmt.Sprintf("%#v%#v", second.Reconfigurations, second.Events)
+	replayCell := "byte-identical"
+	if !report.ReplayIdentical {
+		replayCell = "DIVERGED"
+	}
+	t.AddRow("replay", "1x", "spot", itoa(first.CapacityEvents),
+		itoa(len(first.Reconfigurations)), "-", "-", "-", "-", replayCell)
+
+	report.Live = chaosLiveLeg(s, spec, o.TimeScale)
+	liveQoS := "0 dropped"
+	if report.Live.Dropped != 0 || report.Live.Failed != 0 {
+		liveQoS = fmt.Sprintf("%d DROPPED / %d failed", report.Live.Dropped, report.Live.Failed)
+	}
+	t.AddRow("gateway", "-", "-", itoa(report.Live.ChaosEvents), "-", "-", "-", "-",
+		fmt.Sprintf("%d served", report.Live.Completed), liveQoS)
+	return t, report
+}
+
+// chaosStream generates the arrival stream one replay ingests.
+func chaosStream(spec serving.PoolSpec, seed uint64, queries int, load float64) *workload.Stream {
+	return workload.GenerateSchedule(spec.Model, seed+5, workload.HeavyTailLogNormalBatch,
+		[]workload.Phase{{Queries: queries, RateScale: load}})
+}
+
+// runChaosReplay runs one controller replay under the storm.
+func runChaosReplay(s Setup, spec serving.PoolSpec, bounds []int, storm *chaos.Schedule,
+	load float64, spot bool, queries int) controller.Status {
+	c, err := controller.New(controller.Config{
+		Spec:          spec,
+		Sim:           serving.SimOptions{Queries: s.Queries, Seed: s.Seed, RateScale: load},
+		Bounds:        bounds,
+		InitialBudget: 40,
+		Params:        chaosParams,
+		Chaos:         storm,
+		UseSpot:       spot,
+	})
+	if err != nil {
+		panic(err)
+	}
+	st, err := c.Run(context.Background(), chaosStream(spec, s.Seed, queries, load))
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// summarizeChaosRun reduces one replay to the report row.
+func summarizeChaosRun(st controller.Status, load float64, spot bool) ChaosRunReport {
+	run := ChaosRunReport{
+		Load:             load,
+		Pricing:          "on-demand",
+		CapacityEvents:   st.CapacityEvents,
+		AccruedCost:      st.AccruedCost,
+		FinalPool:        st.Incumbent,
+		FinalCostPerHour: st.IncumbentCostPerHour,
+		FinalMeetsQoS:    st.IncumbentMeetsQoS,
+	}
+	if spot {
+		run.Pricing = "spot"
+	}
+	for _, rec := range st.Reconfigurations {
+		if rec.Trigger == "" {
+			continue
+		}
+		run.CapacityResponses++
+		if rec.Applied {
+			run.Applied++
+		}
+		if lat := rec.AtMs - lastTriggerEventMs(st.Events, rec.Trigger, rec.AtMs); lat > run.MaxResponseMs {
+			run.MaxResponseMs = lat
+		}
+	}
+	run.WithinDwell = run.CapacityResponses > 0 && run.MaxResponseMs <= chaosParams.DwellMs
+	return run
+}
+
+// lastTriggerEventMs finds the stream time of the latest audit event that
+// could have armed a response of the given trigger, at or before atMs.
+func lastTriggerEventMs(events []obs.Event, trigger string, atMs float64) float64 {
+	kind := obs.EventKind("capacity_failure")
+	switch trigger {
+	case "drain":
+		kind = "capacity_warning"
+	case "price":
+		kind = "price_move"
+	}
+	last := 0.0
+	for _, ev := range events {
+		if ev.AtMs > atMs {
+			break
+		}
+		if ev.Kind == kind {
+			last = ev.AtMs
+		}
+	}
+	return last
+}
+
+// chaosLiveLeg drives a deterministic mini-storm through the live gateway:
+// a static pool loses an instance to a revocation and one to a failure
+// mid-flood, gets one back, and must finish every admitted request.
+func chaosLiveLeg(s Setup, spec serving.PoolSpec, timeScale float64) ChaosLiveReport {
+	fams := make([]string, len(spec.Types))
+	for i, ct := range spec.Types {
+		fams[i] = ct.Family
+	}
+	sched := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 500, Kind: chaos.KindRevocation, Family: fams[0], Count: 1, WarningMs: 200},
+		{AtMs: 1_000, Kind: chaos.KindFailure, Family: fams[1%len(fams)], Count: 1},
+		{AtMs: 2_000, Kind: chaos.KindRestore, Family: fams[0], Count: 1},
+	}}
+	initial := make(serving.Config, spec.Dim())
+	for i := range initial {
+		initial[i] = 2
+	}
+	g, err := gateway.New(context.Background(), gateway.Options{
+		Spec:      spec,
+		Backend:   gateway.NewSimBackend(spec.Model, timeScale, s.Seed),
+		Initial:   initial,
+		Sim:       serving.SimOptions{Queries: 400, Seed: s.Seed},
+		Seed:      s.Seed,
+		TimeScale: timeScale,
+		Chaos:     sched,
+	})
+	if err != nil {
+		panic(err)
+	}
+	classes := []workload.Criticality{
+		workload.ClassCritical, workload.ClassStandard, workload.ClassStandard, workload.ClassSheddable,
+	}
+	ctx := context.Background()
+	for i := 0; i < 1_500; i++ {
+		g.Ingest(ctx, float64(i)*2, 1, classes[i%len(classes)], nil)
+	}
+	g.Close()
+	snap := g.Metrics()
+	out := ChaosLiveReport{
+		Accepted:  snap.Accepted,
+		Completed: snap.Completed,
+		Failed:    snap.Failed,
+		Requeued:  snap.Requeued,
+	}
+	if done := snap.Completed + snap.Failed; snap.Accepted > done {
+		out.Dropped = snap.Accepted - done
+	}
+	for _, ev := range snap.Events {
+		switch ev.Kind {
+		case "chaos_revocation", "chaos_failure", "chaos_restore", "chaos_slowdown", "chaos_price":
+			out.ChaosEvents++
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ribbon/internal/chaos"
+	"ribbon/internal/serving"
+)
+
+// chaosTestRig builds a small storm over a short stream — the same shape the
+// chaos experiment replays, scaled down for test time.
+func chaosTestRig(t *testing.T) (Setup, serving.PoolSpec, []int, *chaos.Schedule) {
+	t.Helper()
+	s := Setup{Seed: 42, Queries: 800, Budget: 24}.withDefaults()
+	spec := s.spec("CANDLE")
+	bounds := s.boundsFor(spec, serving.SimOptions{RateScale: 2})
+	horizon := chaosStream(spec, s.Seed, 2_000, 1).Duration()
+	storm := chaos.GenerateStorm(chaos.StormOptions{
+		Seed:                 s.Seed + 11,
+		HorizonMs:            horizon,
+		Families:             PoolFor("CANDLE"),
+		RevocationMultiplier: 6_000,
+		WarningMs:            400,
+		FailuresPerHour:      1_200,
+		PriceStepMs:          1_500,
+		PriceVolatility:      0.25,
+	})
+	if len(storm.Events) == 0 {
+		t.Fatalf("storm over %.0fms generated no events", horizon)
+	}
+	return s, spec, bounds, storm
+}
+
+// TestChaosReplayByteIdenticalAcrossRuns: two replays of the same storm over
+// the same stream produce %#v-identical decision traces and audit trails.
+// Run under -race in CI, this is the replay-determinism acceptance gate.
+func TestChaosReplayByteIdenticalAcrossRuns(t *testing.T) {
+	s, spec, bounds, storm := chaosTestRig(t)
+	first := runChaosReplay(s, spec, bounds, storm, 1, true, 2_000)
+	second := runChaosReplay(s, spec, bounds, storm, 1, true, 2_000)
+	if fmt.Sprintf("%#v%#v", first.Reconfigurations, first.Events) !=
+		fmt.Sprintf("%#v%#v", second.Reconfigurations, second.Events) {
+		t.Fatal("second replay diverged from the first")
+	}
+	if first.CapacityEvents == 0 {
+		t.Fatal("replay observed no capacity events — the storm never reached the controller")
+	}
+}
+
+// TestChaosReplayByteIdenticalAcrossGOMAXPROCS: the decision trace is
+// independent of scheduler parallelism — a single-threaded replay matches a
+// multi-threaded one %#v-for-%#v. Search workers fan out across cores, so
+// this catches any nondeterministic reduction sneaking into the hot path.
+func TestChaosReplayByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	s, spec, bounds, storm := chaosTestRig(t)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	serial := runChaosReplay(s, spec, bounds, storm, 1, true, 2_000)
+	runtime.GOMAXPROCS(max(2, prev))
+	wide := runChaosReplay(s, spec, bounds, storm, 1, true, 2_000)
+
+	if fmt.Sprintf("%#v%#v", serial.Reconfigurations, serial.Events) !=
+		fmt.Sprintf("%#v%#v", wide.Reconfigurations, wide.Events) {
+		t.Fatal("replay decision trace depends on GOMAXPROCS")
+	}
+}
+
+// TestChaosStormByteIdenticalAcrossRuns: the storm itself — the replay's
+// input weather — regenerates %#v-identically from its options.
+func TestChaosStormByteIdenticalAcrossRuns(t *testing.T) {
+	_, _, _, a := chaosTestRig(t)
+	_, _, _, b := chaosTestRig(t)
+	if fmt.Sprintf("%#v", a.Events) != fmt.Sprintf("%#v", b.Events) {
+		t.Fatal("storm regeneration diverged")
+	}
+}

@@ -3,6 +3,7 @@ package gateway
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,6 +29,12 @@ type Batch struct {
 	// per-request backend responses when the backend produces them.
 	Payloads [][]byte
 	Bodies   [][]byte
+	// Errs, when non-nil, carries per-request failures: a backend that can
+	// fail part of a batch (ProxyBackend) sets Errs[i] for exactly the
+	// requests that failed and returns a nil batch-level error, so the
+	// worker can re-queue or shed the casualties by tier instead of failing
+	// the whole batch. A non-nil batch-level error still fails everything.
+	Errs []error
 }
 
 // Backend executes batches on behalf of a live pool instance. Serve blocks
@@ -133,6 +140,13 @@ func sleepFor(ctx context.Context, d time.Duration) error {
 // transport), and the measured wall time divided by TimeScale is reported as
 // the service time. Use it to put the gateway's routing, batching, and
 // shedding in front of an actual serving endpoint.
+//
+// Failure semantics are per request, not per batch: each forwarded request
+// gets AttemptTimeoutMs per attempt and up to MaxRetries capped, jittered,
+// exponentially backed-off re-sends on transient failures (transport errors,
+// 5xx, 429). Permanent answers (other 4xx) never retry. Requests that
+// exhaust their attempts land in Batch.Errs — the instance worker re-queues
+// or sheds them by tier — while the rest of the batch completes normally.
 type ProxyBackend struct {
 	// Target is the endpoint URL, e.g. "http://10.0.0.7:8501/v1/predict".
 	Target string
@@ -141,15 +155,43 @@ type ProxyBackend struct {
 	// TimeScale converts measured wall milliseconds into stream-time
 	// milliseconds; 1 when zero (real endpoints live in real time).
 	TimeScale float64
+	// AttemptTimeoutMs bounds each forwarded attempt in wall milliseconds,
+	// layered under the caller's context deadline (whichever is tighter
+	// wins); 0 leaves the caller's context as the only bound.
+	AttemptTimeoutMs float64
+	// MaxRetries is the number of re-sends after the first attempt on a
+	// transient failure; 0 disables retries.
+	MaxRetries int
+	// RetryBackoffMs is the base wall-clock backoff before a retry, doubled
+	// per attempt and jittered to 50–150% so synchronized casualties do not
+	// retry in lockstep; 25 when zero and retries are enabled.
+	RetryBackoffMs float64
+	// Seed derives the jitter streams.
+	Seed uint64
+
+	rngs    sync.Pool
+	nextRNG atomic.Uint64
 }
 
-// Serve forwards every request of the batch and collects the response
-// bodies. A non-2xx answer or transport error fails the whole batch.
-func (p *ProxyBackend) Serve(ctx context.Context, t cloud.InstanceType, b *Batch) (float64, error) {
-	hc := p.Client
-	if hc == nil {
-		hc = http.DefaultClient
+// errPermanent wraps an upstream answer that retrying cannot fix.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+func (p *ProxyBackend) rng() *stats.RNG {
+	if r, _ := p.rngs.Get().(*stats.RNG); r != nil {
+		return r
 	}
+	n := p.nextRNG.Add(1)
+	return stats.Derive(p.Seed, "gateway", "proxy-jitter", fmt.Sprintf("%d", n))
+}
+
+// Serve forwards every request of the batch concurrently. Per-request
+// failures are reported through b.Errs; the batch-level error is reserved
+// for caller-context cancellation, where nothing should be retried or
+// partially kept.
+func (p *ProxyBackend) Serve(ctx context.Context, t cloud.InstanceType, b *Batch) (float64, error) {
 	n := b.Requests
 	if n < 1 {
 		n = 1
@@ -166,27 +208,7 @@ func (p *ProxyBackend) Serve(ctx context.Context, t cloud.InstanceType, b *Batch
 		wg.Add(1)
 		go func(i int, payload []byte) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.Target, bytes.NewReader(payload))
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			resp, err := hc.Do(req)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer resp.Body.Close()
-			body, err := io.ReadAll(resp.Body)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-				errs[i] = fmt.Errorf("gateway: backend %s answered %s", p.Target, resp.Status)
-				return
-			}
-			bodies[i] = body
+			bodies[i], errs[i] = p.forward(ctx, payload)
 		}(i, payload)
 	}
 	wg.Wait()
@@ -195,11 +217,90 @@ func (p *ProxyBackend) Serve(ctx context.Context, t cloud.InstanceType, b *Batch
 		scale = 1
 	}
 	ms := float64(time.Since(start)) / float64(time.Millisecond) / scale
+	if err := ctx.Err(); err != nil {
+		return ms, err
+	}
+	failed := false
 	for _, err := range errs {
 		if err != nil {
-			return ms, err
+			failed = true
+			break
 		}
 	}
 	b.Bodies = bodies
+	if failed {
+		b.Errs = errs
+	}
 	return ms, nil
+}
+
+// forward performs one request's attempt loop.
+func (p *ProxyBackend) forward(ctx context.Context, payload []byte) ([]byte, error) {
+	hc := p.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	backoff := p.RetryBackoffMs
+	if backoff == 0 {
+		backoff = 25
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, err := p.attempt(ctx, hc, payload)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			return nil, perm.err
+		}
+		if attempt >= p.MaxRetries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		// Jittered exponential backoff: base * 2^attempt * U[0.5, 1.5).
+		r := p.rng()
+		j := 0.5 + r.Float64()
+		p.rngs.Put(r)
+		wait := time.Duration(backoff * float64(int(1)<<attempt) * j * float64(time.Millisecond))
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, lastErr
+		}
+	}
+}
+
+// attempt performs one forwarded POST under the per-attempt timeout. The
+// caller's context deadline propagates into the upstream request; the
+// attempt timeout only ever tightens it.
+func (p *ProxyBackend) attempt(ctx context.Context, hc *http.Client, payload []byte) ([]byte, error) {
+	if p.AttemptTimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(p.AttemptTimeoutMs*float64(time.Millisecond)))
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.Target, bytes.NewReader(payload))
+	if err != nil {
+		return nil, errPermanent{err}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err // transport errors and timeouts are transient
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return body, nil
+	}
+	answered := fmt.Errorf("gateway: backend %s answered %s", p.Target, resp.Status)
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		return nil, answered
+	}
+	return nil, errPermanent{answered}
 }

@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+
+	"ribbon/internal/chaos"
+	"ribbon/internal/obs"
+)
+
+// Chaos injection on the live plane. A configured chaos.Schedule replays
+// against stream time: each admitted arrival checks (one atomic load) whether
+// the next scheduled event is due, and applies everything due before the
+// request routes. Revocations and failures retire live instances through the
+// same drain-then-retire machinery reconfigurations use — queued work drains
+// or is rescued onto survivors, never dropped — and every event is forwarded
+// to the controller's ObserveCapacity so the control loop sees the same
+// degradation the data plane just suffered and can respond (emergency
+// re-search, drain replacement, price re-optimization) on its next tick.
+
+// maybeInjectChaos applies every scheduled event due at or before arrivalMs.
+// The fast path — no event due — is a single atomic load.
+func (g *Gateway) maybeInjectChaos(arrivalMs float64) {
+	if math.Float64frombits(g.chaosNextBits.Load()) > arrivalMs {
+		return
+	}
+	g.chaosMu.Lock()
+	defer g.chaosMu.Unlock()
+	evs := g.chaos.Events
+	for g.chaosIdx < len(evs) && evs[g.chaosIdx].AtMs <= arrivalMs {
+		g.applyCapacityEvent(evs[g.chaosIdx])
+		g.chaosIdx++
+	}
+	next := math.Inf(1)
+	if g.chaosIdx < len(evs) {
+		next = evs[g.chaosIdx].AtMs
+	}
+	g.chaosNextBits.Store(math.Float64bits(next))
+}
+
+// Inject applies one capacity event to the live plane immediately — the
+// hook live drivers and tests use to preempt instances without a schedule.
+// Safe for concurrent use with ingest.
+func (g *Gateway) Inject(ev chaos.CapacityEvent) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	g.chaosMu.Lock()
+	g.applyCapacityEvent(ev)
+	g.chaosMu.Unlock()
+	return nil
+}
+
+// applyCapacityEvent mutates the live pool for one event and forwards it to
+// the controller. Caller holds chaosMu (events apply in order).
+func (g *Gateway) applyCapacityEvent(ev chaos.CapacityEvent) {
+	switch ev.Kind {
+	case chaos.KindRevocation, chaos.KindFailure:
+		kind := obs.EventKind("chaos_revocation")
+		if ev.Kind == chaos.KindFailure {
+			kind = "chaos_failure"
+		}
+		removed := g.shrinkFamily(ev.Family, ev.Count)
+		g.m.trail.Record(ev.AtMs, kind,
+			fmt.Sprintf("%s: retiring %d %s (%d scheduled)", ev.Kind, removed, ev.Family, ev.Count),
+			obs.F("family", ev.Family),
+			obs.F("count", removed),
+			obs.F("effective_ms", ev.EffectiveMs()),
+		)
+	case chaos.KindRestore:
+		restored := g.growFamily(ev.Family, ev.Count)
+		g.m.trail.Record(ev.AtMs, "chaos_restore",
+			fmt.Sprintf("restore: respawning %d %s", restored, ev.Family),
+			obs.F("family", ev.Family),
+			obs.F("count", restored),
+		)
+	case chaos.KindSlowdown:
+		// The live plane has no lever to slow a SimBackend instance from
+		// outside; stragglers are witnessed on the audit trail and by the
+		// controller, which is what its response keys on.
+		g.m.trail.Record(ev.AtMs, "chaos_slowdown",
+			fmt.Sprintf("slowdown: %d %s x%.3g for %.0fms", ev.Count, ev.Family, ev.Factor, ev.DurationMs),
+			obs.F("family", ev.Family),
+			obs.F("count", ev.Count),
+			obs.F("factor", ev.Factor),
+		)
+	case chaos.KindPrice:
+		g.m.trail.Record(ev.AtMs, "chaos_price",
+			fmt.Sprintf("spot market: %s factor %.4g", ev.Family, ev.Factor),
+			obs.F("family", ev.Family),
+			obs.F("factor", ev.Factor),
+		)
+	}
+	if g.ctrl != nil {
+		g.ctrl.ObserveCapacity(ev)
+	}
+}
+
+// familySlot resolves an event family to its spec slot, -1 when the pool
+// does not deploy the family.
+func (g *Gateway) familySlot(family string) int {
+	for i, t := range g.spec.Types {
+		if t.Family == family {
+			return i
+		}
+	}
+	return -1
+}
+
+// shrinkFamily retires up to count live instances of the family (newest
+// first — the kept prefix stays warm) and returns how many actually went.
+func (g *Gateway) shrinkFamily(family string, count int) int {
+	slot := g.familySlot(family)
+	if slot < 0 || count <= 0 {
+		return 0
+	}
+	g.poolMu.Lock()
+	defer g.poolMu.Unlock()
+	prev := g.pool.Load()
+	if prev == nil {
+		return 0
+	}
+	take := count
+	if take > prev.config[slot] {
+		take = prev.config[slot]
+	}
+	if take <= 0 {
+		return 0
+	}
+	next := prev.config.Clone()
+	next[slot] -= take
+	g.chaosLost[slot] += take
+	g.applyConfigLocked(next)
+	return take
+}
+
+// growFamily respawns up to count previously chaos-retired instances of the
+// family (with the warm-up charge) and returns how many came back. Restores
+// never exceed what chaos took: the controller's reconfigurations are the
+// only path that grows the pool past its decided size.
+func (g *Gateway) growFamily(family string, count int) int {
+	slot := g.familySlot(family)
+	if slot < 0 || count <= 0 {
+		return 0
+	}
+	g.poolMu.Lock()
+	defer g.poolMu.Unlock()
+	prev := g.pool.Load()
+	if prev == nil {
+		return 0
+	}
+	back := count
+	if back > g.chaosLost[slot] {
+		back = g.chaosLost[slot]
+	}
+	if back <= 0 {
+		return 0
+	}
+	next := prev.config.Clone()
+	next[slot] += back
+	g.chaosLost[slot] -= back
+	g.applyConfigLocked(next)
+	return back
+}

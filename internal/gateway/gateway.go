@@ -24,10 +24,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ribbon/internal/chaos"
 	"ribbon/internal/controller"
 	"ribbon/internal/core"
 	"ribbon/internal/dispatch"
@@ -96,6 +98,18 @@ type Options struct {
 	// pool.
 	Controller *controller.Params
 
+	// Chaos, when non-nil, replays a capacity-event schedule against the
+	// live plane in stream time: revocations and failures drain-then-retire
+	// matching live instances (admitted work is never dropped), restores
+	// respawn them with the warm-up charge, and every event is forwarded to
+	// the controller's capacity path. Events also inject on demand via
+	// Inject.
+	Chaos *chaos.Schedule
+	// UseSpot prices the controller's searches and spend meter at live
+	// spot-market rates (see controller.Config.UseSpot). Only meaningful
+	// with Controller set.
+	UseSpot bool
+
 	// Seed derives the router's randomized choices (cost-random policy).
 	Seed uint64
 	// TimeScale compresses stream time into wall time (see SimBackend);
@@ -153,9 +167,23 @@ type Gateway struct {
 	batchTimeoutMs float64
 	warmupMs       float64
 
+	// poolMu serializes pool mutations (controller reconfigurations and
+	// chaos injections); the routing hot path still reads the snapshot with
+	// one lock-free atomic load.
+	poolMu      sync.Mutex
 	pool        atomic.Pointer[pool]
 	totalQueued atomic.Int64
 	nextInstID  atomic.Int64
+
+	// Chaos-injection state. chaosNextBits holds the next scheduled event
+	// time (math.Float64bits, +Inf when exhausted) so the ingest hot path
+	// pays one atomic load; chaosLost tracks per-slot instances chaos took
+	// and has not restored, bounding restores.
+	chaos         *chaos.Schedule
+	chaosMu       sync.Mutex
+	chaosIdx      int
+	chaosNextBits atomic.Uint64
+	chaosLost     []int
 
 	m      metrics
 	traces *obs.TraceRing
@@ -269,6 +297,20 @@ func New(ctx context.Context, opts Options) (*Gateway, error) {
 		warmupMs:       opts.WarmupMs,
 	}
 
+	if opts.Chaos != nil {
+		if err := opts.Chaos.Validate(); err != nil {
+			cancel()
+			return nil, err
+		}
+		g.chaos = opts.Chaos.Clone()
+	}
+	g.chaosLost = make([]int, opts.Spec.Dim())
+	next := math.Inf(1)
+	if g.chaos != nil && len(g.chaos.Events) > 0 {
+		next = g.chaos.Events[0].AtMs
+	}
+	g.chaosNextBits.Store(math.Float64bits(next))
+
 	reg := opts.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -309,6 +351,10 @@ func New(ctx context.Context, opts Options) (*Gateway, error) {
 			Search:  opts.Search,
 			Initial: initial,
 			Params:  *opts.Controller,
+			UseSpot: opts.UseSpot,
+			// Chaos stays nil here: the gateway itself replays the schedule
+			// on the live plane and feeds ObserveCapacity, so the controller
+			// sees each event exactly once.
 		}
 		ctrl, err := controller.New(cc)
 		if err != nil {
@@ -503,9 +549,20 @@ func (g *Gateway) install(p *pool) { g.pool.Store(p) }
 
 // applyConfig reshapes the live pool to next: instances the new counts keep
 // stay (oldest first — they are warm), excess instances drain-then-retire,
-// added instances spawn with the warm-up charge. Runs on the controller
-// goroutine; the hot path only ever sees complete snapshots.
+// added instances spawn with the warm-up charge. A controller decision also
+// settles any outstanding chaos losses — the decided pool is provisioned
+// whole. The hot path only ever sees complete snapshots.
 func (g *Gateway) applyConfig(next serving.Config) {
+	g.poolMu.Lock()
+	defer g.poolMu.Unlock()
+	for i := range g.chaosLost {
+		g.chaosLost[i] = 0
+	}
+	g.applyConfigLocked(next)
+}
+
+// applyConfigLocked is applyConfig under an already-held poolMu.
+func (g *Gateway) applyConfigLocked(next serving.Config) {
 	prev := g.pool.Load()
 	p := g.grow(prev, next, g.warmupMs)
 	g.install(p)
@@ -554,6 +611,7 @@ func (g *Gateway) getRequest() *request {
 func (g *Gateway) putRequest(r *request) {
 	r.payload = nil
 	r.wait = false
+	r.attempts = 0
 	g.reqs.Put(r)
 }
 
@@ -573,6 +631,9 @@ func (g *Gateway) respond(r *request, resp Response) {
 // requests, so the unsampled hot path pays one atomic increment.
 func (g *Gateway) admit(arrivalMs float64, batch int, class workload.Criticality, payload []byte, wait bool, traceID string) (*request, Outcome) {
 	g.setEpoch(arrivalMs)
+	if g.chaos != nil {
+		g.maybeInjectChaos(arrivalMs)
+	}
 	g.feedArrival(arrivalMs)
 	r := g.getRequest()
 	r.arrivalMs = arrivalMs
@@ -659,6 +720,7 @@ func (g *Gateway) Metrics() Snapshot {
 	s := Snapshot{
 		Accepted:        g.m.accepted.Value(),
 		Failed:          g.m.failed.Value(),
+		Requeued:        g.m.requeued.Value(),
 		FeedDropped:     g.m.feedDropped.Value(),
 		Batches:         g.m.batches.Value(),
 		BatchedRequests: g.m.batchedReqs.Value(),

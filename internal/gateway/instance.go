@@ -18,6 +18,7 @@ type request struct {
 	rank      int     // criticality rank, [0, dispatch.NumRanks)
 	payload   []byte  // request body; nil for payload-free floods
 	wait      bool    // a waiter is blocked on done
+	attempts  int     // backend-failure re-queues consumed so far
 	done      chan Response
 
 	// Tracing. seq is the ingress ordinal (always assigned when tracing is
@@ -277,12 +278,12 @@ func (g *Gateway) serveBatch(inst *instance, reqs []*request, b *Batch) {
 	g.m.batchedReqs.Add(uint64(n))
 	g.m.batchSize.Observe(float64(n))
 	for i, r := range reqs {
-		if err != nil {
-			g.m.failed.Inc()
-			if r.sampled {
-				g.recordServeTrace(r, inst, backendStart, now, 0, "failed")
-			}
-			g.respond(r, Response{Err: err, Instance: inst.name, TraceSeq: r.seq, TraceID: r.id})
+		reqErr := err
+		if reqErr == nil && b.Errs != nil {
+			reqErr = b.Errs[i]
+		}
+		if reqErr != nil {
+			g.failRequest(r, inst, reqErr, err == nil, backendStart, now)
 			continue
 		}
 		lat := now - r.arrivalMs
@@ -304,6 +305,42 @@ func (g *Gateway) serveBatch(inst *instance, reqs []*request, b *Batch) {
 			TraceID:   r.id,
 		})
 	}
+}
+
+// requeueLimit caps how many times one request may be re-placed after a
+// partial-batch backend failure before it fails loudly.
+const requeueLimit = 2
+
+// failRequest settles one request whose batch (or whose slot in a partially
+// failed batch) errored. Partial failures get tiered second chances:
+// Critical and Standard requests re-queue onto the live pool (bounded by
+// requeueLimit), Sheddable ones are shed — explicit outcomes either way, a
+// failed batch never just vanishes. Whole-batch failures (backend-level
+// error, typically shutdown) fail immediately: retrying against a cancelled
+// context only spins.
+func (g *Gateway) failRequest(r *request, inst *instance, reqErr error, partial bool, backendStart, now float64) {
+	if partial && g.ctx.Err() == nil {
+		if r.rank > 0 && r.attempts < requeueLimit {
+			r.attempts++
+			g.m.requeued.Inc()
+			if p := g.pool.Load(); p != nil && g.place(p, r) {
+				return
+			}
+			// No queue anywhere: fall through to a loud failure.
+		} else if r.rank == 0 {
+			g.m.recordShed(r.rank)
+			if r.sampled {
+				g.recordServeTrace(r, inst, backendStart, now, 0, "shed")
+			}
+			g.respond(r, Response{Err: reqErr, Instance: inst.name, TraceSeq: r.seq, TraceID: r.id})
+			return
+		}
+	}
+	g.m.failed.Inc()
+	if r.sampled {
+		g.recordServeTrace(r, inst, backendStart, now, 0, "failed")
+	}
+	g.respond(r, Response{Err: reqErr, Instance: inst.name, TraceSeq: r.seq, TraceID: r.id})
 }
 
 // recordServeTrace copies a completed request's timeline into the trace

@@ -58,6 +58,7 @@ type metrics struct {
 
 	accepted      *obs.Counter
 	failed        *obs.Counter
+	requeued      *obs.Counter
 	feedDropped   *obs.Counter
 	batches       *obs.Counter
 	batchedReqs   *obs.Counter
@@ -108,6 +109,8 @@ func (m *metrics) init(reg *obs.Registry, policy string, logger *obs.Logger, aud
 		"Requests admitted onto an instance queue.")
 	m.failed = reg.Counter("ribbon_gateway_failed_total",
 		"Requests that failed (backend error, shutdown, or displaced without a home).")
+	m.requeued = reg.Counter("ribbon_gateway_requeued_total",
+		"Requests re-placed on the pool after a partial-batch backend failure.")
 	m.feedDropped = reg.Counter("ribbon_gateway_feed_dropped_total",
 		"Arrival samples dropped on a full controller feed.")
 	m.batches = reg.Counter("ribbon_gateway_batches_total",
@@ -212,6 +215,10 @@ type Snapshot struct {
 	Shed      uint64 `json:"shed"`
 	Rejected  uint64 `json:"rejected"`
 	Failed    uint64 `json:"failed"`
+	// Requeued counts requests re-placed on the pool after a partial-batch
+	// backend failure (they complete or fail later, under a bounded number
+	// of re-queues).
+	Requeued uint64 `json:"requeued"`
 	// FeedDropped counts arrival timestamps dropped on the controller feed
 	// because the channel was full; nonzero drops void replay determinism
 	// but never block serving.

@@ -66,10 +66,32 @@ func (st *controllerStore) create(spec api.ControllerSpec, defaultInitialBudget,
 	}
 	svc := serviceConfig(spec.ServiceSpec, ribbon.SearchOptions{})
 	svc.DispatchObserver = st.sm.observer()
+	var storm *ribbon.StormOptions
+	if spec.Chaos != nil {
+		seed := spec.Chaos.Seed
+		if seed == 0 {
+			seed = spec.Seed
+		}
+		storm = &ribbon.StormOptions{
+			Seed:                 seed,
+			HorizonMs:            spec.Chaos.HorizonMs,
+			RevocationMultiplier: spec.Chaos.RevocationMultiplier,
+			WarningMs:            spec.Chaos.WarningMs,
+			FailuresPerHour:      spec.Chaos.FailuresPerHour,
+			SlowdownsPerHour:     spec.Chaos.SlowdownsPerHour,
+			SlowdownFactor:       spec.Chaos.SlowdownFactor,
+			SlowdownMs:           spec.Chaos.SlowdownMs,
+			PriceStepMs:          spec.Chaos.PriceStepMs,
+			PriceVolatility:      spec.Chaos.PriceVolatility,
+			RestoreAfterMs:       spec.Chaos.RestoreAfterMs,
+		}
+	}
 	ctrl, err := ribbon.NewController(ribbon.ControllerConfig{
 		Service:       svc,
 		Logger:        st.logger,
 		InitialBudget: initialBudget,
+		ChaosStorm:    storm,
+		UseSpot:       spec.UseSpot,
 		Controller: ribbon.ControllerParams{
 			WindowMs:               spec.WindowMs,
 			TickMs:                 spec.TickMs,
@@ -141,6 +163,10 @@ func controllerStatusDTO(st ribbon.ControllerStatus) api.ControllerStatus {
 		IncumbentCostPerHour: st.IncumbentCostPerHour,
 		IncumbentMeetsQoS:    st.IncumbentMeetsQoS,
 		SearchSamples:        st.SearchSamples,
+		LiveConfig:           st.LiveConfig,
+		Degraded:             st.Degraded,
+		CapacityEvents:       st.CapacityEvents,
+		AccruedCost:          st.AccruedCost,
 		Reconfigurations:     make([]api.ControllerReconfiguration, 0, len(st.Reconfigurations)),
 	}
 	for _, r := range st.Reconfigurations {
@@ -154,6 +180,7 @@ func controllerStatusDTO(st ribbon.ControllerStatus) api.ControllerStatus {
 			FromCostPerHour:   r.FromCostPerHour,
 			ToCostPerHour:     r.ToCostPerHour,
 			MigrationCost:     r.MigrationCost,
+			Trigger:           r.Trigger,
 			IncumbentMeetsQoS: r.IncumbentMeetsQoS,
 			Samples:           r.Samples,
 			Applied:           r.Applied,

@@ -1,0 +1,109 @@
+package serving
+
+import (
+	"math"
+	"sort"
+
+	"ribbon/internal/chaos"
+	"ribbon/internal/cloud"
+)
+
+// churnPlan is the per-evaluation compilation of a chaos.Schedule against a
+// concrete deployment: per-flat-instance timelines the event loop consults.
+// Events target families; the compiler pins each one to specific instances
+// deterministically (lowest flat index of the family still eligible), so a
+// replay against the same deployment always kills the same instances.
+//
+// The model is deliberately one lifetime deep per instance: an instance can
+// die once (revocation or failure) and be restored once. Surplus events —
+// a third death for a family whose instances all died, a restore with no
+// dead instance to revive — clamp to nothing, which keeps any schedule
+// valid against any deployment.
+type churnPlan struct {
+	// trans is the timed state-transition tape, sorted by time.
+	trans []churnTrans
+	// killAt[i] is when instance i's in-flight work is lost: the end of a
+	// revocation's warning window, the instant of a hard failure, +Inf
+	// while alive.
+	killAt []float64
+	// slowFrom/slowTo/slowFactor describe instance i's straggler window;
+	// factor 0 means none.
+	slowFrom, slowTo, slowFactor []float64
+}
+
+// churnTrans is one timed pool-state change: a death (the instance stops
+// taking new work) or a revival (restored capacity, post warm-up, rejoins).
+type churnTrans struct {
+	t      float64
+	inst   int32
+	revive bool
+}
+
+// compileChurn pins the schedule's family-level events onto the flat
+// deployed instance list. warmupMs is the boot charge restored capacity
+// pays before serving.
+func compileChurn(s *chaos.Schedule, types []cloud.InstanceType, warmupMs float64) *churnPlan {
+	n := len(types)
+	p := &churnPlan{
+		killAt:     make([]float64, n),
+		slowFrom:   make([]float64, n),
+		slowTo:     make([]float64, n),
+		slowFactor: make([]float64, n),
+	}
+	for i := range p.killAt {
+		p.killAt[i] = math.Inf(1)
+	}
+	// diedAt[i] < +Inf once a death was scheduled; revived[i] marks the one
+	// allowed restoration.
+	diedAt := make([]float64, n)
+	revived := make([]bool, n)
+	for i := range diedAt {
+		diedAt[i] = math.Inf(1)
+	}
+	for _, e := range s.Events {
+		switch e.Kind {
+		case chaos.KindRevocation, chaos.KindFailure:
+			remaining := e.Count
+			for i := 0; i < n && remaining > 0; i++ {
+				if types[i].Family != e.Family || !math.IsInf(diedAt[i], 1) {
+					continue
+				}
+				diedAt[i] = e.AtMs
+				p.killAt[i] = e.EffectiveMs()
+				p.trans = append(p.trans, churnTrans{t: e.AtMs, inst: int32(i)})
+				remaining--
+			}
+		case chaos.KindRestore:
+			remaining := e.Count
+			for i := 0; i < n && remaining > 0; i++ {
+				if types[i].Family != e.Family || revived[i] || diedAt[i] > e.AtMs {
+					continue
+				}
+				revived[i] = true
+				p.trans = append(p.trans, churnTrans{t: e.AtMs + warmupMs, inst: int32(i), revive: true})
+				remaining--
+			}
+		case chaos.KindSlowdown:
+			remaining := e.Count
+			for i := 0; i < n && remaining > 0; i++ {
+				if types[i].Family != e.Family || p.slowFactor[i] != 0 || e.AtMs >= diedAt[i] {
+					continue
+				}
+				p.slowFrom[i] = e.AtMs
+				p.slowTo[i] = e.AtMs + e.DurationMs
+				p.slowFactor[i] = e.Factor
+				remaining--
+			}
+		case chaos.KindPrice:
+			// Billing-side only; the controller prices pools, the
+			// simulator serves them.
+		}
+	}
+	sort.SliceStable(p.trans, func(a, b int) bool {
+		if p.trans[a].t != p.trans[b].t {
+			return p.trans[a].t < p.trans[b].t
+		}
+		return p.trans[a].inst < p.trans[b].inst
+	})
+	return p
+}

@@ -1,0 +1,166 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ribbon/internal/chaos"
+	"ribbon/internal/models"
+)
+
+func churnEval(t *testing.T, sched *chaos.Schedule, warmupMs float64) *SimEvaluator {
+	t.Helper()
+	return NewSimEvaluator(mtwndSpec(t), SimOptions{
+		Queries: 2000, Seed: 7, Churn: sched, ChurnWarmupMs: warmupMs,
+	})
+}
+
+func TestEmptyChurnMatchesPlainPath(t *testing.T) {
+	// An empty schedule must be byte-identical to no schedule at all — the
+	// controller relies on this when no storm is configured.
+	cfg := Config{2, 3}
+	plain := NewSimEvaluator(mtwndSpec(t), SimOptions{Queries: 2000, Seed: 7}).Evaluate(cfg)
+	empty := churnEval(t, &chaos.Schedule{}, 0).Evaluate(cfg)
+	if fmt.Sprintf("%#v", plain) != fmt.Sprintf("%#v", empty) {
+		t.Fatalf("empty churn diverged from plain path:\n%#v\nvs\n%#v", empty, plain)
+	}
+}
+
+func TestChurnEvaluateDeterministic(t *testing.T) {
+	sched := chaos.GenerateStorm(chaos.StormOptions{
+		Seed: 9, HorizonMs: 60000, Families: []string{"g4dn", "t3"},
+		RevocationMultiplier: 400, WarningMs: 2000, FailuresPerHour: 120,
+		SlowdownsPerHour: 120, RestoreAfterMs: 5000,
+	})
+	cfg := Config{2, 3}
+	a := churnEval(t, sched, 500).Evaluate(cfg)
+	b := churnEval(t, sched, 500).Evaluate(cfg)
+	if fmt.Sprintf("%#v", a) != fmt.Sprintf("%#v", b) {
+		t.Fatalf("churn evaluation not deterministic:\n%#v\nvs\n%#v", a, b)
+	}
+}
+
+func TestHardFailureLosesCapacityAndWork(t *testing.T) {
+	cfg := Config{2, 2}
+	base := NewSimEvaluator(mtwndSpec(t), SimOptions{Queries: 2000, Seed: 7}).Evaluate(cfg)
+	// Kill every instance early with no warning: nearly all work is lost.
+	sched := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 10, Kind: chaos.KindFailure, Family: "g4dn", Count: 2},
+		{AtMs: 10, Kind: chaos.KindFailure, Family: "t3", Count: 2},
+	}}
+	dead := churnEval(t, sched, 0).Evaluate(cfg)
+	if dead.Rsat >= base.Rsat {
+		t.Fatalf("total failure Rsat %.3f not below baseline %.3f", dead.Rsat, base.Rsat)
+	}
+	if dead.Rsat > 0.05 {
+		t.Fatalf("Rsat %.3f after total capacity loss at t=10ms", dead.Rsat)
+	}
+	if dead.Lost == 0 {
+		t.Fatalf("no work recorded lost after total failure")
+	}
+	if math.IsInf(dead.MeanLatencyMs, 1) != true && dead.Lost < dead.Queries/2 {
+		t.Fatalf("expected most of the stream lost, got %d of %d", dead.Lost, dead.Queries)
+	}
+}
+
+func TestGracefulRevocationDrainsInFlight(t *testing.T) {
+	cfg := Config{2, 2}
+	// A revocation with a generous warning window at the very end of the
+	// stream: everything in flight drains, so nothing is lost and QoS is
+	// essentially unchanged versus the plain path.
+	sched := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 1e9, Kind: chaos.KindRevocation, Family: "g4dn", Count: 1, WarningMs: chaos.DefaultWarningMs},
+	}}
+	res := churnEval(t, sched, 0).Evaluate(cfg)
+	if res.Lost != 0 {
+		t.Fatalf("late revocation lost %d queries", res.Lost)
+	}
+	base := NewSimEvaluator(mtwndSpec(t), SimOptions{Queries: 2000, Seed: 7}).Evaluate(cfg)
+	if res.Rsat != base.Rsat {
+		t.Fatalf("post-stream revocation changed Rsat: %.4f vs %.4f", res.Rsat, base.Rsat)
+	}
+}
+
+func TestRevocationRemovesCapacityMidStream(t *testing.T) {
+	cfg := Config{3, 4}
+	base := NewSimEvaluator(mtwndSpec(t), SimOptions{Queries: 3000, Seed: 7}).Evaluate(cfg)
+	// Revoke every GPU early with a short warning; the surviving t3s must
+	// carry the stream alone and QoS degrades.
+	sched := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 500, Kind: chaos.KindRevocation, Family: "g4dn", Count: 3, WarningMs: 1000},
+	}}
+	res := NewSimEvaluator(mtwndSpec(t), SimOptions{Queries: 3000, Seed: 7, Churn: sched}).Evaluate(cfg)
+	if res.Rsat >= base.Rsat {
+		t.Fatalf("revocation did not degrade Rsat: %.3f vs %.3f", res.Rsat, base.Rsat)
+	}
+}
+
+func TestRestoreRecoversCapacity(t *testing.T) {
+	cfg := Config{3, 4}
+	// The 3000-query stream spans ~4.3s; a brief 300ms GPU outage early in
+	// the stream recovers, a permanent one does not.
+	kill := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 300, Kind: chaos.KindFailure, Family: "g4dn", Count: 3},
+	}}
+	restore := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 300, Kind: chaos.KindFailure, Family: "g4dn", Count: 3},
+		{AtMs: 600, Kind: chaos.KindRestore, Family: "g4dn", Count: 3},
+	}}
+	opts := SimOptions{Queries: 3000, Seed: 7}
+	spec := mtwndSpec(t)
+	lost := NewSimEvaluator(spec, withChurn(opts, kill, 100)).Evaluate(cfg)
+	healed := NewSimEvaluator(spec, withChurn(opts, restore, 100)).Evaluate(cfg)
+	if healed.Rsat <= lost.Rsat {
+		t.Fatalf("restore did not improve Rsat: healed %.3f vs lost %.3f", healed.Rsat, lost.Rsat)
+	}
+}
+
+func TestSlowdownDegradesService(t *testing.T) {
+	cfg := Config{3, 4}
+	sched := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 0, Kind: chaos.KindSlowdown, Family: "g4dn", Count: 3, Factor: 50, DurationMs: 1e9},
+	}}
+	base := NewSimEvaluator(mtwndSpec(t), SimOptions{Queries: 2000, Seed: 7}).Evaluate(cfg)
+	slow := churnEval(t, sched, 0).Evaluate(cfg)
+	if slow.Rsat >= base.Rsat {
+		t.Fatalf("50x straggler did not degrade Rsat: %.3f vs %.3f", slow.Rsat, base.Rsat)
+	}
+	if slow.Lost != 0 {
+		t.Fatalf("slowdown lost work: %d", slow.Lost)
+	}
+}
+
+func TestChurnClampsToDeployedCapacity(t *testing.T) {
+	// Far more revocations than instances: the surplus must clamp, not
+	// panic, and the evaluation must still terminate.
+	cfg := Config{1, 1}
+	sched := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 100, Kind: chaos.KindFailure, Family: "g4dn", Count: 50},
+		{AtMs: 200, Kind: chaos.KindFailure, Family: "g4dn", Count: 50},
+		{AtMs: 300, Kind: chaos.KindRestore, Family: "r5", Count: 3},
+	}}
+	res := churnEval(t, sched, 0).Evaluate(cfg)
+	if res.Queries == 0 {
+		t.Fatalf("evaluation produced no measurements")
+	}
+}
+
+func withChurn(o SimOptions, s *chaos.Schedule, warmup float64) SimOptions {
+	o.Churn = s
+	o.ChurnWarmupMs = warmup
+	return o
+}
+
+func TestInvalidChurnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("invalid churn schedule must panic at construction")
+		}
+	}()
+	NewSimEvaluator(PoolSpec{Model: models.MustLookup("MT-WND"), QoSPercentile: 0.99,
+		Types: mtwndSpec(t).Types},
+		SimOptions{Queries: 100, Churn: &chaos.Schedule{Events: []chaos.CapacityEvent{
+			{AtMs: -5, Kind: chaos.KindFailure, Family: "g4dn", Count: 1},
+		}}})
+}

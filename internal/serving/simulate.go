@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"ribbon/internal/chaos"
 	"ribbon/internal/cloud"
 	"ribbon/internal/dispatch"
 	"ribbon/internal/perf"
@@ -59,6 +60,12 @@ type Result struct {
 	// ShedRate is Shed / Queries. Shed queries count as QoS violations.
 	Shed     int
 	ShedRate float64
+	// Lost is the number of measured queries lost to capacity churn — work
+	// in flight or queued on an instance when it was revoked or failed.
+	// Lost queries count as QoS violations. Always 0 without churn; the
+	// live gateway drains such work instead, so this is the simulator
+	// being conservative about a hostile cloud.
+	Lost int
 	// Classes breaks the measurement down per criticality tier, in
 	// priority order; nil when the stream carries no class annotations.
 	Classes []ClassStat
@@ -118,6 +125,16 @@ type SimOptions struct {
 	// from every evaluation (see dispatch.Instrument). Purely passive:
 	// results are bit-identical with or without it.
 	Observer dispatch.Observer
+	// Churn, when non-empty, replays a capacity-event schedule against the
+	// deployment: revoked/failed instances stop taking work at their
+	// notice time, in-flight work that outlives the warning window is
+	// lost, stragglers serve slower inside their window, and restored
+	// capacity rejoins after ChurnWarmupMs. The no-churn path is
+	// byte-identical to an evaluator without this field.
+	Churn *chaos.Schedule
+	// ChurnWarmupMs is the boot charge restored capacity pays before it
+	// serves again (KindRestore events); 0 restores instantly.
+	ChurnWarmupMs float64
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -138,6 +155,11 @@ func (o SimOptions) withDefaults() SimOptions {
 	}
 	if err := o.Dispatch.Validate(); err != nil {
 		panic("serving: " + err.Error())
+	}
+	if o.Churn != nil {
+		if err := o.Churn.Validate(); err != nil {
+			panic("serving: " + err.Error())
+		}
 	}
 	return o
 }
@@ -344,15 +366,104 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	maxQueue := 0
 	now := 0.0
 
+	// Capacity-churn state, compiled per evaluation. The churn path is not
+	// allocation-free; the plain path below is untouched and stays
+	// byte-identical to an evaluator without a schedule.
+	var plan *churnPlan
+	var retired []bool
+	var inflightIdx []int32
+	var completesAt []float64
+	var lostFlag []bool
+	ce := 0
+	if !e.opts.Churn.Empty() {
+		plan = compileChurn(e.opts.Churn, types, e.opts.ChurnWarmupMs)
+		retired = make([]bool, len(types))
+		inflightIdx = make([]int32, len(types))
+		completesAt = make([]float64, len(types))
+		lostFlag = make([]bool, len(queries))
+		for i := range inflightIdx {
+			inflightIdx[i] = -1
+		}
+	}
+
 	assign := func(inst, idx int) {
 		pool.SetBusy(inst, true)
 		svc := perf.NoisyServiceMs(spec.Model, types[inst], queries[idx].Batch, noise)
+		if plan != nil {
+			if f := plan.slowFactor[inst]; f != 0 && now >= plan.slowFrom[inst] && now < plan.slowTo[inst] {
+				svc *= f
+			}
+			inflightIdx[inst] = int32(idx)
+			completesAt[inst] = now + svc
+		}
 		heap.Push(now+svc, int32(inst), int32(idx))
+	}
+
+	// applyTrans replays one churn transition. A death shields the instance
+	// from dispatch (busy forever) and writes off in-flight work that
+	// cannot drain before the kill time; a revival puts restored capacity
+	// back in rotation and immediately offers it queued work.
+	applyTrans := func(tr churnTrans) {
+		i := int(tr.inst)
+		if now < tr.t {
+			now = tr.t
+		}
+		if tr.revive {
+			retired[i] = false
+			plan.killAt[i] = math.Inf(1)
+			if inflightIdx[i] >= 0 {
+				// Revived mid-drain: the in-flight completion frees it.
+				return
+			}
+			pool.SetBusy(i, false)
+			if next, ok := pol.Next(i, pool); ok {
+				assign(i, next)
+			}
+			return
+		}
+		retired[i] = true
+		if inflightIdx[i] >= 0 && completesAt[i] > plan.killAt[i] {
+			// The in-flight query cannot finish inside the warning window
+			// (or the failure was immediate): lost at kill time.
+			idx := int(inflightIdx[i])
+			latencies[idx] = math.Inf(1)
+			lostFlag[idx] = true
+			inflightIdx[i] = -1
+		}
+		if !pool.Busy(i) {
+			pool.SetBusy(i, true)
+		}
 	}
 
 	aborted := false
 	arr := 0
-	for arr < len(queries) || heap.Len() > 0 {
+	for {
+		if plan != nil {
+			// Apply every churn transition due before the next arrival or
+			// completion; a revival may schedule an earlier completion, so
+			// the bound is re-tightened as we go.
+			nextT := math.Inf(1)
+			if arr < len(queries) {
+				idx := arr
+				if e.order != nil {
+					idx = int(e.order[arr])
+				}
+				nextT = queries[idx].ArrivalMs
+			}
+			if heap.Len() > 0 && heap.MinTime() < nextT {
+				nextT = heap.MinTime()
+			}
+			for ce < len(plan.trans) && plan.trans[ce].t <= nextT {
+				applyTrans(plan.trans[ce])
+				ce++
+				if heap.Len() > 0 && heap.MinTime() < nextT {
+					nextT = heap.MinTime()
+				}
+			}
+		}
+		if arr >= len(queries) && heap.Len() == 0 {
+			break
+		}
 		if arr < len(queries) {
 			idx := arr
 			if e.order != nil {
@@ -400,8 +511,26 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 			}
 		}
 		c := heap.Pop()
-		now = c.Time
 		inst, idx := int(c.Inst), int(c.Idx)
+		if plan != nil {
+			if inflightIdx[inst] != c.Idx {
+				// Stale completion of work already written off when its
+				// instance died.
+				continue
+			}
+			inflightIdx[inst] = -1
+			if retired[inst] {
+				// Graceful drain: the query finished inside the warning
+				// window, but the instance stays dead.
+				now = c.Time
+				latencies[idx] = now - queries[idx].ArrivalMs
+				if hasLC {
+					lc.QueryDone(idx, inst, pool)
+				}
+				continue
+			}
+		}
+		now = c.Time
 		latencies[idx] = now - queries[idx].ArrivalMs
 		pool.SetBusy(inst, false)
 		if hasLC {
@@ -412,6 +541,16 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 		}
 	}
 	res.Aborted = aborted
+	if plan != nil {
+		// Work stranded on dead instances (their own queues, or the shared
+		// queue once everything died) never completes; charge it as lost.
+		for i := range latencies {
+			if latencies[i] == 0 && !shed[i] {
+				latencies[i] = math.Inf(1)
+				lostFlag[i] = true
+			}
+		}
+	}
 
 	warm := int(float64(len(latencies)) * e.opts.WarmupFraction)
 	measured := latencies[warm:]
@@ -430,6 +569,13 @@ func (e *SimEvaluator) Evaluate(cfg Config) Result {
 	for i := warm; i < len(latencies); i++ {
 		if shed[i] {
 			res.Shed++
+		}
+	}
+	if plan != nil {
+		for i := warm; i < len(latencies); i++ {
+			if lostFlag[i] {
+				res.Lost++
+			}
 		}
 	}
 	if res.Queries > 0 {

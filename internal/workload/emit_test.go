@@ -125,3 +125,46 @@ func TestEmitCancel(t *testing.T) {
 		t.Fatal("negative scale accepted")
 	}
 }
+
+// TestEmitCancelDuringPacing: cancellation lands while Emit sleeps toward a
+// far-future arrival — the pacing path, not the channel-send path TestEmitCancel
+// covers — and the sleeper wakes promptly instead of serving out the timer.
+func TestEmitCancelDuringPacing(t *testing.T) {
+	s := &Stream{Model: "X", Queries: []Query{
+		{ID: 0, ArrivalMs: 0, Batch: 1},
+		{ID: 1, ArrivalMs: 60_000, Batch: 1},
+	}}
+	ch := make(chan Query, len(s.Queries))
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Emit(ctx, ch) }()
+	<-ch // query 0 is due immediately; the emitter now sleeps toward t=60s
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled emit returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit kept sleeping after cancellation")
+	}
+	if len(ch) != 0 {
+		t.Fatalf("%d queries emitted after cancellation", len(ch))
+	}
+}
+
+// TestEmitScaledCancelBeforeStart: a context cancelled before the call makes
+// EmitScaled return the context error from its first pacing sleep without
+// sending anything.
+func TestEmitScaledCancelBeforeStart(t *testing.T) {
+	s := &Stream{Model: "X", Queries: []Query{{ID: 0, ArrivalMs: 10_000, Batch: 1}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ch := make(chan Query, 1)
+	if err := s.EmitScaled(ctx, ch, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled emit returned %v", err)
+	}
+	if len(ch) != 0 {
+		t.Fatalf("%d queries emitted on a pre-cancelled context", len(ch))
+	}
+}

@@ -62,6 +62,64 @@ func TestScenarioGeneratesValidStream(t *testing.T) {
 	}
 }
 
+// TestScenarioPhaseBoundaries: at every phase seam of every scenario the
+// generated stream hands over cleanly — each phase contributes exactly its
+// quota of arrivals (no first/last tick dropped or double-generated), IDs
+// stay contiguous across the seam, and arrival times never step backwards.
+func TestScenarioPhaseBoundaries(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	for _, sc := range Scenarios() {
+		phases, err := ScenarioPhases(sc, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := GenerateSchedule(m, 13, HeavyTailLogNormalBatch, phases)
+		idx := 0
+		for pi, ph := range phases {
+			first := st.Queries[idx]
+			last := st.Queries[idx+ph.Queries-1]
+			if first.ID != idx || last.ID != idx+ph.Queries-1 {
+				t.Fatalf("%s: phase %d spans IDs %d..%d, want %d..%d",
+					sc, pi, first.ID, last.ID, idx, idx+ph.Queries-1)
+			}
+			if idx > 0 && first.ArrivalMs < st.Queries[idx-1].ArrivalMs {
+				t.Fatalf("%s: phase %d first arrival %g precedes previous phase's last %g",
+					sc, pi, first.ArrivalMs, st.Queries[idx-1].ArrivalMs)
+			}
+			idx += ph.Queries
+		}
+		if idx != len(st.Queries) {
+			t.Fatalf("%s: phases cover %d queries, stream has %d", sc, idx, len(st.Queries))
+		}
+	}
+}
+
+// TestGenerateScheduleSingleQueryPhases: the degenerate one-query phase —
+// the sharpest off-by-one trap at a boundary — still yields exactly one
+// arrival per phase with contiguous IDs and non-decreasing times.
+func TestGenerateScheduleSingleQueryPhases(t *testing.T) {
+	m := models.MustLookup("DIEN")
+	st := GenerateSchedule(m, 3, HeavyTailLogNormalBatch,
+		[]Phase{{Queries: 1, RateScale: 1}, {Queries: 1, RateScale: 4}, {Queries: 1, RateScale: 0.5}})
+	if len(st.Queries) != 3 {
+		t.Fatalf("got %d queries, want 3", len(st.Queries))
+	}
+	for i, q := range st.Queries {
+		if q.ID != i {
+			t.Fatalf("query %d has ID %d", i, q.ID)
+		}
+		if q.ArrivalMs <= 0 {
+			t.Fatalf("query %d arrives at %g, want positive", i, q.ArrivalMs)
+		}
+		if i > 0 && q.ArrivalMs < st.Queries[i-1].ArrivalMs {
+			t.Fatalf("arrivals step backwards at %d: %g after %g", i, q.ArrivalMs, st.Queries[i-1].ArrivalMs)
+		}
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestScenarioDeterminism(t *testing.T) {
 	m := models.MustLookup("DIEN")
 	phases, err := ScenarioPhases(ScenarioSpike, 800)

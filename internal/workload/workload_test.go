@@ -254,6 +254,42 @@ func TestJSONOldTraceClassDefaulting(t *testing.T) {
 	}
 }
 
+// TestJSONWriteByteStable: serialization is a pure function of the stream —
+// two WriteJSON calls produce identical bytes, and a decode/re-encode cycle
+// is a byte-level fixed point. Checked-in traces (and the chaos replay
+// artifacts built on the same idiom) rely on this to diff clean.
+func TestJSONWriteByteStable(t *testing.T) {
+	m := models.MustLookup("MT-WND")
+	st := Generate(m, Options{Queries: 150, Seed: 9})
+
+	var a, b bytes.Buffer
+	if err := st.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two WriteJSON calls on the same stream differ")
+	}
+
+	got, err := ReadJSON(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := got.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), again.Bytes()) {
+		t.Fatal("decode/re-encode changed the serialized bytes")
+	}
+	// A class-free stream stays legacy-shaped: no class key anywhere.
+	if bytes.Contains(a.Bytes(), []byte(`"class"`)) {
+		t.Fatalf("unclassed stream serialized a class field:\n%.200s", a.String())
+	}
+}
+
 func TestAssignClassesDeterministicAndNonPerturbing(t *testing.T) {
 	m := models.MustLookup("MT-WND")
 	mix := ClassMix{Critical: 0.3, Standard: 0.5, Sheddable: 0.2}
