@@ -231,6 +231,10 @@ func (s FleetSpec) Validate() *Error {
 		return &Error{Code: ErrInvalidRequest,
 			Message: fmt.Sprintf("parallelism %d out of [0, %d]", s.Parallelism, MaxParallelism)}
 	}
+	if !ValidSearchMode(s.SearchMode) {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("search_mode %q not one of auto, serial, batched, speculative", s.SearchMode)}
+	}
 	names := map[string]bool{}
 	floors := 0.0
 	for i, m := range s.Models {
@@ -281,6 +285,10 @@ func (r OptimizeRequest) Validate() *Error {
 	if r.Parallelism < 0 || r.Parallelism > MaxParallelism {
 		return &Error{Code: ErrInvalidRequest,
 			Message: fmt.Sprintf("parallelism %d out of [0, %d]", r.Parallelism, MaxParallelism)}
+	}
+	if !ValidSearchMode(r.SearchMode) {
+		return &Error{Code: ErrInvalidRequest,
+			Message: fmt.Sprintf("search_mode %q not one of auto, serial, batched, speculative", r.SearchMode)}
 	}
 	return nil
 }

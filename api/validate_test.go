@@ -80,6 +80,15 @@ func TestOptimizeRequestValidate(t *testing.T) {
 			t.Fatalf("parallelism %d: %v", p, err)
 		}
 	}
+	for _, m := range []string{"", SearchModeAuto, SearchModeSerial, SearchModeBatched, SearchModeSpeculative} {
+		if err := (OptimizeRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}, SearchMode: m}).Validate(); err != nil {
+			t.Fatalf("search_mode %q must be valid: %v", m, err)
+		}
+	}
+	err = (OptimizeRequest{ServiceSpec: ServiceSpec{Model: "MT-WND"}, SearchMode: "warp"}).Validate()
+	if err == nil || err.Code != ErrInvalidRequest {
+		t.Fatalf("bogus search_mode: %v", err)
+	}
 }
 
 func TestControllerSpecValidate(t *testing.T) {
@@ -174,6 +183,8 @@ func TestFleetSpecValidate(t *testing.T) {
 		{"negative search budget", mut(func(s *FleetSpec) { s.SearchBudget = -1 }), ErrInvalidBudget},
 		{"negative refine budget", mut(func(s *FleetSpec) { s.RefineBudget = -1 }), ErrInvalidBudget},
 		{"bad parallelism", mut(func(s *FleetSpec) { s.Parallelism = MaxParallelism + 1 }), ErrInvalidRequest},
+		{"batched search mode", mut(func(s *FleetSpec) { s.SearchMode = SearchModeBatched }), ""},
+		{"bad search mode", mut(func(s *FleetSpec) { s.SearchMode = "warp" }), ErrInvalidRequest},
 		{"bad service spec", mut(func(s *FleetSpec) { s.Models[0].Model = "" }), ErrInvalidRequest},
 		{"duplicate default names", mut(func(s *FleetSpec) { s.Models[1].Name = "" }), ErrInvalidRequest},
 		{"negative weight", mut(func(s *FleetSpec) { s.Models[0].Weight = -1 }), ErrInvalidRequest},

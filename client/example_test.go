@@ -21,7 +21,7 @@ func ExampleClient_CreateJob() {
 	job, err := c.CreateJob(ctx, api.OptimizeRequest{
 		ServiceSpec: api.ServiceSpec{Model: "MT-WND"},
 		Budget:      40,
-		Parallelism: 4, // speculative parallel search; same result, less wall clock
+		Parallelism: 4, // prefetching parallel search; same result, less wall clock
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -16,8 +16,10 @@
 // shared-budget comparison (fleet allocation vs equal split vs per-model
 // independent optima at 1x/2x load; see docs/fleet.md), the "perf"
 // search-core hot-path measurement, which additionally writes a
-// machine-readable report to -perf-out (BENCH_5.json by default; see
-// docs/performance.md), and the "gateway" live data-plane flood, which
+// machine-readable report to -perf-out (BENCH_9.json by default; see
+// docs/performance.md) and with -perf-smoke gates the exit status on the
+// parallel search actually beating the serial baseline, and the "gateway"
+// live data-plane flood, which
 // stands up a real ribbon-gateway (simulated backend) and drives seeded
 // open-loop floods through it at 1x/2x/4x the provisioned load, reporting
 // sustained req/s and per-tier p50/p99 with the shed/reject split, written
@@ -40,12 +42,13 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 42, "master random seed (all experiments are deterministic per seed)")
-		queries = flag.Int("queries", 4000, "queries per configuration evaluation")
-		budget  = flag.Int("budget", 120, "evaluation budget per search strategy")
-		model   = flag.String("model", "", "restrict per-model experiments to one model (default: all five)")
-		types   = flag.Int("fig8-types", 4, "maximum pool cardinality for fig8 (5 is slow: ~minutes)")
-		perfOut = flag.String("perf-out", "BENCH_5.json", "file the perf experiment writes its machine-readable report to (empty disables)")
+		seed      = flag.Uint64("seed", 42, "master random seed (all experiments are deterministic per seed)")
+		queries   = flag.Int("queries", 4000, "queries per configuration evaluation")
+		budget    = flag.Int("budget", 120, "evaluation budget per search strategy")
+		model     = flag.String("model", "", "restrict per-model experiments to one model (default: all five)")
+		types     = flag.Int("fig8-types", 4, "maximum pool cardinality for fig8 (5 is slow: ~minutes)")
+		perfOut   = flag.String("perf-out", "BENCH_9.json", "file the perf experiment writes its machine-readable report to (empty disables)")
+		perfSmoke = flag.Bool("perf-smoke", false, "turn the perf experiment into a CI gate: search/sim/parallelism=4 and search/deploy25ms/parallelism=4 must reach the floor speedup vs serial")
 
 		chaosOut   = flag.String("chaos-out", "BENCH_8.json", "file the chaos experiment writes its machine-readable report to (empty disables)")
 		chaosSmoke = flag.Bool("chaos-smoke", false, "turn the chaos experiment into a CI gate: capacity responses within the dwell window, zero dropped admitted requests, byte-identical second replay")
@@ -74,7 +77,7 @@ func main() {
 	for _, id := range want {
 		start := time.Now()
 		if id == "perf" {
-			if err := runPerf(setup, *perfOut); err != nil {
+			if err := runPerf(setup, *perfOut, *perfSmoke); err != nil {
 				fmt.Fprintf(os.Stderr, "ribbon-bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -178,31 +181,56 @@ func run(id string, s experiments.Setup, modelList []string, fig8Types int) ([]e
 	}
 }
 
-// runPerf measures the search-core hot paths, prints the table, and writes
-// the machine-readable report.
-func runPerf(s experiments.Setup, out string) error {
+// perfSmokeFloor is the CI gate on parallel-search speedup: below the 2x
+// design target (PerfReport.TargetSpeedup) to absorb noisy shared runners,
+// but high enough that a regression to the old sub-serial behavior fails.
+const perfSmokeFloor = 1.5
+
+// runPerf measures the search-core hot paths, prints the table, writes the
+// machine-readable report, and — with smoke set — turns the parallel-search
+// speedup contract into the exit status.
+func runPerf(s experiments.Setup, out string, smoke bool) error {
 	table, report := experiments.Perf(s)
 	if err := table.Fprint(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Println()
-	if out == "" {
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("perf report written to %s\n", out)
+	}
+	if !smoke {
 		return nil
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+	for _, name := range []string{"search/sim/parallelism=4", "search/deploy25ms/parallelism=4"} {
+		found := false
+		for _, e := range report.Entries {
+			if e.Name != name {
+				continue
+			}
+			found = true
+			if e.SpeedupVsSerial < perfSmokeFloor {
+				return fmt.Errorf("perf-smoke: %s speedup %.2fx below the %.1fx floor (target %.1fx)",
+					name, e.SpeedupVsSerial, perfSmokeFloor, report.TargetSpeedup)
+			}
+		}
+		if !found {
+			return fmt.Errorf("perf-smoke: entry %q missing from the report", name)
+		}
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(report); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("perf report written to %s\n", out)
+	fmt.Println("perf-smoke: parallel search speedup gates passed")
 	return nil
 }
 

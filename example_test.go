@@ -65,8 +65,8 @@ func ExampleController() {
 	}
 	// Output:
 	// reconfigurations=2 finalQoS=true
-	// t=11s load=1.9x applied=true (4 + 0 + 0) -> (4 + 7 + 8)
-	// t=16s load=1.0x applied=true (4 + 7 + 8) -> (3 + 2 + 0)
+	// t=11s load=1.9x applied=true (4 + 0 + 0) -> (5 + 0 + 6)
+	// t=16s load=1.0x applied=true (5 + 0 + 6) -> (4 + 0 + 0)
 }
 
 // ExampleFleet splits one shared $/hour budget across a small model

@@ -15,6 +15,24 @@
 // never re-enumerates the grid recursively or builds per-candidate string
 // keys; it scans the state array, optionally sharded across goroutines with
 // deterministic index-ordered tie-breaking.
+//
+// Two batch-proposal mechanisms feed parallel search:
+//
+//   - SuggestTopK ranks the open candidates by EI in a single sharded scan
+//     (batched q-EI): the head is exactly Suggest's argmax and the runner-ups
+//     are prefetch candidates. It costs one scan regardless of batch size and
+//     is the right choice when evaluations are cheap.
+//   - Speculate runs the constant-liar chain: a lie is recorded at each
+//     pending point and the acquisition is re-maximized, predicting the
+//     points the serial trajectory would request next. Each step extends the
+//     GP factorization by one rank-1 update, but the chain still pays one
+//     full acquisition scan per proposal, so it only earns its keep when
+//     evaluations are expensive enough to hide that.
+//
+// With Options.Incremental set, the surrogate itself is maintained
+// incrementally: hyper-parameters are re-selected only at observation-count
+// boundaries, and between boundaries Observe extends the cached GP by rank-1
+// Cholesky updates instead of refitting from scratch.
 package bo
 
 import (
@@ -23,6 +41,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"ribbon/internal/gp"
@@ -46,6 +65,14 @@ type Options struct {
 	NoiseRatio float64
 	// Seed drives deterministic tie-breaking and random fallbacks.
 	Seed uint64
+	// Incremental amortizes hyper-parameter selection: the GP is re-tuned
+	// from scratch on every observation only while the training set is small
+	// (n <= 8), then only when it has grown ~1.5x since the last tune.
+	// Between boundaries Observe extends the cached factorization by O(n^2)
+	// rank-1 Cholesky updates (gp.Extend / gp.WithTargets) instead of paying
+	// the O(n^3)-per-candidate FitAuto search. The schedule depends only on
+	// the observation count, so the resulting trajectory is deterministic.
+	Incremental bool
 }
 
 // Per-cell candidate states.
@@ -92,6 +119,16 @@ type Optimizer struct {
 	surErr     error
 	surVersion int
 	surValid   bool
+
+	// Incremental-mode bookkeeping: tunedN is the observation count at the
+	// last hyper-parameter re-tune and tuneCount how many re-tunes have
+	// run; surObs is the number of rows the cached surrogate is
+	// conditioned on, and surDirty records whether a target among those
+	// rows was replaced since (forcing a WithTargets refresh).
+	tunedN    int
+	tuneCount int
+	surObs    int
+	surDirty  bool
 
 	scratch []int // decode scratch for the serial paths
 }
@@ -198,6 +235,9 @@ func (o *Optimizer) Observe(x []int, y float64) {
 	if i, ok := o.lookup(x); ok {
 		o.obs[i].Y = y
 		o.ys[i] = y
+		if i < o.surObs {
+			o.surDirty = true
+		}
 		return
 	}
 	o.insert(x, y)
@@ -267,7 +307,9 @@ func keyOf(x []int) string {
 
 // Surrogate fits the GP posterior to the current observations. It fails
 // with fewer than two observations. The fit is cached and invalidated by
-// Observe, so repeated calls between observations are free.
+// Observe, so repeated calls between observations are free. With
+// Options.Incremental the refresh extends the previous posterior by rank-1
+// updates except at hyper-parameter re-tune boundaries (see needRetune).
 func (o *Optimizer) Surrogate() (*gp.GP, error) {
 	if o.surValid && o.surVersion == o.version {
 		return o.surrogate, o.surErr
@@ -275,17 +317,79 @@ func (o *Optimizer) Surrogate() (*gp.GP, error) {
 	o.surrogate, o.surErr = o.fitSurrogate()
 	o.surVersion = o.version
 	o.surValid = true
+	o.surObs = len(o.obs)
+	o.surDirty = false
 	return o.surrogate, o.surErr
 }
 
+// retuneDenseTunes is how many re-tunes happen on every new observation
+// before the schedule starts amortizing: the first few hyper-parameter
+// selections swing a lot as data arrives — whether the optimizer started
+// empty or warm-started from a large estimated design — and full fits are
+// still cheap that early in a search.
+const retuneDenseTunes = 7
+
+// needRetune reports whether the amortized schedule calls for a fresh
+// FitAuto at n observations. The first retuneDenseTunes tunes happen on
+// every new observation; after that the surrogate is re-tuned only once the
+// training set has grown by max(2, tunedN/2) rows (~1.5x) since the last
+// tune, so the total tuning work over a search of N evaluations is O(log N)
+// fits instead of N. The decision depends only on observation counts —
+// never on timing — keeping the trajectory deterministic.
+func (o *Optimizer) needRetune(n int) bool {
+	if o.tuneCount < retuneDenseTunes {
+		return n != o.tunedN
+	}
+	grow := o.tunedN / 2
+	if grow < 2 {
+		grow = 2
+	}
+	return n >= o.tunedN+grow
+}
+
 func (o *Optimizer) fitSurrogate() (*gp.GP, error) {
-	if len(o.obs) < 2 {
+	n := len(o.obs)
+	if n < 2 {
 		return nil, errors.New("bo: need at least two observations for a surrogate")
 	}
-	return gp.FitAuto(o.xs, o.ys, gp.HyperOptions{
+	if o.opts.Incremental && !o.needRetune(n) {
+		if g, err := o.extendSurrogate(n); err == nil {
+			return g, nil
+		}
+		// Any incremental failure (e.g. a numerically non-PD extension)
+		// falls through to a deterministic full refit.
+	}
+	g, err := gp.FitAuto(o.xs, o.ys, gp.HyperOptions{
 		Rounding:   o.opts.Rounding,
 		NoiseRatio: o.opts.NoiseRatio,
 	})
+	if err == nil {
+		o.tunedN = n
+		o.tuneCount++
+	}
+	return g, err
+}
+
+// extendSurrogate refreshes the cached posterior without re-tuning: replaced
+// targets are folded in by re-conditioning on the shared factorization, then
+// each appended observation extends the factorization by one rank-1 row.
+func (o *Optimizer) extendSurrogate(n int) (*gp.GP, error) {
+	if o.surrogate == nil || o.surErr != nil || o.surObs < 2 || o.surObs > n {
+		return nil, errors.New("bo: no extendable surrogate")
+	}
+	g := o.surrogate
+	var err error
+	if o.surDirty {
+		if g, err = g.WithTargets(o.ys[:o.surObs]); err != nil {
+			return nil, err
+		}
+	}
+	for i := o.surObs; i < n; i++ {
+		if g, err = g.Extend(o.xs[i], o.ys[i]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
 }
 
 func toFloat(x []int) []float64 {
@@ -337,7 +441,10 @@ func (o *Optimizer) Suggest() ([]int, bool) {
 
 // SuggestBatch proposes the next configuration plus up to k-1 speculative
 // follow-ups via the constant-liar rule (see Speculate). The first element
-// is exactly what Suggest would return.
+// is exactly what Suggest would return. It is one of two batching paths:
+// SuggestTopK produces a whole batch from a single acquisition scan and is
+// preferred when evaluations are cheap, while the liar chain here predicts
+// the sequential trajectory more faithfully at one full scan per proposal.
 func (o *Optimizer) SuggestBatch(k int) ([][]int, bool) {
 	x, ok := o.Suggest()
 	if !ok {
@@ -433,6 +540,131 @@ func (o *Optimizer) scanShard(g *gp.GP, bestY float64, lo, hi int) (float64, int
 	return bestEI, bestIdx
 }
 
+// eiCand is one ranked acquisition candidate.
+type eiCand struct {
+	ei  float64
+	idx int
+}
+
+// SuggestTopK returns up to k open allowed configurations ranked by
+// Expected Improvement — the batched q-EI proposal. The first element is
+// bit-identical to what Suggest would return (same argmax, same
+// lowest-index tie-break); the remainder are the runner-up candidates in
+// rank order, which a prefetching caller treats as its best guesses for the
+// following rounds. Unlike the constant-liar chain it costs a single
+// sharded scan regardless of k. Before a surrogate exists it falls back to
+// one uniformly random candidate, consuming the random stream exactly as
+// Suggest would. The second return is false when the grid is exhausted.
+func (o *Optimizer) SuggestTopK(k int) ([][]int, bool) {
+	if k < 1 {
+		k = 1
+	}
+	g, err := o.Surrogate()
+	if err != nil {
+		x, ok := o.randomCandidate()
+		if !ok {
+			return nil, false
+		}
+		return [][]int{x}, true
+	}
+	cands := o.topKEI(g, o.bestY(), k)
+	if len(cands) == 0 {
+		return nil, false
+	}
+	out := make([][]int, len(cands))
+	for i, c := range cands {
+		out[i] = o.decode(c.idx, make([]int, len(o.bounds)))
+	}
+	return out, true
+}
+
+// topKEI returns the k highest-EI open allowed candidates, ordered by EI
+// descending with ties broken to the lowest grid index. The scan shards the
+// index space exactly like argmaxEI; each shard keeps its own top-k list and
+// the merge re-sorts the (at most workers*k) survivors, so the result is
+// identical to a serial scan at any worker count, and element 0 is the
+// argmaxEI winner.
+func (o *Optimizer) topKEI(g *gp.GP, bestY float64, k int) []eiCand {
+	nw := scanWorkers(o.space)
+	if nw == 1 {
+		return o.scanShardTopK(g, bestY, 0, o.space, k)
+	}
+	parts := make([][]eiCand, nw)
+	var wg sync.WaitGroup
+	chunk := (o.space + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > o.space {
+			hi = o.space
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = o.scanShardTopK(g, bestY, lo, hi, k)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var all []eiCand
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ei != all[j].ei {
+			return all[i].ei > all[j].ei
+		}
+		return all[i].idx < all[j].idx
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// scanShardTopK scans grid cells [lo, hi) and returns up to k candidates
+// ordered by (EI desc, index asc). The insertion keeps equal-EI candidates
+// in ascending-index order because the scan itself ascends.
+func (o *Optimizer) scanShardTopK(g *gp.GP, bestY float64, lo, hi, k int) []eiCand {
+	pred := g.NewPredictor()
+	x := make([]int, len(o.bounds))
+	xf := make([]float64, len(o.bounds))
+	cands := make([]eiCand, 0, k+1)
+	worst := math.Inf(-1)
+	for idx := lo; idx < hi; idx++ {
+		if o.state[idx] != candOpen {
+			continue
+		}
+		o.decode(idx, x)
+		if o.allowed != nil && !o.allowed(x) {
+			o.state[idx] = candDead
+			continue
+		}
+		for i, v := range x {
+			xf[i] = float64(v)
+		}
+		mean, variance := pred.Predict(xf)
+		ei := eiValue(mean, variance, bestY, o.opts.Xi)
+		if len(cands) == k && ei <= worst {
+			continue
+		}
+		pos := len(cands)
+		for pos > 0 && cands[pos-1].ei < ei {
+			pos--
+		}
+		cands = append(cands, eiCand{})
+		copy(cands[pos+1:], cands[pos:])
+		cands[pos] = eiCand{ei: ei, idx: idx}
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		worst = cands[len(cands)-1].ei
+	}
+	return cands
+}
+
 // randomCandidate returns a uniformly random open allowed point via
 // reservoir sampling over the candidate enumeration (index order, exactly
 // the legacy recursive order).
@@ -490,6 +722,7 @@ func (o *Optimizer) Speculate(x []int, k int, emit func([]int)) [][]int {
 	preObs := len(o.obs)
 	preVer := o.version
 	preSur, preErr, preSurVer, preSurValid := o.surrogate, o.surErr, o.surVersion, o.surValid
+	preSurObs, preSurDirty := o.surObs, o.surDirty
 	type lieMark struct {
 		grid int
 		key  string
@@ -509,10 +742,11 @@ func (o *Optimizer) Speculate(x []int, k int, emit func([]int)) [][]int {
 		o.ys = o.ys[:preObs]
 		o.version = preVer
 		o.surrogate, o.surErr, o.surVersion, o.surValid = preSur, preErr, preSurVer, preSurValid
+		o.surObs, o.surDirty = preSurObs, preSurDirty
 	}()
 
-	kern, noise := g.Kernel(), g.NoiseVar()
 	pred := g.NewPredictor()
+	chain := g
 	xf := make([]float64, len(o.bounds))
 	out := make([][]int, 0, k)
 	cur := x
@@ -536,12 +770,16 @@ func (o *Optimizer) Speculate(x []int, k int, emit func([]int)) [][]int {
 			o.xs = append(o.xs, toFloat(cur))
 			o.ys = append(o.ys, lie)
 			o.version++
+			// Conditioning on the lie extends the factorization by one
+			// rank-1 row — numerically identical to refitting the same
+			// kernel and noise on the extended data, at O(n^2) not O(n^3).
+			g2, err := chain.Extend(o.xs[pos], lie)
+			if err != nil {
+				break
+			}
+			chain = g2
 		}
-		g2, err := gp.Fit(kern, noise, o.xs, o.ys)
-		if err != nil {
-			break
-		}
-		idx := o.argmaxEI(g2, o.bestY())
+		idx := o.argmaxEI(chain, o.bestY())
 		if idx < 0 {
 			break
 		}
@@ -554,7 +792,7 @@ func (o *Optimizer) Speculate(x []int, k int, emit func([]int)) [][]int {
 			break
 		}
 		// Continue the liar chain from the believed argmax.
-		pred = g2.NewPredictor()
+		pred = chain.NewPredictor()
 		cur = nxt
 	}
 	return out

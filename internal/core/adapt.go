@@ -53,6 +53,7 @@ func NewAdaptedSearcher(newEv serving.Evaluator, bounds []int, seed uint64, opts
 		ratio = newOpt.Result.Rsat / prevBest.Rsat
 	}
 	tqos := s.spec.QoSPercentile
+	estimated := make(map[string]bool)
 	for _, st := range prevSteps {
 		if st.Estimated {
 			continue
@@ -60,10 +61,16 @@ func NewAdaptedSearcher(newEv serving.Evaluator, bounds []int, seed uint64, opts
 		if st.Config.Key() == prevBest.Config.Key() {
 			continue // already measured for real
 		}
-		if st.Result.Rsat > prevBest.Rsat {
-			// Performed better than the previous optimum on the old
-			// load; it might satisfy the new load, so leave it
-			// unexplored for the BO to consider.
+		if st.Result.Rsat >= prevBest.Rsat-s.opts.PruneThreshold {
+			// Performed at least comparably to the previous optimum on
+			// the old load (within the prune margin theta); it might
+			// satisfy the new load, so leave it unexplored for the BO to
+			// consider. The margin matters: near saturation every large
+			// configuration measures within noise of the optimum, and
+			// down-scaling those by the optimum's (possibly zero)
+			// new-load ratio would prune — via their dominance down-sets
+			// — the very region the re-search must explore. Only
+			// materially worse performers carry transferable evidence.
 			continue
 		}
 		est := math.Min(1, st.Result.Rsat*ratio)
@@ -79,6 +86,7 @@ func NewAdaptedSearcher(newEv serving.Evaluator, bounds []int, seed uint64, opts
 			obj = 0
 		}
 		s.opt.Observe(st.Config, obj)
+		estimated[st.Config.Key()] = true
 		if !s.opts.DisablePruning && est < tqos-s.opts.PruneThreshold {
 			s.prune.AddCeiling(st.Config)
 		}
@@ -94,6 +102,23 @@ func NewAdaptedSearcher(newEv serving.Evaluator, bounds []int, seed uint64, opts
 		if s.opts.Progress != nil {
 			s.opts.Progress(rec)
 		}
+	}
+
+	// Re-anchor from the top of the box: under a heavier load the all-bounds
+	// corner is the configuration most likely to still satisfy QoS, so
+	// evaluating it first hands the re-search an incumbent and a cost
+	// ceiling right away. Without it, a collapsed estimate ratio (the
+	// previous optimum satisfying none of the new load) leaves the surrogate
+	// signal-free and the EI tie-break enumerating open cells bottom-up —
+	// spending the whole budget far below the feasible region. The corner
+	// was deliberately left unestimated unless it performed materially worse
+	// than the previous optimum.
+	corner := make(serving.Config, len(bounds))
+	for i, b := range bounds {
+		corner[i] = b
+	}
+	if corner.Key() != prevBest.Config.Key() && !estimated[corner.Key()] {
+		s.queue = []serving.Config{corner}
 	}
 	return s
 }

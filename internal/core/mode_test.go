@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ribbon/internal/serving"
+)
+
+// The mode/parallelism property: every non-serial mode commits the canonical
+// trajectory, so the full SearchResult — trace, objectives, accounting — is
+// byte-identical (%#v) across ModeAuto, ModeBatched, and ModeSpeculative at
+// any Parallelism, under any GOMAXPROCS. Runs under `go test -race` in CI, so
+// it also proves the mode-switching driver is race-free.
+func TestModeTrajectoryProperty(t *testing.T) {
+	modes := []Mode{ModeAuto, ModeBatched, ModeSpeculative}
+	for _, gmp := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(gmp)
+		for _, seed := range []uint64{1, 2, 3} {
+			ref := NewSearcher(parTestEval(seed, 1), []int{5, 8, 8}, seed, Options{}).Run(18)
+			refBytes := fmt.Sprintf("%#v", ref)
+			for _, p := range []int{1, 2, 4, 8} {
+				for _, m := range modes {
+					got := NewSearcher(parTestEval(seed, 1), []int{5, 8, 8}, seed,
+						Options{Parallelism: p, Mode: m}).Run(18)
+					if gb := fmt.Sprintf("%#v", got); gb != refBytes {
+						t.Fatalf("gomaxprocs=%d seed=%d p=%d mode=%q: SearchResult diverged:\n got %s\nwant %s",
+							gmp, seed, p, m, gb, refBytes)
+					}
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// ModeSerial pins the legacy per-step-retune algorithm — the perf baseline —
+// and ignores Parallelism entirely: no driver, no prefetch, identical results
+// at any worker-count setting.
+func TestSerialModeIgnoresParallelism(t *testing.T) {
+	ref := NewSearcher(parTestEval(9, 1), []int{5, 8, 8}, 9,
+		Options{Mode: ModeSerial}).Run(16)
+	refBytes := fmt.Sprintf("%#v", ref)
+	for _, p := range []int{2, 4, 8} {
+		ev := parTestEval(9, 1)
+		s := NewSearcher(ev, []int{5, 8, 8}, 9, Options{Mode: ModeSerial, Parallelism: p})
+		got := s.Run(16)
+		if gb := fmt.Sprintf("%#v", got); gb != refBytes {
+			t.Fatalf("serial mode at parallelism %d diverged:\n got %s\nwant %s", p, gb, refBytes)
+		}
+		if s.batchedLaunches != 0 || s.liarLaunches != 0 {
+			t.Fatalf("serial mode launched prefetches (batched=%d liar=%d)",
+				s.batchedLaunches, s.liarLaunches)
+		}
+	}
+}
+
+// NewSearcher must reject modes outside the published set.
+func TestInvalidModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unknown mode accepted")
+		}
+	}()
+	NewSearcher(parTestEval(1, 1), []int{5, 8, 8}, 1, Options{Mode: Mode("warp")})
+}
+
+// instantInner is a closed-form evaluator: zero simulation work, so its
+// measured per-evaluation cost stays far under the adaptive threshold even
+// with the race detector's instrumentation slowdown.
+type instantInner struct{ spec serving.PoolSpec }
+
+func (e instantInner) Spec() serving.PoolSpec { return e.spec }
+func (e instantInner) Evaluate(c serving.Config) serving.Result {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	rsat := 1 - 1/float64(n+2)
+	return serving.Result{
+		Config:      c.Clone(),
+		CostPerHour: e.spec.Cost(c),
+		Rsat:        rsat,
+		MeetsQoS:    rsat >= e.spec.QoSPercentile,
+		Queries:     100,
+	}
+}
+
+// Regression for the lookahead-depth bug: a cheap evaluator must never pay
+// the speculative liar chain's wall-clock. In auto mode an evaluator far
+// under the 8ms threshold has to stay on q-EI batched prefetch for the
+// entire search.
+func TestAutoModeStaysBatchedOnCheapEvaluator(t *testing.T) {
+	ev := serving.NewCachingEvaluator(instantInner{spec: parTestEval(4, 1).Spec()})
+	s := NewSearcher(ev, []int{5, 8, 8}, 4, Options{Parallelism: 4})
+	s.Run(18)
+	if s.liarLaunches != 0 {
+		t.Fatalf("cheap evaluator paid for %d liar-chain launches", s.liarLaunches)
+	}
+	if s.batchedLaunches == 0 {
+		t.Fatalf("no batched prefetch launches recorded")
+	}
+}
+
+// Pinning ModeSpeculative forces the liar chain regardless of measured cost.
+func TestPinnedSpeculativeUsesLiarChain(t *testing.T) {
+	ev := parTestEval(4, 1)
+	s := NewSearcher(ev, []int{5, 8, 8}, 4, Options{Parallelism: 4, Mode: ModeSpeculative})
+	s.Run(18)
+	if s.liarLaunches == 0 {
+		t.Fatalf("pinned speculative mode never ran the liar chain")
+	}
+	if s.batchedLaunches != 0 {
+		t.Fatalf("pinned speculative mode recorded %d batched launches", s.batchedLaunches)
+	}
+}
+
+// slowInner delays every (uncached) evaluation, modeling a deploy-like
+// evaluator whose cost crosses the adaptive threshold.
+type slowInner struct {
+	inner serving.Evaluator
+	d     time.Duration
+}
+
+func (s slowInner) Spec() serving.PoolSpec { return s.inner.Spec() }
+func (s slowInner) Evaluate(c serving.Config) serving.Result {
+	time.Sleep(s.d)
+	return s.inner.Evaluate(c)
+}
+
+// Once measured evaluations are expensive, auto mode switches to the deeper
+// speculative liar chain.
+func TestAutoModeSwitchesToSpeculativeOnExpensiveEvaluator(t *testing.T) {
+	base := parTestEval(6, 1)
+	ev := serving.NewCachingEvaluator(slowInner{inner: base, d: 25 * time.Millisecond})
+	s := NewSearcher(ev, []int{5, 8, 8}, 6, Options{Parallelism: 2})
+	s.Run(10)
+	if s.liarLaunches == 0 {
+		t.Fatalf("expensive evaluator never escalated to the liar chain")
+	}
+}
+
+// The adaptive threshold logic itself, isolated from timing: an unmeasured
+// or cheap cost resolves to batched, an expensive one to speculative, and a
+// pinned mode always wins.
+func TestPrefetchModeSelection(t *testing.T) {
+	d := &driver{}
+	if m := d.prefetchMode(Options{}); m != ModeBatched {
+		t.Fatalf("unmeasured auto mode = %q, want batched", m)
+	}
+	d.evalNs.Store(liarCostThresholdNs - 1)
+	if m := d.prefetchMode(Options{}); m != ModeBatched {
+		t.Fatalf("cheap auto mode = %q, want batched", m)
+	}
+	d.evalNs.Store(liarCostThresholdNs)
+	if m := d.prefetchMode(Options{}); m != ModeSpeculative {
+		t.Fatalf("expensive auto mode = %q, want speculative", m)
+	}
+	d.evalNs.Store(1)
+	if m := d.prefetchMode(Options{Mode: ModeSpeculative}); m != ModeSpeculative {
+		t.Fatalf("pinned speculative overridden to %q", m)
+	}
+	d.evalNs.Store(liarCostThresholdNs * 10)
+	if m := d.prefetchMode(Options{Mode: ModeBatched}); m != ModeBatched {
+		t.Fatalf("pinned batched overridden to %q", m)
+	}
+}

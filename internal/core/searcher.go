@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ribbon/internal/bo"
 	"ribbon/internal/serving"
@@ -70,6 +72,47 @@ type Strategy interface {
 	Search(ev serving.Evaluator, bounds []int, budget int, seed uint64) SearchResult
 }
 
+// Mode selects the parallel-search execution strategy. Every mode except
+// ModeSerial commits the same canonical trajectory — mode and parallelism
+// only change how the worker pool is kept busy, never which configurations
+// the search observes — so SearchResult is byte-identical across
+// ModeAuto/ModeBatched/ModeSpeculative at any Parallelism.
+type Mode string
+
+const (
+	// ModeAuto (the zero value) measures the evaluator's per-evaluation
+	// wall-clock online and picks ModeBatched prefetching while evaluations
+	// are cheap, switching to ModeSpeculative once they are expensive enough
+	// to hide the constant-liar chain's acquisition scans. The measurement
+	// influences only prefetch scheduling, so timing jitter cannot leak into
+	// the result.
+	ModeAuto Mode = ""
+	// ModeSerial pins the classic pre-batching algorithm: a strictly serial
+	// loop that re-selects GP hyper-parameters on every observation. It is
+	// the reference baseline the perf harness measures speedups against; its
+	// trajectory differs from the canonical one (it re-tunes more often) and
+	// it ignores Parallelism.
+	ModeSerial Mode = "serial"
+	// ModeBatched prefetches the batched q-EI runner-up candidates: the
+	// acquisition scan that picks the next configuration also ranks the
+	// follow-ups, so a whole batch costs one scan. Lookahead depth is
+	// Parallelism. Right when evaluations are cheap.
+	ModeBatched Mode = "batched"
+	// ModeSpeculative prefetches the constant-liar chain, which predicts the
+	// serial trajectory more faithfully at one acquisition scan per proposal.
+	// Lookahead depth is 2*Parallelism. Right when evaluations dominate.
+	ModeSpeculative Mode = "speculative"
+)
+
+// valid reports whether m is a recognized mode.
+func (m Mode) valid() bool {
+	switch m {
+	case ModeAuto, ModeSerial, ModeBatched, ModeSpeculative:
+		return true
+	}
+	return false
+}
+
 // Options tunes the Ribbon searcher.
 type Options struct {
 	// PruneThreshold is the QoS-violation margin beyond which dominance
@@ -94,15 +137,19 @@ type Options struct {
 	// a long search; it must not retain the Step's slices past the call.
 	Progress func(Step)
 	// Parallelism bounds how many configurations evaluate concurrently;
-	// 0 or 1 keeps the classic serial loop. The parallel loop is
-	// speculative: the committed trajectory is always the serial one, and
+	// 0 or 1 keeps the single-threaded loop. The parallel loop prefetches:
+	// the committed trajectory is always the canonical one, and
 	// SearchResult plus the exploration accounting are bit-identical at
-	// any setting. Extra workers evaluate constant-liar batch proposals
-	// (and pending seed configurations) ahead of time; when the prediction
-	// hits, the next step commits without waiting. It takes effect when
-	// the evaluator supports speculative prefetch (serving.CachingEvaluator
-	// does); see docs/performance.md.
+	// any setting. Extra workers warm the evaluator with the batch
+	// proposals Mode selects (q-EI runner-ups or the constant-liar chain)
+	// plus pending seed configurations; when a prediction hits, the next
+	// step commits without waiting. It takes effect when the evaluator
+	// supports prefetch (serving.CachingEvaluator does); see
+	// docs/performance.md.
 	Parallelism int
+	// Mode selects the execution strategy; see the Mode constants. The
+	// zero value is ModeAuto.
+	Mode Mode
 }
 
 // Searcher runs Ribbon's BO search over one pool. Create with NewSearcher,
@@ -123,6 +170,17 @@ type Searcher struct {
 
 	seeded bool
 	queue  []serving.Config // pending initial configs
+
+	// wantTopK asks next() for a q-EI batch of that size (head + prefetch
+	// runner-ups) instead of a single suggestion; runnerUps holds the tail
+	// of the last batch for the driver to enqueue. Both are per-iteration
+	// scheduling state — the head is bit-identical to Suggest either way.
+	wantTopK  int
+	runnerUps [][]int
+
+	// Prefetch-strategy counters, for tests and diagnostics.
+	batchedLaunches int
+	liarLaunches    int
 }
 
 // NewSearcher builds a Ribbon searcher over the evaluator's pool with the
@@ -138,6 +196,9 @@ func NewSearcher(ev serving.Evaluator, bounds []int, seed uint64, opts Options) 
 	if opts.PruneThreshold < 0 {
 		panic("core: negative prune threshold")
 	}
+	if !opts.Mode.valid() {
+		panic(fmt.Sprintf("core: unknown search mode %q", opts.Mode))
+	}
 	s := &Searcher{
 		name:   "RIBBON",
 		ev:     ev,
@@ -148,6 +209,9 @@ func NewSearcher(ev serving.Evaluator, bounds []int, seed uint64, opts Options) 
 			Rounding: !opts.DisableRounding,
 			Xi:       opts.Xi,
 			Seed:     seed,
+			// Every mode but the pinned legacy baseline shares the
+			// canonical amortized-retune trajectory.
+			Incremental: opts.Mode != ModeSerial,
 		}),
 		prune: &PruneSet{},
 	}
@@ -227,9 +291,14 @@ func (s *Searcher) bestCost() float64 {
 	return s.bestMeeting.CostPerHour
 }
 
-// next picks the configuration the serial search would evaluate now: the
+// next picks the configuration the canonical trajectory evaluates now: the
 // next seeded configuration if any remain, otherwise the BO suggestion.
+// When the driver asked for batched prefetch (wantTopK > 1) the suggestion
+// comes from a single q-EI scan whose head is bit-identical to Suggest;
+// the runner-ups are stashed for the driver, so which path ran can never
+// show in the trajectory.
 func (s *Searcher) next() (serving.Config, bool) {
+	s.runnerUps = nil
 	if len(s.queue) > 0 {
 		cfg := s.queue[0].Clone()
 		s.queue = s.queue[1:]
@@ -237,6 +306,14 @@ func (s *Searcher) next() (serving.Config, bool) {
 			panic(fmt.Sprintf("core: seed config %v does not match bounds", cfg))
 		}
 		return cfg, true
+	}
+	if s.wantTopK > 1 {
+		batch, ok := s.opt.SuggestTopK(s.wantTopK)
+		if !ok {
+			return nil, false
+		}
+		s.runnerUps = batch[1:]
+		return serving.Config(batch[0]), true
 	}
 	x, ok := s.opt.Suggest()
 	if !ok {
@@ -267,11 +344,11 @@ func (s *Searcher) Run(budget int) SearchResult {
 // boundary and the partial trace is still summarized. Callers that need to
 // distinguish "budget spent" from "cancelled" should inspect ctx.Err().
 //
-// With Options.Parallelism > 1 and a speculation-capable evaluator, a
-// bounded worker pool prefetches the constant-liar batch proposals for each
-// pending step while the step itself evaluates; observations still commit
-// strictly in serial-trajectory order, so the result is bit-identical to
-// the serial search.
+// With Options.Parallelism > 1 and a prefetch-capable evaluator, a bounded
+// worker pool warms the evaluator with the batch proposals the active Mode
+// selects while each step evaluates; observations still commit strictly in
+// trajectory order, so the result is bit-identical at any worker count and
+// in any non-serial mode.
 func (s *Searcher) RunContext(ctx context.Context, budget int) SearchResult {
 	drv := s.startDriver()
 	if drv != nil {
@@ -281,12 +358,20 @@ func (s *Searcher) RunContext(ctx context.Context, budget int) SearchResult {
 		if ctx.Err() != nil {
 			break
 		}
+		pm := Mode("")
+		s.wantTopK = 0
+		if drv != nil {
+			pm = drv.prefetchMode(s.opts)
+			if pm == ModeBatched {
+				s.wantTopK = 1 + s.opts.Parallelism
+			}
+		}
 		cfg, ok := s.next()
 		if !ok {
 			break
 		}
 		if drv != nil {
-			drv.launch(s, cfg, budget)
+			drv.launch(s, cfg, budget, pm)
 		}
 		s.evaluate(cfg)
 	}
@@ -302,19 +387,31 @@ type lookaheadEvaluator interface {
 	Lookahead(cfg serving.Config)
 }
 
-// driver is the bounded speculative worker pool of a parallel search.
+// driver is the bounded prefetching worker pool of a parallel search.
 type driver struct {
 	ev    lookaheadEvaluator
 	tasks chan serving.Config
 	quit  chan struct{}
 	wg    sync.WaitGroup
+
+	// evalNs is an EWMA of measured prefetch wall-clock in nanoseconds,
+	// updated by the workers and read by the main loop's adaptive mode
+	// selection; 0 means "not yet measured".
+	evalNs atomic.Int64
 }
 
+// liarCostThresholdNs is the measured per-evaluation cost above which the
+// adaptive mode prefers the constant-liar chain: below it, evaluations are
+// too cheap to hide the chain's one-acquisition-scan-per-proposal cost on
+// the main goroutine, and the single-scan q-EI batch wins.
+const liarCostThresholdNs = 8e6 // 8ms
+
 // startDriver builds the worker pool, or returns nil when the search is
-// serial (Parallelism <= 1) or the evaluator cannot prefetch.
+// serial — ModeSerial, or Parallelism <= 1 — or the evaluator cannot
+// prefetch.
 func (s *Searcher) startDriver() *driver {
 	p := s.opts.Parallelism
-	if p <= 1 {
+	if p <= 1 || s.opts.Mode == ModeSerial {
 		return nil
 	}
 	lev, ok := s.ev.(lookaheadEvaluator)
@@ -334,12 +431,50 @@ func (s *Searcher) startDriver() *driver {
 					if !ok {
 						return
 					}
+					start := time.Now()
 					d.ev.Lookahead(cfg)
+					d.observeCost(time.Since(start))
 				}
 			}
 		}()
 	}
 	return d
+}
+
+// observeCost folds one measured prefetch duration into the EWMA
+// (alpha = 1/4). Lock-free: concurrent workers race benignly on the CAS.
+func (d *driver) observeCost(dt time.Duration) {
+	for {
+		old := d.evalNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(dt)
+		} else {
+			next = old - old/4 + int64(dt)/4
+		}
+		if next <= 0 {
+			next = 1
+		}
+		if d.evalNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// prefetchMode resolves the strategy for the next launch: a pinned
+// ModeBatched/ModeSpeculative wins; ModeAuto consults the measured
+// evaluation cost, preferring the cheap q-EI batch until evaluations are
+// expensive enough to pay for liar-chain speculation. The choice only
+// affects what the workers warm, never what the search commits.
+func (d *driver) prefetchMode(opts Options) Mode {
+	switch opts.Mode {
+	case ModeBatched, ModeSpeculative:
+		return opts.Mode
+	}
+	if c := d.evalNs.Load(); c >= liarCostThresholdNs {
+		return ModeSpeculative
+	}
+	return ModeBatched
 }
 
 // stop abandons queued speculations and waits for the workers; in-flight
@@ -362,15 +497,18 @@ func (d *driver) enqueue(cfg serving.Config) {
 }
 
 // launch dispatches the pending step's evaluation to the pool and fills the
-// remaining capacity with speculation: first the still-queued seed
-// configurations (certain future evaluations), then the BO constant-liar
-// batch, streamed element by element so the likeliest candidate starts
-// evaluating while the rest of the chain is still being derived.
-// Speculations queued by earlier steps but not yet picked up are dropped
-// first — this step's batch is computed from strictly more information.
-// Speculation computes on the main goroutine while the workers evaluate,
-// and never exceeds the evaluations the budget can still spend.
-func (d *driver) launch(s *Searcher, cfg serving.Config, budget int) {
+// remaining capacity with prefetch: first the still-queued seed
+// configurations (certain future evaluations), then the batch the active
+// prefetch mode proposes. In batched mode those are the q-EI runner-ups
+// next() already ranked — zero extra acquisition work, lookahead depth
+// Parallelism. In speculative mode the constant-liar chain streams
+// proposals element by element, at depth 2*Parallelism; the chain computes
+// on the main goroutine while the workers evaluate, which only pays off
+// when evaluations are slow. Prefetches queued by earlier steps but not yet
+// picked up are dropped first — this step's batch is computed from
+// strictly more information — and depth never exceeds the evaluations the
+// budget can still spend.
+func (d *driver) launch(s *Searcher, cfg serving.Config, budget int, pm Mode) {
 	for {
 		select {
 		case <-d.tasks:
@@ -380,7 +518,10 @@ func (d *driver) launch(s *Searcher, cfg serving.Config, budget int) {
 		break
 	}
 	d.enqueue(cfg)
-	k := 2 * s.opts.Parallelism
+	k := s.opts.Parallelism
+	if pm == ModeSpeculative {
+		k = 2 * s.opts.Parallelism
+	}
 	if slots := budget - s.samples - 1; k > slots {
 		k = slots
 	}
@@ -394,9 +535,21 @@ func (d *driver) launch(s *Searcher, cfg serving.Config, budget int) {
 		d.enqueue(c.Clone())
 		k--
 	}
-	s.opt.Speculate(cfg, k, func(x []int) {
-		d.enqueue(serving.Config(append([]int(nil), x...)))
-	})
+	if pm == ModeSpeculative {
+		s.liarLaunches++
+		s.opt.Speculate(cfg, k, func(x []int) {
+			d.enqueue(serving.Config(append([]int(nil), x...)))
+		})
+		return
+	}
+	s.batchedLaunches++
+	for _, x := range s.runnerUps {
+		if k == 0 {
+			return
+		}
+		d.enqueue(serving.Config(x))
+		k--
+	}
 }
 
 // Summary returns the result so far without advancing the search.

@@ -16,22 +16,26 @@ import (
 type PerfEntry struct {
 	// Name identifies the measurement (e.g. "evaluate", "search/deploy25ms/parallelism=4").
 	Name string `json:"name"`
+	// Mode records the search execution mode of a search entry: "serial"
+	// (the pinned legacy per-step-retune baseline), "auto", "batched", or
+	// "speculative".
+	Mode string `json:"mode,omitempty"`
 	// NsPerOp is the mean wall-clock nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
 	// AllocsPerOp is the mean heap allocations per operation, when
 	// measured.
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	// SpeedupVsSerial compares a parallel search against its serial twin
-	// from the same report.
+	// SpeedupVsSerial compares a parallel search against the pinned
+	// serial-mode baseline of the same regime in this report.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // PerfReport is the machine-readable result of the perf experiment
-// (cmd/ribbon-bench writes it to the -perf-out file, BENCH_5.json by
+// (cmd/ribbon-bench writes it to the -perf-out file, BENCH_9.json by
 // default; the checked-in BENCH_*.json reports are the repository's perf
-// trajectory). Searches at every
-// parallelism produce bit-identical SearchResults — the report records
-// wall-clock and allocation behavior only.
+// trajectory). Searches in every non-serial mode, at any parallelism,
+// produce bit-identical SearchResults — the report records wall-clock and
+// allocation behavior only.
 type PerfReport struct {
 	// Schema versions the report layout.
 	Schema string `json:"schema"`
@@ -41,6 +45,10 @@ type PerfReport struct {
 	// DeployDelayMs is the synthetic per-evaluation measurement window of
 	// the "deploy" search variants.
 	DeployDelayMs float64 `json:"deploy_delay_ms"`
+	// TargetSpeedup is the design target for parallelism=4 over the serial
+	// baseline in both regimes; the CI smoke gate asserts a lower floor
+	// (see cmd/ribbon-bench -perf-smoke).
+	TargetSpeedup float64 `json:"target_speedup"`
 	// Entries holds the measurements.
 	Entries []PerfEntry `json:"entries"`
 }
@@ -65,9 +73,10 @@ func timeOp(n int, fn func()) float64 {
 func Perf(s Setup) (Table, PerfReport) {
 	s = s.withDefaults()
 	rep := PerfReport{
-		Schema:        "ribbon-perf/v1",
+		Schema:        "ribbon-perf/v2",
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		DeployDelayMs: float64(perfDeployDelay) / float64(time.Millisecond),
+		TargetSpeedup: 2.0,
 	}
 	spec := serving.MustNewPoolSpec(models.MustLookup("MT-WND"), s.QoSPercentile, "g4dn", "c5", "r5n")
 
@@ -100,12 +109,16 @@ func Perf(s Setup) (Table, PerfReport) {
 		AllocsPerOp: testing.AllocsPerRun(50, suggest),
 	})
 
-	// Hot path 3: the full search, serial vs parallel, CPU-bound and
-	// latency-bound. Identical results at every parallelism — only
-	// wall-clock differs.
+	// Hot path 3: the full search, CPU-bound (pure simulator) and
+	// latency-bound (synthetic deployment window). The baseline of each
+	// regime is the pinned serial mode — the classic per-step-retune loop
+	// earlier BENCH reports measured — and the parallel entries run the
+	// canonical trajectory at parallelism=4 under auto plus each pinned
+	// prefetch mode. Every non-serial entry commits an identical
+	// SearchResult; only wall-clock differs.
 	bounds := []int{5, 8, 8}
 	budget := 40
-	search := func(delay time.Duration, parallelism int) float64 {
+	search := func(delay time.Duration, parallelism int, mode core.Mode) float64 {
 		var inner serving.Evaluator = serving.NewSimEvaluator(spec,
 			serving.SimOptions{Queries: s.Queries / 2, Seed: s.Seed})
 		if delay > 0 {
@@ -113,20 +126,35 @@ func Perf(s Setup) (Table, PerfReport) {
 		}
 		cache := serving.NewCachingEvaluator(inner)
 		return timeOp(1, func() {
-			core.NewSearcher(cache, bounds, s.Seed, core.Options{Parallelism: parallelism}).Run(budget)
+			core.NewSearcher(cache, bounds, s.Seed, core.Options{
+				Parallelism: parallelism, Mode: mode}).Run(budget)
 		})
 	}
-	for _, mode := range []struct {
+	for _, regime := range []struct {
 		name  string
 		delay time.Duration
 	}{{"sim", 0}, {"deploy25ms", perfDeployDelay}} {
-		var serialNs float64
-		for _, p := range []int{1, 4} {
-			ns := search(mode.delay, p)
-			e := PerfEntry{Name: fmt.Sprintf("search/%s/parallelism=%d", mode.name, p), NsPerOp: ns}
-			if p == 1 {
-				serialNs = ns
-			} else if ns > 0 {
+		serialNs := search(regime.delay, 1, core.ModeSerial)
+		rep.Entries = append(rep.Entries, PerfEntry{
+			Name:    fmt.Sprintf("search/%s/parallelism=1", regime.name),
+			Mode:    string(core.ModeSerial),
+			NsPerOp: serialNs,
+		})
+		for _, m := range []struct {
+			suffix string
+			mode   core.Mode
+		}{{"", core.ModeAuto}, {"/batched", core.ModeBatched}, {"/speculative", core.ModeSpeculative}} {
+			ns := search(regime.delay, 4, m.mode)
+			label := "auto"
+			if m.mode != core.ModeAuto {
+				label = string(m.mode)
+			}
+			e := PerfEntry{
+				Name:    fmt.Sprintf("search/%s/parallelism=4%s", regime.name, m.suffix),
+				Mode:    label,
+				NsPerOp: ns,
+			}
+			if ns > 0 {
 				e.SpeedupVsSerial = serialNs / ns
 			}
 			rep.Entries = append(rep.Entries, e)
@@ -135,18 +163,21 @@ func Perf(s Setup) (Table, PerfReport) {
 
 	t := Table{
 		ID:     "perf",
-		Title:  "Search-core hot paths (bit-identical results at every parallelism)",
-		Header: []string{"Path", "ns/op", "allocs/op", "speedup vs serial"},
+		Title:  "Search-core hot paths (bit-identical results in every non-serial mode)",
+		Header: []string{"Path", "mode", "ns/op", "allocs/op", "speedup vs serial"},
 	}
 	for _, e := range rep.Entries {
-		alloc, speed := "-", "-"
+		mode, alloc, speed := "-", "-", "-"
+		if e.Mode != "" {
+			mode = e.Mode
+		}
 		if e.AllocsPerOp > 0 {
 			alloc = fmt.Sprintf("%.0f", e.AllocsPerOp)
 		}
 		if e.SpeedupVsSerial > 0 {
 			speed = fmt.Sprintf("%.2fx", e.SpeedupVsSerial)
 		}
-		t.AddRow(e.Name, fmt.Sprintf("%.0f", e.NsPerOp), alloc, speed)
+		t.AddRow(e.Name, mode, fmt.Sprintf("%.0f", e.NsPerOp), alloc, speed)
 	}
 	return t, rep
 }

@@ -1,0 +1,218 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// probeGrid returns deterministic probe points covering and straddling the
+// cells the training points live in.
+func probeGrid(d int) [][]float64 {
+	var out [][]float64
+	for i := 0; i < 12; i++ {
+		x := make([]float64, d)
+		for j := 0; j < d; j++ {
+			x[j] = float64((i*3+j*5)%9) + 0.37*float64(i%3)
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// The incremental-conditioning contract: a GP grown point by point through
+// Extend predicts within 1e-9 of a from-scratch Fit of the same kernel,
+// noise, and (pre-rounded) training set. In practice the two are bit-equal —
+// the extension appends exactly the factor row the full factorization would
+// compute — but the public contract is the 1e-9 window.
+func TestExtendMatchesFullFit(t *testing.T) {
+	for _, rounding := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(7))
+		d := 3
+		var kernel Kernel = NewMatern52(2.5, []float64{1.5, 3, 0.8})
+		if rounding {
+			kernel = Rounding{Inner: kernel}
+		}
+		const noise = 0.025
+
+		var xs [][]float64
+		var ys []float64
+		mk := func() ([]float64, float64) {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = float64(rng.Intn(9))
+			}
+			return x, math.Sin(x[0]) + 0.3*x[1] - 0.1*x[2]*x[2] + 0.01*rng.Float64()
+		}
+
+		x0, y0 := mk()
+		xs, ys = append(xs, x0), append(ys, y0)
+		inc, err := Fit(kernel, noise, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 24; step++ {
+			x, y := mk()
+			xs, ys = append(xs, append([]float64(nil), x...)), append(ys, y)
+			inc, err = inc.Extend(x, y)
+			if err != nil {
+				t.Fatalf("rounding=%v step %d: Extend: %v", rounding, step, err)
+			}
+			full, err := Fit(kernel, noise, xs, ys)
+			if err != nil {
+				t.Fatalf("rounding=%v step %d: Fit: %v", rounding, step, err)
+			}
+			for _, p := range probeGrid(d) {
+				mi, vi := inc.Predict(p)
+				mf, vf := full.Predict(p)
+				if math.Abs(mi-mf) > 1e-9 || math.Abs(vi-vf) > 1e-9 {
+					t.Fatalf("rounding=%v step %d probe %v: incremental (%.15g, %.15g) vs full (%.15g, %.15g)",
+						rounding, step, p, mi, vi, mf, vf)
+				}
+			}
+			if math.Abs(inc.LogMarginalLikelihood()-full.LogMarginalLikelihood()) > 1e-9 {
+				t.Fatalf("rounding=%v step %d: LML diverged", rounding, step)
+			}
+		}
+	}
+}
+
+// WithTargets must equal a from-scratch fit with the replaced target vector,
+// sharing the factorization (inputs unchanged).
+func TestWithTargetsMatchesFullFit(t *testing.T) {
+	kernel := Rounding{Inner: NewMatern52(1.2, []float64{2, 2})}
+	xs := [][]float64{{0, 0}, {3, 1}, {1, 4}, {5, 2}, {2, 2}}
+	ys := []float64{0.1, 0.5, -0.2, 0.9, 0.3}
+	g, err := Fit(kernel, 0.01, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys2 := []float64{0.2, 0.4, -0.1, 1.1, 0.25}
+	got, err := g.WithTargets(ys2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Fit(kernel, 0.01, xs, ys2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probeGrid(2) {
+		mg, vg := got.Predict(p)
+		mw, vw := want.Predict(p)
+		if math.Abs(mg-mw) > 1e-12 || math.Abs(vg-vw) > 1e-12 {
+			t.Fatalf("probe %v: WithTargets (%g,%g) vs full (%g,%g)", p, mg, vg, mw, vw)
+		}
+	}
+	if _, err := g.WithTargets([]float64{1}); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+	if _, err := g.WithTargets([]float64{0, 0, math.NaN(), 0, 0}); err == nil {
+		t.Fatalf("NaN target accepted")
+	}
+}
+
+// Fuzz-style randomized sequence: interleave extensions, target replacements,
+// and predictions in random order; at every point the incremental posterior
+// must track a from-scratch fit of the accumulated data.
+func TestIncrementalRandomizedSequence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		kernel := Rounding{Inner: NewMatern52(1.7, []float64{2.5, 1.5})}
+		const noise = 0.02
+		xs := [][]float64{{0, 0}, {6, 6}}
+		ys := []float64{0.2, -0.4}
+		inc, err := Fit(kernel, noise, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(3) {
+			case 0: // extend with a fresh point
+				x := []float64{float64(rng.Intn(9)), float64(rng.Intn(9))}
+				y := rng.NormFloat64()
+				xs = append(xs, x)
+				ys = append(ys, y)
+				inc, err = inc.Extend(x, y)
+				if err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			case 1: // replace a target in place
+				i := rng.Intn(len(ys))
+				ys[i] = rng.NormFloat64()
+				inc, err = inc.WithTargets(ys)
+				if err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			case 2: // predict and compare against a from-scratch fit
+				full, err := Fit(kernel, noise, xs, ys)
+				if err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+				x := []float64{rng.Float64() * 8, rng.Float64() * 8}
+				mi, vi := inc.Predict(x)
+				mf, vf := full.Predict(x)
+				if math.Abs(mi-mf) > 1e-9 || math.Abs(vi-vf) > 1e-9 {
+					t.Fatalf("seed %d op %d at %v: incremental (%g,%g) vs full (%g,%g)",
+						seed, op, x, mi, vi, mf, vf)
+				}
+			}
+		}
+	}
+}
+
+// Extending with a duplicate point keeps working (the noise diagonal keeps
+// the bordered matrix PD) and still matches the full fit; dimension and
+// non-finite-target misuse is rejected.
+func TestExtendEdgeCases(t *testing.T) {
+	kernel := NewMatern52(1, []float64{1, 1})
+	g, err := Fit(kernel, 0.05, [][]float64{{0, 0}, {2, 2}}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := g.Extend([]float64{2, 2}, 1.01)
+	if err != nil {
+		t.Fatalf("duplicate extend with noise rejected: %v", err)
+	}
+	full, err := Fit(kernel, 0.05, [][]float64{{0, 0}, {2, 2}, {2, 2}}, []float64{0, 1, 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, _ := dup.Predict([]float64{1, 1})
+	mf, _ := full.Predict([]float64{1, 1})
+	if math.Abs(mi-mf) > 1e-9 {
+		t.Fatalf("duplicate extend diverged: %g vs %g", mi, mf)
+	}
+	if _, err := g.Extend([]float64{1}, 0); err == nil {
+		t.Fatalf("dimension mismatch accepted")
+	}
+	if _, err := g.Extend([]float64{1, 1}, math.Inf(1)); err == nil {
+		t.Fatalf("non-finite target accepted")
+	}
+	// Note: a PSD kernel plus the diagonal jitter keeps even a zero-noise
+	// duplicate positive definite, so the ErrNotPositiveDefinite path is
+	// exercised at the linalg layer, not here.
+}
+
+// Extend must not mutate the receiver: a liar chain branches several
+// one-point extensions off the same base posterior.
+func TestExtendLeavesReceiverUntouched(t *testing.T) {
+	kernel := Rounding{Inner: NewMatern52(1, []float64{1, 1})}
+	g, err := Fit(kernel, 0.01, [][]float64{{0, 0}, {4, 4}, {2, 1}}, []float64{0, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, v0 := g.Predict([]float64{3, 3})
+	if _, err := g.Extend([]float64{3, 3}, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Extend([]float64{1, 3}, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	m1, v1 := g.Predict([]float64{3, 3})
+	if m0 != m1 || v0 != v1 {
+		t.Fatalf("Extend mutated the receiver: (%g,%g) -> (%g,%g)", m0, v0, m1, v1)
+	}
+	if g.N() != 3 {
+		t.Fatalf("receiver grew to %d points", g.N())
+	}
+}

@@ -44,20 +44,18 @@ func (g *GP) NewPredictor() *Predictor {
 	// Rounding.Eval(x, y) = Inner.Eval(round(x), round(y)), and rounding is
 	// idempotent, so evaluating the unwrapped kernel against pre-rounded
 	// training inputs is bit-identical to the wrapped kernel on raw ones.
-	for {
-		r, ok := p.kernel.(Rounding)
-		if !ok {
-			break
-		}
-		p.kernel = r.Inner
-		p.rounds = true
-	}
+	p.kernel, p.rounds = unwrapRounding(p.kernel)
 	if p.rounds {
-		rxs := make([][]float64, len(g.xs))
-		for i, x := range g.xs {
-			rxs[i] = roundVec(x)
+		// GPs grown through Extend already carry the pre-rounded matrix.
+		if g.rxs != nil {
+			p.xs = g.rxs
+		} else {
+			rxs := make([][]float64, len(g.xs))
+			for i, x := range g.xs {
+				rxs[i] = roundVec(x)
+			}
+			p.xs = rxs
 		}
-		p.xs = rxs
 	}
 	return p
 }

@@ -17,10 +17,17 @@ type GP struct {
 	noiseVar float64
 
 	xs       [][]float64
+	ys       []float64 // raw targets, kept for incremental re-conditioning
 	centered []float64 // y - mean(y)
 	alpha    []float64 // K^-1 (y - mean)
 	chol     *linalg.Cholesky
 	meanY    float64
+
+	// rxs is the pre-rounded training matrix, maintained only on GPs built
+	// through Extend when the kernel carries the Eq. 3 rounding transform; it
+	// keeps the extension's kernel-column computation allocation-free and
+	// lets NewPredictor skip re-rounding. Immutable after construction.
+	rxs [][]float64
 }
 
 // Fit conditions a GP with the given kernel and observation noise variance on
@@ -79,11 +86,148 @@ func Fit(kernel Kernel, noiseVar float64, xs [][]float64, ys []float64) (*GP, er
 		kernel:   kernel,
 		noiseVar: noiseVar,
 		xs:       xcopy,
+		ys:       append([]float64(nil), ys...),
 		centered: centered,
 		alpha:    chol.SolveVec(centered),
 		chol:     chol,
 		meanY:    meanY,
 	}, nil
+}
+
+// Extend returns a GP conditioned on this GP's training set plus the single
+// new observation (x, y), without re-selecting hyper-parameters: the kernel
+// and noise variance carry over and the existing Cholesky factorization is
+// extended by one rank-1 bordered row (O(n^2)) instead of being rebuilt from
+// scratch (O(n^3)). The result is numerically identical to
+// Fit(g.Kernel(), g.NoiseVar(), xs+[x], ys+[y]) — the appended factor row is
+// computed by the same forward substitution a full factorization would run —
+// which the equivalence tests pin down to bit level. The receiver is not
+// modified; speculative liar chains branch freely from one posterior.
+func (g *GP) Extend(x []float64, y float64) (*GP, error) {
+	d := g.kernel.Dim()
+	if len(x) != d {
+		return nil, fmt.Errorf("gp: extend point has dim %d, kernel wants %d", len(x), d)
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return nil, errors.New("gp: non-finite target")
+	}
+	n := len(g.xs)
+
+	// The kernel column against the existing training set. With the rounding
+	// transform the inner kernel is evaluated against the pre-rounded matrix
+	// (bit-identical, rounding is idempotent) so no per-pair round buffers
+	// are allocated.
+	kcol := make([]float64, n)
+	inner, rounds := unwrapRounding(g.kernel)
+	var q []float64
+	var rxs [][]float64
+	if rounds {
+		q = roundVec(x)
+		rxs = g.rxs
+		if rxs == nil {
+			rxs = make([][]float64, n, n+1)
+			for i, xi := range g.xs {
+				rxs[i] = roundVec(xi)
+			}
+		}
+		for i, ri := range rxs[:n] {
+			kcol[i] = inner.Eval(q, ri)
+		}
+	} else {
+		for i, xi := range g.xs {
+			kcol[i] = inner.Eval(x, xi)
+		}
+	}
+	selfVar := inner.Eval(orDefault(q, x), orDefault(q, x)) + g.noiseVar + jitter
+
+	chol := g.chol.Clone()
+	if err := chol.Extend(kcol, selfVar); err != nil {
+		return nil, fmt.Errorf("gp: extended covariance not PD (duplicate point with zero noise?): %w", err)
+	}
+
+	xs := make([][]float64, n+1)
+	copy(xs, g.xs)
+	xs[n] = append([]float64(nil), x...)
+	ys := make([]float64, n+1)
+	copy(ys, g.ys)
+	ys[n] = y
+
+	g2 := &GP{
+		kernel:   g.kernel,
+		noiseVar: g.noiseVar,
+		xs:       xs,
+		ys:       ys,
+		chol:     chol,
+	}
+	if rounds {
+		g2.rxs = append(rxs[:n:n], q)
+	}
+	g2.recondition()
+	return g2, nil
+}
+
+// WithTargets returns a GP over the same inputs, kernel, and noise but with
+// replaced target values. The covariance factorization depends only on the
+// inputs, so it is shared; only the mean, centering, and alpha are recomputed
+// (O(n^2)). It is the cheap path for re-observations, where an existing
+// configuration's objective value is replaced in place.
+func (g *GP) WithTargets(ys []float64) (*GP, error) {
+	if len(ys) != len(g.xs) {
+		return nil, errors.New("gp: WithTargets length mismatch")
+	}
+	for _, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, errors.New("gp: non-finite target")
+		}
+	}
+	g2 := &GP{
+		kernel:   g.kernel,
+		noiseVar: g.noiseVar,
+		xs:       g.xs,
+		ys:       append([]float64(nil), ys...),
+		chol:     g.chol,
+		rxs:      g.rxs,
+	}
+	g2.recondition()
+	return g2, nil
+}
+
+// recondition recomputes meanY, the centered targets, and alpha from ys and
+// the factorization, with the exact summation order Fit uses.
+func (g *GP) recondition() {
+	meanY := 0.0
+	for _, y := range g.ys {
+		meanY += y
+	}
+	meanY /= float64(len(g.ys))
+	centered := make([]float64, len(g.ys))
+	for i, y := range g.ys {
+		centered[i] = y - meanY
+	}
+	g.meanY = meanY
+	g.centered = centered
+	g.alpha = g.chol.SolveVec(centered)
+}
+
+// unwrapRounding strips any Rounding wrappers, reporting whether one was
+// present.
+func unwrapRounding(k Kernel) (Kernel, bool) {
+	rounds := false
+	for {
+		r, ok := k.(Rounding)
+		if !ok {
+			return k, rounds
+		}
+		k = r.Inner
+		rounds = true
+	}
+}
+
+func orDefault(a, b []float64) []float64 {
+	if a != nil {
+		return a
+	}
+	return b
 }
 
 // N returns the number of training points.

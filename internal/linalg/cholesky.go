@@ -12,10 +12,19 @@ var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite
 
 // Cholesky holds the lower-triangular factor L of a symmetric positive
 // definite matrix A = L L^T.
+//
+// The factor is stored packed (row-major lower triangle, row i occupying
+// data[i(i+1)/2 : i(i+1)/2+i+1]), so appending a row is a pure append: Extend
+// grows the factorization by one dimension in O(n^2) without touching the
+// existing entries. That is the primitive behind the GP surrogate's
+// incremental Observe path (see internal/gp).
 type Cholesky struct {
-	n int
-	l *Matrix // lower triangular, including diagonal
+	n    int
+	data []float64 // packed lower triangle, including diagonal
 }
+
+// rowStart returns the packed offset of row i.
+func rowStart(i int) int { return i * (i + 1) / 2 }
 
 // NewCholesky factors the symmetric matrix a (only the lower triangle is
 // read). It returns ErrNotPositiveDefinite if a pivot becomes non-positive.
@@ -24,34 +33,85 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 		panic("linalg: Cholesky of non-square matrix")
 	}
 	n := a.Rows
-	l := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			ljk := l.At(j, k)
-			d -= ljk * ljk
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/ljj)
+	c := &Cholesky{n: 0, data: make([]float64, 0, rowStart(n)+n)}
+	for i := 0; i < n; i++ {
+		if err := c.Extend(a.Data[i*a.Cols:i*a.Cols+i], a.At(i, i)); err != nil {
+			return nil, err
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	return c, nil
 }
 
 // Size returns the dimension of the factored matrix.
 func (c *Cholesky) Size() int { return c.n }
 
+// Extend grows the factorization by one dimension: if the current factor
+// represents A = L L^T, the extended factor represents the bordered matrix
+//
+//	[ A    col ]
+//	[ col'  diag ]
+//
+// col must hold the n off-diagonal entries of the new row. The update runs in
+// O(n^2) — one forward solve L w = col plus the new pivot — and appends
+// exactly the row a from-scratch factorization of the bordered matrix would
+// produce, bit for bit (both compute row i of L as a forward substitution
+// against rows 0..i-1 in the same order). It returns ErrNotPositiveDefinite,
+// leaving the factor unchanged, when the bordered matrix is not positive
+// definite.
+func (c *Cholesky) Extend(col []float64, diag float64) error {
+	if len(col) != c.n {
+		panic("linalg: Extend column length mismatch")
+	}
+	base := rowStart(c.n)
+	if cap(c.data) < base+c.n+1 {
+		grown := make([]float64, base, 2*(base+c.n+1))
+		copy(grown, c.data)
+		c.data = grown
+	}
+	row := c.data[base : base+c.n+1 : base+c.n+1]
+	c.data = c.data[:base+c.n+1]
+	d := diag
+	for j := 0; j < c.n; j++ {
+		s := col[j]
+		prev := c.data[rowStart(j) : rowStart(j)+j]
+		for k, v := range prev {
+			s -= v * row[k]
+		}
+		w := s / c.data[rowStart(j)+j]
+		row[j] = w
+		d -= w * w
+	}
+	if d <= 0 || math.IsNaN(d) {
+		c.data = c.data[:base]
+		return ErrNotPositiveDefinite
+	}
+	row[c.n] = math.Sqrt(d)
+	c.n++
+	return nil
+}
+
+// Clone returns an independent copy of the factorization; extending the copy
+// leaves the original untouched.
+func (c *Cholesky) Clone() *Cholesky {
+	return &Cholesky{n: c.n, data: append([]float64(nil), c.data...)}
+}
+
+// At returns the factor entry L[i,j] (j <= i).
+func (c *Cholesky) At(i, j int) float64 {
+	if i < 0 || i >= c.n || j < 0 || j > i {
+		panic("linalg: Cholesky.At index out of lower triangle")
+	}
+	return c.data[rowStart(i)+j]
+}
+
 // L returns a copy of the lower-triangular factor.
-func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+func (c *Cholesky) L() *Matrix {
+	m := NewMatrix(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		copy(m.Data[i*c.n:i*c.n+i+1], c.data[rowStart(i):rowStart(i)+i+1])
+	}
+	return m
+}
 
 // SolveVec solves A x = b for x using the factorization.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
@@ -82,11 +142,11 @@ func (c *Cholesky) ForwardSolveInto(dst, b []float64) []float64 {
 	}
 	for i := 0; i < c.n; i++ {
 		s := b[i]
-		row := c.l.Data[i*c.n : i*c.n+i]
+		row := c.data[rowStart(i) : rowStart(i)+i]
 		for k, v := range row {
 			s -= v * dst[k]
 		}
-		dst[i] = s / c.l.At(i, i)
+		dst[i] = s / c.data[rowStart(i)+i]
 	}
 	return dst
 }
@@ -103,10 +163,12 @@ func (c *Cholesky) BackSolveInto(dst, y []float64) []float64 {
 	}
 	for i := c.n - 1; i >= 0; i-- {
 		s := y[i]
+		off := rowStart(i+1) + i // L[i+1, i] in packed layout
 		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * dst[k]
+			s -= c.data[off] * dst[k]
+			off += k + 1 // advance one row down the same column
 		}
-		dst[i] = s / c.l.At(i, i)
+		dst[i] = s / c.data[rowStart(i)+i]
 	}
 	return dst
 }
@@ -115,7 +177,7 @@ func (c *Cholesky) BackSolveInto(dst, y []float64) []float64 {
 func (c *Cholesky) LogDet() float64 {
 	s := 0.0
 	for i := 0; i < c.n; i++ {
-		s += math.Log(c.l.At(i, i))
+		s += math.Log(c.data[rowStart(i)+i])
 	}
 	return 2 * s
 }

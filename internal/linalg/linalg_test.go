@@ -243,3 +243,96 @@ func TestForwardBackSolveComposition(t *testing.T) {
 		}
 	}
 }
+
+// Property: growing a factorization row by row with Extend is bit-identical to
+// factoring the full matrix at once — Extend appends exactly the row the
+// from-scratch algorithm computes.
+func TestCholeskyExtendBitIdentical(t *testing.T) {
+	r := stats.Derive(16, "extend")
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := randomSPD(r, n)
+		full, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		inc := &Cholesky{}
+		for i := 0; i < n; i++ {
+			col := make([]float64, i)
+			for j := 0; j < i; j++ {
+				col[j] = a.At(i, j)
+			}
+			if err := inc.Extend(col, a.At(i, i)); err != nil {
+				t.Fatalf("n=%d row %d: %v", n, i, err)
+			}
+		}
+		if inc.Size() != full.Size() {
+			t.Fatalf("n=%d: size %d vs %d", n, inc.Size(), full.Size())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if inc.At(i, j) != full.At(i, j) {
+					t.Fatalf("n=%d: L(%d,%d) differs: %g vs %g", n, i, j, inc.At(i, j), full.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// A failed Extend must leave the factorization untouched and usable.
+func TestCholeskyExtendFailureLeavesFactorIntact(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ch.L()
+	// Bordering with an overwhelming off-diagonal column makes the matrix
+	// indefinite: the Schur complement 1 - w.w goes negative.
+	if err := ch.Extend([]float64{10, 10}, 1); err != ErrNotPositiveDefinite {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+	if ch.Size() != 2 {
+		t.Fatalf("failed Extend changed size to %d", ch.Size())
+	}
+	after := ch.L()
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatalf("failed Extend mutated the factor")
+		}
+	}
+	// The factor must still solve correctly.
+	x := ch.SolveVec([]float64{5, 4})
+	ax := a.MulVec(x)
+	if !almostEq(ax[0], 5, 1e-10) || !almostEq(ax[1], 4, 1e-10) {
+		t.Fatalf("factor unusable after failed Extend: A x = %v", ax)
+	}
+}
+
+// Clone must be fully independent: extending the clone leaves the original
+// unchanged even when the clone's append would otherwise share the array.
+func TestCholeskyCloneIndependence(t *testing.T) {
+	r := stats.Derive(17, "clone")
+	a := randomSPD(r, 6)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := ch.L()
+	cl := ch.Clone()
+	if err := cl.Extend([]float64{0.1, 0.2, 0.1, 0, 0.3, 0.2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Size() != 6 || cl.Size() != 7 {
+		t.Fatalf("sizes: orig %d clone %d", ch.Size(), cl.Size())
+	}
+	now := ch.L()
+	for i := range orig.Data {
+		if orig.Data[i] != now.Data[i] {
+			t.Fatalf("extending clone mutated original")
+		}
+	}
+}
