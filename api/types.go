@@ -442,7 +442,8 @@ type ControllerReconfiguration struct {
 	// MigrationCost is the one-off switch charge between From and To.
 	MigrationCost float64 `json:"migration_cost,omitempty"`
 	// Trigger labels capacity-driven decisions ("emergency", "drain",
-	// "price"); empty for ordinary load-shift decisions.
+	// "price") and burn-rate alert responses ("slo"); empty for ordinary
+	// load-shift decisions.
 	Trigger string `json:"trigger,omitempty"`
 	// IncumbentMeetsQoS reports whether From still met QoS under the new
 	// load.
@@ -499,6 +500,71 @@ type ControllerStatus struct {
 	// keep-or-switch verdicts, cooldowns), oldest first. Timestamps are
 	// stream time, so seeded replays produce identical trails.
 	Events []AuditEvent `json:"events,omitempty"`
+}
+
+// SLOWindow is one look-back window's error and burn measurement of an
+// SLO objective.
+type SLOWindow struct {
+	// WindowMs is the look-back extent in stream-time milliseconds.
+	WindowMs float64 `json:"window_ms"`
+	// ErrorRate is the windowed error fraction; BurnRate that error rate
+	// relative to the objective's sustainable budget spend (1.0 = spending
+	// the error budget exactly on schedule).
+	ErrorRate float64 `json:"error_rate"`
+	BurnRate  float64 `json:"burn_rate"`
+}
+
+// SLORule is one multi-window burn-rate alert rule's live state on an
+// objective.
+type SLORule struct {
+	// Severity is "page" or "ticket".
+	Severity string `json:"severity"`
+	// Threshold is the burn-rate multiple both windows must exceed to fire.
+	Threshold float64 `json:"threshold"`
+	// LongMs and ShortMs are the two window extents; BurnLong and BurnShort
+	// the current burn rates over them.
+	LongMs    float64 `json:"long_ms"`
+	ShortMs   float64 `json:"short_ms"`
+	BurnLong  float64 `json:"burn_long"`
+	BurnShort float64 `json:"burn_short"`
+	// Firing reports an active alert; SinceMs its stream-time onset.
+	Firing  bool    `json:"firing"`
+	SinceMs float64 `json:"since_ms,omitempty"`
+}
+
+// SLOObjective is one indicator's objective status: cumulative counts,
+// remaining error budget, windowed burn rates, and alert-rule states.
+type SLOObjective struct {
+	// Name identifies the indicator, e.g. "qos_attainment/critical"; Tier
+	// and Kind are its criticality tier and measurement kind.
+	Name string `json:"name"`
+	Tier string `json:"tier,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	// Target is the objective in (0,1), e.g. 0.99 attainment.
+	Target float64 `json:"target"`
+	// Good and Total are the cumulative indicator counts; ErrorRate the
+	// cumulative error fraction.
+	Good      float64 `json:"good"`
+	Total     float64 `json:"total"`
+	ErrorRate float64 `json:"error_rate"`
+	// BudgetRemaining is the unspent fraction of the error budget (1 -
+	// error/(1-target)); negative once overspent.
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// Windows are the distinct look-back measurements the rules evaluate.
+	Windows []SLOWindow `json:"windows,omitempty"`
+	// Rules are the alert rules and their live burn-rate state.
+	Rules []SLORule `json:"rules,omitempty"`
+}
+
+// SLOStatus is the response of GET /v1/slo (control plane) and
+// GET /v1/gateway/slo (data plane): the SLO engine's point-in-time view.
+type SLOStatus struct {
+	// AtMs is the stream time of the last engine sample.
+	AtMs float64 `json:"at_ms"`
+	// Firing counts the currently active alerts across all objectives.
+	Firing int `json:"firing"`
+	// Objectives lists every tracked objective.
+	Objectives []SLOObjective `json:"objectives"`
 }
 
 // AuditEvent is one typed control-plane decision record. See

@@ -35,6 +35,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ribbon/api"
@@ -50,13 +51,19 @@ const (
 	defaultRetryBase     = 100 * time.Millisecond
 )
 
-// Client talks to one ribbon-server.
+// Client talks to one ribbon-server (or, for the gateway endpoints, one
+// ribbon-gateway).
 type Client struct {
 	base          string
 	hc            *http.Client
 	retryAttempts int
 	retryBase     time.Duration
 	logger        *obs.Logger
+
+	// alerts remembers the firing set of the previous Alerts call so each
+	// transition logs exactly once (see slo.go).
+	alertMu sync.Mutex
+	alerts  map[string]Alert
 }
 
 // Option customizes a Client.
@@ -191,6 +198,16 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, buf []byte,
 			er.Error.HTTPStatus = resp.StatusCode
 			er.Error.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			return er.Error
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			// A bare 404 without an error envelope (an unregistered route,
+			// a proxy) still means "not here" — type it so callers like
+			// Alerts can branch on the code.
+			return &api.Error{
+				Code:       api.ErrNotFound,
+				Message:    fmt.Sprintf("%s %s: %s", method, path, bytes.TrimSpace(raw)),
+				HTTPStatus: resp.StatusCode,
+			}
 		}
 		return fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, raw)
 	}

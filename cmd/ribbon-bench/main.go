@@ -57,6 +57,8 @@ func main() {
 		gatewayURL   = flag.String("gateway-url", "", "flood a running ribbon-gateway at this base URL instead of an in-process one")
 		gatewaySmoke = flag.Bool("gateway-smoke", false, "with -gateway-url: fail unless at least one request was served and zero critical-tier requests were shed")
 		gatewayReqs  = flag.Int("gateway-requests", 2000, "with -gateway-url: number of requests to send")
+		gatewayGate  = flag.Bool("gateway-gate", false, "gate the in-process flood against -gateway-baseline: sustained qps and critical p99 must stay within the regression thresholds")
+		gatewayBase  = flag.String("gateway-baseline", "BENCH_6.json", "committed baseline report the -gateway-gate comparison reads")
 	)
 	flag.Parse()
 
@@ -93,7 +95,8 @@ func main() {
 			continue
 		}
 		if id == "gateway" {
-			err := runGateway(setup, *gatewayOut, *gatewayURL, *gatewaySmoke, *gatewayReqs)
+			err := runGateway(setup, *gatewayOut, *gatewayURL, *gatewaySmoke, *gatewayReqs,
+				*gatewayGate, *gatewayBase)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ribbon-bench: %v\n", err)
 				os.Exit(1)
@@ -282,6 +285,27 @@ func runChaos(s experiments.Setup, out string, smoke bool) error {
 			return fmt.Errorf("chaos-smoke: %gx %s run ends with a QoS-violating pool", run.Load, run.Pricing)
 		}
 	}
+	// Self-healing gates: the straggler leg with SLO triggers on must close
+	// the loop — alert, applied re-search, recovery — measurably faster
+	// than the triggers-off baseline, and replay deterministically.
+	sh := report.SLO
+	if !sh.ReplayIdentical {
+		return fmt.Errorf("chaos-smoke: slo self-healing replay diverged")
+	}
+	if sh.On.AlertAtMs == 0 || sh.Off.AlertAtMs == 0 {
+		return fmt.Errorf("chaos-smoke: straggler injection raised no page alert (on %.0fms / off %.0fms)",
+			sh.On.AlertAtMs, sh.Off.AlertAtMs)
+	}
+	if sh.On.Applied == 0 {
+		return fmt.Errorf("chaos-smoke: slo trigger never applied a re-search")
+	}
+	if sh.Off.Responses != 0 {
+		return fmt.Errorf("chaos-smoke: triggers-off leg responded on slo %d times", sh.Off.Responses)
+	}
+	if sh.On.RecoveryMs >= sh.Off.RecoveryMs {
+		return fmt.Errorf("chaos-smoke: slo triggers on recovered in %.0fms, not faster than off (%.0fms)",
+			sh.On.RecoveryMs, sh.Off.RecoveryMs)
+	}
 	// The paper-premise gate: riding the spot market through the storm must
 	// end up cheaper than the on-demand-only baseline at the same load.
 	for _, spot := range report.Runs {
@@ -302,8 +326,12 @@ func runChaos(s experiments.Setup, out string, smoke bool) error {
 // runGateway drives the live data-plane flood — in-process by default, or
 // against a running gateway when url is set — prints the table, and writes
 // the machine-readable report. With smoke set, a remote run's assertions
-// (some request served, zero critical sheds) become the exit status.
-func runGateway(s experiments.Setup, out, url string, smoke bool, requests int) error {
+// (some request served, zero critical sheds) become the exit status. With
+// gate set, an in-process flood is additionally compared against the
+// committed baseline report, turning throughput or tail-latency regressions
+// into the exit status.
+func runGateway(s experiments.Setup, out, url string, smoke bool, requests int,
+	gate bool, baseline string) error {
 	var (
 		table  experiments.Table
 		report experiments.GatewayReport
@@ -325,6 +353,14 @@ func runGateway(s experiments.Setup, out, url string, smoke bool, requests int) 
 		return err
 	}
 	fmt.Println()
+	if gate {
+		if url != "" {
+			return fmt.Errorf("gateway-gate: only gates the in-process flood (drop -gateway-url)")
+		}
+		if err := gateGateway(report, baseline); err != nil {
+			return err
+		}
+	}
 	if out == "" {
 		return nil
 	}
@@ -342,5 +378,72 @@ func runGateway(s experiments.Setup, out, url string, smoke bool, requests int) 
 		return err
 	}
 	fmt.Printf("gateway report written to %s\n", out)
+	return nil
+}
+
+// Regression thresholds for -gateway-gate: sustained throughput at every
+// overload must hold at least this fraction of the committed baseline, and
+// the critical tier's p99 must not inflate past this multiple. The margins
+// are wide enough to absorb shared-runner noise (the flood sleeps real
+// wall-clock time under -time-scale compression) while still failing on any
+// structural data-plane regression — a broken queue, a priority inversion,
+// a shedding policy that starts dropping critical work.
+const (
+	gatewayGateQPSFloor = 0.6
+	gatewayGateP99Ceil  = 2.5
+)
+
+// gateGateway compares a fresh in-process flood against the committed
+// baseline report, row-matched by overload multiplier.
+func gateGateway(report experiments.GatewayReport, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gateway-gate: read baseline: %w", err)
+	}
+	var base experiments.GatewayReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("gateway-gate: decode baseline %s: %w", baselinePath, err)
+	}
+	if len(base.Rows) == 0 {
+		return fmt.Errorf("gateway-gate: baseline %s has no flood rows", baselinePath)
+	}
+	for _, b := range base.Rows {
+		var cur *experiments.GatewayRow
+		for i := range report.Rows {
+			if report.Rows[i].Overload == b.Overload {
+				cur = &report.Rows[i]
+				break
+			}
+		}
+		if cur == nil {
+			return fmt.Errorf("gateway-gate: fresh flood has no %gx overload row", b.Overload)
+		}
+		if cur.SustainedQPS < gatewayGateQPSFloor*b.SustainedQPS {
+			return fmt.Errorf("gateway-gate: %gx sustained %.1f qps below %.0f%% of baseline %.1f",
+				b.Overload, cur.SustainedQPS, gatewayGateQPSFloor*100, b.SustainedQPS)
+		}
+		bc, cc := criticalTier(b.Tiers), criticalTier(cur.Tiers)
+		if bc == nil {
+			return fmt.Errorf("gateway-gate: baseline %gx row lacks a critical tier", b.Overload)
+		}
+		if cc == nil {
+			return fmt.Errorf("gateway-gate: fresh %gx row lacks a critical tier", b.Overload)
+		}
+		if cc.P99Ms > gatewayGateP99Ceil*bc.P99Ms {
+			return fmt.Errorf("gateway-gate: %gx critical p99 %.1fms above %.1fx baseline %.1fms",
+				b.Overload, cc.P99Ms, gatewayGateP99Ceil, bc.P99Ms)
+		}
+	}
+	fmt.Printf("gateway-gate: flood within regression thresholds of %s\n", baselinePath)
+	return nil
+}
+
+// criticalTier picks the critical tier's row, nil when absent.
+func criticalTier(tiers []experiments.GatewayTierRow) *experiments.GatewayTierRow {
+	for i := range tiers {
+		if tiers[i].Tier == "critical" {
+			return &tiers[i]
+		}
+	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	POST /v1/infer            InferRequest -> InferResponse (or 503 + Retry-After)
 //	GET  /v1/gateway/metrics  data-plane snapshot: per-tier latency quantiles,
 //	                          shed/reject counters, live instances, decisions
+//	GET  /v1/gateway/slo      burn-rate SLO status when -slo is set
 //	GET  /healthz             liveness probe
 //
 // Two backends are built in: the default simulated backend sleeps out the
@@ -80,6 +81,9 @@ func main() {
 		chaosSpanMs = flag.Float64("chaos-horizon-ms", 600000, "stream-time extent of the generated storm")
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "storm seed (0: the -seed value)")
 		useSpot     = flag.Bool("use-spot", false, "price controller decisions and the spend meter at spot-market rates")
+		sloOn       = flag.Bool("slo", false, "track per-tier burn-rate SLOs and serve GET /v1/gateway/slo")
+		sloSampleMs = flag.Float64("slo-sample-ms", 0, "SLO sampling interval, stream ms (0: default 500)")
+		sloTrigger  = flag.Bool("slo-trigger", false, "page-severity alerts trigger a controller re-search (needs -controller)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log encoding: text (key=value) or json")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty: disabled)")
@@ -117,6 +121,7 @@ func main() {
 		chaosStorm:  *chaosStorm, chaosFailures: *chaosFails, chaosPriceStepMs: *chaosPrice,
 		chaosWarningMs: *chaosWarn, chaosRestoreMs: *chaosRegrow, chaosHorizonMs: *chaosSpanMs,
 		chaosSeed: *chaosSeed, useSpot: *useSpot,
+		slo: *sloOn, sloSampleMs: *sloSampleMs, sloTrigger: *sloTrigger,
 		logger: logger, traceSampleEvery: *sampleEvery,
 	})
 	if err != nil {
@@ -161,6 +166,9 @@ type gatewayFlags struct {
 	chaosHorizonMs   float64
 	chaosSeed        uint64
 	useSpot          bool
+	slo              bool
+	sloSampleMs      float64
+	sloTrigger       bool
 	logger           *obs.Logger
 	traceSampleEvery int
 }
@@ -252,6 +260,15 @@ func buildOptions(f gatewayFlags) (gateway.Options, error) {
 		})
 	}
 	opts.UseSpot = f.useSpot
+	if f.slo || f.sloTrigger {
+		if f.sloTrigger && !f.controller {
+			return gateway.Options{}, fmt.Errorf("-slo-trigger needs -controller")
+		}
+		opts.SLO = &gateway.SLOOptions{
+			SampleEveryMs: f.sloSampleMs,
+			Trigger:       f.sloTrigger,
+		}
+	}
 	return opts, nil
 }
 

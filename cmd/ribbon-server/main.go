@@ -10,6 +10,7 @@
 // Endpoints (v1):
 //
 //	GET    /healthz              liveness probe
+//	GET    /v1/slo               API availability SLO: error budget and burn rates
 //	GET    /v1/models            model catalog (Table 1)
 //	GET    /v1/instances         instance catalog (Table 2)
 //	GET    /v1/scenarios         built-in load-fluctuation scenarios
@@ -70,6 +71,8 @@ func main() {
 	budget := flag.Int("default-budget", 40, "optimize budget when the request omits it")
 	adaptBudget := flag.Int("default-adapt-budget", 16, "controller re-search budget when the request omits it")
 	retain := flag.Int("retain-jobs", 256, "finished jobs kept queryable before eviction")
+	sloSampleMs := flag.Float64("slo-sample-ms", 0, "availability SLO sampling interval in ms (0: default 1000, negative: disabled)")
+	sloTarget := flag.Float64("slo-target", 0, "availability SLO target in (0,1) (0: default 0.999)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log encoding: text (key=value) or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty: disabled)")
@@ -100,6 +103,8 @@ func main() {
 		DefaultBudget:      *budget,
 		DefaultAdaptBudget: *adaptBudget,
 		RetainJobs:         *retain,
+		SLOSampleMs:        *sloSampleMs,
+		SLOTarget:          *sloTarget,
 		Logger:             logger,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "ribbon-server: %v\n", err)

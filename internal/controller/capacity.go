@@ -93,13 +93,17 @@ func (c *Controller) observeCapacityLocked(ev chaos.CapacityEvent) {
 			obs.F("live", c.stat.LiveConfig.Key()),
 		)
 	case chaos.KindSlowdown:
-		// Stragglers degrade service inside an evaluation, not pool
-		// membership; the controller only witnesses them.
+		// Stragglers degrade service speed, not pool membership, so no
+		// trigger arms here — the ledger makes every later evaluation see
+		// the slowed family, and the SLO engine (when configured) turns
+		// the resulting attainment drop into the "slo" trigger.
+		c.observeSlowdownLocked(ev)
 		c.trail.Record(ev.AtMs, "capacity_slowdown", fmt.Sprintf("straggler injection: %d %s x%.3g",
 			ev.Count, ev.Family, ev.Factor),
 			obs.F("family", ev.Family),
 			obs.F("count", ev.Count),
 			obs.F("factor", ev.Factor),
+			obs.F("until_ms", ev.AtMs+ev.DurationMs),
 		)
 	case chaos.KindPrice:
 		c.market[ev.Family] = ev.Factor
@@ -227,11 +231,12 @@ func (c *Controller) reconfigureCapacity(ctx context.Context, nowMs float64, tri
 	incumbent := c.incumbent
 	live := c.liveConfigLocked()
 	spec := c.pricedSpecLocked()
+	churn := c.slowdownChurnLocked()
 	seed := c.cfg.Sim.Seed + uint64(c.searches)
 	c.mu.Unlock()
 
-	ev := c.evaluatorForSpec(spec, scale)
-	s := core.NewAdaptedSearcher(ev, c.bounds, seed, c.cfg.Search, prevSteps, incumbent)
+	ev := c.evaluatorForSpec(spec, scale, churn)
+	s := core.NewAdaptedSearcher(ev, c.bounds, seed, c.churnSearchOptions(churn), prevSteps, incumbent)
 	res := s.RunContext(ctx, c.cfg.Params.AdaptBudget)
 	if err := ctx.Err(); err != nil {
 		return nil, err

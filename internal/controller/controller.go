@@ -40,6 +40,7 @@ import (
 	"ribbon/internal/core"
 	"ribbon/internal/obs"
 	"ribbon/internal/serving"
+	"ribbon/internal/slo"
 	"ribbon/internal/workload"
 )
 
@@ -200,6 +201,12 @@ type Config struct {
 	// catalog spot price times the current market factor (price events)
 	// instead of the on-demand price.
 	UseSpot bool
+	// SLO, when non-nil, runs a burn-rate SLO engine inside the loop: a
+	// deterministic QoS-attainment indicator sampled at every tick, alert
+	// transitions on the audit trail, and (with SLO.Trigger) the "slo"
+	// capacity trigger closing the loop on degradation that leaves pool
+	// membership intact. Replays stay byte-identical with the engine on.
+	SLO *SLOConfig
 }
 
 // State labels the controller's position in the control loop.
@@ -227,7 +234,8 @@ type Reconfiguration struct {
 	AtMs float64
 	// Trigger names the control path that fired: "" for a load shift (the
 	// legacy path), "drain" for a spot-revocation warning, "emergency" for
-	// a hard failure, "price" for a spot-market move.
+	// a hard failure, "slo" for a burn-rate page alert, "price" for a
+	// spot-market move.
 	Trigger string
 	// ObservedScale is the estimator's load scale at confirmation;
 	// OldScale and NewScale are the provisioned scales before and after
@@ -339,9 +347,22 @@ type Controller struct {
 	pendingEmergency      bool
 	pendingDrain          bool
 	pendingPrice          bool
+	pendingSLO            bool
 	capacityCooldownUntil float64
 	chaosIdx              int
 	accrualLastMs         float64
+
+	// SLO-engine state (guarded by mu). sloGood/sloTotal are the
+	// cumulative indicator counters the engine samples each tick;
+	// sloEvalSig/sloEvalRsat cache the attainment evaluation on its
+	// (live config, ledger, scale) signature; slowdowns is the straggler
+	// ledger keyed by family.
+	sloEngine   *slo.Engine
+	sloGood     float64
+	sloTotal    float64
+	sloEvalSig  string
+	sloEvalRsat float64
+	slowdowns   map[string]slowdownWindow
 }
 
 // New validates the service description and prepares the control loop. No
@@ -401,6 +422,7 @@ func New(cfg Config) (*Controller, error) {
 		lost:       make([]int, cfg.Spec.Dim()),
 		market:     make(map[string]float64),
 		lastMarket: make(map[string]float64),
+		slowdowns:  make(map[string]slowdownWindow),
 	}
 	auditCap := cfg.AuditCapacity
 	if auditCap == 0 {
@@ -408,6 +430,9 @@ func New(cfg Config) (*Controller, error) {
 	}
 	c.trail = obs.NewTrail(auditCap, cfg.Logger)
 	c.stat = Status{State: StateWarmup, AppliedScale: baseScale}
+	if err := c.initSLO(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -431,19 +456,25 @@ func (c *Controller) snapshotLocked() Status {
 
 // evaluatorForSpec builds a fresh caching evaluator over the given
 // (possibly spot-repriced) spec at the given load scale, sharing every
-// other evaluation option with the base configuration.
-func (c *Controller) evaluatorForSpec(spec serving.PoolSpec, scale float64) *serving.CachingEvaluator {
+// other evaluation option with the base configuration. A non-nil churn
+// schedule (the compiled slowdown ledger) replaces the configured one, so
+// searches measure candidate pools with active stragglers actually slow.
+func (c *Controller) evaluatorForSpec(spec serving.PoolSpec, scale float64, churn *chaos.Schedule) *serving.CachingEvaluator {
 	opts := c.cfg.Sim
 	opts.RateScale = scale
+	if churn != nil {
+		opts.Churn = churn
+	}
 	return serving.NewCachingEvaluator(serving.NewSimEvaluator(spec, opts))
 }
 
-// evaluatorAt is evaluatorForSpec at the current market prices.
+// evaluatorAt is evaluatorForSpec at the current market prices and ledger.
 func (c *Controller) evaluatorAt(scale float64) *serving.CachingEvaluator {
 	c.mu.Lock()
 	spec := c.pricedSpecLocked()
+	churn := c.slowdownChurnLocked()
 	c.mu.Unlock()
-	return c.evaluatorForSpec(spec, scale)
+	return c.evaluatorForSpec(spec, scale, churn)
 }
 
 // initialize establishes the incumbent: bounds discovery plus a cold search
@@ -566,9 +597,13 @@ func (c *Controller) tick(ctx context.Context, nowMs float64) (*Reconfiguration,
 	if c.cfg.Chaos != nil {
 		c.ingestChaosLocked(nowMs)
 	}
+	c.expireSlowdownsLocked(nowMs)
 	c.accrueLocked(nowMs)
 	est := c.est.RatePerMs(nowMs) / c.basePerMs
 	c.stat.EstimatedScale = est
+	// The SLO engine samples before trigger arbitration so an alert firing
+	// on this very tick is answered on this very tick.
+	c.observeSLOLocked(nowMs)
 
 	// Capacity events bypass the load detector's dwell hysteresis
 	// entirely — a revoked instance is hard evidence, not Poisson noise.
@@ -581,12 +616,14 @@ func (c *Controller) tick(ctx context.Context, nowMs float64) (*Reconfiguration,
 			trigger = "emergency"
 		case c.pendingDrain:
 			trigger = "drain"
+		case c.pendingSLO:
+			trigger = "slo"
 		case c.pendingPrice:
 			trigger = "price"
 		}
 	}
 	if trigger != "" {
-		c.pendingEmergency, c.pendingDrain, c.pendingPrice = false, false, false
+		c.pendingEmergency, c.pendingDrain, c.pendingPrice, c.pendingSLO = false, false, false, false
 		c.stat.State = StateAdapting
 		c.stat.PendingForMs = 0
 		c.mu.Unlock()
@@ -654,13 +691,14 @@ func (c *Controller) reconfigure(ctx context.Context, nowMs, target float64) (*R
 	live := c.liveConfigLocked()
 	degraded := live.Key() != incumbent.Config.Key()
 	spec := c.pricedSpecLocked()
+	churn := c.slowdownChurnLocked()
 	seed := c.cfg.Sim.Seed + uint64(c.searches)
 	c.stat.State = StateAdapting
 	c.stat.PendingForMs = 0
 	c.mu.Unlock()
 
-	ev := c.evaluatorForSpec(spec, target)
-	s := core.NewAdaptedSearcher(ev, c.bounds, seed, c.cfg.Search, prevSteps, incumbent)
+	ev := c.evaluatorForSpec(spec, target, churn)
+	s := core.NewAdaptedSearcher(ev, c.bounds, seed, c.churnSearchOptions(churn), prevSteps, incumbent)
 	res := s.RunContext(ctx, c.cfg.Params.AdaptBudget)
 	if err := ctx.Err(); err != nil {
 		return nil, err

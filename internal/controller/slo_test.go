@@ -1,0 +1,181 @@
+package controller
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ribbon/internal/chaos"
+	"ribbon/internal/obs"
+	"ribbon/internal/slo"
+	"ribbon/internal/workload"
+)
+
+// testSLO returns fast-firing rules sized to the shared test config's
+// 200ms tick: the page long window spans 5 ticks, the short window 2.
+func testSLO(trigger bool) *SLOConfig {
+	return &SLOConfig{
+		Trigger:   trigger,
+		MinEvents: 3,
+		Rules: []slo.Rule{
+			{Severity: slo.SeverityPage, Burn: 5, LongMs: 1200, ShortMs: 600},
+		},
+	}
+}
+
+func eventKinds(events []obs.Event) map[obs.EventKind]int {
+	kinds := map[obs.EventKind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	return kinds
+}
+
+// TestSlowdownTriggersSLOResearch is the loop-closure test: a straggler
+// storm changes no pool membership, so no capacity trigger sees it — only
+// the SLO engine's burn-rate alert can. With Trigger on, the controller
+// must answer with an "slo"-triggered emergency re-search that restores
+// QoS under the (still active) slowdown; with Trigger off the same alert
+// fires on the trail but nothing acts.
+func TestSlowdownTriggersSLOResearch(t *testing.T) {
+	inc := initialIncumbent(t)
+	_, fam := richestSlot(t, inc)
+	// Slow half the deployed family 2x: the incumbent's attainment
+	// collapses, while over-provisioning the same family dilutes the
+	// stragglers enough to restore QoS — the search has a real escape.
+	sched := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: 2500, Kind: chaos.KindSlowdown, Family: fam, Count: 2, Factor: 2, DurationMs: 60_000},
+	}}
+	phases := []workload.Phase{{Queries: 8000, RateScale: 1.0}}
+
+	cfg := testConfig()
+	cfg.SLO = testSLO(true)
+	cfg.Chaos = sched.Clone()
+	st := mustRunChaos(t, cfg, phases)
+
+	var rec *Reconfiguration
+	for i := range st.Reconfigurations {
+		if st.Reconfigurations[i].Trigger == "slo" {
+			rec = &st.Reconfigurations[i]
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatalf("no slo-triggered reconfiguration in %+v", st.Reconfigurations)
+	}
+	if rec.AtMs <= 2500 {
+		t.Fatalf("slo response at %.0fms predates the 2500ms slowdown", rec.AtMs)
+	}
+	if rec.IncumbentMeetsQoS {
+		t.Error("slo response fired while the slowed pool still met QoS")
+	}
+	if !rec.Applied {
+		t.Errorf("slo response kept the failing pool: %+v", rec)
+	}
+	// The re-search measured candidates under the slowdown, so the final
+	// incumbent meets QoS with the stragglers still active.
+	if !st.IncumbentMeetsQoS {
+		t.Errorf("final incumbent %v violates QoS under the slowdown", st.Incumbent)
+	}
+	kinds := eventKinds(st.Events)
+	if kinds["slo_alert"] == 0 {
+		t.Error("no slo_alert events on the audit trail")
+	}
+	if kinds["slo_breach"] == 0 {
+		t.Error("no slo_breach arming event on the audit trail")
+	}
+	if kinds["capacity_slowdown"] == 0 {
+		t.Error("slowdown not witnessed on the audit trail")
+	}
+
+	// Trigger off: same storm, the alert fires, nothing responds.
+	off := testConfig()
+	off.SLO = testSLO(false)
+	off.Chaos = sched.Clone()
+	stOff := mustRunChaos(t, off, phases)
+	for _, r := range stOff.Reconfigurations {
+		if r.Trigger == "slo" {
+			t.Fatalf("triggers-off run reconfigured on slo: %+v", r)
+		}
+	}
+	offKinds := eventKinds(stOff.Events)
+	if offKinds["slo_alert"] == 0 {
+		t.Error("triggers-off run recorded no slo_alert events")
+	}
+	if offKinds["slo_breach"] != 0 {
+		t.Error("triggers-off run armed the slo trigger")
+	}
+}
+
+// TestSLOQuietWithoutBreach: on a healthy steady run the engine must stay
+// silent — no alerts, no triggers, no reconfigurations.
+func TestSLOQuietWithoutBreach(t *testing.T) {
+	cfg := testConfig()
+	cfg.SLO = testSLO(true)
+	st := mustRun(t, cfg, []workload.Phase{{Queries: 6000, RateScale: 1.0}})
+	if len(st.Reconfigurations) != 0 {
+		t.Fatalf("healthy run reconfigured: %+v", st.Reconfigurations)
+	}
+	if kinds := eventKinds(st.Events); kinds["slo_alert"] != 0 || kinds["slo_breach"] != 0 {
+		t.Fatalf("healthy run raised alerts: %v", kinds)
+	}
+}
+
+// TestChaosSLOReplayDeterministic is the acceptance bar with the engine
+// enabled: a slowdown-heavy generated storm replayed with SLO triggers on
+// yields byte-identical statuses across runs and GOMAXPROCS — the alert
+// evaluations, cached attainment measurements, and trigger arbitration are
+// all pure functions of the stream clock.
+func TestChaosSLOReplayDeterministic(t *testing.T) {
+	storm := chaos.GenerateStorm(chaos.StormOptions{
+		Seed:                 17,
+		HorizonMs:            7000,
+		Families:             []string{"g4dn", "c5", "r5n"},
+		RevocationMultiplier: 4000,
+		WarningMs:            1500,
+		FailuresPerHour:      900,
+		SlowdownsPerHour:     2000,
+		PriceStepMs:          2000,
+		PriceVolatility:      0.3,
+		RestoreAfterMs:       1500,
+	})
+	run := func() Status {
+		cfg := testConfig()
+		cfg.UseSpot = true
+		cfg.SLO = testSLO(true)
+		cfg.Chaos = storm.Clone()
+		return mustRunChaos(t, cfg, []workload.Phase{{Queries: 6000, RateScale: 1.0}})
+	}
+	a := run()
+	if a.CapacityEvents == 0 {
+		t.Fatal("storm produced no capacity events; determinism test is vacuous")
+	}
+	as := fmt.Sprintf("%#v%#v", a.Reconfigurations, a.Events)
+	if bs := fmt.Sprintf("%#v%#v", run().Reconfigurations, run().Events); bs != as {
+		t.Fatalf("SLO replay not byte-stable:\n%s\nvs\n%s", as, bs)
+	}
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	c := run()
+	if cs := fmt.Sprintf("%#v%#v", c.Reconfigurations, c.Events); cs != as {
+		t.Fatalf("SLO replay varies with GOMAXPROCS:\n%s\nvs\n%s", as, cs)
+	}
+}
+
+func TestSLOConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.SLO = &SLOConfig{Target: 1.5}
+	if _, err := New(cfg); err == nil {
+		t.Error("slo target above 1 accepted")
+	}
+	cfg = testConfig()
+	cfg.SLO = &SLOConfig{Rules: []slo.Rule{{Severity: slo.SeverityPage, Burn: -1, LongMs: 2, ShortMs: 1}}}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative burn threshold accepted")
+	}
+	cfg = testConfig()
+	cfg.SLO = &SLOConfig{} // all defaults: spec target, window-scaled rules
+	if _, err := New(cfg); err != nil {
+		t.Errorf("default SLO config rejected: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"ribbon/internal/gateway"
 	"ribbon/internal/obs"
 	"ribbon/internal/serving"
+	"ribbon/internal/slo"
 	"ribbon/internal/workload"
 )
 
@@ -62,6 +63,53 @@ type ChaosLiveReport struct {
 	ChaosEvents int `json:"chaos_events"`
 }
 
+// ChaosSLOLegReport is one leg of the straggler self-healing comparison:
+// the same slowdown injection replayed with the burn-rate SLO trigger
+// armed or disarmed.
+type ChaosSLOLegReport struct {
+	// Trigger reports whether firing page alerts were allowed to arm the
+	// controller's "slo" capacity trigger.
+	Trigger bool `json:"trigger"`
+	// AlertAtMs is the stream time of the first firing page alert;
+	// RespondedAtMs the first applied "slo"-triggered reconfiguration (0
+	// when none fired); RecoveredAtMs the alert's resolution (0 when the
+	// burn never recovered in-stream).
+	AlertAtMs     float64 `json:"alert_at_ms"`
+	RespondedAtMs float64 `json:"responded_at_ms"`
+	RecoveredAtMs float64 `json:"recovered_at_ms"`
+	// Responses counts "slo"-triggered reconfiguration decisions; Applied
+	// those that switched pools.
+	Responses int `json:"responses"`
+	Applied   int `json:"applied"`
+	// RecoveryMs is injection onset to alert resolution in stream time; a
+	// leg whose alert never resolves is charged the full remaining stream.
+	RecoveryMs float64 `json:"recovery_ms"`
+	Recovered  bool    `json:"recovered"`
+	// FinalMeetsQoS is the incumbent at stream end, measured with the
+	// stragglers still active.
+	FinalMeetsQoS bool `json:"final_meets_qos"`
+}
+
+// ChaosSLOReport is the QoS-triggered self-healing study: time-to-recovery
+// from a straggler injection — degradation that changes no pool membership,
+// so only the burn-rate alert can see it — with the SLO trigger on vs off.
+type ChaosSLOReport struct {
+	// Family, Count, Factor describe the injected straggler; OnsetMs its
+	// stream time.
+	Family  string  `json:"family"`
+	Count   int     `json:"count"`
+	Factor  float64 `json:"factor"`
+	OnsetMs float64 `json:"onset_ms"`
+
+	On  ChaosSLOLegReport `json:"on"`
+	Off ChaosSLOLegReport `json:"off"`
+	// SpeedupMs is how much sooner the triggers-on leg recovered.
+	SpeedupMs float64 `json:"speedup_ms"`
+	// ReplayIdentical reports the triggers-on leg replayed a second time
+	// was %#v-identical — determinism holds with the engine in the loop.
+	ReplayIdentical bool `json:"replay_identical"`
+}
+
 // ChaosReport is the machine-readable result of the chaos experiment
 // (BENCH_8.json).
 type ChaosReport struct {
@@ -76,6 +124,8 @@ type ChaosReport struct {
 	// produced a %#v-identical decision trace and audit trail.
 	ReplayIdentical bool            `json:"replay_identical"`
 	Live            ChaosLiveReport `json:"live"`
+	// SLO is the triggers-on/off self-healing comparison.
+	SLO ChaosSLOReport `json:"slo"`
 }
 
 // chaosParams is the control loop used by every replay: tight ticks so
@@ -166,6 +216,24 @@ func ChaosResilience(s Setup, o ChaosOptions) (Table, ChaosReport) {
 	t.AddRow("replay", "1x", "spot", itoa(first.CapacityEvents),
 		itoa(len(first.Reconfigurations)), "-", "-", "-", "-", replayCell)
 
+	report.SLO = chaosSLOStudy(s, spec, bounds, totalQueries, horizon)
+	for _, leg := range []ChaosSLOLegReport{report.SLO.On, report.SLO.Off} {
+		mode := "trigger on"
+		if !leg.Trigger {
+			mode = "trigger off"
+		}
+		recovery := fmt.Sprintf("recovered in %.0fms", leg.RecoveryMs)
+		if !leg.Recovered {
+			recovery = fmt.Sprintf("UNRECOVERED (%.0fms)", leg.RecoveryMs)
+		}
+		respCell := "-"
+		if leg.RespondedAtMs > 0 {
+			respCell = fmt.Sprintf("%.0f", leg.RespondedAtMs-report.SLO.OnsetMs)
+		}
+		t.AddRow("self-heal", "1x", mode, "1",
+			itoa(leg.Responses), itoa(leg.Applied), respCell, "-", "-", recovery)
+	}
+
 	report.Live = chaosLiveLeg(s, spec, o.TimeScale)
 	liveQoS := "0 dropped"
 	if report.Live.Dropped != 0 || report.Live.Failed != 0 {
@@ -243,6 +311,8 @@ func lastTriggerEventMs(events []obs.Event, trigger string, atMs float64) float6
 		kind = "capacity_warning"
 	case "price":
 		kind = "price_move"
+	case "slo":
+		kind = "slo_breach"
 	}
 	last := 0.0
 	for _, ev := range events {
@@ -254,6 +324,145 @@ func lastTriggerEventMs(events []obs.Event, trigger string, atMs float64) float6
 		}
 	}
 	return last
+}
+
+// chaosSLORules fire fast relative to the 200ms chaosParams tick: the page
+// long window spans 6 ticks, the short window 3.
+var chaosSLORules = []slo.Rule{
+	{Severity: slo.SeverityPage, Burn: 5, LongMs: 1200, ShortMs: 600},
+}
+
+// chaosSLOStudy runs the self-healing comparison: a straggler injection on
+// the incumbent's richest family, replayed with the SLO trigger on, off,
+// and on again (the determinism gate).
+func chaosSLOStudy(s Setup, spec serving.PoolSpec, bounds []int, queries int, horizonMs float64) ChaosSLOReport {
+	fam, deployed := chaosSLOFamily(s, spec, bounds)
+	count := (deployed + 1) / 2
+	if count < 1 {
+		count = 1
+	}
+	const onsetMs = 2500
+	// The slowdown outlasts the stream, so a leg only recovers by actually
+	// re-planning around the stragglers — never by waiting them out.
+	sched := &chaos.Schedule{Events: []chaos.CapacityEvent{
+		{AtMs: onsetMs, Kind: chaos.KindSlowdown, Family: fam, Count: count, Factor: 2,
+			DurationMs: 10 * horizonMs},
+	}}
+	on := runChaosSLOLeg(s, spec, bounds, sched, true, queries)
+	off := runChaosSLOLeg(s, spec, bounds, sched, false, queries)
+	rep := ChaosSLOReport{
+		Family: fam, Count: count, Factor: 2, OnsetMs: onsetMs,
+		On:  summarizeChaosSLOLeg(on, onsetMs, horizonMs, true),
+		Off: summarizeChaosSLOLeg(off, onsetMs, horizonMs, false),
+	}
+	rep.SpeedupMs = rep.Off.RecoveryMs - rep.On.RecoveryMs
+	again := runChaosSLOLeg(s, spec, bounds, sched, true, queries)
+	rep.ReplayIdentical = fmt.Sprintf("%#v%#v", on.Reconfigurations, on.Events) ==
+		fmt.Sprintf("%#v%#v", again.Reconfigurations, again.Events)
+	return rep
+}
+
+// chaosSLOFamily probes the cold-search incumbent (same config and seed as
+// the legs, no storm) and returns its richest family — the straggler target
+// that hurts the most — and how many instances of it are deployed.
+func chaosSLOFamily(s Setup, spec serving.PoolSpec, bounds []int) (string, int) {
+	c, err := controller.New(controller.Config{
+		Spec:          spec,
+		Sim:           serving.SimOptions{Queries: s.Queries, Seed: s.Seed, RateScale: 1},
+		Bounds:        bounds,
+		InitialBudget: 40,
+		Params:        chaosParams,
+	})
+	if err != nil {
+		panic(err)
+	}
+	st, err := c.Run(context.Background(), chaosStream(spec, s.Seed, 500, 1))
+	if err != nil {
+		panic(err)
+	}
+	best, most := 0, 0
+	for i, n := range st.Incumbent {
+		if n > most {
+			best, most = i, n
+		}
+	}
+	return spec.Types[best].Family, most
+}
+
+// runChaosSLOLeg runs one self-healing replay: the controller with its
+// tick-driven SLO engine under the straggler schedule.
+func runChaosSLOLeg(s Setup, spec serving.PoolSpec, bounds []int, sched *chaos.Schedule,
+	trigger bool, queries int) controller.Status {
+	c, err := controller.New(controller.Config{
+		Spec:          spec,
+		Sim:           serving.SimOptions{Queries: s.Queries, Seed: s.Seed, RateScale: 1},
+		Bounds:        bounds,
+		InitialBudget: 40,
+		Params:        chaosParams,
+		Chaos:         sched.Clone(),
+		SLO: &controller.SLOConfig{
+			Trigger:   trigger,
+			MinEvents: 3,
+			Rules:     append([]slo.Rule(nil), chaosSLORules...),
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	st, err := c.Run(context.Background(), chaosStream(spec, s.Seed, queries, 1))
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// summarizeChaosSLOLeg reduces one leg's status to the report entry.
+func summarizeChaosSLOLeg(st controller.Status, onsetMs, horizonMs float64, trigger bool) ChaosSLOLegReport {
+	leg := ChaosSLOLegReport{Trigger: trigger, FinalMeetsQoS: st.IncumbentMeetsQoS}
+	for _, ev := range st.Events {
+		if ev.Kind != "slo_alert" || eventField(ev, "severity") != slo.SeverityPage {
+			continue
+		}
+		switch eventField(ev, "state") {
+		case slo.StateFiring:
+			if leg.AlertAtMs == 0 {
+				leg.AlertAtMs = ev.AtMs
+			}
+		case slo.StateResolved:
+			if leg.AlertAtMs != 0 && leg.RecoveredAtMs == 0 {
+				leg.RecoveredAtMs = ev.AtMs
+			}
+		}
+	}
+	for _, rec := range st.Reconfigurations {
+		if rec.Trigger != "slo" {
+			continue
+		}
+		leg.Responses++
+		if rec.Applied {
+			leg.Applied++
+			if leg.RespondedAtMs == 0 {
+				leg.RespondedAtMs = rec.AtMs
+			}
+		}
+	}
+	leg.Recovered = leg.RecoveredAtMs != 0
+	if leg.Recovered {
+		leg.RecoveryMs = leg.RecoveredAtMs - onsetMs
+	} else {
+		leg.RecoveryMs = horizonMs - onsetMs
+	}
+	return leg
+}
+
+// eventField reads one pre-rendered field value off an audit event.
+func eventField(ev obs.Event, key string) string {
+	for _, f := range ev.Fields {
+		if f.Key == key {
+			return f.Value
+		}
+	}
+	return ""
 }
 
 // chaosLiveLeg drives a deterministic mini-storm through the live gateway:

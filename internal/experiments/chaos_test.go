@@ -69,6 +69,41 @@ func TestChaosReplayByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestChaosSLOSelfHealing: the QoS-triggered self-healing comparison must
+// show the loop closing — on the triggers-on leg the alert fires, an applied
+// "slo" re-search answers, and the burn resolves sooner than the triggers-off
+// baseline, which alerts but never acts.
+func TestChaosSLOSelfHealing(t *testing.T) {
+	s := Setup{Seed: 42, Queries: 800, Budget: 24}.withDefaults()
+	spec := s.spec("CANDLE")
+	bounds := s.boundsFor(spec, serving.SimOptions{RateScale: 2})
+	horizon := chaosStream(spec, s.Seed, 8_000, 1).Duration()
+
+	rep := chaosSLOStudy(s, spec, bounds, 8_000, horizon)
+	if rep.On.AlertAtMs <= rep.OnsetMs {
+		t.Fatalf("on-leg alert at %.0fms does not follow the %.0fms onset", rep.On.AlertAtMs, rep.OnsetMs)
+	}
+	if rep.On.Applied == 0 {
+		t.Fatalf("on leg never applied an slo re-search: %+v", rep.On)
+	}
+	if !rep.On.Recovered {
+		t.Fatalf("on leg never resolved its page alert: %+v", rep.On)
+	}
+	if rep.Off.AlertAtMs == 0 {
+		t.Fatalf("off leg raised no page alert: %+v", rep.Off)
+	}
+	if rep.Off.Responses != 0 {
+		t.Fatalf("off leg responded on slo: %+v", rep.Off)
+	}
+	if rep.On.RecoveryMs >= rep.Off.RecoveryMs {
+		t.Fatalf("triggers on recovered in %.0fms, not faster than off (%.0fms)",
+			rep.On.RecoveryMs, rep.Off.RecoveryMs)
+	}
+	if !rep.ReplayIdentical {
+		t.Fatal("triggers-on leg did not replay byte-identically")
+	}
+}
+
 // TestChaosStormByteIdenticalAcrossRuns: the storm itself — the replay's
 // input weather — regenerates %#v-identically from its options.
 func TestChaosStormByteIdenticalAcrossRuns(t *testing.T) {

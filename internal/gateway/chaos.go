@@ -75,13 +75,11 @@ func (g *Gateway) applyCapacityEvent(ev chaos.CapacityEvent) {
 			obs.F("count", restored),
 		)
 	case chaos.KindSlowdown:
-		// The live plane has no lever to slow a SimBackend instance from
-		// outside; stragglers are witnessed on the audit trail and by the
-		// controller, which is what its response keys on.
+		slowed := g.slowFamily(ev.Family, ev.Count, ev.Factor, ev.AtMs+ev.DurationMs)
 		g.m.trail.Record(ev.AtMs, "chaos_slowdown",
-			fmt.Sprintf("slowdown: %d %s x%.3g for %.0fms", ev.Count, ev.Family, ev.Factor, ev.DurationMs),
+			fmt.Sprintf("slowdown: %d of %d %s x%.3g for %.0fms", slowed, ev.Count, ev.Family, ev.Factor, ev.DurationMs),
 			obs.F("family", ev.Family),
-			obs.F("count", ev.Count),
+			obs.F("count", slowed),
 			obs.F("factor", ev.Factor),
 		)
 	case chaos.KindPrice:

@@ -35,6 +35,7 @@ import (
 	"ribbon/internal/dispatch"
 	"ribbon/internal/obs"
 	"ribbon/internal/serving"
+	"ribbon/internal/slo"
 	"ribbon/internal/workload"
 )
 
@@ -145,6 +146,12 @@ type Options struct {
 	TraceSampleEvery int
 	// AuditCapacity bounds the retained audit events; 512 when zero.
 	AuditCapacity int
+	// SLO, when non-nil, runs a burn-rate SLO engine over the gateway's
+	// per-tier counters, sampled in stream time on the admit path. Alert
+	// transitions land on the audit trail (and the structured log); with
+	// SLO.Trigger set, firing page alerts arm the controller's "slo"
+	// capacity trigger. See SLOOptions.
+	SLO *SLOOptions
 }
 
 // Gateway is the live data plane. Create with New, ingest with Ingest /
@@ -184,6 +191,14 @@ type Gateway struct {
 	chaosIdx      int
 	chaosNextBits atomic.Uint64
 	chaosLost     []int
+
+	// SLO engine state. sloNextBits holds the next stream-time sample due
+	// (math.Float64bits) so the admit hot path pays one atomic load; the
+	// losing CAS contenders never observe twice.
+	slo         *slo.Engine
+	sloTrigger  bool
+	sloEveryMs  float64
+	sloNextBits atomic.Uint64
 
 	m      metrics
 	traces *obs.TraceRing
@@ -324,6 +339,12 @@ func New(ctx context.Context, opts Options) (*Gateway, error) {
 		g.traces = obs.NewTraceRing(opts.TraceCapacity, opts.TraceSampleEvery)
 	}
 	g.registerGauges(reg)
+	if opts.SLO != nil {
+		if err := g.initSLO(opts.SLO); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 
 	if opts.Controller == nil && opts.Initial != nil {
 		// Static pool, fixed configuration: nothing to search or evaluate.
@@ -633,6 +654,9 @@ func (g *Gateway) admit(arrivalMs float64, batch int, class workload.Criticality
 	g.setEpoch(arrivalMs)
 	if g.chaos != nil {
 		g.maybeInjectChaos(arrivalMs)
+	}
+	if g.slo != nil {
+		g.maybeSampleSLO(arrivalMs)
 	}
 	g.feedArrival(arrivalMs)
 	r := g.getRequest()

@@ -9,6 +9,7 @@ import (
 	"ribbon/internal/controller"
 	"ribbon/internal/dispatch"
 	"ribbon/internal/obs"
+	"ribbon/internal/slo"
 	"ribbon/internal/workload"
 )
 
@@ -17,6 +18,7 @@ import (
 //	POST /v1/infer            — admit one inference request, wait for it
 //	GET  /v1/gateway/metrics  — point-in-time data-plane snapshot
 //	GET  /v1/gateway/traces   — sampled request traces, newest first
+//	GET  /v1/gateway/slo      — SLO objectives, burn rates, alert state
 //	GET  /metrics             — Prometheus text exposition
 //	GET  /healthz             — liveness
 //
@@ -28,6 +30,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/infer", g.handleInfer)
 	mux.HandleFunc("GET /v1/gateway/metrics", g.handleMetrics)
 	mux.HandleFunc("GET /v1/gateway/traces", g.handleTraces)
+	mux.HandleFunc("GET /v1/gateway/slo", g.handleSLO)
 	mux.Handle("GET /metrics", g.m.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -136,6 +139,58 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, g.MetricsDTO())
 }
 
+func (g *Gateway) handleSLO(w http.ResponseWriter, r *http.Request) {
+	s, ok := g.SLOStatus()
+	if !ok {
+		writeErr(w, http.StatusNotFound,
+			&api.Error{Code: api.ErrNotFound, Message: "slo engine not configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sloStatusDTO(s))
+}
+
+// sloStatusDTO maps the SLO engine's snapshot onto the wire schema.
+func sloStatusDTO(s slo.Status) api.SLOStatus {
+	out := api.SLOStatus{
+		AtMs:       s.AtMs,
+		Firing:     s.Firing,
+		Objectives: make([]api.SLOObjective, 0, len(s.Objectives)),
+	}
+	for _, o := range s.Objectives {
+		dto := api.SLOObjective{
+			Name:            o.Name,
+			Tier:            o.Tier,
+			Kind:            o.Kind,
+			Target:          o.Target,
+			Good:            o.Good,
+			Total:           o.Total,
+			ErrorRate:       o.ErrorRate,
+			BudgetRemaining: o.BudgetRemaining,
+		}
+		for _, wd := range o.Windows {
+			dto.Windows = append(dto.Windows, api.SLOWindow{
+				WindowMs:  wd.WindowMs,
+				ErrorRate: wd.ErrorRate,
+				BurnRate:  wd.BurnRate,
+			})
+		}
+		for _, rl := range o.Rules {
+			dto.Rules = append(dto.Rules, api.SLORule{
+				Severity:  rl.Severity,
+				Threshold: rl.Threshold,
+				LongMs:    rl.LongMs,
+				ShortMs:   rl.ShortMs,
+				BurnLong:  rl.BurnLong,
+				BurnShort: rl.BurnShort,
+				Firing:    rl.Firing,
+				SinceMs:   rl.SinceMs,
+			})
+		}
+		out.Objectives = append(out.Objectives, dto)
+	}
+	return out
+}
+
 // MetricsDTO assembles the wire-level metrics snapshot served by
 // GET /v1/gateway/metrics.
 func (g *Gateway) MetricsDTO() api.GatewayMetrics {
@@ -223,6 +278,7 @@ func reconfigDTO(rec controller.Reconfiguration) api.ControllerReconfiguration {
 		FromCostPerHour:   rec.FromCostPerHour,
 		ToCostPerHour:     rec.ToCostPerHour,
 		MigrationCost:     rec.MigrationCost,
+		Trigger:           rec.Trigger,
 		IncumbentMeetsQoS: rec.IncumbentMeetsQoS,
 		Samples:           rec.Samples,
 		Applied:           rec.Applied,

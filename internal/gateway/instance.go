@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +72,13 @@ type instance struct {
 	retiring atomic.Bool   // drain-then-retire initiated
 	exited   atomic.Bool   // worker past its final drain barrier
 
+	// Chaos straggler state (math.Float64bits): while stream time is before
+	// slowUntilBits, every batch this instance serves stretches by
+	// slowFactorBits. Zero factor means healthy; the worker reads both with
+	// plain atomic loads, so injection never blocks serving.
+	slowFactorBits atomic.Uint64
+	slowUntilBits  atomic.Uint64
+
 	warmupMs float64 // one-off boot charge before the worker serves
 
 	stop chan struct{} // closed by applyConfig to retire
@@ -91,6 +99,26 @@ func newInstance(id, slot int, typ cloud.InstanceType, queueDepth int, warmupMs 
 		inst.queues[r] = make(chan *request, queueDepth)
 	}
 	return inst
+}
+
+// setSlowdown marks inst a straggler: batches stretch by factor until
+// untilMs of stream time. A later event overwrites an earlier one.
+func (inst *instance) setSlowdown(factor, untilMs float64) {
+	inst.slowUntilBits.Store(math.Float64bits(untilMs))
+	inst.slowFactorBits.Store(math.Float64bits(factor))
+}
+
+// slowdown returns the active stretch factor at nowMs, 1 when healthy or
+// the window has lapsed.
+func (inst *instance) slowdown(nowMs float64) float64 {
+	f := math.Float64frombits(inst.slowFactorBits.Load())
+	if f <= 1 {
+		return 1
+	}
+	if nowMs >= math.Float64frombits(inst.slowUntilBits.Load()) {
+		return 1
+	}
+	return f
 }
 
 // load is the queue-depth-plus-inflight figure the routing policies rank by.
@@ -271,6 +299,14 @@ func (g *Gateway) serveBatch(inst *instance, reqs []*request, b *Batch) {
 	}
 	inst.inflight.Add(int64(n))
 	svcMs, err := g.backend.Serve(g.ctx, inst.typ, b)
+	// A chaos slowdown stretches this instance's service time: sleep out
+	// the extra stream time so stragglers degrade real measured latency,
+	// the same signal the SLO engine and controller react to.
+	if f := inst.slowdown(g.nowMs()); f > 1 && err == nil && svcMs > 0 {
+		if sleepFor(g.ctx, g.scaled(svcMs*(f-1))) == nil {
+			svcMs *= f
+		}
+	}
 	inst.inflight.Add(-int64(n))
 	now := g.nowMs()
 

@@ -66,6 +66,8 @@ type metrics struct {
 	pickSeconds   *obs.Histogram
 	reconfApplied *obs.Counter
 	reconfKept    *obs.Counter
+	sloFiring     *obs.Counter
+	sloResolved   *obs.Counter
 
 	tiers [dispatch.NumRanks]tierMetrics
 

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTraceRingConcurrent drives sampling, recording, and reading from
+// parallel writers. Under -race this is the data-race check for the
+// lock-free Next counter against the mutex-guarded ring; the assertions
+// check the invariants that must survive the interleaving: Seen counts
+// every Next exactly once, the global sample quota is met, and every
+// snapshot is internally consistent (bounded, capped spans, no torn slots).
+func TestTraceRingConcurrent(t *testing.T) {
+	const (
+		workers  = 8
+		perW     = 4000
+		capacity = 64
+		every    = 4
+	)
+	r := NewTraceRing(capacity, every)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				seq, sampled := r.Next()
+				if seq == 0 {
+					t.Error("sequence numbers start at 1")
+					return
+				}
+				if !sampled {
+					continue
+				}
+				r.Record(func(tr *Trace) {
+					tr.Seq = seq
+					tr.Outcome = "served"
+					tr.ArrivalMs = float64(seq)
+					tr.Spans = append(tr.Spans, Span{Name: "queue", StartMs: 0, EndMs: 1})
+					tr.Spans = append(tr.Spans, Span{Name: "serve", StartMs: 1, EndMs: 2})
+				})
+			}
+		}(w)
+	}
+	// Concurrent readers exercise Traces against in-flight Records.
+	var rg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range r.Traces() {
+					if len(tr.Spans) > MaxSpans {
+						t.Errorf("trace %d holds %d spans, cap %d", tr.Seq, len(tr.Spans), MaxSpans)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	total := uint64(workers * perW)
+	if got := r.Seen(); got != total {
+		t.Errorf("Seen = %d, want %d", got, total)
+	}
+	traces := r.Traces()
+	if len(traces) != capacity {
+		t.Errorf("retained %d traces, want full ring of %d", len(traces), capacity)
+	}
+	for _, tr := range traces {
+		if tr.Seq%every != 0 {
+			t.Errorf("unsampled seq %d landed in the ring", tr.Seq)
+		}
+		if tr.Outcome != "served" || len(tr.Spans) != 2 {
+			t.Errorf("torn slot: %+v", tr)
+		}
+	}
+}
+
+// TestTrailConcurrentAppend checks the bounded audit trail under parallel
+// writers: sequence numbers are dense 1..N across workers, retention plus
+// drops conserves the record count, and every snapshot taken mid-storm is
+// ordered and within the bound. Run with -race this doubles as the Trail
+// data-race check.
+func TestTrailConcurrentAppend(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 2000
+		max     = 128
+	)
+	tr := NewTrail(max, nil)
+	seen := make([]bool, workers*perW+1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				seq := tr.Record(float64(i), "load", fmt.Sprintf("w%d", w), F("i", i))
+				mu.Lock()
+				if seq < 1 || seq > len(seen)-1 || seen[seq] {
+					mu.Unlock()
+					t.Errorf("sequence %d out of range or duplicated", seq)
+					return
+				}
+				seen[seq] = true
+				mu.Unlock()
+				if i%500 == 0 {
+					evs := tr.Events()
+					if len(evs) > max {
+						t.Errorf("retained %d events over bound %d", len(evs), max)
+						return
+					}
+					for j := 1; j < len(evs); j++ {
+						if evs[j].Seq <= evs[j-1].Seq {
+							t.Errorf("snapshot out of order at %d: %d then %d", j, evs[j-1].Seq, evs[j].Seq)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := workers * perW
+	for s := 1; s <= total; s++ {
+		if !seen[s] {
+			t.Fatalf("sequence %d never issued: numbering has gaps", s)
+		}
+	}
+	evs := tr.Events()
+	if len(evs) != max {
+		t.Errorf("retained %d events, want bound %d", len(evs), max)
+	}
+	if got := tr.Dropped() + len(evs); got != total {
+		t.Errorf("dropped+retained = %d, want %d", got, total)
+	}
+	if evs[len(evs)-1].Seq != total {
+		t.Errorf("newest retained seq = %d, want %d", evs[len(evs)-1].Seq, total)
+	}
+}

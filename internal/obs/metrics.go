@@ -165,35 +165,73 @@ func (h *Histogram) Counts(dst []uint64) []uint64 {
 }
 
 // Quantile returns an interpolated estimate of the q-quantile (0..1) of
-// the observed distribution, assuming uniform density within buckets. It
-// returns 0 when the histogram is empty.
+// the observed distribution, computed the way a Prometheus server evaluates
+// histogram_quantile over the exposed cumulative buckets. The bucket counts
+// are snapshotted in one pass and the total is derived from that same
+// snapshot, so a Quantile racing concurrent Observe calls still answers
+// from a single coherent distribution instead of mixing a fresh total with
+// stale buckets. It returns 0 when the histogram is empty.
 func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, 0, len(h.uppers))
+	counts = h.Counts(counts)
+	var inBuckets uint64
+	for _, n := range counts {
+		inBuckets += n
+	}
 	total := h.count.Load()
-	if total == 0 {
+	if total < inBuckets {
+		// Observe bumps the bucket before the total; a racing reader can
+		// see the bucket increment first. The bucket sum is the later
+		// coherent view, so trust it.
+		total = inBuckets
+	}
+	return QuantileOverCounts(h.uppers, counts, total, q)
+}
+
+// QuantileOverCounts estimates the q-quantile (clamped into [0,1]) of a
+// bucketed distribution with the exposition-consistent interpolation
+// Prometheus's histogram_quantile uses: uppers are the finite bucket upper
+// bounds, counts the per-bucket (non-cumulative) observation counts, and
+// total the overall observation count — any excess of total over the bucket
+// sum is the implicit +Inf bucket. The rank q*total lands in the first
+// bucket whose cumulative count reaches it; the estimate interpolates
+// linearly between that bucket's bounds (the first bucket's lower bound is
+// 0), and a rank past the last finite bucket clamps to the highest finite
+// bound. Returns 0 for an empty distribution.
+func QuantileOverCounts(uppers []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(uppers) == 0 {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(total)
 	cum := uint64(0)
-	lower := 0.0
-	for i := range h.counts {
-		n := h.counts[i].Load()
+	for i, n := range counts {
+		if i >= len(uppers) {
+			break
+		}
 		if n == 0 {
-			lower = h.uppers[i]
 			continue
 		}
 		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = uppers[i-1]
+			}
 			frac := (rank - float64(cum)) / float64(n)
 			if frac < 0 {
 				frac = 0
 			} else if frac > 1 {
 				frac = 1
 			}
-			return lower + frac*(h.uppers[i]-lower)
+			return lower + frac*(uppers[i]-lower)
 		}
 		cum += n
-		lower = h.uppers[i]
 	}
-	return h.uppers[len(h.uppers)-1]
+	return uppers[len(uppers)-1]
 }
 
 // HistogramVec is a histogram family partitioned by label values. All

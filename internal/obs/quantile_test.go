@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference the estimator is held to: the smallest
+// sample whose cumulative count reaches rank q*n — the same order statistic
+// a cumulative-bucket walk targets, computed on the raw samples.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// bucketWidthAt returns the width of the bucket containing v — the tightest
+// error bound any bucketed estimator can promise.
+func bucketWidthAt(uppers []float64, v float64) float64 {
+	lower := 0.0
+	for _, u := range uppers {
+		if v <= u {
+			return u - lower
+		}
+		lower = u
+	}
+	return math.Inf(1) // v beyond the last bound: no width bound applies
+}
+
+// TestQuantileConformance drives the histogram estimate against exact sample
+// quantiles on known seeded distributions. The estimate interpolates within
+// a bucket, so it must land within one bucket width of the exact order
+// statistic at every probed quantile.
+func TestQuantileConformance(t *testing.T) {
+	const n = 20000
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}
+	cases := []struct {
+		name   string
+		uppers []float64
+		sample func(*rand.Rand) float64
+	}{
+		{
+			name:   "uniform",
+			uppers: []float64{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100},
+			sample: func(rng *rand.Rand) float64 { return rng.Float64() * 100 },
+		},
+		{
+			name:   "exponential",
+			uppers: ExpBuckets(0.5, 1.5, 24),
+			sample: func(rng *rand.Rand) float64 { return rng.ExpFloat64() * 20 },
+		},
+		{
+			name:   "lognormal",
+			uppers: ExpBuckets(0.25, 1.4, 30),
+			sample: func(rng *rand.Rand) float64 { return math.Exp(rng.NormFloat64()*0.5 + 2) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			r := NewRegistry()
+			h := r.Histogram("conformance_"+tc.name, "conformance", tc.uppers)
+			samples := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				v := tc.sample(rng)
+				h.Observe(v)
+				samples = append(samples, v)
+			}
+			sort.Float64s(samples)
+			for _, q := range quantiles {
+				exact := exactQuantile(samples, q)
+				if exact > tc.uppers[len(tc.uppers)-1] {
+					continue // rank falls in +Inf: estimate clamps by design
+				}
+				got := h.Quantile(q)
+				tol := bucketWidthAt(tc.uppers, exact)
+				if math.Abs(got-exact) > tol {
+					t.Errorf("q=%v: estimate %v vs exact %v exceeds bucket width %v", q, got, exact, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantileOverCountsExposition pins the interpolation to hand-computed
+// histogram_quantile answers over explicit bucket layouts, including the
+// edge cases the estimator must not fumble: empty interior/leading buckets,
+// ranks on bucket boundaries, mass in the implicit +Inf bucket, and
+// out-of-range q.
+func TestQuantileOverCountsExposition(t *testing.T) {
+	cases := []struct {
+		name   string
+		uppers []float64
+		counts []uint64
+		total  uint64
+		q      float64
+		want   float64
+	}{
+		{"boundary rank", []float64{1, 2, 4}, []uint64{5, 0, 5}, 10, 0.5, 1},
+		{"empty interior bucket", []float64{1, 2, 4}, []uint64{5, 0, 5}, 10, 0.6, 2.4},
+		{"leading empty bucket", []float64{1, 2}, []uint64{0, 4}, 4, 0.5, 1.5},
+		{"first bucket interpolates from zero", []float64{10, 20}, []uint64{4, 0}, 4, 0.5, 5},
+		{"rank in +Inf clamps to last bound", []float64{1}, []uint64{1}, 5, 0.9, 1},
+		{"q above one clamps", []float64{1, 2}, []uint64{2, 2}, 4, 1.5, 2},
+		{"q below zero clamps", []float64{1, 2}, []uint64{2, 2}, 4, -1, 0},
+		{"empty distribution", []float64{1, 2}, []uint64{0, 0}, 0, 0.5, 0},
+		{"all mass in one bucket", []float64{2, 4, 8}, []uint64{0, 10, 0}, 10, 0.25, 2.5},
+	}
+	for _, tc := range cases {
+		if got := QuantileOverCounts(tc.uppers, tc.counts, tc.total, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: QuantileOverCounts = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileSnapshotConsistent hammers a histogram with concurrent
+// observers while reading quantiles: every answer must stay inside the
+// observed value range — a torn total/bucket read would push the estimate
+// outside it. Run with -race this also checks the reader is race-free.
+func TestQuantileSnapshotConsistent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap_ms", "snap", []float64{1, 2, 4, 8, 16})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			h.Observe(float64(i%16) + 0.5)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		for _, q := range []float64{0.5, 0.99} {
+			got := h.Quantile(q)
+			if got < 0 || got > 16 {
+				t.Fatalf("quantile %v = %v outside observed range", q, got)
+			}
+		}
+	}
+	<-done
+}

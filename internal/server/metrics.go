@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"ribbon"
@@ -22,6 +23,13 @@ type serverMetrics struct {
 
 	httpRequests *obs.CounterVec // {method, code}
 	httpSeconds  *obs.Histogram
+
+	// httpAll and httpFailed back the availability SLO indicator: every
+	// response, and the 5xx subset that spends error budget. Plain atomics
+	// rather than registry counters — the engine samples raw totals and the
+	// per-code breakdown is already exported by httpRequests.
+	httpAll    atomic.Uint64
+	httpFailed atomic.Uint64
 
 	evals         *obs.Counter   // non-estimated search evaluations
 	searchSeconds *obs.Histogram // optimize search wall-clock durations
@@ -176,5 +184,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r)
 		s.sm.httpRequests.With(r.Method, strconv.Itoa(sw.status)).Inc()
 		s.sm.httpSeconds.Observe(time.Since(t0).Seconds())
+		s.sm.httpAll.Add(1)
+		if sw.status >= 500 {
+			s.sm.httpFailed.Add(1)
+		}
 	})
 }

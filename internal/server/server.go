@@ -21,6 +21,7 @@ import (
 	"ribbon/api"
 	"ribbon/internal/dispatch"
 	"ribbon/internal/obs"
+	"ribbon/internal/slo"
 )
 
 // Config tunes a Server. The zero value is ready for production use.
@@ -65,6 +66,13 @@ type Config struct {
 	// GET /metrics; a private registry is created when nil. Share one
 	// registry to co-expose several subsystems on one endpoint.
 	Registry *obs.Registry
+	// SLOSampleMs is the wall-clock interval, in milliseconds, at which
+	// the API-availability SLO engine samples the HTTP counters (served at
+	// GET /v1/slo). 1000 when zero; negative disables the engine.
+	SLOSampleMs float64
+	// SLOTarget is the availability objective in (0,1); 0.999 when unset
+	// or out of range.
+	SLOTarget float64
 }
 
 // Server is the Ribbon control plane. Create with New, mount Handler into
@@ -77,6 +85,12 @@ type Server struct {
 	jobs   *jobStore
 	ctrls  *controllerStore
 	fleets *fleetStore
+
+	// API-availability SLO engine (see slo.go); nil when disabled.
+	slo      *slo.Engine
+	sloTrail *obs.Trail
+	sloStop  chan struct{}
+	sloDone  chan struct{}
 }
 
 // New builds a Server and starts its job worker pool.
@@ -129,8 +143,11 @@ func New(cfg Config) *Server {
 	s.fleets.hooks = s.sm.storeHooks("fleet")
 	s.fleets.sm, s.fleets.logger = s.sm, cfg.Logger
 
+	s.initSLO()
+
 	s.mux.Handle("GET /metrics", cfg.Registry.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/instances", s.handleInstances)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -164,6 +181,7 @@ func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 // Close cancels every queued and running job and controller run and stops
 // the worker pools. The Server must not serve requests afterwards.
 func (s *Server) Close() {
+	s.closeSLO()
 	s.jobs.close()
 	s.ctrls.close()
 	s.fleets.close()

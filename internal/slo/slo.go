@@ -1,0 +1,511 @@
+// Package slo layers service-level objectives on the obs telemetry
+// primitives: a bounded stream-time history of indicator samples, windowed
+// error-rate and burn-rate queries over that history, and Google-SRE-style
+// multi-window multi-burn-rate alert rules whose transitions land on the
+// audit trail (and through it the structured log).
+//
+// Every indicator is a cumulative (good, total) pair — QoS-attainment is
+// good=requests meeting their bound, a latency objective is good=requests
+// under the p99 target (read straight off histogram buckets), a shed
+// objective is good=requests not shed. The engine samples the pair at each
+// Observe tick into a ring of points; the error rate over a window is then
+// 1 - Δgood/Δtotal between the window's endpoints, and the burn rate is
+// that error rate divided by the budget (1 - target). A rule fires when
+// both its long and short window burn above the threshold — the long
+// window proves the budget is really burning, the short window proves it
+// is burning *now* — and resolves as soon as the short window recovers,
+// which is what makes time-to-recovery measurable at tick resolution.
+//
+// The engine knows no wall clock: callers drive Observe with their own
+// time — stream time under a seeded replay, wall time in a live server —
+// which is what keeps replays byte-identical with the engine enabled.
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ribbon/internal/obs"
+)
+
+// Alert severities: a page demands immediate (automated) response — it is
+// the severity the controller trigger listens for — while a ticket flags a
+// slow leak that can wait for a human.
+const (
+	SeverityPage   = "page"
+	SeverityTicket = "ticket"
+)
+
+// Alert transition states.
+const (
+	StateFiring   = "firing"
+	StateResolved = "resolved"
+)
+
+// Point is one sampled value of a cumulative (good, total) indicator pair
+// at a stream-time instant.
+type Point struct {
+	AtMs  float64
+	Good  float64
+	Total float64
+}
+
+// Indicator declares one service-level indicator: a cumulative counter pair
+// sampled by the engine at every Observe tick. Sample must be cheap and is
+// called with the engine lock held, in registration order.
+type Indicator struct {
+	// Name uniquely identifies the indicator, e.g. "qos_attainment/critical".
+	Name string
+	// Tier is the criticality tier the objective covers ("" for
+	// service-wide indicators such as availability).
+	Tier string
+	// Kind labels what is measured: "qos_attainment", "latency", "shed",
+	// "availability".
+	Kind string
+	// Target is the objective in (0,1): the fraction of events that must be
+	// good. The error budget is 1 - Target.
+	Target float64
+	// Sample returns the cumulative good and total event counts so far.
+	Sample func() (good, total float64)
+}
+
+// Rule is one multi-window burn-rate alert rule. It fires when the error
+// budget burns at Burn times the sustainable rate over both the long and
+// the short window, and resolves when the short window drops back under.
+type Rule struct {
+	// Severity labels the response class, SeverityPage or SeverityTicket.
+	Severity string
+	// Burn is the burn-rate threshold (multiples of the budget's
+	// sustainable burn; 1.0 would spend exactly the budget over the SLO
+	// period).
+	Burn float64
+	// LongMs and ShortMs are the two window lengths; ShortMs must be
+	// shorter than LongMs.
+	LongMs  float64
+	ShortMs float64
+}
+
+// DefaultRules returns the classic two-rule page/ticket ladder scaled to a
+// base window: a fast page on a hard burn over (base, base/12) and a slow
+// ticket on a sustained moderate burn over (6*base, base/2). The canonical
+// SRE-workbook numbers use base = 1h; replay-driven callers pass their own
+// much shorter base.
+func DefaultRules(baseMs float64) []Rule {
+	if baseMs <= 0 {
+		baseMs = 3_600_000
+	}
+	return []Rule{
+		{Severity: SeverityPage, Burn: 14.4, LongMs: baseMs, ShortMs: baseMs / 12},
+		{Severity: SeverityTicket, Burn: 6, LongMs: 6 * baseMs, ShortMs: baseMs / 2},
+	}
+}
+
+// Alert is one rule transition: a rule starting to fire or resolving on an
+// indicator. AtMs is the transition tick; SinceMs is when the alert
+// originally fired (equal to AtMs on a firing transition).
+type Alert struct {
+	Indicator string
+	Tier      string
+	Kind      string
+	Severity  string
+	State     string
+	AtMs      float64
+	SinceMs   float64
+	// Burn and BurnShort are the long- and short-window burn rates at the
+	// transition; Threshold the rule's limit; ErrorRate the long-window
+	// error rate; Target the objective.
+	Burn      float64
+	BurnShort float64
+	Threshold float64
+	LongMs    float64
+	ShortMs   float64
+	ErrorRate float64
+	Target    float64
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Capacity bounds the per-indicator sample ring; 1024 points when 0.
+	Capacity int
+	// MinEvents is the minimum Δtotal a window must span before its burn
+	// rate is trusted — the guard against firing on the first handful of
+	// events after startup. 10 when 0; negative disables the guard.
+	MinEvents float64
+	// Rules are the alert rules applied to every indicator;
+	// DefaultRules(3_600_000) when nil.
+	Rules []Rule
+	// Trail, when non-nil, receives every alert transition as a
+	// "slo_alert" audit event (and through the trail's logger, a
+	// structured log line). Timestamps are the caller's Observe clock, so
+	// seeded replays reproduce the trail byte for byte.
+	Trail *obs.Trail
+}
+
+// Engine samples indicators and evaluates alert rules. Create with New,
+// register indicators with Add, then drive with Observe; all methods are
+// safe for concurrent use.
+type Engine struct {
+	mu    sync.Mutex
+	cap   int
+	min   float64
+	rules []Rule
+	trail *obs.Trail
+	inds  []*indicator
+}
+
+type indicator struct {
+	Indicator
+	ring   []Point
+	head   int // next write index
+	n      int
+	states []ruleState
+}
+
+type ruleState struct {
+	firing  bool
+	sinceMs float64
+}
+
+// New validates the rule set and returns an empty engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 1024
+	}
+	if cfg.Capacity < 2 {
+		return nil, errors.New("slo: ring capacity must hold at least 2 points")
+	}
+	if cfg.MinEvents == 0 {
+		cfg.MinEvents = 10
+	}
+	if cfg.MinEvents < 0 {
+		cfg.MinEvents = 0
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = DefaultRules(0)
+	}
+	for i, r := range cfg.Rules {
+		if r.Severity == "" {
+			return nil, fmt.Errorf("slo: rule %d needs a severity", i)
+		}
+		if r.Burn <= 0 {
+			return nil, fmt.Errorf("slo: rule %d burn threshold must be positive, got %g", i, r.Burn)
+		}
+		if !(r.LongMs > r.ShortMs && r.ShortMs > 0) {
+			return nil, fmt.Errorf("slo: rule %d wants long > short > 0, got %g/%g", i, r.LongMs, r.ShortMs)
+		}
+	}
+	return &Engine{
+		cap:   cfg.Capacity,
+		min:   cfg.MinEvents,
+		rules: append([]Rule(nil), cfg.Rules...),
+		trail: cfg.Trail,
+	}, nil
+}
+
+// Add registers an indicator. Indicators must be added before the first
+// Observe that should sample them; sampling order is registration order.
+func (e *Engine) Add(ind Indicator) error {
+	if ind.Name == "" {
+		return errors.New("slo: indicator needs a name")
+	}
+	if ind.Sample == nil {
+		return errors.New("slo: indicator " + ind.Name + " needs a Sample func")
+	}
+	if !(ind.Target > 0 && ind.Target < 1) {
+		return fmt.Errorf("slo: indicator %s target %g out of (0,1)", ind.Name, ind.Target)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, have := range e.inds {
+		if have.Name == ind.Name {
+			return errors.New("slo: duplicate indicator " + ind.Name)
+		}
+	}
+	e.inds = append(e.inds, &indicator{
+		Indicator: ind,
+		ring:      make([]Point, e.cap),
+		states:    make([]ruleState, len(e.rules)),
+	})
+	return nil
+}
+
+// Observe samples every indicator at stream time nowMs, evaluates the alert
+// rules, and returns the transitions (rules that started firing or
+// resolved) this tick, nil when none. Transitions are also recorded on the
+// configured trail before Observe returns.
+func (e *Engine) Observe(nowMs float64) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var transitions []Alert
+	for _, ind := range e.inds {
+		good, total := ind.Sample()
+		if ind.n > 0 {
+			if last := ind.at(ind.n - 1); nowMs < last.AtMs {
+				nowMs = last.AtMs
+			}
+		}
+		ind.push(Point{AtMs: nowMs, Good: good, Total: total})
+		for ri := range e.rules {
+			if a, ok := e.evalRule(ind, ri, nowMs); ok {
+				transitions = append(transitions, a)
+			}
+		}
+	}
+	for _, a := range transitions {
+		e.recordLocked(a)
+	}
+	return transitions
+}
+
+// evalRule updates one rule's state machine against the indicator's fresh
+// sample and returns the transition, if any.
+func (e *Engine) evalRule(ind *indicator, ri int, nowMs float64) (Alert, bool) {
+	rule := e.rules[ri]
+	st := &ind.states[ri]
+	longBurn, longErr, longN, okL := ind.burnOver(rule.LongMs)
+	shortBurn, _, shortN, okS := ind.burnOver(rule.ShortMs)
+	alert := func(state string) Alert {
+		return Alert{
+			Indicator: ind.Name,
+			Tier:      ind.Tier,
+			Kind:      ind.Kind,
+			Severity:  rule.Severity,
+			State:     state,
+			AtMs:      nowMs,
+			SinceMs:   st.sinceMs,
+			Burn:      longBurn,
+			BurnShort: shortBurn,
+			Threshold: rule.Burn,
+			LongMs:    rule.LongMs,
+			ShortMs:   rule.ShortMs,
+			ErrorRate: longErr,
+			Target:    ind.Target,
+		}
+	}
+	switch {
+	case !st.firing:
+		if okL && okS && longN >= e.min && shortN >= e.min &&
+			longBurn >= rule.Burn && shortBurn >= rule.Burn {
+			st.firing = true
+			st.sinceMs = nowMs
+			return alert(StateFiring), true
+		}
+	case okS && shortBurn < rule.Burn:
+		// The short window recovering is the earliest trustworthy "it
+		// stopped" signal; waiting for the long window would charge the
+		// whole incident tail to the recovery time.
+		st.firing = false
+		return alert(StateResolved), true
+	}
+	return Alert{}, false
+}
+
+// burnOver measures the indicator over its most recent windowMs of history:
+// burn rate, error rate, and the Δtotal the window spans. ok is false when
+// the ring holds fewer than two distinct points or the window saw no
+// events.
+func (ind *indicator) burnOver(windowMs float64) (burn, errRate, events float64, ok bool) {
+	if ind.n < 2 {
+		return 0, 0, 0, false
+	}
+	latest := ind.at(ind.n - 1)
+	cutoff := latest.AtMs - windowMs
+	// Newest point at or before the cutoff; the oldest retained point when
+	// the window reaches past the ring.
+	base := ind.at(0)
+	for i := ind.n - 2; i >= 0; i-- {
+		if p := ind.at(i); p.AtMs <= cutoff {
+			base = p
+			break
+		}
+	}
+	dGood := latest.Good - base.Good
+	dTotal := latest.Total - base.Total
+	if dTotal <= 0 || dGood < 0 {
+		return 0, 0, 0, false
+	}
+	errRate = 1 - dGood/dTotal
+	if errRate < 0 {
+		errRate = 0
+	} else if errRate > 1 {
+		errRate = 1
+	}
+	return errRate / (1 - ind.Target), errRate, dTotal, true
+}
+
+func (ind *indicator) push(p Point) {
+	ind.ring[ind.head] = p
+	ind.head = (ind.head + 1) % len(ind.ring)
+	if ind.n < len(ind.ring) {
+		ind.n++
+	}
+}
+
+// at returns the i-th retained point, oldest first, i in [0, n).
+func (ind *indicator) at(i int) Point {
+	return ind.ring[(ind.head-ind.n+i+2*len(ind.ring))%len(ind.ring)]
+}
+
+func (e *Engine) recordLocked(a Alert) {
+	if e.trail == nil {
+		return
+	}
+	msg := fmt.Sprintf("slo %s %s: %s burn %.2fx/%.2fx vs %gx",
+		a.Severity, a.State, a.Indicator, a.Burn, a.BurnShort, a.Threshold)
+	e.trail.Record(a.AtMs, "slo_alert", msg,
+		obs.F("indicator", a.Indicator),
+		obs.F("tier", a.Tier),
+		obs.F("severity", a.Severity),
+		obs.F("state", a.State),
+		obs.F("burn", a.Burn),
+		obs.F("burn_short", a.BurnShort),
+		obs.F("threshold", a.Threshold),
+		obs.F("long_ms", a.LongMs),
+		obs.F("short_ms", a.ShortMs),
+		obs.F("error_rate", a.ErrorRate),
+		obs.F("target", a.Target),
+		obs.F("since_ms", a.SinceMs),
+	)
+}
+
+// WindowStatus is the indicator measured over one window length.
+type WindowStatus struct {
+	WindowMs  float64
+	ErrorRate float64
+	BurnRate  float64
+}
+
+// RuleStatus is one rule's live state on an objective.
+type RuleStatus struct {
+	Severity  string
+	Threshold float64
+	LongMs    float64
+	ShortMs   float64
+	BurnLong  float64
+	BurnShort float64
+	Firing    bool
+	SinceMs   float64
+}
+
+// ObjectiveStatus is the point-in-time report for one indicator.
+type ObjectiveStatus struct {
+	Name   string
+	Tier   string
+	Kind   string
+	Target float64
+	// Good and Total are the cumulative counts at the latest sample;
+	// ErrorRate is the cumulative error rate and BudgetRemaining the
+	// fraction of the error budget left at that rate (negative once
+	// overspent).
+	Good            float64
+	Total           float64
+	ErrorRate       float64
+	BudgetRemaining float64
+	Windows         []WindowStatus
+	Rules           []RuleStatus
+}
+
+// Status is a snapshot of every objective. Firing counts the currently
+// active alerts across all objectives and severities.
+type Status struct {
+	AtMs       float64
+	Firing     int
+	Objectives []ObjectiveStatus
+}
+
+// Status reports every objective's cumulative health, per-window burn
+// rates, and rule states as of the latest sample.
+func (e *Engine) Status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	windows := e.windowSizes()
+	out := Status{Objectives: make([]ObjectiveStatus, 0, len(e.inds))}
+	for _, ind := range e.inds {
+		o := ObjectiveStatus{
+			Name:   ind.Name,
+			Tier:   ind.Tier,
+			Kind:   ind.Kind,
+			Target: ind.Target,
+		}
+		if ind.n > 0 {
+			latest := ind.at(ind.n - 1)
+			if latest.AtMs > out.AtMs {
+				out.AtMs = latest.AtMs
+			}
+			o.Good, o.Total = latest.Good, latest.Total
+			if latest.Total > 0 {
+				o.ErrorRate = 1 - latest.Good/latest.Total
+				if o.ErrorRate < 0 {
+					o.ErrorRate = 0
+				}
+			}
+			o.BudgetRemaining = 1 - o.ErrorRate/(1-ind.Target)
+		}
+		for _, w := range windows {
+			ws := WindowStatus{WindowMs: w}
+			if burn, errRate, _, ok := ind.burnOver(w); ok {
+				ws.BurnRate, ws.ErrorRate = burn, errRate
+			}
+			o.Windows = append(o.Windows, ws)
+		}
+		for ri, rule := range e.rules {
+			rs := RuleStatus{
+				Severity:  rule.Severity,
+				Threshold: rule.Burn,
+				LongMs:    rule.LongMs,
+				ShortMs:   rule.ShortMs,
+				Firing:    ind.states[ri].firing,
+			}
+			if rs.Firing {
+				rs.SinceMs = ind.states[ri].sinceMs
+				out.Firing++
+			}
+			if burn, _, _, ok := ind.burnOver(rule.LongMs); ok {
+				rs.BurnLong = burn
+			}
+			if burn, _, _, ok := ind.burnOver(rule.ShortMs); ok {
+				rs.BurnShort = burn
+			}
+			o.Rules = append(o.Rules, rs)
+		}
+		out.Objectives = append(out.Objectives, o)
+	}
+	return out
+}
+
+// Firing reports whether any rule of the given severity is currently firing
+// on an indicator of the given tier ("" matches any tier).
+func (e *Engine) Firing(tier, severity string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ind := range e.inds {
+		if tier != "" && ind.Tier != tier {
+			continue
+		}
+		for ri, rule := range e.rules {
+			if rule.Severity == severity && ind.states[ri].firing {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// windowSizes returns the distinct window lengths across the rule set,
+// ascending.
+func (e *Engine) windowSizes() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, r := range e.rules {
+		for _, w := range []float64{r.ShortMs, r.LongMs} {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,259 @@
+package slo
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ribbon/internal/obs"
+)
+
+func testRules() []Rule {
+	return []Rule{
+		{Severity: SeverityPage, Burn: 10, LongMs: 4000, ShortMs: 1000},
+		{Severity: SeverityTicket, Burn: 2, LongMs: 16000, ShortMs: 4000},
+	}
+}
+
+func newTestEngine(t *testing.T, trail *obs.Trail) (*Engine, *float64, *float64) {
+	t.Helper()
+	e, err := New(Config{Capacity: 256, MinEvents: 5, Rules: testRules(), Trail: trail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, total := new(float64), new(float64)
+	if err := e.Add(Indicator{
+		Name:   "qos_attainment/critical",
+		Tier:   "critical",
+		Kind:   "qos_attainment",
+		Target: 0.99,
+		Sample: func() (float64, float64) { return *good, *total },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e, good, total
+}
+
+// drive advances the engine one tick of tickMs, adding n events of which
+// nGood are good, and returns the transitions.
+func drive(e *Engine, nowMs *float64, tickMs float64, good, total *float64, nGood, n float64) []Alert {
+	*nowMs += tickMs
+	*good += nGood
+	*total += n
+	return e.Observe(*nowMs)
+}
+
+func TestBurnMath(t *testing.T) {
+	e, good, total := newTestEngine(t, nil)
+	now := 0.0
+	// 100 events per 500ms tick at exactly 10% error: burn = 0.1/0.01 = 10.
+	for i := 0; i < 20; i++ {
+		drive(e, &now, 500, good, total, 90, 100)
+	}
+	st := e.Status()
+	if st.AtMs != now {
+		t.Errorf("status AtMs = %v, want %v", st.AtMs, now)
+	}
+	o := st.Objectives[0]
+	if math.Abs(o.ErrorRate-0.1) > 1e-9 {
+		t.Errorf("cumulative error rate = %v, want 0.1", o.ErrorRate)
+	}
+	if math.Abs(o.BudgetRemaining-(1-0.1/0.01)) > 1e-9 {
+		t.Errorf("budget remaining = %v, want %v", o.BudgetRemaining, 1-0.1/0.01)
+	}
+	for _, w := range o.Windows {
+		if math.Abs(w.ErrorRate-0.1) > 1e-9 || math.Abs(w.BurnRate-10) > 1e-9 {
+			t.Errorf("window %v: error %v burn %v, want 0.1 / 10", w.WindowMs, w.ErrorRate, w.BurnRate)
+		}
+	}
+}
+
+func TestAlertLifecycle(t *testing.T) {
+	trail := obs.NewTrail(64, nil)
+	e, good, total := newTestEngine(t, trail)
+	now := 0.0
+
+	// Healthy traffic long enough to fill every window: no alerts.
+	for i := 0; i < 40; i++ {
+		if got := drive(e, &now, 500, good, total, 100, 100); got != nil {
+			t.Fatalf("healthy traffic raised %v", got)
+		}
+	}
+
+	// Hard breach: 50% errors, 50x the page threshold's sustainable burn.
+	var fired *Alert
+	for i := 0; i < 20 && fired == nil; i++ {
+		for _, a := range drive(e, &now, 500, good, total, 50, 100) {
+			if a.Severity == SeverityPage && a.State == StateFiring {
+				cp := a
+				fired = &cp
+			}
+		}
+	}
+	if fired == nil {
+		t.Fatal("page rule never fired under a 50% error rate")
+	}
+	firedAt := fired.AtMs
+	if fired.SinceMs != firedAt {
+		t.Errorf("firing SinceMs = %v, want transition time %v", fired.SinceMs, firedAt)
+	}
+	if fired.Burn < 10 || fired.BurnShort < 10 {
+		t.Errorf("fired below threshold: long %v short %v", fired.Burn, fired.BurnShort)
+	}
+	if !e.Firing("critical", SeverityPage) {
+		t.Error("Firing(critical, page) = false while the page alert is active")
+	}
+	if e.Firing("standard", SeverityPage) {
+		t.Error("Firing reported an alert for an unrelated tier")
+	}
+
+	// Recovery: clean traffic drains the short window below threshold.
+	var resolved *Alert
+	for i := 0; i < 40 && resolved == nil; i++ {
+		for _, a := range drive(e, &now, 500, good, total, 100, 100) {
+			if a.Severity == SeverityPage && a.State == StateResolved {
+				cp := a
+				resolved = &cp
+			}
+		}
+	}
+	if resolved == nil {
+		t.Fatal("page rule never resolved after recovery")
+	}
+	if resolved.SinceMs != firedAt {
+		t.Errorf("resolved SinceMs = %v, want original firing time %v", resolved.SinceMs, firedAt)
+	}
+	if resolved.AtMs <= firedAt {
+		t.Errorf("resolved at %v, not after firing at %v", resolved.AtMs, firedAt)
+	}
+
+	// Both transitions are on the audit trail.
+	states := map[string]int{}
+	for _, ev := range trail.Events() {
+		if ev.Kind == "slo_alert" {
+			for _, f := range ev.Fields {
+				if f.Key == "state" {
+					states[fmt.Sprint(f.Value)]++
+				}
+			}
+		}
+	}
+	if states[StateFiring] == 0 || states[StateResolved] == 0 {
+		t.Errorf("trail transitions = %v, want firing and resolved", states)
+	}
+}
+
+func TestMinEventsGuard(t *testing.T) {
+	e, good, total := newTestEngine(t, nil)
+	now := 0.0
+	// Total failure but too few events for any window to reach
+	// MinEvents=5: the engine must hold fire.
+	for i := 0; i < 5; i++ {
+		if got := drive(e, &now, 500, good, total, 0, 1); got != nil {
+			t.Fatalf("fired on %v events: %v", *total, got)
+		}
+	}
+}
+
+func TestRingBoundAndWindows(t *testing.T) {
+	e, err := New(Config{Capacity: 8, MinEvents: 1, Rules: testRules()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, total := new(float64), new(float64)
+	if err := e.Add(Indicator{Name: "x", Kind: "availability", Target: 0.9,
+		Sample: func() (float64, float64) { return *good, *total }}); err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	// 100 ticks through an 8-point ring: early history is gone, and a
+	// window longer than the retained span falls back to the oldest point.
+	for i := 0; i < 100; i++ {
+		drive(e, &now, 500, good, total, 1, 1)
+	}
+	ind := e.inds[0]
+	if ind.n != 8 {
+		t.Fatalf("ring holds %d points, want 8", ind.n)
+	}
+	if oldest := ind.at(0); oldest.AtMs != now-7*500 {
+		t.Errorf("oldest retained point at %v, want %v", oldest.AtMs, now-7*500)
+	}
+	if _, _, events, ok := ind.burnOver(1e9); !ok || events != 7 {
+		t.Errorf("over-long window: events %v ok %v, want 7 true", events, ok)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Rules: []Rule{{Severity: "page", Burn: 0, LongMs: 2, ShortMs: 1}}}); err == nil {
+		t.Error("zero burn threshold accepted")
+	}
+	if _, err := New(Config{Rules: []Rule{{Severity: "page", Burn: 1, LongMs: 1, ShortMs: 2}}}); err == nil {
+		t.Error("short window longer than long accepted")
+	}
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := func() (float64, float64) { return 0, 0 }
+	if err := e.Add(Indicator{Name: "", Target: 0.5, Sample: sample}); err == nil {
+		t.Error("unnamed indicator accepted")
+	}
+	if err := e.Add(Indicator{Name: "a", Target: 1, Sample: sample}); err == nil {
+		t.Error("target 1 accepted")
+	}
+	if err := e.Add(Indicator{Name: "a", Target: 0.5, Sample: nil}); err == nil {
+		t.Error("nil sample accepted")
+	}
+	if err := e.Add(Indicator{Name: "a", Target: 0.5, Sample: sample}); err != nil {
+		t.Error(err)
+	}
+	if err := e.Add(Indicator{Name: "a", Target: 0.5, Sample: sample}); err == nil {
+		t.Error("duplicate indicator accepted")
+	}
+}
+
+func TestDefaultRulesShape(t *testing.T) {
+	rules := DefaultRules(60_000)
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	if rules[0].Severity != SeverityPage || rules[0].LongMs != 60_000 || rules[0].ShortMs != 5_000 {
+		t.Errorf("page rule = %+v", rules[0])
+	}
+	if rules[1].Severity != SeverityTicket || rules[1].LongMs != 360_000 {
+		t.Errorf("ticket rule = %+v", rules[1])
+	}
+	for _, r := range DefaultRules(0) {
+		if r.LongMs <= r.ShortMs {
+			t.Errorf("default rule %+v has long <= short", r)
+		}
+	}
+}
+
+// TestDeterministicReplay drives two engines through the same scripted
+// stream and requires identical transition sequences — the property the
+// controller's byte-identical replays build on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() string {
+		e, good, total := newTestEngine(t, nil)
+		now := 0.0
+		var log string
+		for i := 0; i < 200; i++ {
+			nGood := 100.0
+			if i > 60 && i < 120 {
+				nGood = 55
+			}
+			for _, a := range drive(e, &now, 250, good, total, nGood, 100) {
+				log += fmt.Sprintf("%#v\n", a)
+			}
+		}
+		return log
+	}
+	first := run()
+	if first == "" {
+		t.Fatal("scripted breach produced no transitions")
+	}
+	if second := run(); second != first {
+		t.Errorf("replay diverged:\n%s\nvs\n%s", first, second)
+	}
+}
